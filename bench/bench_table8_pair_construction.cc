@@ -1,0 +1,47 @@
+// Reproduces Table 8: time to construct positive-negative node pairs
+// (Algorithm 1) on sparse graphs of growing size (|E| = 2|V|), via
+// google-benchmark. The paper reports 0.005s / 0.045s / 2.11s / 28.92s /
+// 38.53s at 0.1k / 1k / 10k / 50k / 70k nodes.
+#include <benchmark/benchmark.h>
+
+#include "core/pairs.h"
+#include "data/synthetic.h"
+#include "graph/khop.h"
+#include "graph/sampling.h"
+#include "util/rng.h"
+
+using namespace ses;
+
+namespace {
+
+void BM_PairConstruction(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  util::Rng rng(7);
+  // Sparse graph with twice as many edges as nodes (the paper's setup).
+  graph::Graph g = data::MakeBarabasiAlbert(n, 2, &rng);
+  graph::KHopAdjacency khop(g, /*k=*/2, /*max_neighbors=*/32);
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  for (auto& l : labels) l = static_cast<int64_t>(rng.UniformInt(4));
+  graph::NegativeSets negatives = graph::SampleNegativeSets(khop, labels, &rng);
+  tensor::Tensor mask = tensor::Tensor::Uniform(khop.num_pairs(), 1, 0.0f,
+                                                1.0f, &rng);
+  for (auto _ : state) {
+    auto pairs = core::ConstructPairs(khop, mask, negatives, 0.8, &rng);
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.counters["nodes"] = static_cast<double>(n);
+  state.counters["pairs/s"] = benchmark::Counter(
+      static_cast<double>(khop.num_pairs()), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_PairConstruction)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Arg(70000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Compare SES's built-in explanations against the post-hoc explainers on a
+// Tree-Cycle benchmark: one trained backbone, four explanation methods, one
+// table of edge-AUC scores and per-method timing. Demonstrates the
+// Explainer interface the library exposes for plugging in new methods.
+#include <cstdio>
+
+#include "core/ses_model.h"
+#include "data/synthetic.h"
+#include "explain/gnn_explainer.h"
+#include "explain/grad_att.h"
+#include "explain/pg_explainer.h"
+#include "explain/pgm_explainer.h"
+#include "metrics/metrics.h"
+#include "models/backbone_models.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace ses;
+
+int main() {
+  data::Dataset ds = data::MakeTreeCycle();
+  models::TrainConfig config;
+  config.epochs = 150;
+  config.hidden = 64;
+  config.dropout = 0.2f;
+  config.seed = 5;
+
+  // One trained GCN serves every post-hoc explainer.
+  models::BackboneModel gcn("GCN");
+  gcn.Fit(ds, config);
+  std::printf("backbone GCN accuracy: %.1f%%\n",
+              100.0 * models::Accuracy(gcn.Logits(ds), ds.labels, ds.test_idx));
+
+  // Per-node methods explain the motif nodes (120 of them here).
+  std::vector<int64_t> nodes = explain::NodesToExplain(ds, 120);
+
+  util::Table table("Edge-explanation quality on Tree-Cycle");
+  table.SetHeader({"Method", "AUC", "Time"});
+  util::Timer timer;
+  auto report = [&](const std::string& name, const std::vector<float>& scores) {
+    table.AddRow({name,
+                  util::Table::Num(metrics::ExplanationAuc(ds, scores), 3),
+                  util::FormatDuration(timer.ElapsedSeconds())});
+  };
+
+  timer.Reset();
+  explain::GradExplainer grad(gcn.encoder());
+  report("GRAD", grad.ExplainEdges(ds));
+
+  timer.Reset();
+  explain::GnnExplainer gex(gcn.encoder());
+  report("GNNExplainer", gex.ExplainEdges(ds, nodes));
+
+  timer.Reset();
+  explain::PgExplainer pge(gcn.encoder());
+  report("PGExplainer", pge.ExplainEdges(ds));
+
+  timer.Reset();
+  explain::PgmExplainer pgm(gcn.encoder());
+  report("PGMExplainer", pgm.ExplainEdges(ds, nodes));
+
+  // SES trains its masks jointly — the timer covers training + readout.
+  timer.Reset();
+  core::SesOptions options;
+  options.backbone = "GCN";
+  core::SesModel ses(options);
+  ses.Fit(ds, config);
+  report("SES", ses.EdgeScores(ds));
+
+  table.Print();
+  return 0;
+}

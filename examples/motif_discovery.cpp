@@ -1,0 +1,61 @@
+// Motif discovery: the paper's headline explanation scenario. Train SES on
+// BAShapes (a Barabasi-Albert graph with planted "house" motifs), then check
+// that the learned structure mask separates the houses' internal edges from
+// the surrounding noise — quantitatively (edge AUC against ground truth) and
+// visually (an SVG of one house neighborhood with mask-weighted edges).
+#include <cstdio>
+
+#include "core/ses_model.h"
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+#include "util/table.h"
+#include "viz/graph_export.h"
+
+using namespace ses;
+
+int main() {
+  data::Dataset ds = data::MakeBaShapes();
+  std::printf("BAShapes: %lld nodes, %lld edges, %zu ground-truth motif edges\n",
+              static_cast<long long>(ds.num_nodes()),
+              static_cast<long long>(ds.graph.num_edges()),
+              ds.gt_motif_edges.size());
+
+  core::SesOptions options;
+  options.backbone = "GCN";
+  core::SesModel model(options);
+  models::TrainConfig config;
+  config.epochs = 200;
+  config.hidden = 64;
+  config.dropout = 0.2f;
+  config.seed = 3;
+  model.Fit(ds, config);
+
+  const double acc =
+      models::Accuracy(model.Logits(ds), ds.labels, ds.test_idx);
+  auto scores = model.EdgeScores(ds);
+  const double auc = metrics::ExplanationAuc(ds, scores);
+  std::printf("role-classification accuracy: %.1f%%\n", 100.0 * acc);
+  std::printf("explanation AUC (motif edges vs incident noise): %.3f\n", auc);
+
+  // Visualize one house: pick the first motif node, extract its 2-hop
+  // neighborhood, overlay the mask weights.
+  int64_t center = -1;
+  for (int64_t i = 0; i < ds.num_nodes() && center < 0; ++i)
+    if (ds.in_motif[static_cast<size_t>(i)]) center = i;
+  graph::Subgraph sub = graph::ExtractEgoNet(ds.graph, center, 2);
+  const auto& und = ds.graph.edges();
+  std::vector<float> local;
+  for (auto [la, lb] : sub.graph.edges()) {
+    const int64_t ga = sub.nodes[static_cast<size_t>(la)];
+    const int64_t gb = sub.nodes[static_cast<size_t>(lb)];
+    auto key = std::make_pair(std::min(ga, gb), std::max(ga, gb));
+    auto it = std::lower_bound(und.begin(), und.end(), key);
+    local.push_back(it != und.end() && *it == key
+                        ? scores[static_cast<size_t>(it - und.begin())]
+                        : 0.0f);
+  }
+  util::WriteFile("motif_discovery_house.svg",
+                  viz::SubgraphToSvg(sub, ds.labels, local, sub.center_local));
+  std::printf("wrote motif_discovery_house.svg (darker edge = more important)\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: train SES on a small citation-style graph, predict node
+// labels, and read both kinds of built-in explanations.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/ses_model.h"
+#include "data/real_world.h"
+#include "metrics/metrics.h"
+#include "models/node_classifier.h"
+
+using namespace ses;
+
+int main() {
+  // 1. A dataset: a quarter-scale Cora-like citation network (graph +
+  //    sparse bag-of-words features + labels + 60/20/20 split).
+  data::Dataset ds = data::MakeRealWorldByName("Cora", /*scale=*/0.25,
+                                               /*seed=*/7);
+  std::printf("dataset: %s  nodes=%lld edges=%lld features=%lld classes=%lld\n",
+              ds.name.c_str(), static_cast<long long>(ds.num_nodes()),
+              static_cast<long long>(ds.graph.num_edges()),
+              static_cast<long long>(ds.num_features()),
+              static_cast<long long>(ds.num_classes));
+
+  // 2. The model: SES with a GCN backbone. Fit runs both phases —
+  //    explainable training (encoder + mask generator, Eq. 9) and enhanced
+  //    predictive learning (triplet + cross-entropy, Eq. 13).
+  core::SesOptions options;
+  options.backbone = "GCN";
+  core::SesModel model(options);
+
+  models::TrainConfig config;
+  config.epochs = 80;
+  config.hidden = 64;
+  config.seed = 1;
+  model.Fit(ds, config);
+
+  // 3. Prediction.
+  const double acc =
+      models::Accuracy(model.Logits(ds), ds.labels, ds.test_idx);
+  std::printf("test accuracy: %.1f%%  (phase1 %.1fs, phase2 %.1fs)\n",
+              100.0 * acc, model.explainable_training_seconds(),
+              model.enhanced_learning_seconds());
+
+  // 4. Feature explanation E_feat = M_f ⊙ X: the most important features
+  //    of the first test node.
+  const int64_t node = ds.test_idx.front();
+  const auto& mf = model.feature_mask_nnz();
+  std::printf("node %lld (label %lld) — top features by mask weight:\n",
+              static_cast<long long>(node),
+              static_cast<long long>(ds.labels[static_cast<size_t>(node)]));
+  const int64_t lo = ds.features->row_ptr[static_cast<size_t>(node)];
+  const int64_t hi = ds.features->row_ptr[static_cast<size_t>(node) + 1];
+  for (int64_t e = lo; e < hi && e < lo + 5; ++e)
+    std::printf("  feature %lld  weight %.3f\n",
+                static_cast<long long>(
+                    ds.features->col_idx[static_cast<size_t>(e)]),
+                mf[e]);
+
+  // 5. Structure explanation E_sub = M̂_s ⊙ A^(k): the node's most
+  //    important neighbors.
+  auto edge_scores = model.EdgeScores(ds);
+  std::printf("neighbors of node %lld by structure-mask weight:\n",
+              static_cast<long long>(node));
+  const auto& und = ds.graph.edges();
+  int printed = 0;
+  for (size_t i = 0; i < und.size() && printed < 5; ++i) {
+    if (und[i].first != node && und[i].second != node) continue;
+    const int64_t other = und[i].first == node ? und[i].second : und[i].first;
+    std::printf("  neighbor %lld (label %lld)  weight %.3f\n",
+                static_cast<long long>(other),
+                static_cast<long long>(ds.labels[static_cast<size_t>(other)]),
+                edge_scores[i]);
+    ++printed;
+  }
+  return 0;
+}

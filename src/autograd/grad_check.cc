@@ -1,0 +1,45 @@
+#include "autograd/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ses::autograd {
+
+GradCheckResult CheckGradients(const std::function<Variable()>& forward,
+                               const std::vector<Variable>& params,
+                               float epsilon, float tolerance) {
+  GradCheckResult result;
+  // Analytic pass.
+  for (const Variable& p : params) const_cast<Variable&>(p).ZeroGrad();
+  Variable loss = forward();
+  SES_CHECK(loss.value().size() == 1);
+  Backward(loss);
+
+  for (const Variable& p : params) {
+    Variable& param = const_cast<Variable&>(p);
+    tensor::Tensor analytic = param.grad();
+    if (!analytic.SameShape(param.value()))
+      analytic = tensor::Tensor(param.value().rows(), param.value().cols());
+    tensor::Tensor& v = param.mutable_value();
+    for (int64_t i = 0; i < v.size(); ++i) {
+      const float original = v[i];
+      v[i] = original + epsilon;
+      const float up = forward().value()[0];
+      v[i] = original - epsilon;
+      const float down = forward().value()[0];
+      v[i] = original;
+      const float numeric = (up - down) / (2.0f * epsilon);
+      const float abs_err = std::fabs(analytic[i] - numeric);
+      const float denom =
+          std::max({std::fabs(analytic[i]), std::fabs(numeric), 1e-2f});
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+    }
+  }
+  result.ok = result.max_rel_error <= tolerance;
+  return result;
+}
+
+}  // namespace ses::autograd

@@ -1,0 +1,28 @@
+#ifndef SES_AUTOGRAD_GRAD_CHECK_H_
+#define SES_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace ses::autograd {
+
+/// Result of one finite-difference gradient verification.
+struct GradCheckResult {
+  float max_abs_error = 0.0f;   ///< worst |analytic - numeric|
+  float max_rel_error = 0.0f;   ///< worst relative error (guarded denominator)
+  bool ok = false;              ///< max_rel_error <= tolerance
+};
+
+/// Verifies d(loss)/d(param) for every listed parameter against central
+/// finite differences. `forward` must rebuild the graph from the parameters'
+/// current values and return a scalar Variable. Used by the test suite on
+/// every op and on both GNN layers.
+GradCheckResult CheckGradients(const std::function<Variable()>& forward,
+                               const std::vector<Variable>& params,
+                               float epsilon = 1e-3f, float tolerance = 2e-2f);
+
+}  // namespace ses::autograd
+
+#endif  // SES_AUTOGRAD_GRAD_CHECK_H_

@@ -1,0 +1,499 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace ses::autograd {
+
+namespace t = ses::tensor;
+
+namespace {
+
+/// Shorthand for a unary op whose backward multiplies the incoming gradient
+/// elementwise with a locally computed factor tensor.
+Variable UnaryWithFactor(const Variable& a, t::Tensor value, t::Tensor factor) {
+  NodePtr pa = a.node();
+  auto node = MakeOpNode(
+      std::move(value), {pa},
+      [pa, factor = std::move(factor)](const t::Tensor& g) {
+        if (pa->requires_grad) {
+          t::Tensor& dst = pa->EnsureGrad();
+          const int64_t n = g.size();
+          const float* pg = g.data();
+          const float* pf = factor.data();
+          float* pd = dst.data();
+          for (int64_t i = 0; i < n; ++i) pd[i] += pg[i] * pf[i];
+        }
+      });
+  return Variable(node);
+}
+
+}  // namespace
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  NodePtr pa = a.node(), pb = b.node();
+  t::Tensor value = t::MatMul(pa->value, pb->value);
+  auto node = MakeOpNode(std::move(value), {pa, pb},
+                         [pa, pb](const t::Tensor& g) {
+                           if (pa->requires_grad)
+                             pa->EnsureGrad().AddInPlace(
+                                 t::MatMulTransposedB(g, pb->value));
+                           if (pb->requires_grad)
+                             pb->EnsureGrad().AddInPlace(
+                                 t::MatMulTransposedA(pa->value, g));
+                         });
+  return Variable(node);
+}
+
+Variable Transpose(const Variable& a) {
+  NodePtr pa = a.node();
+  auto node = MakeOpNode(t::Transpose(pa->value), {pa},
+                         [pa](const t::Tensor& g) {
+                           if (pa->requires_grad)
+                             pa->EnsureGrad().AddInPlace(t::Transpose(g));
+                         });
+  return Variable(node);
+}
+
+Variable Add(const Variable& a, const Variable& b) {
+  NodePtr pa = a.node(), pb = b.node();
+  auto node = MakeOpNode(t::Add(pa->value, pb->value), {pa, pb},
+                         [pa, pb](const t::Tensor& g) {
+                           if (pa->requires_grad) pa->EnsureGrad().AddInPlace(g);
+                           if (pb->requires_grad) pb->EnsureGrad().AddInPlace(g);
+                         });
+  return Variable(node);
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  NodePtr pa = a.node(), pb = b.node();
+  auto node = MakeOpNode(t::Sub(pa->value, pb->value), {pa, pb},
+                         [pa, pb](const t::Tensor& g) {
+                           if (pa->requires_grad) pa->EnsureGrad().AddInPlace(g);
+                           if (pb->requires_grad) pb->EnsureGrad().AddScaled(g, -1.0f);
+                         });
+  return Variable(node);
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  NodePtr pa = a.node(), pb = b.node();
+  auto node = MakeOpNode(t::Mul(pa->value, pb->value), {pa, pb},
+                         [pa, pb](const t::Tensor& g) {
+                           if (pa->requires_grad)
+                             pa->EnsureGrad().AddInPlace(t::Mul(g, pb->value));
+                           if (pb->requires_grad)
+                             pb->EnsureGrad().AddInPlace(t::Mul(g, pa->value));
+                         });
+  return Variable(node);
+}
+
+Variable AddRowVector(const Variable& a, const Variable& bias) {
+  NodePtr pa = a.node(), pb = bias.node();
+  auto node = MakeOpNode(t::AddRowVector(pa->value, pb->value), {pa, pb},
+                         [pa, pb](const t::Tensor& g) {
+                           if (pa->requires_grad) pa->EnsureGrad().AddInPlace(g);
+                           if (pb->requires_grad) {
+                             t::Tensor colsum = t::SumCols(g);
+                             colsum.Reshape(pb->value.rows(), pb->value.cols());
+                             pb->EnsureGrad().AddInPlace(colsum);
+                           }
+                         });
+  return Variable(node);
+}
+
+Variable SubRowVector(const Variable& a, const Variable& row) {
+  return AddRowVector(a, Neg(row));
+}
+
+Variable Scale(const Variable& a, float s) {
+  NodePtr pa = a.node();
+  auto node = MakeOpNode(t::Scale(pa->value, s), {pa},
+                         [pa, s](const t::Tensor& g) {
+                           if (pa->requires_grad) pa->EnsureGrad().AddScaled(g, s);
+                         });
+  return Variable(node);
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  NodePtr pa = a.node();
+  auto node = MakeOpNode(t::AddScalar(pa->value, s), {pa},
+                         [pa](const t::Tensor& g) {
+                           if (pa->requires_grad) pa->EnsureGrad().AddInPlace(g);
+                         });
+  return Variable(node);
+}
+
+Variable Neg(const Variable& a) { return Scale(a, -1.0f); }
+
+Variable Sigmoid(const Variable& a) {
+  t::Tensor y = t::Sigmoid(a.value());
+  t::Tensor factor(y.rows(), y.cols());
+  for (int64_t i = 0; i < y.size(); ++i) factor[i] = y[i] * (1.0f - y[i]);
+  return UnaryWithFactor(a, std::move(y), std::move(factor));
+}
+
+Variable Tanh(const Variable& a) {
+  t::Tensor y = t::Tanh(a.value());
+  t::Tensor factor(y.rows(), y.cols());
+  for (int64_t i = 0; i < y.size(); ++i) factor[i] = 1.0f - y[i] * y[i];
+  return UnaryWithFactor(a, std::move(y), std::move(factor));
+}
+
+Variable Relu(const Variable& a) {
+  const t::Tensor& x = a.value();
+  t::Tensor y(x.rows(), x.cols());
+  t::Tensor factor(x.rows(), x.cols());
+  for (int64_t i = 0; i < x.size(); ++i) {
+    y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+    factor[i] = x[i] > 0.0f ? 1.0f : 0.0f;
+  }
+  return UnaryWithFactor(a, std::move(y), std::move(factor));
+}
+
+Variable LeakyRelu(const Variable& a, float slope) {
+  const t::Tensor& x = a.value();
+  t::Tensor y(x.rows(), x.cols());
+  t::Tensor factor(x.rows(), x.cols());
+  for (int64_t i = 0; i < x.size(); ++i) {
+    y[i] = x[i] > 0.0f ? x[i] : slope * x[i];
+    factor[i] = x[i] > 0.0f ? 1.0f : slope;
+  }
+  return UnaryWithFactor(a, std::move(y), std::move(factor));
+}
+
+Variable Elu(const Variable& a, float alpha) {
+  const t::Tensor& x = a.value();
+  t::Tensor y(x.rows(), x.cols());
+  t::Tensor factor(x.rows(), x.cols());
+  for (int64_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0f) {
+      y[i] = x[i];
+      factor[i] = 1.0f;
+    } else {
+      y[i] = alpha * (std::exp(x[i]) - 1.0f);
+      factor[i] = y[i] + alpha;  // d/dx elu = elu(x) + alpha for x <= 0
+    }
+  }
+  return UnaryWithFactor(a, std::move(y), std::move(factor));
+}
+
+Variable Exp(const Variable& a) {
+  t::Tensor y = t::Exp(a.value());
+  t::Tensor factor = y;
+  return UnaryWithFactor(a, std::move(y), std::move(factor));
+}
+
+Variable Log(const Variable& a) {
+  const t::Tensor& x = a.value();
+  t::Tensor y = t::Log(x);
+  t::Tensor factor(x.rows(), x.cols());
+  for (int64_t i = 0; i < x.size(); ++i)
+    factor[i] = 1.0f / std::max(x[i], 1e-12f);
+  return UnaryWithFactor(a, std::move(y), std::move(factor));
+}
+
+Variable Sqrt(const Variable& a, float eps) {
+  t::Tensor y = t::Sqrt(a.value());
+  t::Tensor factor(y.rows(), y.cols());
+  for (int64_t i = 0; i < y.size(); ++i)
+    factor[i] = 0.5f / std::max(y[i], eps);
+  return UnaryWithFactor(a, std::move(y), std::move(factor));
+}
+
+Variable Pow(const Variable& a, float p) {
+  const t::Tensor& x = a.value();
+  t::Tensor y(x.rows(), x.cols());
+  t::Tensor factor(x.rows(), x.cols());
+  for (int64_t i = 0; i < x.size(); ++i) {
+    float base = x[i];
+    if (p < 0.0f && std::fabs(base) < 1e-12f)
+      base = base >= 0.0f ? 1e-12f : -1e-12f;
+    y[i] = std::pow(base, p);
+    factor[i] = p * std::pow(base, p - 1.0f);
+  }
+  return UnaryWithFactor(a, std::move(y), std::move(factor));
+}
+
+Variable ScaleBy(const Variable& a, const Variable& scalar) {
+  NodePtr pa = a.node(), ps = scalar.node();
+  SES_CHECK(ps->value.size() == 1);
+  t::Tensor y = t::Scale(pa->value, ps->value[0]);
+  auto node = MakeOpNode(
+      std::move(y), {pa, ps},
+      [pa, ps](const t::Tensor& g) {
+        if (pa->requires_grad) pa->EnsureGrad().AddScaled(g, ps->value[0]);
+        if (ps->requires_grad) {
+          double acc = 0.0;
+          for (int64_t i = 0; i < g.size(); ++i)
+            acc += static_cast<double>(g[i]) * pa->value[i];
+          ps->EnsureGrad()[0] += static_cast<float>(acc);
+        }
+      });
+  return Variable(node);
+}
+
+Variable LogSoftmaxRows(const Variable& a) {
+  NodePtr pa = a.node();
+  t::Tensor y = t::LogSoftmaxRows(pa->value);
+  t::Tensor softmax = t::Exp(y);
+  auto node = MakeOpNode(
+      std::move(y), {pa},
+      [pa, softmax = std::move(softmax)](const t::Tensor& g) {
+        if (!pa->requires_grad) return;
+        // dX = dY - softmax * rowsum(dY)
+        t::Tensor& dst = pa->EnsureGrad();
+        for (int64_t r = 0; r < g.rows(); ++r) {
+          const float* pg = g.RowPtr(r);
+          const float* ps = softmax.RowPtr(r);
+          float* pd = dst.RowPtr(r);
+          double rowsum = 0.0;
+          for (int64_t c = 0; c < g.cols(); ++c) rowsum += pg[c];
+          for (int64_t c = 0; c < g.cols(); ++c)
+            pd[c] += pg[c] - ps[c] * static_cast<float>(rowsum);
+        }
+      });
+  return Variable(node);
+}
+
+Variable SoftmaxRows(const Variable& a) {
+  NodePtr pa = a.node();
+  t::Tensor y = t::SoftmaxRows(pa->value);
+  t::Tensor y_copy = y;
+  auto node = MakeOpNode(
+      std::move(y), {pa},
+      [pa, y = std::move(y_copy)](const t::Tensor& g) {
+        if (!pa->requires_grad) return;
+        // dX = y * (dY - rowsum(dY * y))
+        t::Tensor& dst = pa->EnsureGrad();
+        for (int64_t r = 0; r < g.rows(); ++r) {
+          const float* pg = g.RowPtr(r);
+          const float* py = y.RowPtr(r);
+          float* pd = dst.RowPtr(r);
+          double dot = 0.0;
+          for (int64_t c = 0; c < g.cols(); ++c) dot += pg[c] * py[c];
+          for (int64_t c = 0; c < g.cols(); ++c)
+            pd[c] += py[c] * (pg[c] - static_cast<float>(dot));
+        }
+      });
+  return Variable(node);
+}
+
+Variable Dropout(const Variable& a, float p, bool training, util::Rng* rng) {
+  if (!training || p <= 0.0f) return a;
+  SES_CHECK(p < 1.0f);
+  const t::Tensor& x = a.value();
+  const float keep = 1.0f - p;
+  t::Tensor mask(x.rows(), x.cols());
+  for (int64_t i = 0; i < x.size(); ++i)
+    mask[i] = rng->Bernoulli(keep) ? 1.0f / keep : 0.0f;
+  t::Tensor y = t::Mul(x, mask);
+  return UnaryWithFactor(a, std::move(y), std::move(mask));
+}
+
+Variable SumAll(const Variable& a) {
+  NodePtr pa = a.node();
+  t::Tensor y(1, 1);
+  y[0] = pa->value.Sum();
+  auto node = MakeOpNode(std::move(y), {pa},
+                         [pa](const t::Tensor& g) {
+                           if (!pa->requires_grad) return;
+                           t::Tensor& dst = pa->EnsureGrad();
+                           const float gv = g[0];
+                           float* pd = dst.data();
+                           for (int64_t i = 0; i < dst.size(); ++i) pd[i] += gv;
+                         });
+  return Variable(node);
+}
+
+Variable MeanAll(const Variable& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().size());
+  return Scale(SumAll(a), inv);
+}
+
+Variable SumRows(const Variable& a) {
+  NodePtr pa = a.node();
+  auto node = MakeOpNode(t::SumRows(pa->value), {pa},
+                         [pa](const t::Tensor& g) {
+                           if (!pa->requires_grad) return;
+                           t::Tensor& dst = pa->EnsureGrad();
+                           for (int64_t r = 0; r < dst.rows(); ++r) {
+                             const float gv = g[r];
+                             float* pd = dst.RowPtr(r);
+                             for (int64_t c = 0; c < dst.cols(); ++c) pd[c] += gv;
+                           }
+                         });
+  return Variable(node);
+}
+
+Variable SumCols(const Variable& a) {
+  NodePtr pa = a.node();
+  auto node = MakeOpNode(t::SumCols(pa->value), {pa},
+                         [pa](const t::Tensor& g) {
+                           if (!pa->requires_grad) return;
+                           t::Tensor& dst = pa->EnsureGrad();
+                           const float* pg = g.data();
+                           for (int64_t r = 0; r < dst.rows(); ++r) {
+                             float* pd = dst.RowPtr(r);
+                             for (int64_t c = 0; c < dst.cols(); ++c) pd[c] += pg[c];
+                           }
+                         });
+  return Variable(node);
+}
+
+Variable GatherRows(const Variable& a, std::vector<int64_t> index) {
+  NodePtr pa = a.node();
+  t::Tensor y = t::GatherRows(pa->value, index);
+  auto node = MakeOpNode(std::move(y), {pa},
+                         [pa, index = std::move(index)](const t::Tensor& g) {
+                           if (!pa->requires_grad) return;
+                           t::ScatterAddRows(g, index, &pa->EnsureGrad());
+                         });
+  return Variable(node);
+}
+
+Variable ConcatCols(const Variable& a, const Variable& b) {
+  NodePtr pa = a.node(), pb = b.node();
+  auto node = MakeOpNode(
+      t::ConcatCols(pa->value, pb->value), {pa, pb},
+      [pa, pb](const t::Tensor& g) {
+        const int64_t ca = pa->value.cols();
+        const int64_t cb = pb->value.cols();
+        if (pa->requires_grad) {
+          t::Tensor& dst = pa->EnsureGrad();
+          for (int64_t r = 0; r < g.rows(); ++r) {
+            const float* pg = g.RowPtr(r);
+            float* pd = dst.RowPtr(r);
+            for (int64_t c = 0; c < ca; ++c) pd[c] += pg[c];
+          }
+        }
+        if (pb->requires_grad) {
+          t::Tensor& dst = pb->EnsureGrad();
+          for (int64_t r = 0; r < g.rows(); ++r) {
+            const float* pg = g.RowPtr(r) + ca;
+            float* pd = dst.RowPtr(r);
+            for (int64_t c = 0; c < cb; ++c) pd[c] += pg[c];
+          }
+        }
+      });
+  return Variable(node);
+}
+
+Variable ConcatRows(const Variable& a, const Variable& b) {
+  NodePtr pa = a.node(), pb = b.node();
+  auto node = MakeOpNode(
+      t::ConcatRows(pa->value, pb->value), {pa, pb},
+      [pa, pb](const t::Tensor& g) {
+        const int64_t ra = pa->value.rows();
+        if (pa->requires_grad)
+          pa->EnsureGrad().AddInPlace(t::SliceRows(g, 0, ra));
+        if (pb->requires_grad)
+          pb->EnsureGrad().AddInPlace(t::SliceRows(g, ra, g.rows()));
+      });
+  return Variable(node);
+}
+
+Variable SliceRows(const Variable& a, int64_t lo, int64_t hi) {
+  NodePtr pa = a.node();
+  auto node = MakeOpNode(
+      t::SliceRows(pa->value, lo, hi), {pa},
+      [pa, lo](const t::Tensor& g) {
+        if (!pa->requires_grad) return;
+        t::Tensor& dst = pa->EnsureGrad();
+        for (int64_t r = 0; r < g.rows(); ++r) {
+          const float* pg = g.RowPtr(r);
+          float* pd = dst.RowPtr(lo + r);
+          for (int64_t c = 0; c < g.cols(); ++c) pd[c] += pg[c];
+        }
+      });
+  return Variable(node);
+}
+
+Variable NllLoss(const Variable& log_probs, const std::vector<int64_t>& labels,
+                 const std::vector<int64_t>& indices) {
+  SES_CHECK(!indices.empty());
+  NodePtr pa = log_probs.node();
+  const t::Tensor& lp = pa->value;
+  double acc = 0.0;
+  for (int64_t i : indices) {
+    SES_CHECK(i >= 0 && i < lp.rows());
+    SES_CHECK(labels[static_cast<size_t>(i)] >= 0 &&
+              labels[static_cast<size_t>(i)] < lp.cols());
+    acc -= lp.At(i, labels[static_cast<size_t>(i)]);
+  }
+  t::Tensor y(1, 1);
+  const float inv = 1.0f / static_cast<float>(indices.size());
+  y[0] = static_cast<float>(acc) * inv;
+  auto node = MakeOpNode(std::move(y), {pa},
+                         [pa, labels, indices, inv](const t::Tensor& g) {
+                           if (!pa->requires_grad) return;
+                           t::Tensor& dst = pa->EnsureGrad();
+                           const float gv = g[0] * inv;
+                           for (int64_t i : indices)
+                             dst.At(i, labels[static_cast<size_t>(i)]) -= gv;
+                         });
+  return Variable(node);
+}
+
+Variable L1Loss(const Variable& pred, const tensor::Tensor& target) {
+  NodePtr pa = pred.node();
+  SES_CHECK(pa->value.SameShape(target));
+  const int64_t n = pa->value.size();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) acc += std::fabs(pa->value[i] - target[i]);
+  t::Tensor y(1, 1);
+  y[0] = static_cast<float>(acc / static_cast<double>(n));
+  auto node = MakeOpNode(
+      std::move(y), {pa},
+      [pa, target](const t::Tensor& g) {
+        if (!pa->requires_grad) return;
+        t::Tensor& dst = pa->EnsureGrad();
+        const float gv = g[0] / static_cast<float>(pa->value.size());
+        for (int64_t i = 0; i < pa->value.size(); ++i) {
+          const float d = pa->value[i] - target[i];
+          dst[i] += gv * (d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f));
+        }
+      });
+  return Variable(node);
+}
+
+Variable MseLoss(const Variable& pred, const tensor::Tensor& target) {
+  NodePtr pa = pred.node();
+  SES_CHECK(pa->value.SameShape(target));
+  const int64_t n = pa->value.size();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = pa->value[i] - target[i];
+    acc += d * d;
+  }
+  t::Tensor y(1, 1);
+  y[0] = static_cast<float>(acc / static_cast<double>(n));
+  auto node = MakeOpNode(
+      std::move(y), {pa},
+      [pa, target](const t::Tensor& g) {
+        if (!pa->requires_grad) return;
+        t::Tensor& dst = pa->EnsureGrad();
+        const float gv = 2.0f * g[0] / static_cast<float>(pa->value.size());
+        for (int64_t i = 0; i < pa->value.size(); ++i)
+          dst[i] += gv * (pa->value[i] - target[i]);
+      });
+  return Variable(node);
+}
+
+Variable RowDistance(const Variable& a, const Variable& b, float eps) {
+  Variable diff = Sub(a, b);
+  Variable sq = Mul(diff, diff);
+  Variable sums = SumRows(sq);
+  return Sqrt(AddScalar(sums, eps));
+}
+
+Variable TripletLoss(const Variable& anchor, const Variable& positive,
+                     const Variable& negative, float margin) {
+  Variable d_ap = RowDistance(anchor, positive);
+  Variable d_an = RowDistance(anchor, negative);
+  Variable hinge = Relu(AddScalar(Sub(d_ap, d_an), margin));
+  return MeanAll(hinge);
+}
+
+}  // namespace ses::autograd

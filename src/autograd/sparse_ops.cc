@@ -1,0 +1,256 @@
+#include "autograd/sparse_ops.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace ses::autograd {
+
+namespace t = ses::tensor;
+
+Variable SpMM(const EdgeListPtr& edges, const Variable& edge_weight,
+              const Variable& x) {
+  SES_CHECK(edges != nullptr);
+  NodePtr pw = edge_weight.node(), px = x.node();
+  const int64_t e_count = edges->size();
+  SES_CHECK(pw->value.rows() == e_count && pw->value.cols() == 1);
+  const int64_t f = px->value.cols();
+  t::Tensor out(edges->num_nodes, f);
+  {
+    const t::Tensor& w = pw->value;
+    const t::Tensor& xv = px->value;
+    for (int64_t e = 0; e < e_count; ++e) {
+      const float we = w[e];
+      if (we == 0.0f) continue;
+      const float* src = xv.RowPtr(edges->src[static_cast<size_t>(e)]);
+      float* dst = out.RowPtr(edges->dst[static_cast<size_t>(e)]);
+      for (int64_t c = 0; c < f; ++c) dst[c] += we * src[c];
+    }
+  }
+  auto node = MakeOpNode(
+      std::move(out), {pw, px},
+      [edges, pw, px, f](const t::Tensor& g) {
+        const int64_t e_count = edges->size();
+        if (pw->requires_grad) {
+          t::Tensor& dw = pw->EnsureGrad();
+          const t::Tensor& xv = px->value;
+#pragma omp parallel for schedule(static)
+          for (int64_t e = 0; e < e_count; ++e) {
+            const float* xrow = xv.RowPtr(edges->src[static_cast<size_t>(e)]);
+            const float* grow = g.RowPtr(edges->dst[static_cast<size_t>(e)]);
+            double acc = 0.0;
+            for (int64_t c = 0; c < f; ++c) acc += xrow[c] * grow[c];
+            dw[e] += static_cast<float>(acc);
+          }
+        }
+        if (px->requires_grad) {
+          t::Tensor& dx = px->EnsureGrad();
+          const t::Tensor& w = pw->value;
+          for (int64_t e = 0; e < e_count; ++e) {
+            const float we = w[e];
+            if (we == 0.0f) continue;
+            const float* grow = g.RowPtr(edges->dst[static_cast<size_t>(e)]);
+            float* drow = dx.RowPtr(edges->src[static_cast<size_t>(e)]);
+            for (int64_t c = 0; c < f; ++c) drow[c] += we * grow[c];
+          }
+        }
+      });
+  return Variable(node);
+}
+
+Variable EdgeSoftmax(const EdgeListPtr& edges, const Variable& scores) {
+  SES_CHECK(edges != nullptr);
+  NodePtr ps = scores.node();
+  const int64_t e_count = edges->size();
+  SES_CHECK(ps->value.rows() == e_count && ps->value.cols() == 1);
+  const int64_t n = edges->num_nodes;
+
+  // Per-destination max for numerical stability, then exp / group-sum.
+  std::vector<float> group_max(static_cast<size_t>(n),
+                               -std::numeric_limits<float>::infinity());
+  const t::Tensor& s = ps->value;
+  for (int64_t e = 0; e < e_count; ++e) {
+    const int64_t d = edges->dst[static_cast<size_t>(e)];
+    group_max[static_cast<size_t>(d)] =
+        std::max(group_max[static_cast<size_t>(d)], s[e]);
+  }
+  std::vector<double> group_sum(static_cast<size_t>(n), 0.0);
+  t::Tensor y(e_count, 1);
+  for (int64_t e = 0; e < e_count; ++e) {
+    const int64_t d = edges->dst[static_cast<size_t>(e)];
+    y[e] = std::exp(s[e] - group_max[static_cast<size_t>(d)]);
+    group_sum[static_cast<size_t>(d)] += y[e];
+  }
+  for (int64_t e = 0; e < e_count; ++e) {
+    const int64_t d = edges->dst[static_cast<size_t>(e)];
+    y[e] = static_cast<float>(y[e] / group_sum[static_cast<size_t>(d)]);
+  }
+  t::Tensor y_copy = y;
+  auto node = MakeOpNode(
+      std::move(y), {ps},
+      [edges, ps, y = std::move(y_copy), n](const t::Tensor& g) {
+        if (!ps->requires_grad) return;
+        // dS_e = y_e * (dY_e - sum_{e' in group} dY_e' * y_e')
+        std::vector<double> group_dot(static_cast<size_t>(n), 0.0);
+        const int64_t e_count = edges->size();
+        for (int64_t e = 0; e < e_count; ++e)
+          group_dot[static_cast<size_t>(edges->dst[static_cast<size_t>(e)])] +=
+              static_cast<double>(g[e]) * y[e];
+        t::Tensor& ds = ps->EnsureGrad();
+        for (int64_t e = 0; e < e_count; ++e) {
+          const int64_t d = edges->dst[static_cast<size_t>(e)];
+          ds[e] += y[e] * (g[e] - static_cast<float>(
+                                      group_dot[static_cast<size_t>(d)]));
+        }
+      });
+  return Variable(node);
+}
+
+Variable SparseMaskedLinear(const std::shared_ptr<const tensor::SparseMatrix>& x,
+                            const Variable& mask, const Variable& w) {
+  SES_CHECK(x != nullptr);
+  NodePtr pw = w.node();
+  NodePtr pm = mask.defined() ? mask.node() : nullptr;
+  SES_CHECK(pw->value.rows() == x->cols);
+  if (pm) SES_CHECK(pm->value.rows() == x->nnz() && pm->value.cols() == 1);
+  const int64_t h = pw->value.cols();
+
+  t::Tensor out(x->rows, h);
+  {
+    const t::Tensor& wv = pw->value;
+#pragma omp parallel for schedule(dynamic, 64)
+    for (int64_t r = 0; r < x->rows; ++r) {
+      float* dst = out.RowPtr(r);
+      for (int64_t e = x->row_ptr[static_cast<size_t>(r)];
+           e < x->row_ptr[static_cast<size_t>(r) + 1]; ++e) {
+        float v = x->values[static_cast<size_t>(e)];
+        if (pm) v *= pm->value[e];
+        if (v == 0.0f) continue;
+        const float* wrow = wv.RowPtr(x->col_idx[static_cast<size_t>(e)]);
+        for (int64_t c = 0; c < h; ++c) dst[c] += v * wrow[c];
+      }
+    }
+  }
+  std::vector<NodePtr> parents{pw};
+  if (pm) parents.push_back(pm);
+  auto node = MakeOpNode(
+      std::move(out), std::move(parents),
+      [x, pw, pm, h](const t::Tensor& g) {
+        if (pw->requires_grad) {
+          // dW[j, :] += (mask*x)[i, j] * g[i, :]
+          t::Tensor& dw = pw->EnsureGrad();
+          for (int64_t r = 0; r < x->rows; ++r) {
+            const float* grow = g.RowPtr(r);
+            for (int64_t e = x->row_ptr[static_cast<size_t>(r)];
+                 e < x->row_ptr[static_cast<size_t>(r) + 1]; ++e) {
+              float v = x->values[static_cast<size_t>(e)];
+              if (pm) v *= pm->value[e];
+              if (v == 0.0f) continue;
+              float* dwrow = dw.RowPtr(x->col_idx[static_cast<size_t>(e)]);
+              for (int64_t c = 0; c < h; ++c) dwrow[c] += v * grow[c];
+            }
+          }
+        }
+        if (pm && pm->requires_grad) {
+          // dmask[e] = x_val[e] * dot(W[col(e), :], g[row(e), :])
+          t::Tensor& dm = pm->EnsureGrad();
+          const t::Tensor& wv = pw->value;
+#pragma omp parallel for schedule(dynamic, 64)
+          for (int64_t r = 0; r < x->rows; ++r) {
+            const float* grow = g.RowPtr(r);
+            for (int64_t e = x->row_ptr[static_cast<size_t>(r)];
+                 e < x->row_ptr[static_cast<size_t>(r) + 1]; ++e) {
+              const float* wrow = wv.RowPtr(x->col_idx[static_cast<size_t>(e)]);
+              double acc = 0.0;
+              for (int64_t c = 0; c < h; ++c) acc += wrow[c] * grow[c];
+              dm[e] += x->values[static_cast<size_t>(e)] *
+                       static_cast<float>(acc);
+            }
+          }
+        }
+      });
+  return Variable(node);
+}
+
+Variable FeatureMaskAtNnz(const Variable& h, const Variable& w2,
+                          const Variable& b2,
+                          const std::shared_ptr<const tensor::SparseMatrix>& pattern) {
+  SES_CHECK(pattern != nullptr);
+  NodePtr ph = h.node(), pw = w2.node(), pb = b2.node();
+  SES_CHECK(ph->value.rows() == pattern->rows);
+  SES_CHECK(pw->value.rows() == ph->value.cols());
+  SES_CHECK(pw->value.cols() == pattern->cols);
+  SES_CHECK(pb->value.size() == pattern->cols);
+  const int64_t hd = ph->value.cols();
+  const int64_t nnz = pattern->nnz();
+
+  // Pre-compute row index per nonzero.
+  auto row_of = std::make_shared<std::vector<int64_t>>(static_cast<size_t>(nnz));
+  for (int64_t r = 0; r < pattern->rows; ++r)
+    for (int64_t e = pattern->row_ptr[static_cast<size_t>(r)];
+         e < pattern->row_ptr[static_cast<size_t>(r) + 1]; ++e)
+      (*row_of)[static_cast<size_t>(e)] = r;
+
+  t::Tensor y(nnz, 1);
+  {
+    const t::Tensor& hv = ph->value;
+    const t::Tensor& wv = pw->value;
+    const t::Tensor& bv = pb->value;
+#pragma omp parallel for schedule(static)
+    for (int64_t e = 0; e < nnz; ++e) {
+      const int64_t i = (*row_of)[static_cast<size_t>(e)];
+      const int64_t j = pattern->col_idx[static_cast<size_t>(e)];
+      const float* hrow = hv.RowPtr(i);
+      double acc = bv[j];
+      for (int64_t c = 0; c < hd; ++c) acc += hrow[c] * wv.At(c, j);
+      const float z = static_cast<float>(acc);
+      y[e] = z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
+                       : std::exp(z) / (1.0f + std::exp(z));
+    }
+  }
+  t::Tensor y_copy = y;
+  auto node = MakeOpNode(
+      std::move(y), {ph, pw, pb},
+      [pattern, ph, pw, pb, row_of, hd, y = std::move(y_copy)](
+          const t::Tensor& g) {
+        const int64_t nnz = pattern->nnz();
+        // dz[e] = g[e] * y[e] * (1 - y[e])
+        std::vector<float> dz(static_cast<size_t>(nnz));
+        for (int64_t e = 0; e < nnz; ++e)
+          dz[static_cast<size_t>(e)] = g[e] * y[e] * (1.0f - y[e]);
+        const t::Tensor& hv = ph->value;
+        const t::Tensor& wv = pw->value;
+        if (ph->requires_grad) {
+          t::Tensor& dh = ph->EnsureGrad();
+          for (int64_t e = 0; e < nnz; ++e) {
+            const float d = dz[static_cast<size_t>(e)];
+            if (d == 0.0f) continue;
+            const int64_t i = (*row_of)[static_cast<size_t>(e)];
+            const int64_t j = pattern->col_idx[static_cast<size_t>(e)];
+            float* drow = dh.RowPtr(i);
+            for (int64_t c = 0; c < hd; ++c) drow[c] += d * wv.At(c, j);
+          }
+        }
+        if (pw->requires_grad) {
+          t::Tensor& dw = pw->EnsureGrad();
+          for (int64_t e = 0; e < nnz; ++e) {
+            const float d = dz[static_cast<size_t>(e)];
+            if (d == 0.0f) continue;
+            const int64_t i = (*row_of)[static_cast<size_t>(e)];
+            const int64_t j = pattern->col_idx[static_cast<size_t>(e)];
+            const float* hrow = hv.RowPtr(i);
+            for (int64_t c = 0; c < hd; ++c) dw.At(c, j) += d * hrow[c];
+          }
+        }
+        if (pb->requires_grad) {
+          t::Tensor& db = pb->EnsureGrad();
+          for (int64_t e = 0; e < nnz; ++e)
+            db[pattern->col_idx[static_cast<size_t>(e)]] +=
+                dz[static_cast<size_t>(e)];
+        }
+      });
+  return Variable(node);
+}
+
+}  // namespace ses::autograd

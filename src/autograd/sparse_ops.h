@@ -1,0 +1,57 @@
+#ifndef SES_AUTOGRAD_SPARSE_OPS_H_
+#define SES_AUTOGRAD_SPARSE_OPS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/sparse.h"
+
+namespace ses::autograd {
+
+/// Shared immutable edge list (src -> dst). Ops capture it by shared_ptr so
+/// per-epoch graph rebuilds never copy the index arrays.
+struct EdgeList {
+  std::vector<int64_t> src;
+  std::vector<int64_t> dst;
+  int64_t num_nodes = 0;
+
+  int64_t size() const { return static_cast<int64_t>(src.size()); }
+};
+
+using EdgeListPtr = std::shared_ptr<const EdgeList>;
+
+/// Sparse-dense product with differentiable edge weights:
+///   out[dst[e], :] += w[e] * x[src[e], :]
+/// Gradients flow to both `w` (E x 1) and `x` (N x F). This is the op that
+/// lets SES co-train the structure mask with the encoder (Eq. 8): the mask
+/// enters the aggregation as `w` and receives d(loss)/d(w_e) directly.
+Variable SpMM(const EdgeListPtr& edges, const Variable& edge_weight,
+              const Variable& x);
+
+/// Numerically-stable softmax over incoming edges grouped by destination:
+///   y_e = exp(s_e) / sum_{e': dst[e'] == dst[e]} exp(s_{e'})
+/// Scores and output are E x 1. Used by GAT attention.
+Variable EdgeSoftmax(const EdgeListPtr& edges, const Variable& scores);
+
+/// First-layer linear map over sparse input features with an optional
+/// per-nonzero feature mask:
+///   out[i, :] = sum_{e in row i} mask[e] * x_val[e] * W[col(e), :]
+/// `mask` may be undefined (treated as all-ones). Gradients flow to `W` and,
+/// when defined, to `mask` (nnz x 1) — never densifying N x F.
+Variable SparseMaskedLinear(const std::shared_ptr<const tensor::SparseMatrix>& x,
+                            const Variable& mask, const Variable& w);
+
+/// Evaluates the feature-mask head only at the nonzero feature positions:
+///   m[e] = sigmoid( h[row(e), :] . w2[:, col(e)] + b2[col(e)] )
+/// for each nonzero e of `pattern`. Output is nnz x 1. This computes Eq. (3)
+/// restricted to the entries that E_feat = M_f ⊙ X can ever expose, turning
+/// an O(N*F*H) dense MLP head into O(nnz*H).
+Variable FeatureMaskAtNnz(const Variable& h, const Variable& w2,
+                          const Variable& b2,
+                          const std::shared_ptr<const tensor::SparseMatrix>& pattern);
+
+}  // namespace ses::autograd
+
+#endif  // SES_AUTOGRAD_SPARSE_OPS_H_

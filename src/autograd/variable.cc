@@ -1,0 +1,89 @@
+#include "autograd/variable.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace ses::autograd {
+namespace {
+std::atomic<uint64_t> g_node_counter{0};
+}  // namespace
+
+tensor::Tensor& Node::EnsureGrad() {
+  if (!grad.SameShape(value)) grad = tensor::Tensor(value.rows(), value.cols());
+  return grad;
+}
+
+Variable Variable::Parameter(tensor::Tensor value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  node->id = g_node_counter.fetch_add(1);
+  return Variable(std::move(node));
+}
+
+Variable Variable::Constant(tensor::Tensor value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  node->id = g_node_counter.fetch_add(1);
+  return Variable(std::move(node));
+}
+
+void Variable::ZeroGrad() {
+  if (node_ && node_->grad.SameShape(node_->value)) node_->grad.Fill(0.0f);
+}
+
+NodePtr MakeOpNode(tensor::Tensor value, std::vector<NodePtr> parents,
+                   std::function<void(const tensor::Tensor&)> backward_fn) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  node->backward_fn = std::move(backward_fn);
+  node->id = g_node_counter.fetch_add(1);
+  for (const auto& p : node->parents) {
+    if (p && p->requires_grad) {
+      node->requires_grad = true;
+      break;
+    }
+  }
+  return node;
+}
+
+void Backward(const Variable& root, const tensor::Tensor& seed) {
+  SES_CHECK(root.defined());
+  SES_CHECK(seed.SameShape(root.value()));
+  // Collect reachable nodes (iterative DFS to survive deep graphs).
+  std::vector<Node*> reachable;
+  std::unordered_set<Node*> seen;
+  std::vector<Node*> stack{root.node().get()};
+  seen.insert(root.node().get());
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    reachable.push_back(n);
+    for (const auto& p : n->parents) {
+      if (p && p->requires_grad && seen.insert(p.get()).second)
+        stack.push_back(p.get());
+    }
+  }
+  // Creation order is a topological order; process in reverse.
+  std::sort(reachable.begin(), reachable.end(),
+            [](const Node* a, const Node* b) { return a->id > b->id; });
+  root.node()->EnsureGrad().AddInPlace(seed);
+  for (Node* n : reachable) {
+    if (n->backward_fn && n->requires_grad) n->backward_fn(n->EnsureGrad());
+  }
+}
+
+void Backward(const Variable& root) {
+  SES_CHECK(root.defined());
+  SES_CHECK(root.value().size() == 1);
+  tensor::Tensor seed(root.value().rows(), root.value().cols());
+  seed.Fill(1.0f);
+  Backward(root, seed);
+}
+
+}  // namespace ses::autograd

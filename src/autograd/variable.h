@@ -1,0 +1,79 @@
+#ifndef SES_AUTOGRAD_VARIABLE_H_
+#define SES_AUTOGRAD_VARIABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ses::autograd {
+
+/// One node of the dynamically built computation graph.
+///
+/// Nodes are created in topological order (define-by-run), so backward simply
+/// walks reachable nodes in decreasing creation order. `backward_fn` pulls
+/// this node's accumulated gradient and pushes contributions into the
+/// parents' gradients; it captures parent NodePtrs (never its own).
+struct Node {
+  tensor::Tensor value;
+  tensor::Tensor grad;  ///< allocated lazily, same shape as value
+  bool requires_grad = false;
+  uint64_t id = 0;  ///< creation counter; defines topological order
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Consumes `self_grad` (the gradient of the loss w.r.t. this node's value)
+  /// and accumulates into parents' `grad` tensors. Null for leaves.
+  std::function<void(const tensor::Tensor& self_grad)> backward_fn;
+
+  /// Ensures `grad` is allocated (zero-filled) with `value`'s shape.
+  tensor::Tensor& EnsureGrad();
+};
+
+using NodePtr = std::shared_ptr<Node>;
+
+/// Lightweight handle onto a graph node. Copies share the node.
+///
+/// Leaves come in two flavors: parameters (requires_grad, persistent across
+/// iterations, updated by an optimizer) and constants (no gradient).
+class Variable {
+ public:
+  Variable() = default;
+  explicit Variable(NodePtr node) : node_(std::move(node)) {}
+
+  /// Creates a trainable leaf.
+  static Variable Parameter(tensor::Tensor value);
+
+  /// Creates a non-trainable leaf.
+  static Variable Constant(tensor::Tensor value);
+
+  bool defined() const { return node_ != nullptr; }
+  const tensor::Tensor& value() const { return node_->value; }
+  tensor::Tensor& mutable_value() { return node_->value; }
+  const tensor::Tensor& grad() const { return node_->grad; }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+  int64_t rows() const { return node_->value.rows(); }
+  int64_t cols() const { return node_->value.cols(); }
+  NodePtr node() const { return node_; }
+
+  /// Zeroes the accumulated gradient (keeps allocation).
+  void ZeroGrad();
+
+ private:
+  NodePtr node_;
+};
+
+/// Runs reverse-mode differentiation from `root` (must be scalar 1x1 unless
+/// `seed` is given). Gradients accumulate into every reachable node with
+/// requires_grad set on itself or any ancestor.
+void Backward(const Variable& root);
+void Backward(const Variable& root, const tensor::Tensor& seed);
+
+/// Internal: allocates a fresh interior node; `requires_grad` is inferred
+/// from parents.
+NodePtr MakeOpNode(tensor::Tensor value, std::vector<NodePtr> parents,
+                   std::function<void(const tensor::Tensor&)> backward_fn);
+
+}  // namespace ses::autograd
+
+#endif  // SES_AUTOGRAD_VARIABLE_H_

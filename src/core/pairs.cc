@@ -1,0 +1,43 @@
+#include "core/pairs.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ses::core {
+
+PosNegPairs ConstructPairs(const graph::KHopAdjacency& khop,
+                           const tensor::Tensor& structure_mask,
+                           const graph::NegativeSets& negatives,
+                           double sample_ratio, util::Rng* rng) {
+  SES_CHECK(structure_mask.rows() == khop.num_pairs());
+  SES_CHECK(sample_ratio > 0.0 && sample_ratio <= 1.0);
+  PosNegPairs result;
+  const int64_t n = khop.num_nodes();
+  std::vector<int64_t> order;
+  for (int64_t i = 0; i < n; ++i) {
+    const auto nbrs = khop.Neighbors(i);
+    if (nbrs.empty()) continue;
+    const int64_t offset = khop.PairOffset(i);
+    // sorted(Â_i^(k)): indices of i's pairs ordered by mask weight, desc.
+    order.resize(nbrs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return structure_mask[offset + a] > structure_mask[offset + b];
+    });
+    const int64_t num_sample = std::max<int64_t>(
+        1, static_cast<int64_t>(sample_ratio * static_cast<double>(nbrs.size())));
+    const auto negs = negatives.Of(i);
+    if (negs.empty()) continue;
+    for (int64_t j = 0; j < num_sample; ++j) {
+      result.anchor.push_back(i);
+      result.positive.push_back(nbrs[static_cast<size_t>(order[static_cast<size_t>(j)])]);
+      result.negative.push_back(
+          negs[static_cast<size_t>(rng->UniformInt(negs.size()))]);
+    }
+  }
+  return result;
+}
+
+}  // namespace ses::core

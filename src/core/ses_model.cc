@@ -1,0 +1,366 @@
+#include "core/ses_model.h"
+
+#include <algorithm>
+
+#include "nn/optim.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ses::core {
+
+namespace ag = ses::autograd;
+namespace t = ses::tensor;
+
+namespace {
+
+/// Appends self-loop pairs to a pair list so it can serve as a
+/// message-passing support (every node keeps its own features).
+ag::EdgeListPtr WithSelfLoops(const ag::EdgeList& pairs) {
+  auto out = std::make_shared<ag::EdgeList>();
+  out->num_nodes = pairs.num_nodes;
+  out->src = pairs.src;
+  out->dst = pairs.dst;
+  for (int64_t i = 0; i < pairs.num_nodes; ++i) {
+    out->src.push_back(i);
+    out->dst.push_back(i);
+  }
+  return out;
+}
+
+/// Extends an E x 1 mask Variable with constant-1 entries for the self-loops
+/// appended by WithSelfLoops.
+ag::Variable MaskWithSelfLoops(const ag::Variable& mask, int64_t num_nodes) {
+  return ag::ConcatRows(mask,
+                        ag::Variable::Constant(t::Tensor::Ones(num_nodes, 1)));
+}
+
+}  // namespace
+
+SesModel::SesModel(SesOptions options) : options_(std::move(options)) {}
+
+void SesModel::Fit(const data::Dataset& ds, const models::TrainConfig& config) {
+  config_ = config;
+  util::Rng rng(config.seed + 7);
+  encoder_ = models::MakeEncoder(options_.backbone, ds.num_features(),
+                                 config.hidden, ds.num_classes, &rng);
+  mask_generator_ =
+      std::make_unique<MaskGenerator>(config.hidden, ds.num_features(), &rng);
+  adj_edges_ = ds.graph.DirectedEdges(/*add_self_loops=*/true);
+  khop_ = std::make_unique<graph::KHopAdjacency>(ds.graph, options_.k,
+                                                 options_.max_khop_neighbors);
+  // Only training labels may steer negative sampling (semi-supervised).
+  std::vector<int64_t> train_labels(static_cast<size_t>(ds.num_nodes()), -1);
+  for (int64_t i : ds.train_idx)
+    train_labels[static_cast<size_t>(i)] = ds.labels[static_cast<size_t>(i)];
+  graph::NegativeSets negatives =
+      graph::SampleNegativeSets(*khop_, train_labels, &rng);
+
+  // Negative pair list aligned one-to-one with P_n.
+  const int64_t nk = khop_->num_pairs();
+  auto neg_pairs = std::make_shared<ag::EdgeList>();
+  neg_pairs->num_nodes = ds.num_nodes();
+  for (int64_t i = 0; i < ds.num_nodes(); ++i) {
+    for (int64_t v : negatives.Of(i)) {
+      neg_pairs->src.push_back(i);
+      neg_pairs->dst.push_back(v);
+    }
+  }
+  // Subgraph-loss targets (Eq. 7): Y_s / Y_sneg are derived from node
+  // labels. A real k-hop pair is a positive when its endpoints agree in
+  // structural role — same class, or both in minority ("motif") classes; a
+  // base-class <-> motif-class pair and every sampled negative is a 0. Only
+  // pairs whose endpoints both carry a training label contribute (the task
+  // is semi-supervised; val/test labels must not leak into training).
+  std::vector<bool> in_train(static_cast<size_t>(ds.num_nodes()), false);
+  for (int64_t i : ds.train_idx) in_train[static_cast<size_t>(i)] = true;
+  std::vector<int64_t> class_count(static_cast<size_t>(ds.num_classes), 0);
+  for (int64_t i : ds.train_idx)
+    ++class_count[static_cast<size_t>(ds.labels[static_cast<size_t>(i)])];
+  const int64_t avg_count =
+      static_cast<int64_t>(ds.train_idx.size()) / std::max<int64_t>(1, ds.num_classes);
+  auto is_minority = [&](int64_t node) {
+    return class_count[static_cast<size_t>(ds.labels[static_cast<size_t>(node)])] <
+           avg_count;
+  };
+  std::vector<int64_t> sub_keep;
+  std::vector<float> sub_target_values;
+  {
+    const auto& kp = *khop_->PairEdges();
+    for (int64_t e = 0; e < nk; ++e) {
+      const int64_t i = kp.src[static_cast<size_t>(e)];
+      const int64_t j = kp.dst[static_cast<size_t>(e)];
+      if (!in_train[static_cast<size_t>(i)] || !in_train[static_cast<size_t>(j)])
+        continue;
+      const bool affine = ds.labels[static_cast<size_t>(i)] ==
+                              ds.labels[static_cast<size_t>(j)] ||
+                          (is_minority(i) && is_minority(j));
+      sub_keep.push_back(e);
+      sub_target_values.push_back(affine ? 1.0f : 0.0f);
+    }
+    for (int64_t e = 0; e < neg_pairs->size(); ++e) {
+      const int64_t i = neg_pairs->src[static_cast<size_t>(e)];
+      const int64_t j = neg_pairs->dst[static_cast<size_t>(e)];
+      if (!in_train[static_cast<size_t>(i)] || !in_train[static_cast<size_t>(j)])
+        continue;
+      sub_keep.push_back(nk + e);
+      sub_target_values.push_back(0.0f);
+    }
+  }
+  t::Tensor sub_target(static_cast<int64_t>(sub_target_values.size()), 1);
+  for (size_t i = 0; i < sub_target_values.size(); ++i)
+    sub_target[static_cast<int64_t>(i)] = sub_target_values[i];
+
+  const ag::EdgeListPtr khop_support = WithSelfLoops(*khop_->PairEdges());
+  nn::FeatureInput plain_input = models::MakeInput(ds);
+
+  std::vector<ag::Variable> params = encoder_->Parameters();
+  {
+    auto mg = mask_generator_->Parameters();
+    params.insert(params.end(), mg.begin(), mg.end());
+  }
+  nn::Adam optimizer(params, config.lr, 0.9f, 0.999f, 1e-8f,
+                     config.weight_decay);
+
+  // ---------------------------------------------------------------- phase 1
+  util::Timer timer;
+  loss_history_.clear();
+  mask_snapshots_.clear();
+  models::ParameterSnapshot best;
+  models::ParameterSnapshot best_masks;
+  double best_val = -1.0;
+  const float alpha = options_.alpha;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Plain pass: Z and H (Eq. 2).
+    auto out = encoder_->Forward(plain_input, adj_edges_, {}, config.dropout,
+                                 /*training=*/true, &rng);
+    ag::Variable l_xent = ag::NllLoss(ag::LogSoftmaxRows(out.logits),
+                                      ds.labels, ds.train_idx);
+
+    // Masks from H (Eqs. 3-5).
+    ag::Variable m_s = mask_generator_->StructureMask(out.hidden,
+                                                      khop_->PairEdges());
+    ag::Variable m_sneg =
+        mask_generator_->StructureMask(out.hidden, neg_pairs);
+    ag::Variable stacked = ag::ConcatRows(m_s, m_sneg);
+    ag::Variable l_sub =
+        ag::Scale(ag::L1Loss(ag::GatherRows(stacked, sub_keep), sub_target),
+                  options_.lambda_sub);
+    if (options_.lambda_size > 0.0f)
+      l_sub = ag::Add(l_sub, ag::Scale(ag::MeanAll(m_s), options_.lambda_size));
+    if (options_.lambda_entropy > 0.0f) {
+      // Bernoulli element entropy -m log m - (1-m) log(1-m), pushing mask
+      // entries toward the {0, 1} poles.
+      ag::Variable one_minus = ag::AddScalar(ag::Neg(m_s), 1.0f);
+      ag::Variable entropy =
+          ag::Neg(ag::Add(ag::Mul(m_s, ag::Log(m_s)),
+                          ag::Mul(one_minus, ag::Log(one_minus))));
+      l_sub = ag::Add(l_sub,
+                      ag::Scale(ag::MeanAll(entropy), options_.lambda_entropy));
+    }
+
+    ag::Variable m_f;
+    if (options_.use_feature_mask) {
+      m_f = mask_generator_->FeatureMask(out.hidden, ds.features);
+      if (options_.lambda_feat_size > 0.0f)
+        l_sub = ag::Add(l_sub, ag::Scale(ag::MeanAll(m_f),
+                                         options_.lambda_feat_size));
+    }
+
+    // Masked pass Z_m = GE(M_f ⊙ X, M̂_s ⊙ A^(k)) (Eq. 8).
+    ag::Variable loss;
+    if (options_.use_mask_xent) {
+      nn::FeatureInput masked_input =
+          options_.use_feature_mask
+              ? nn::FeatureInput::Sparse(ds.features, m_f)
+              : plain_input;
+      ag::Variable khop_mask = MaskWithSelfLoops(m_s, ds.num_nodes());
+      auto masked_out = encoder_->Forward(
+          masked_input, khop_support, khop_mask, config.dropout,
+          /*training=*/true, &rng, /*renormalize_mask=*/false);
+      ag::Variable l_mask_xent = ag::NllLoss(
+          ag::LogSoftmaxRows(masked_out.logits), ds.labels, ds.train_idx);
+      loss = ag::Add(ag::Scale(ag::Add(l_sub, l_mask_xent), alpha),
+                     ag::Scale(l_xent, 1.0f - alpha));
+    } else {
+      loss = ag::Add(ag::Scale(l_sub, alpha), ag::Scale(l_xent, 1.0f - alpha));
+    }
+    ag::Backward(loss);
+    optimizer.Step();
+
+    // Bookkeeping for Fig. 7 and best-val selection.
+    double val_loss = 0.0;
+    if (!ds.val_idx.empty()) {
+      ag::Variable vl = ag::NllLoss(ag::LogSoftmaxRows(out.logits), ds.labels,
+                                    ds.val_idx);
+      val_loss = vl.value()[0];
+      const double val_acc = models::Accuracy(out.logits.value(), ds.labels,
+                                              ds.val_idx);
+      if (val_acc > best_val) {
+        best_val = val_acc;
+        best.Capture(*encoder_);
+        best_masks.Capture(*mask_generator_);
+      }
+    }
+    loss_history_.push_back({static_cast<double>(epoch),
+                             static_cast<double>(loss.value()[0]), val_loss});
+    if (options_.use_feature_mask &&
+        (epoch == 0 || epoch == config.epochs / 2 ||
+         epoch == config.epochs - 1))
+      mask_snapshots_.push_back(m_f.value());
+    if (config.verbose && epoch % 20 == 0)
+      SES_LOG_INFO << name() << " phase-1 epoch " << epoch << " loss "
+                   << loss.value()[0];
+  }
+  // Restore the best-validation encoder AND the matching mask generator so
+  // the frozen masks are coherent with the restored encoder's H.
+  if (!best.empty()) {
+    best.Restore(encoder_.get());
+    best_masks.Restore(mask_generator_.get());
+  }
+  et_seconds_ = timer.ElapsedSeconds();
+
+  // -------------------------------------------- freeze masks (inference)
+  timer.Reset();
+  {
+    auto out = encoder_->Forward(plain_input, adj_edges_, {}, 0.0f,
+                                 /*training=*/false, &rng);
+    if (options_.use_feature_mask)
+      masks_.feature_nnz =
+          mask_generator_->FeatureMask(out.hidden, ds.features).value();
+    masks_.structure_khop =
+        mask_generator_->StructureMask(out.hidden, khop_->PairEdges()).value();
+    // Mask over the 1-hop support (self-loop entries fixed at 1).
+    ag::Variable adj_mask =
+        mask_generator_->StructureMask(out.hidden, adj_edges_);
+    masks_.structure_adj = adj_mask.value();
+    for (int64_t e = 0; e < adj_edges_->size(); ++e)
+      if (adj_edges_->src[static_cast<size_t>(e)] ==
+          adj_edges_->dst[static_cast<size_t>(e)])
+        masks_.structure_adj[e] = 1.0f;
+  }
+  inference_seconds_ = timer.ElapsedSeconds();
+
+  // ---------------------------------------------------------------- phase 2
+  timer.Reset();
+  PosNegPairs pairs = ConstructPairs(*khop_, masks_.structure_khop, negatives,
+                                     options_.sample_ratio, &rng);
+  EnhancedPredictiveLearning(encoder_.get(), ds, masks_, pairs, options_,
+                             config, &rng);
+  epl_seconds_ = timer.ElapsedSeconds();
+}
+
+void SesModel::EnhancedPredictiveLearning(
+    models::Encoder* encoder, const data::Dataset& ds,
+    const FrozenMasks& masks, const PosNegPairs& pairs,
+    const SesOptions& options, const models::TrainConfig& config,
+    util::Rng* rng) {
+  auto adj_edges = ds.graph.DirectedEdges(/*add_self_loops=*/true);
+  nn::FeatureInput input =
+      (options.use_feature_mask && masks.feature_nnz.size() > 0)
+          ? nn::FeatureInput::Sparse(
+                ds.features, ag::Variable::Constant(masks.feature_nnz))
+          : models::MakeInput(ds);
+  ag::Variable adj_mask;
+  if (options.use_structure_mask && masks.structure_adj.size() > 0)
+    adj_mask = ag::Variable::Constant(masks.structure_adj);
+
+  nn::Adam optimizer(encoder->Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
+                     config.weight_decay);
+  models::ParameterSnapshot best;
+  double best_val = -1.0;
+  // Baseline: the phase-1 encoder itself (under masked inference). Phase 2
+  // keeps whatever validates best, so it can refine but never regress.
+  if (!ds.val_idx.empty()) {
+    auto initial = encoder->Forward(input, adj_edges, adj_mask, 0.0f,
+                                    /*training=*/false, rng);
+    best_val = models::Accuracy(initial.logits.value(), ds.labels, ds.val_idx);
+    best.Capture(*encoder);
+  }
+  for (int64_t epoch = 0; epoch < options.epl_epochs; ++epoch) {
+    auto out = encoder->Forward(input, adj_edges, adj_mask, config.dropout,
+                                /*training=*/true, rng);
+    ag::Variable loss;
+    if (options.use_triplet && pairs.size() > 0) {
+      // Eq. 11: gather anchor / positive / negative rows of Ẑ.
+      ag::Variable a = ag::GatherRows(out.logits, pairs.anchor);
+      ag::Variable p = ag::GatherRows(out.logits, pairs.positive);
+      ag::Variable n = ag::GatherRows(out.logits, pairs.negative);
+      ag::Variable l_triplet = ag::TripletLoss(a, p, n, options.margin);
+      if (options.use_xent_phase2) {
+        ag::Variable l_xent = ag::NllLoss(ag::LogSoftmaxRows(out.logits),
+                                          ds.labels, ds.train_idx);
+        loss = ag::Add(ag::Scale(l_triplet, options.beta),
+                       ag::Scale(l_xent, 1.0f - options.beta));
+      } else {
+        loss = ag::Scale(l_triplet, options.beta);
+      }
+    } else {
+      loss = ag::NllLoss(ag::LogSoftmaxRows(out.logits), ds.labels,
+                         ds.train_idx);
+    }
+    ag::Backward(loss);
+    optimizer.Step();
+    if (!ds.val_idx.empty()) {
+      const double val =
+          models::Accuracy(out.logits.value(), ds.labels, ds.val_idx);
+      if (val > best_val) {
+        best_val = val;
+        best.Capture(*encoder);
+      }
+    }
+    if (config.verbose)
+      SES_LOG_INFO << "phase-2 epoch " << epoch << " loss " << loss.value()[0];
+  }
+  if (!best.empty()) best.Restore(encoder);
+}
+
+models::Encoder::Output SesModel::EvalForward(const data::Dataset& ds) const {
+  SES_CHECK(encoder_ != nullptr);
+  util::Rng rng(0);
+  nn::FeatureInput input =
+      (options_.use_feature_mask && masks_.feature_nnz.size() > 0)
+          ? nn::FeatureInput::Sparse(
+                ds.features, ag::Variable::Constant(masks_.feature_nnz))
+          : models::MakeInput(ds);
+  ag::Variable adj_mask;
+  if (options_.use_structure_mask && masks_.structure_adj.size() > 0)
+    adj_mask = ag::Variable::Constant(masks_.structure_adj);
+  return encoder_->Forward(input, adj_edges_, adj_mask, 0.0f,
+                           /*training=*/false, &rng);
+}
+
+tensor::Tensor SesModel::Logits(const data::Dataset& ds) {
+  return EvalForward(ds).logits.value();
+}
+
+tensor::Tensor SesModel::Embeddings(const data::Dataset& ds) {
+  return EvalForward(ds).hidden.value();
+}
+
+std::vector<float> SesModel::EdgeScores(const data::Dataset& ds) const {
+  SES_CHECK(masks_.structure_khop.size() > 0);
+  const auto& edges = ds.graph.edges();
+  std::vector<float> scores(edges.size(), 0.0f);
+  // The k-hop pair list contains (u, v) and (v, u) for 1-hop edges; average
+  // the two directions.
+  for (size_t idx = 0; idx < edges.size(); ++idx) {
+    auto [u, v] = edges[idx];
+    float total = 0.0f;
+    int count = 0;
+    for (auto [a, b] : {std::make_pair(u, v), std::make_pair(v, u)}) {
+      const auto nbrs = khop_->Neighbors(a);
+      const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), b);
+      if (it != nbrs.end() && *it == b) {
+        const int64_t pair_idx =
+            khop_->PairOffset(a) + (it - nbrs.begin());
+        total += masks_.structure_khop[pair_idx];
+        ++count;
+      }
+    }
+    scores[idx] = count > 0 ? total / static_cast<float>(count) : 0.0f;
+  }
+  return scores;
+}
+
+}  // namespace ses::core

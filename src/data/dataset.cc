@@ -1,0 +1,32 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ses::data {
+
+bool Dataset::IsMotifEdge(int64_t u, int64_t v) const {
+  auto key = std::make_pair(std::min(u, v), std::max(u, v));
+  return std::binary_search(gt_motif_edges.begin(), gt_motif_edges.end(), key);
+}
+
+void AssignSplit(Dataset* ds, double train_frac, double val_frac,
+                 util::Rng* rng) {
+  SES_CHECK(train_frac > 0 && val_frac >= 0 && train_frac + val_frac < 1.0);
+  const int64_t n = ds->num_nodes();
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng->Shuffle(&perm);
+  const int64_t n_train = static_cast<int64_t>(train_frac * n);
+  const int64_t n_val = static_cast<int64_t>(val_frac * n);
+  ds->train_idx.assign(perm.begin(), perm.begin() + n_train);
+  ds->val_idx.assign(perm.begin() + n_train, perm.begin() + n_train + n_val);
+  ds->test_idx.assign(perm.begin() + n_train + n_val, perm.end());
+  std::sort(ds->train_idx.begin(), ds->train_idx.end());
+  std::sort(ds->val_idx.begin(), ds->val_idx.end());
+  std::sort(ds->test_idx.begin(), ds->test_idx.end());
+}
+
+}  // namespace ses::data

@@ -1,0 +1,51 @@
+#ifndef SES_DATA_DATASET_H_
+#define SES_DATA_DATASET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/sparse.h"
+#include "util/rng.h"
+
+namespace ses::data {
+
+/// A node-classification dataset: graph + features + labels + split, plus
+/// (for the synthetic explanation benchmarks) the ground-truth motif edges
+/// explanation methods are scored against.
+struct Dataset {
+  std::string name;
+  graph::Graph graph;
+  /// Node features, CSR. Dense datasets are stored sparse too (the library's
+  /// first-layer kernels exploit sparsity but tolerate full rows).
+  std::shared_ptr<const tensor::SparseMatrix> features;
+  std::vector<int64_t> labels;
+  int64_t num_classes = 0;
+
+  std::vector<int64_t> train_idx;
+  std::vector<int64_t> val_idx;
+  std::vector<int64_t> test_idx;
+
+  /// Ground-truth explanation for synthetic datasets: undirected motif edges
+  /// (u < v) and per-node motif membership. Empty for real-world graphs.
+  std::vector<std::pair<int64_t, int64_t>> gt_motif_edges;
+  std::vector<bool> in_motif;
+
+  int64_t num_nodes() const { return graph.num_nodes(); }
+  int64_t num_features() const { return features ? features->cols : 0; }
+  bool HasGroundTruthExplanations() const { return !gt_motif_edges.empty(); }
+  /// True if (u, v) (either orientation) is a ground-truth motif edge.
+  bool IsMotifEdge(int64_t u, int64_t v) const;
+};
+
+/// Randomly splits nodes into train/val/test by the given fractions
+/// (the paper uses 60/20/20 for real-world graphs, 80/10/10 for synthetic).
+void AssignSplit(Dataset* ds, double train_frac, double val_frac,
+                 util::Rng* rng);
+
+}  // namespace ses::data
+
+#endif  // SES_DATA_DATASET_H_

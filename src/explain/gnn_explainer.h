@@ -1,0 +1,53 @@
+#ifndef SES_EXPLAIN_GNN_EXPLAINER_H_
+#define SES_EXPLAIN_GNN_EXPLAINER_H_
+
+#include "explain/explainer.h"
+
+namespace ses::explain {
+
+/// GNNExplainer (Ying et al., NeurIPS'19). For each explained node it
+/// optimizes, on the node's 2-hop computation subgraph, a per-edge mask and
+/// a per-feature mask that keep the trained model's prediction (mutual
+/// information surrogate: NLL of the original prediction) while being small
+/// and near-binary (size + element-entropy regularizers). This per-node
+/// re-optimization is what makes GNNExplainer the slowest column of the
+/// paper's Table 6.
+class GnnExplainer : public Explainer {
+ public:
+  struct Options {
+    int64_t epochs = 100;
+    float lr = 0.05f;
+    int64_t hops = 2;
+    float lambda_size = 0.05f;
+    float lambda_entropy = 0.1f;
+    float lambda_feat_size = 0.1f;
+  };
+
+  explicit GnnExplainer(const models::Encoder* encoder)
+      : encoder_(encoder), options_(Options()) {}
+  GnnExplainer(const models::Encoder* encoder, Options options)
+      : encoder_(encoder), options_(options) {}
+
+  std::string name() const override { return "GNNExplainer"; }
+  bool SupportsFeatureExplanations() const override { return true; }
+  std::vector<float> ExplainEdges(const data::Dataset& ds,
+                                  const std::vector<int64_t>& nodes = {}) override;
+  std::vector<float> ExplainFeaturesNnz(
+      const data::Dataset& ds, const std::vector<int64_t>& nodes = {}) override;
+
+ private:
+  /// Runs the per-node optimizations once and fills both caches.
+  void Run(const data::Dataset& ds, const std::vector<int64_t>& nodes);
+
+  const models::Encoder* encoder_;
+  Options options_;
+  const data::Dataset* cached_ds_ = nullptr;
+  std::vector<int64_t> cached_nodes_;
+  bool has_cache_ = false;
+  std::vector<float> edge_scores_;
+  std::vector<float> feature_scores_;
+};
+
+}  // namespace ses::explain
+
+#endif  // SES_EXPLAIN_GNN_EXPLAINER_H_

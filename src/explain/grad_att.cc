@@ -1,0 +1,78 @@
+#include "explain/grad_att.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "models/node_classifier.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace ses::explain {
+
+namespace ag = ses::autograd;
+namespace t = ses::tensor;
+
+void GradExplainer::ComputeGradients(const data::Dataset& ds,
+                                     t::Tensor* edge_grad,
+                                     t::Tensor* feature_grad) const {
+  util::Rng rng(0);
+  auto edges = ds.graph.DirectedEdges(/*add_self_loops=*/true);
+  ag::Variable edge_mask =
+      ag::Variable::Parameter(t::Tensor::Ones(edges->size(), 1));
+  ag::Variable nnz_mask =
+      ag::Variable::Parameter(t::Tensor::Ones(ds.features->nnz(), 1));
+  nn::FeatureInput input = nn::FeatureInput::Sparse(ds.features, nnz_mask);
+  auto out = encoder_->Forward(input, edges, edge_mask, 0.0f,
+                               /*training=*/false, &rng);
+  // Loss of the model's own predictions (saliency of the decision).
+  auto pred = t::ArgmaxRows(out.logits.value());
+  std::vector<int64_t> all(static_cast<size_t>(ds.num_nodes()));
+  for (int64_t i = 0; i < ds.num_nodes(); ++i) all[static_cast<size_t>(i)] = i;
+  ag::Variable loss =
+      ag::NllLoss(ag::LogSoftmaxRows(out.logits), pred, all);
+  ag::Backward(loss);
+  if (edge_grad) *edge_grad = edge_mask.grad();
+  if (feature_grad) *feature_grad = nnz_mask.grad();
+}
+
+std::vector<float> GradExplainer::ExplainEdges(const data::Dataset& ds,
+                                               const std::vector<int64_t>&) {
+  t::Tensor edge_grad;
+  ComputeGradients(ds, &edge_grad, nullptr);
+  // Map |gradient| of the two directed copies onto the undirected edge.
+  const auto& und = ds.graph.edges();
+  std::vector<float> scores(und.size());
+  // DirectedEdges(true) lays out both orientations of edge i at 2i, 2i+1.
+  for (size_t i = 0; i < und.size(); ++i)
+    scores[i] = 0.5f * (std::fabs(edge_grad[2 * static_cast<int64_t>(i)]) +
+                        std::fabs(edge_grad[2 * static_cast<int64_t>(i) + 1]));
+  return scores;
+}
+
+std::vector<float> GradExplainer::ExplainFeaturesNnz(
+    const data::Dataset& ds, const std::vector<int64_t>&) {
+  t::Tensor feature_grad;
+  ComputeGradients(ds, nullptr, &feature_grad);
+  std::vector<float> scores(static_cast<size_t>(feature_grad.size()));
+  for (int64_t i = 0; i < feature_grad.size(); ++i)
+    scores[static_cast<size_t>(i)] = std::fabs(feature_grad[i]);
+  return scores;
+}
+
+std::vector<float> AttExplainer::ExplainEdges(const data::Dataset& ds,
+                                              const std::vector<int64_t>&) {
+  util::Rng rng(0);
+  auto edges = ds.graph.DirectedEdges(/*add_self_loops=*/true);
+  nn::FeatureInput input = nn::FeatureInput::Sparse(ds.features);
+  (void)encoder_->Forward(input, edges, {}, 0.0f, /*training=*/false, &rng);
+  t::Tensor att = encoder_->LastAttention();
+  SES_CHECK(att.size() == edges->size() && "ATT requires a GAT backbone");
+  const auto& und = ds.graph.edges();
+  std::vector<float> scores(und.size());
+  for (size_t i = 0; i < und.size(); ++i)
+    scores[i] = 0.5f * (att[2 * static_cast<int64_t>(i)] +
+                        att[2 * static_cast<int64_t>(i) + 1]);
+  return scores;
+}
+
+}  // namespace ses::explain

@@ -1,0 +1,51 @@
+#ifndef SES_EXPLAIN_GRAD_ATT_H_
+#define SES_EXPLAIN_GRAD_ATT_H_
+
+#include "explain/explainer.h"
+
+namespace ses::explain {
+
+/// GRAD baseline (Ying et al.): saliency — the absolute gradient of the
+/// model's loss with respect to each edge's aggregation weight and each
+/// input-feature value. One backward pass over the full graph produces every
+/// edge and feature score simultaneously.
+class GradExplainer : public Explainer {
+ public:
+  /// `encoder` must already be trained; not owned.
+  explicit GradExplainer(const models::Encoder* encoder) : encoder_(encoder) {}
+
+  std::string name() const override { return "GRAD"; }
+  bool SupportsFeatureExplanations() const override { return true; }
+  std::vector<float> ExplainEdges(const data::Dataset& ds,
+                                  const std::vector<int64_t>& nodes = {}) override;
+  std::vector<float> ExplainFeaturesNnz(
+      const data::Dataset& ds, const std::vector<int64_t>& nodes = {}) override;
+
+ private:
+  /// Runs the forward pass with mask parameters of 1 and backprops the
+  /// predicted-label NLL; gradients land on the masks.
+  void ComputeGradients(const data::Dataset& ds,
+                        tensor::Tensor* edge_grad,
+                        tensor::Tensor* feature_grad) const;
+
+  const models::Encoder* encoder_;
+};
+
+/// ATT baseline (Velickovic et al. / Ying et al.): a GAT's averaged
+/// attention coefficients, read directly from the trained attention layer.
+class AttExplainer : public Explainer {
+ public:
+  explicit AttExplainer(const models::Encoder* gat_encoder)
+      : encoder_(gat_encoder) {}
+
+  std::string name() const override { return "ATT"; }
+  std::vector<float> ExplainEdges(const data::Dataset& ds,
+                                  const std::vector<int64_t>& nodes = {}) override;
+
+ private:
+  const models::Encoder* encoder_;
+};
+
+}  // namespace ses::explain
+
+#endif  // SES_EXPLAIN_GRAD_ATT_H_

@@ -1,0 +1,161 @@
+#include "explain/graphlime.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace ses::explain {
+
+namespace t = ses::tensor;
+
+namespace {
+
+/// Centered, Frobenius-normalized Gaussian kernel over a single value
+/// vector (one feature dimension, or reused per output class). Bandwidth by
+/// the median heuristic.
+std::vector<double> CenteredKernel(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<double> k(n * n, 0.0);
+  // Bandwidth: variance-based (cheap, robust for binary features).
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var = std::max(var / static_cast<double>(n), 1e-6);
+  const double gamma = 1.0 / (2.0 * var);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) {
+      const double d = values[i] - values[j];
+      k[i * n + j] = std::exp(-gamma * d * d);
+    }
+  // Double centering: K <- H K H with H = I - 11^T/n.
+  std::vector<double> row_mean(n, 0.0), col_mean(n, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) {
+      row_mean[i] += k[i * n + j];
+      col_mean[j] += k[i * n + j];
+      total += k[i * n + j];
+    }
+  for (size_t i = 0; i < n; ++i) row_mean[i] /= static_cast<double>(n);
+  for (size_t j = 0; j < n; ++j) col_mean[j] /= static_cast<double>(n);
+  total /= static_cast<double>(n * n);
+  double norm = 0.0;
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) {
+      k[i * n + j] = k[i * n + j] - row_mean[i] - col_mean[j] + total;
+      norm += k[i * n + j] * k[i * n + j];
+    }
+  norm = std::sqrt(std::max(norm, 1e-12));
+  for (auto& v : k) v /= norm;
+  return k;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace
+
+std::vector<float> GraphLimeExplainer::ExplainEdges(
+    const data::Dataset&, const std::vector<int64_t>&) {
+  SES_CHECK(false && "GraphLIME provides feature explanations only");
+  return {};
+}
+
+std::vector<float> GraphLimeExplainer::ExplainFeaturesNnz(
+    const data::Dataset& ds, const std::vector<int64_t>& nodes) {
+  util::Rng rng(41);
+  std::vector<float> scores(static_cast<size_t>(ds.features->nnz()), 0.0f);
+
+  // Soft predictions from the trained model (the dependent variable).
+  t::Tensor probs;
+  {
+    util::Rng r0(0);
+    auto out = encoder_->Forward(nn::FeatureInput::Sparse(ds.features),
+                                 ds.graph.DirectedEdges(true), {}, 0.0f,
+                                 /*training=*/false, &r0);
+    probs = t::SoftmaxRows(out.logits.value());
+  }
+  t::Tensor dense_x = ds.features->ToDense();
+
+  for (int64_t v : nodes.empty() ? NodesToExplain(ds, 0) : nodes) {
+    // Local dataset: the node plus its k-hop neighborhood (capped).
+    graph::Subgraph sub = graph::ExtractEgoNet(ds.graph, v, options_.hops);
+    std::vector<int64_t> samples = sub.nodes;
+    if (static_cast<int64_t>(samples.size()) > options_.max_neighborhood) {
+      rng.Shuffle(&samples);
+      samples.resize(static_cast<size_t>(options_.max_neighborhood));
+      if (std::find(samples.begin(), samples.end(), v) == samples.end())
+        samples[0] = v;
+    }
+    const size_t n = samples.size();
+    if (n < 4) continue;
+
+    // Candidate dimensions: the center's nonzero features (the only entries
+    // the per-nnz output can carry).
+    const int64_t lo = ds.features->row_ptr[static_cast<size_t>(v)];
+    const int64_t hi = ds.features->row_ptr[static_cast<size_t>(v) + 1];
+    const int64_t d = hi - lo;
+    if (d == 0) continue;
+
+    // Output kernel: summed centered kernels of the class probabilities.
+    std::vector<double> l(n * n, 0.0);
+    {
+      std::vector<double> col(n);
+      for (int64_t c = 0; c < probs.cols(); ++c) {
+        for (size_t i = 0; i < n; ++i) col[i] = probs.At(samples[i], c);
+        auto k = CenteredKernel(col);
+        for (size_t i = 0; i < l.size(); ++i) l[i] += k[i];
+      }
+    }
+
+    // Feature kernels for candidate dimensions.
+    std::vector<std::vector<double>> kernels(static_cast<size_t>(d));
+    std::vector<double> col(n);
+    for (int64_t j = 0; j < d; ++j) {
+      const int64_t dim = ds.features->col_idx[static_cast<size_t>(lo + j)];
+      for (size_t i = 0; i < n; ++i) col[i] = dense_x.At(samples[i], dim);
+      kernels[static_cast<size_t>(j)] = CenteredKernel(col);
+    }
+
+    // Non-negative HSIC lasso by cyclic coordinate descent.
+    std::vector<double> gram(static_cast<size_t>(d * d));
+    std::vector<double> corr(static_cast<size_t>(d));
+    for (int64_t a = 0; a < d; ++a) {
+      corr[static_cast<size_t>(a)] = Dot(kernels[static_cast<size_t>(a)], l);
+      for (int64_t b = 0; b <= a; ++b) {
+        const double g = Dot(kernels[static_cast<size_t>(a)],
+                             kernels[static_cast<size_t>(b)]);
+        gram[static_cast<size_t>(a * d + b)] = g;
+        gram[static_cast<size_t>(b * d + a)] = g;
+      }
+    }
+    std::vector<double> beta(static_cast<size_t>(d), 0.0);
+    for (int64_t it = 0; it < options_.cd_iterations; ++it) {
+      for (int64_t a = 0; a < d; ++a) {
+        double residual = corr[static_cast<size_t>(a)];
+        for (int64_t b = 0; b < d; ++b) {
+          if (b == a) continue;
+          residual -= gram[static_cast<size_t>(a * d + b)] *
+                      beta[static_cast<size_t>(b)];
+        }
+        const double denom =
+            std::max(gram[static_cast<size_t>(a * d + a)], 1e-9);
+        beta[static_cast<size_t>(a)] =
+            std::max(0.0, (residual - options_.rho) / denom);
+      }
+    }
+    for (int64_t j = 0; j < d; ++j)
+      scores[static_cast<size_t>(lo + j)] =
+          static_cast<float>(beta[static_cast<size_t>(j)]);
+  }
+  return scores;
+}
+
+}  // namespace ses::explain

@@ -1,0 +1,46 @@
+#ifndef SES_EXPLAIN_PG_EXPLAINER_H_
+#define SES_EXPLAIN_PG_EXPLAINER_H_
+
+#include <memory>
+
+#include "explain/explainer.h"
+#include "nn/linear.h"
+
+namespace ses::explain {
+
+/// PGExplainer (Luo et al., NeurIPS'20): a parameterized explainer. A small
+/// MLP maps each edge's endpoint embeddings [z_u || z_v] to an importance
+/// logit; during training, masks are sampled from the concrete (relaxed
+/// Bernoulli) distribution over those logits and optimized to preserve the
+/// trained model's predictions under size/entropy regularization. One
+/// training run explains every instance collectively — the multi-instance
+/// property the paper credits PGExplainer with, and the reason it is an
+/// order of magnitude faster than GNNExplainer in Table 6.
+class PgExplainer : public Explainer {
+ public:
+  struct Options {
+    int64_t epochs = 30;
+    float lr = 0.01f;
+    float temperature = 1.0f;
+    float lambda_size = 0.05f;
+    float lambda_entropy = 0.1f;
+    int64_t mlp_hidden = 64;
+  };
+
+  explicit PgExplainer(const models::Encoder* encoder)
+      : encoder_(encoder), options_(Options()) {}
+  PgExplainer(const models::Encoder* encoder, Options options)
+      : encoder_(encoder), options_(options) {}
+
+  std::string name() const override { return "PGExplainer"; }
+  std::vector<float> ExplainEdges(const data::Dataset& ds,
+                                  const std::vector<int64_t>& nodes = {}) override;
+
+ private:
+  const models::Encoder* encoder_;
+  Options options_;
+};
+
+}  // namespace ses::explain
+
+#endif  // SES_EXPLAIN_PG_EXPLAINER_H_

@@ -1,0 +1,106 @@
+#include "explain/pgm_explainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace ses::explain {
+
+namespace t = ses::tensor;
+
+std::vector<float> PgmExplainer::ExplainEdges(
+    const data::Dataset& ds, const std::vector<int64_t>& nodes) {
+  util::Rng rng(37);
+  const auto& und_edges = ds.graph.edges();
+  std::vector<float> scores(und_edges.size(), 0.0f);
+  std::vector<float> counts(und_edges.size(), 0.0f);
+
+  for (int64_t v : nodes.empty() ? NodesToExplain(ds, 0) : nodes) {
+    graph::Subgraph sub = graph::ExtractEgoNet(ds.graph, v, options_.hops);
+    const int64_t ns = static_cast<int64_t>(sub.nodes.size());
+    if (ns <= 1) continue;
+    auto sub_edges = sub.graph.DirectedEdges(/*add_self_loops=*/true);
+    auto base_features = ds.features->GatherRows(sub.nodes);
+
+    // Original prediction for the center inside its subgraph.
+    util::Rng r0(0);
+    auto base_out = encoder_->Forward(
+        nn::FeatureInput::Sparse(
+            std::make_shared<t::SparseMatrix>(base_features)),
+        sub_edges, {}, 0.0f, /*training=*/false, &r0);
+    const int64_t base_pred =
+        t::ArgmaxRows(base_out.logits.value())[static_cast<size_t>(
+            sub.center_local)];
+
+    // Contingency counts per local node: [perturbed][changed].
+    std::vector<std::array<double, 4>> table(
+        static_cast<size_t>(ns), {0.0, 0.0, 0.0, 0.0});
+    std::vector<bool> perturbed(static_cast<size_t>(ns));
+    for (int64_t s = 0; s < options_.samples; ++s) {
+      t::SparseMatrix mutated = base_features;
+      bool any = false;
+      for (int64_t i = 0; i < ns; ++i) {
+        perturbed[static_cast<size_t>(i)] =
+            i != sub.center_local && rng.Bernoulli(options_.perturb_prob);
+        if (!perturbed[static_cast<size_t>(i)]) continue;
+        any = true;
+        for (int64_t e = mutated.row_ptr[static_cast<size_t>(i)];
+             e < mutated.row_ptr[static_cast<size_t>(i) + 1]; ++e)
+          mutated.values[static_cast<size_t>(e)] = 0.0f;
+      }
+      if (!any) continue;
+      util::Rng r1(0);
+      auto out = encoder_->Forward(
+          nn::FeatureInput::Sparse(
+              std::make_shared<t::SparseMatrix>(mutated)),
+          sub_edges, {}, 0.0f, /*training=*/false, &r1);
+      const bool changed =
+          t::ArgmaxRows(out.logits.value())[static_cast<size_t>(
+              sub.center_local)] != base_pred;
+      for (int64_t i = 0; i < ns; ++i) {
+        const int p = perturbed[static_cast<size_t>(i)] ? 1 : 0;
+        const int c = changed ? 1 : 0;
+        table[static_cast<size_t>(i)][static_cast<size_t>(2 * p + c)] += 1.0;
+      }
+    }
+
+    // Chi-square dependence score per neighbor.
+    std::vector<float> dependence(static_cast<size_t>(ns), 0.0f);
+    for (int64_t i = 0; i < ns; ++i) {
+      const auto& cell = table[static_cast<size_t>(i)];
+      const double total = cell[0] + cell[1] + cell[2] + cell[3];
+      if (total <= 0.0) continue;
+      const double row0 = cell[0] + cell[1], row1 = cell[2] + cell[3];
+      const double col0 = cell[0] + cell[2], col1 = cell[1] + cell[3];
+      double chi2 = 0.0;
+      const double expected[4] = {row0 * col0 / total, row0 * col1 / total,
+                                  row1 * col0 / total, row1 * col1 / total};
+      for (int k = 0; k < 4; ++k) {
+        if (expected[k] <= 1e-9) continue;
+        const double d = cell[static_cast<size_t>(k)] - expected[k];
+        chi2 += d * d / expected[k];
+      }
+      dependence[static_cast<size_t>(i)] = static_cast<float>(chi2);
+    }
+
+    // Edge (a, b) in the subgraph scores by the endpoint dependences.
+    for (auto [la, lb] : sub.graph.edges()) {
+      const int64_t ga = sub.nodes[static_cast<size_t>(la)];
+      const int64_t gb = sub.nodes[static_cast<size_t>(lb)];
+      auto key = std::make_pair(std::min(ga, gb), std::max(ga, gb));
+      auto it = std::lower_bound(und_edges.begin(), und_edges.end(), key);
+      if (it == und_edges.end() || *it != key) continue;
+      const size_t idx = static_cast<size_t>(it - und_edges.begin());
+      scores[idx] += 0.5f * (dependence[static_cast<size_t>(la)] +
+                             dependence[static_cast<size_t>(lb)]);
+      counts[idx] += 1.0f;
+    }
+  }
+  for (size_t i = 0; i < scores.size(); ++i)
+    if (counts[i] > 0.0f) scores[i] /= counts[i];
+  return scores;
+}
+
+}  // namespace ses::explain

@@ -1,0 +1,39 @@
+#ifndef SES_EXPLAIN_PGM_EXPLAINER_H_
+#define SES_EXPLAIN_PGM_EXPLAINER_H_
+
+#include "explain/explainer.h"
+
+namespace ses::explain {
+
+/// PGMExplainer (Vu & Thai, NeurIPS'20). Per explained node it perturbs
+/// random subsets of its neighborhood's features, records whether the
+/// model's prediction for the node changes, and screens each neighbor by
+/// the statistical dependence (chi-square score on the 2x2 contingency
+/// table) between "neighbor was perturbed" and "prediction changed". The
+/// dependence scores are the probabilistic-graphical-model explanation; an
+/// edge (v, u) inherits the dependence score of u.
+class PgmExplainer : public Explainer {
+ public:
+  struct Options {
+    int64_t samples = 60;       ///< perturbation rounds per node
+    double perturb_prob = 0.4;  ///< chance each neighbor is perturbed
+    int64_t hops = 2;
+  };
+
+  explicit PgmExplainer(const models::Encoder* encoder)
+      : encoder_(encoder), options_(Options()) {}
+  PgmExplainer(const models::Encoder* encoder, Options options)
+      : encoder_(encoder), options_(options) {}
+
+  std::string name() const override { return "PGMExplainer"; }
+  std::vector<float> ExplainEdges(const data::Dataset& ds,
+                                  const std::vector<int64_t>& nodes = {}) override;
+
+ private:
+  const models::Encoder* encoder_;
+  Options options_;
+};
+
+}  // namespace ses::explain
+
+#endif  // SES_EXPLAIN_PGM_EXPLAINER_H_

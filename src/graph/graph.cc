@@ -1,0 +1,162 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+
+#include "util/logging.h"
+
+namespace ses::graph {
+
+Graph Graph::FromUndirectedEdges(
+    int64_t num_nodes, const std::vector<std::pair<int64_t, int64_t>>& edges) {
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  std::set<std::pair<int64_t, int64_t>> unique;
+  for (auto [u, v] : edges) {
+    SES_CHECK(u >= 0 && u < num_nodes && v >= 0 && v < num_nodes);
+    if (u == v) continue;
+    unique.emplace(std::min(u, v), std::max(u, v));
+  }
+  g.edges_.assign(unique.begin(), unique.end());
+
+  std::vector<int64_t> deg(static_cast<size_t>(num_nodes), 0);
+  for (auto [u, v] : g.edges_) {
+    ++deg[static_cast<size_t>(u)];
+    ++deg[static_cast<size_t>(v)];
+  }
+  g.adj_ptr_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  for (int64_t i = 0; i < num_nodes; ++i)
+    g.adj_ptr_[static_cast<size_t>(i) + 1] =
+        g.adj_ptr_[static_cast<size_t>(i)] + deg[static_cast<size_t>(i)];
+  g.adj_idx_.resize(static_cast<size_t>(g.adj_ptr_.back()));
+  std::vector<int64_t> cursor(g.adj_ptr_.begin(), g.adj_ptr_.end() - 1);
+  for (auto [u, v] : g.edges_) {
+    g.adj_idx_[static_cast<size_t>(cursor[static_cast<size_t>(u)]++)] = v;
+    g.adj_idx_[static_cast<size_t>(cursor[static_cast<size_t>(v)]++)] = u;
+  }
+  for (int64_t i = 0; i < num_nodes; ++i)
+    std::sort(g.adj_idx_.begin() + g.adj_ptr_[static_cast<size_t>(i)],
+              g.adj_idx_.begin() + g.adj_ptr_[static_cast<size_t>(i) + 1]);
+  return g;
+}
+
+std::span<const int64_t> Graph::Neighbors(int64_t v) const {
+  SES_CHECK(v >= 0 && v < num_nodes_);
+  return {adj_idx_.data() + adj_ptr_[static_cast<size_t>(v)],
+          static_cast<size_t>(adj_ptr_[static_cast<size_t>(v) + 1] -
+                              adj_ptr_[static_cast<size_t>(v)])};
+}
+
+int64_t Graph::Degree(int64_t v) const {
+  return adj_ptr_[static_cast<size_t>(v) + 1] - adj_ptr_[static_cast<size_t>(v)];
+}
+
+bool Graph::HasEdge(int64_t u, int64_t v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+autograd::EdgeListPtr Graph::DirectedEdges(bool add_self_loops) const {
+  auto el = std::make_shared<autograd::EdgeList>();
+  el->num_nodes = num_nodes_;
+  const int64_t directed = 2 * num_edges() + (add_self_loops ? num_nodes_ : 0);
+  el->src.reserve(static_cast<size_t>(directed));
+  el->dst.reserve(static_cast<size_t>(directed));
+  for (auto [u, v] : edges_) {
+    el->src.push_back(u);
+    el->dst.push_back(v);
+    el->src.push_back(v);
+    el->dst.push_back(u);
+  }
+  if (add_self_loops) {
+    for (int64_t i = 0; i < num_nodes_; ++i) {
+      el->src.push_back(i);
+      el->dst.push_back(i);
+    }
+  }
+  return el;
+}
+
+std::vector<float> Graph::GcnNormWeights(const autograd::EdgeList& edges) {
+  std::vector<int64_t> deg(static_cast<size_t>(edges.num_nodes), 0);
+  for (int64_t e = 0; e < edges.size(); ++e)
+    ++deg[static_cast<size_t>(edges.dst[static_cast<size_t>(e)])];
+  std::vector<float> weights(static_cast<size_t>(edges.size()));
+  for (int64_t e = 0; e < edges.size(); ++e) {
+    const int64_t du = deg[static_cast<size_t>(edges.src[static_cast<size_t>(e)])];
+    const int64_t dv = deg[static_cast<size_t>(edges.dst[static_cast<size_t>(e)])];
+    weights[static_cast<size_t>(e)] =
+        1.0f / std::sqrt(static_cast<float>(std::max<int64_t>(du, 1)) *
+                         static_cast<float>(std::max<int64_t>(dv, 1)));
+  }
+  return weights;
+}
+
+float Graph::NeighborhoodJaccard(int64_t u, int64_t v) const {
+  auto nu = Neighbors(u);
+  auto nv = Neighbors(v);
+  if (nu.empty() && nv.empty()) return 0.0f;
+  size_t i = 0, j = 0, common = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i] == nv[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (nu[i] < nv[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = nu.size() + nv.size() - common;
+  return uni == 0 ? 0.0f : static_cast<float>(common) / static_cast<float>(uni);
+}
+
+Graph Graph::WithExtraEdges(
+    const std::vector<std::pair<int64_t, int64_t>>& extra) const {
+  std::vector<std::pair<int64_t, int64_t>> all = edges_;
+  all.insert(all.end(), extra.begin(), extra.end());
+  return FromUndirectedEdges(num_nodes_, all);
+}
+
+Subgraph ExtractEgoNet(const Graph& g, int64_t center, int64_t hops) {
+  Subgraph sub;
+  std::vector<int64_t> dist(static_cast<size_t>(g.num_nodes()), -1);
+  std::queue<int64_t> frontier;
+  frontier.push(center);
+  dist[static_cast<size_t>(center)] = 0;
+  sub.nodes.push_back(center);
+  while (!frontier.empty()) {
+    const int64_t u = frontier.front();
+    frontier.pop();
+    if (dist[static_cast<size_t>(u)] >= hops) continue;
+    for (int64_t v : g.Neighbors(u)) {
+      if (dist[static_cast<size_t>(v)] < 0) {
+        dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+        sub.nodes.push_back(v);
+        frontier.push(v);
+      }
+    }
+  }
+  std::sort(sub.nodes.begin(), sub.nodes.end());
+  sub.local_of.assign(static_cast<size_t>(g.num_nodes()), -1);
+  for (size_t i = 0; i < sub.nodes.size(); ++i)
+    sub.local_of[static_cast<size_t>(sub.nodes[i])] = static_cast<int64_t>(i);
+  sub.center_local = sub.local_of[static_cast<size_t>(center)];
+
+  std::vector<std::pair<int64_t, int64_t>> local_edges;
+  for (int64_t u : sub.nodes) {
+    for (int64_t v : g.Neighbors(u)) {
+      if (u < v && sub.local_of[static_cast<size_t>(v)] >= 0)
+        local_edges.emplace_back(sub.local_of[static_cast<size_t>(u)],
+                                 sub.local_of[static_cast<size_t>(v)]);
+    }
+  }
+  sub.graph = Graph::FromUndirectedEdges(
+      static_cast<int64_t>(sub.nodes.size()), local_edges);
+  return sub;
+}
+
+}  // namespace ses::graph

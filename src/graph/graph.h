@@ -1,0 +1,77 @@
+#ifndef SES_GRAPH_GRAPH_H_
+#define SES_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "autograd/sparse_ops.h"
+
+namespace ses::graph {
+
+/// Immutable undirected simple graph with CSR adjacency.
+///
+/// Construction dedups parallel edges and drops self-loops; neighbor lists
+/// are kept sorted so membership queries are O(log deg).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an undirected edge list (pairs may appear in any
+  /// orientation / multiplicity; self-loops are ignored).
+  static Graph FromUndirectedEdges(
+      int64_t num_nodes, const std::vector<std::pair<int64_t, int64_t>>& edges);
+
+  int64_t num_nodes() const { return num_nodes_; }
+  /// Number of undirected edges.
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  /// Each undirected edge once, with first < second.
+  const std::vector<std::pair<int64_t, int64_t>>& edges() const {
+    return edges_;
+  }
+
+  /// Sorted neighbor list of `v`.
+  std::span<const int64_t> Neighbors(int64_t v) const;
+  int64_t Degree(int64_t v) const;
+  bool HasEdge(int64_t u, int64_t v) const;
+
+  /// Directed edge list with both orientations of every undirected edge,
+  /// plus optional self-loops — the message-passing support set.
+  autograd::EdgeListPtr DirectedEdges(bool add_self_loops) const;
+
+  /// Symmetric GCN normalization 1/sqrt(deg(u) deg(v)) per directed edge of
+  /// `edges` (degrees counted over `edges` itself, so self-loops included
+  /// when present).
+  static std::vector<float> GcnNormWeights(const autograd::EdgeList& edges);
+
+  /// Jaccard similarity of the two nodes' neighbor sets (SEGNN's local
+  /// structure similarity).
+  float NeighborhoodJaccard(int64_t u, int64_t v) const;
+
+  /// Union of this graph's edges with `extra` undirected edges.
+  Graph WithExtraEdges(
+      const std::vector<std::pair<int64_t, int64_t>>& extra) const;
+
+ private:
+  int64_t num_nodes_ = 0;
+  std::vector<std::pair<int64_t, int64_t>> edges_;
+  std::vector<int64_t> adj_ptr_;
+  std::vector<int64_t> adj_idx_;
+};
+
+/// Node-induced subgraph with the node-id mapping retained; used by per-node
+/// explainers (GNNExplainer optimizes a mask over this) and case studies.
+struct Subgraph {
+  Graph graph;                      ///< relabeled to [0, nodes.size())
+  std::vector<int64_t> nodes;       ///< original ids; nodes[i] is local i
+  std::vector<int64_t> local_of;    ///< original id -> local id (-1 if absent)
+  int64_t center_local = -1;        ///< local id of the extraction center
+};
+
+/// Extracts the subgraph induced by all nodes within `hops` of `center`.
+Subgraph ExtractEgoNet(const Graph& g, int64_t center, int64_t hops);
+
+}  // namespace ses::graph
+
+#endif  // SES_GRAPH_GRAPH_H_

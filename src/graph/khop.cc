@@ -1,0 +1,83 @@
+#include "graph/khop.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace ses::graph {
+
+KHopAdjacency::KHopAdjacency(const Graph& g, int64_t k, int64_t max_neighbors)
+    : k_(k), num_nodes_(g.num_nodes()) {
+  SES_CHECK(k >= 1);
+  nbr_ptr_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  std::vector<std::vector<int64_t>> balls(static_cast<size_t>(num_nodes_));
+
+#pragma omp parallel
+  {
+    std::vector<int64_t> dist(static_cast<size_t>(num_nodes_), -1);
+    std::vector<int64_t> touched;
+#pragma omp for schedule(dynamic, 64)
+    for (int64_t i = 0; i < num_nodes_; ++i) {
+      touched.clear();
+      std::queue<int64_t> frontier;
+      frontier.push(i);
+      dist[static_cast<size_t>(i)] = 0;
+      touched.push_back(i);
+      std::vector<int64_t>& ball = balls[static_cast<size_t>(i)];
+      while (!frontier.empty()) {
+        const int64_t u = frontier.front();
+        frontier.pop();
+        if (dist[static_cast<size_t>(u)] >= k) continue;
+        for (int64_t v : g.Neighbors(u)) {
+          if (dist[static_cast<size_t>(v)] < 0) {
+            dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+            touched.push_back(v);
+            ball.push_back(v);  // BFS order == closest-first
+            frontier.push(v);
+          }
+        }
+      }
+      if (max_neighbors > 0 &&
+          static_cast<int64_t>(ball.size()) > max_neighbors)
+        ball.resize(static_cast<size_t>(max_neighbors));
+      std::sort(ball.begin(), ball.end());
+      for (int64_t v : touched) dist[static_cast<size_t>(v)] = -1;
+    }
+  }
+
+  for (int64_t i = 0; i < num_nodes_; ++i)
+    nbr_ptr_[static_cast<size_t>(i) + 1] =
+        nbr_ptr_[static_cast<size_t>(i)] +
+        static_cast<int64_t>(balls[static_cast<size_t>(i)].size());
+  nbr_idx_.reserve(static_cast<size_t>(nbr_ptr_.back()));
+  for (const auto& ball : balls)
+    nbr_idx_.insert(nbr_idx_.end(), ball.begin(), ball.end());
+
+  auto edges = std::make_shared<autograd::EdgeList>();
+  edges->num_nodes = num_nodes_;
+  edges->src.reserve(nbr_idx_.size());
+  edges->dst.reserve(nbr_idx_.size());
+  for (int64_t i = 0; i < num_nodes_; ++i) {
+    for (int64_t e = nbr_ptr_[static_cast<size_t>(i)];
+         e < nbr_ptr_[static_cast<size_t>(i) + 1]; ++e) {
+      edges->src.push_back(i);
+      edges->dst.push_back(nbr_idx_[static_cast<size_t>(e)]);
+    }
+  }
+  pair_edges_ = std::move(edges);
+}
+
+std::span<const int64_t> KHopAdjacency::Neighbors(int64_t i) const {
+  SES_CHECK(i >= 0 && i < num_nodes_);
+  return {nbr_idx_.data() + nbr_ptr_[static_cast<size_t>(i)],
+          static_cast<size_t>(nbr_ptr_[static_cast<size_t>(i) + 1] -
+                              nbr_ptr_[static_cast<size_t>(i)])};
+}
+
+bool KHopAdjacency::Contains(int64_t i, int64_t j) const {
+  auto nbrs = Neighbors(i);
+  return std::binary_search(nbrs.begin(), nbrs.end(), j);
+}
+
+}  // namespace ses::graph

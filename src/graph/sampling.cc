@@ -1,0 +1,61 @@
+#include "graph/sampling.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ses::graph {
+
+NegativeSets SampleNegativeSets(const KHopAdjacency& khop,
+                                const std::vector<int64_t>& labels,
+                                util::Rng* rng,
+                                const std::vector<int64_t>& counts) {
+  const int64_t n = khop.num_nodes();
+  SES_CHECK(counts.empty() || static_cast<int64_t>(counts.size()) == n);
+  NegativeSets result;
+  result.ptr.assign(static_cast<size_t>(n) + 1, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t want = counts.empty()
+                             ? static_cast<int64_t>(khop.Neighbors(i).size())
+                             : counts[static_cast<size_t>(i)];
+    result.ptr[static_cast<size_t>(i) + 1] =
+        result.ptr[static_cast<size_t>(i)] + want;
+  }
+  result.idx.resize(static_cast<size_t>(result.ptr.back()));
+
+  const bool has_labels = !labels.empty();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t want = result.ptr[static_cast<size_t>(i) + 1] -
+                         result.ptr[static_cast<size_t>(i)];
+    int64_t got = 0;
+    // Rejection sampling from the complement; falls back to accepting
+    // same-label nodes if too many rejections (tiny graphs).
+    int64_t attempts = 0;
+    const int64_t max_attempts = 50 * want + 100;
+    while (got < want && attempts < max_attempts) {
+      ++attempts;
+      const int64_t cand = static_cast<int64_t>(
+          rng->UniformInt(static_cast<uint64_t>(n)));
+      if (cand == i || khop.Contains(i, cand)) continue;
+      if (has_labels && attempts <= 10 * want &&
+          labels[static_cast<size_t>(i)] >= 0 &&
+          labels[static_cast<size_t>(cand)] == labels[static_cast<size_t>(i)])
+        continue;  // prefer different-label negatives while attempts remain
+      result.idx[static_cast<size_t>(result.ptr[static_cast<size_t>(i)] + got)] =
+          cand;
+      ++got;
+    }
+    // Pathological fallback (nearly-complete ball): pad by repeating an
+    // arbitrary non-self node so downstream shapes stay aligned.
+    while (got < want) {
+      int64_t cand = (i + 1 + got) % n;
+      if (cand == i) cand = (cand + 1) % n;
+      result.idx[static_cast<size_t>(result.ptr[static_cast<size_t>(i)] + got)] =
+          cand;
+      ++got;
+    }
+  }
+  return result;
+}
+
+}  // namespace ses::graph

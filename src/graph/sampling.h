@@ -1,0 +1,41 @@
+#ifndef SES_GRAPH_SAMPLING_H_
+#define SES_GRAPH_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/khop.h"
+#include "util/rng.h"
+
+namespace ses::graph {
+
+/// Negative neighbor sets P_n(i) of the paper: for each node i, `count_i`
+/// nodes sampled uniformly from the complement of its k-hop ball
+/// (Ã^(k) = I - A^(k) in the paper's notation), preferring nodes whose label
+/// differs from i's when labels are supplied (the paper samples negatives
+/// "not part of the subgraph of the central node and with different labels").
+/// Entries of `labels` may be -1 for unknown (semi-supervised callers must
+/// mask out val/test labels — using them here would leak supervision); the
+/// different-label preference only applies when both labels are known.
+///
+/// `counts[i]` defaults to |P_r(i)| when empty. Returns a CSR-like structure
+/// parallel to the k-hop pair list.
+struct NegativeSets {
+  std::vector<int64_t> ptr;  ///< size N + 1
+  std::vector<int64_t> idx;  ///< sampled negative node ids
+
+  std::span<const int64_t> Of(int64_t i) const {
+    return {idx.data() + ptr[static_cast<size_t>(i)],
+            static_cast<size_t>(ptr[static_cast<size_t>(i) + 1] -
+                                ptr[static_cast<size_t>(i)])};
+  }
+};
+
+NegativeSets SampleNegativeSets(const KHopAdjacency& khop,
+                                const std::vector<int64_t>& labels,
+                                util::Rng* rng,
+                                const std::vector<int64_t>& counts = {});
+
+}  // namespace ses::graph
+
+#endif  // SES_GRAPH_SAMPLING_H_

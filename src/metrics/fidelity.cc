@@ -1,0 +1,50 @@
+#include "metrics/fidelity.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ses::metrics {
+
+data::Dataset MaskTopFeatures(const data::Dataset& ds,
+                              const std::vector<float>& feature_scores_nnz,
+                              int64_t top_k) {
+  SES_CHECK(ds.features != nullptr);
+  SES_CHECK(static_cast<int64_t>(feature_scores_nnz.size()) ==
+            ds.features->nnz());
+  auto masked = std::make_shared<tensor::SparseMatrix>(*ds.features);
+  std::vector<int64_t> order;
+  for (int64_t r = 0; r < masked->rows; ++r) {
+    const int64_t lo = masked->row_ptr[static_cast<size_t>(r)];
+    const int64_t hi = masked->row_ptr[static_cast<size_t>(r) + 1];
+    const int64_t count = hi - lo;
+    if (count == 0) continue;
+    order.resize(static_cast<size_t>(count));
+    std::iota(order.begin(), order.end(), lo);
+    const int64_t keep_out = std::min(top_k, count);
+    std::partial_sort(order.begin(), order.begin() + keep_out, order.end(),
+                      [&](int64_t a, int64_t b) {
+                        return feature_scores_nnz[static_cast<size_t>(a)] >
+                               feature_scores_nnz[static_cast<size_t>(b)];
+                      });
+    for (int64_t j = 0; j < keep_out; ++j)
+      masked->values[static_cast<size_t>(order[static_cast<size_t>(j)])] = 0.0f;
+  }
+  data::Dataset out = ds;
+  out.features = std::move(masked);
+  return out;
+}
+
+double FidelityPlus(models::NodeClassifier* model, const data::Dataset& ds,
+                    const std::vector<float>& feature_scores_nnz,
+                    int64_t top_k, const std::vector<int64_t>& eval_idx) {
+  const tensor::Tensor original = model->Logits(ds);
+  data::Dataset masked = MaskTopFeatures(ds, feature_scores_nnz, top_k);
+  const tensor::Tensor perturbed = model->Logits(masked);
+  const double acc_orig = models::Accuracy(original, ds.labels, eval_idx);
+  const double acc_masked = models::Accuracy(perturbed, ds.labels, eval_idx);
+  return 100.0 * (acc_orig - acc_masked);
+}
+
+}  // namespace ses::metrics

@@ -1,0 +1,29 @@
+#ifndef SES_METRICS_FIDELITY_H_
+#define SES_METRICS_FIDELITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/node_classifier.h"
+
+namespace ses::metrics {
+
+/// Fidelity+ (Eq. 14, Pope et al.): accuracy drop when the top-`top_k` most
+/// important nonzero features of each node (per `feature_scores_nnz`, CSR
+/// order) are masked out. Positive = the explanation captured features the
+/// model actually relied on. Evaluated on `eval_idx` (typically the test
+/// split); returned in percent.
+double FidelityPlus(models::NodeClassifier* model, const data::Dataset& ds,
+                    const std::vector<float>& feature_scores_nnz,
+                    int64_t top_k, const std::vector<int64_t>& eval_idx);
+
+/// Builds a copy of `ds` whose top-`top_k` scored nonzero features per node
+/// are zeroed (the 1 - m_i complement-mask input of Eq. 14).
+data::Dataset MaskTopFeatures(const data::Dataset& ds,
+                              const std::vector<float>& feature_scores_nnz,
+                              int64_t top_k);
+
+}  // namespace ses::metrics
+
+#endif  // SES_METRICS_FIDELITY_H_

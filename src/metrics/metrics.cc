@@ -1,0 +1,163 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace ses::metrics {
+
+double RocAuc(const std::vector<float>& scores, const std::vector<int>& labels) {
+  SES_CHECK(scores.size() == labels.size());
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+  // Average ranks over ties.
+  std::vector<double> rank(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  int64_t pos = 0, neg = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] == 1) {
+      pos_rank_sum += rank[k];
+      ++pos;
+    } else {
+      ++neg;
+    }
+  }
+  if (pos == 0 || neg == 0) return 0.5;
+  const double u = pos_rank_sum - static_cast<double>(pos) * (pos + 1) / 2.0;
+  return u / (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
+double ExplanationAuc(const data::Dataset& ds,
+                      const std::vector<float>& edge_scores) {
+  const auto& edges = ds.graph.edges();
+  SES_CHECK(edge_scores.size() == edges.size());
+  SES_CHECK(ds.HasGroundTruthExplanations());
+  std::vector<float> scores;
+  std::vector<int> labels;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    auto [u, v] = edges[i];
+    const bool touches_motif = ds.in_motif[static_cast<size_t>(u)] ||
+                               ds.in_motif[static_cast<size_t>(v)];
+    if (!touches_motif) continue;
+    scores.push_back(edge_scores[i]);
+    labels.push_back(ds.IsMotifEdge(u, v) ? 1 : 0);
+  }
+  return RocAuc(scores, labels);
+}
+
+double SilhouetteScore(const tensor::Tensor& embeddings,
+                       const std::vector<int64_t>& labels) {
+  const int64_t n = embeddings.rows();
+  SES_CHECK(static_cast<int64_t>(labels.size()) == n);
+  const int64_t c =
+      1 + *std::max_element(labels.begin(), labels.end());
+  tensor::Tensor d2 = tensor::PairwiseSquaredDistances(embeddings);
+  std::vector<int64_t> cluster_size(static_cast<size_t>(c), 0);
+  for (int64_t i = 0; i < n; ++i) ++cluster_size[static_cast<size_t>(labels[static_cast<size_t>(i)])];
+
+  double total = 0.0;
+  int64_t counted = 0;
+#pragma omp parallel for schedule(static) reduction(+ : total, counted)
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t own = labels[static_cast<size_t>(i)];
+    if (cluster_size[static_cast<size_t>(own)] <= 1) continue;
+    std::vector<double> dist_sum(static_cast<size_t>(c), 0.0);
+    const float* row = d2.RowPtr(i);
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      dist_sum[static_cast<size_t>(labels[static_cast<size_t>(j)])] +=
+          std::sqrt(static_cast<double>(row[j]));
+    }
+    const double a = dist_sum[static_cast<size_t>(own)] /
+                     static_cast<double>(cluster_size[static_cast<size_t>(own)] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (int64_t k = 0; k < c; ++k) {
+      if (k == own || cluster_size[static_cast<size_t>(k)] == 0) continue;
+      b = std::min(b, dist_sum[static_cast<size_t>(k)] /
+                          static_cast<double>(cluster_size[static_cast<size_t>(k)]));
+    }
+    if (!std::isfinite(b)) continue;
+    total += (b - a) / std::max(a, b);
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+double CalinskiHarabaszScore(const tensor::Tensor& embeddings,
+                             const std::vector<int64_t>& labels) {
+  const int64_t n = embeddings.rows();
+  const int64_t f = embeddings.cols();
+  SES_CHECK(static_cast<int64_t>(labels.size()) == n);
+  const int64_t c = 1 + *std::max_element(labels.begin(), labels.end());
+  if (c <= 1 || n <= c) return 0.0;
+
+  tensor::Tensor global_mean = tensor::SumCols(embeddings);
+  global_mean.ScaleInPlace(1.0f / static_cast<float>(n));
+  tensor::Tensor centroid(c, f);
+  std::vector<int64_t> count(static_cast<size_t>(c), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t k = labels[static_cast<size_t>(i)];
+    ++count[static_cast<size_t>(k)];
+    const float* src = embeddings.RowPtr(i);
+    float* dst = centroid.RowPtr(k);
+    for (int64_t j = 0; j < f; ++j) dst[j] += src[j];
+  }
+  for (int64_t k = 0; k < c; ++k) {
+    if (count[static_cast<size_t>(k)] == 0) continue;
+    float* dst = centroid.RowPtr(k);
+    for (int64_t j = 0; j < f; ++j)
+      dst[j] /= static_cast<float>(count[static_cast<size_t>(k)]);
+  }
+  double between = 0.0;
+  for (int64_t k = 0; k < c; ++k) {
+    if (count[static_cast<size_t>(k)] == 0) continue;
+    double d2 = 0.0;
+    const float* ck = centroid.RowPtr(k);
+    for (int64_t j = 0; j < f; ++j) {
+      const double d = ck[j] - global_mean[j];
+      d2 += d * d;
+    }
+    between += static_cast<double>(count[static_cast<size_t>(k)]) * d2;
+  }
+  double within = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* src = embeddings.RowPtr(i);
+    const float* ck = centroid.RowPtr(labels[static_cast<size_t>(i)]);
+    for (int64_t j = 0; j < f; ++j) {
+      const double d = src[j] - ck[j];
+      within += d * d;
+    }
+  }
+  if (within <= 0.0) return 0.0;
+  return (between / static_cast<double>(c - 1)) /
+         (within / static_cast<double>(n - c));
+}
+
+MeanStd Summarize(const std::vector<double>& values) {
+  MeanStd result;
+  if (values.empty()) return result;
+  result.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+                static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double acc = 0.0;
+    for (double v : values) acc += (v - result.mean) * (v - result.mean);
+    result.std = std::sqrt(acc / static_cast<double>(values.size() - 1));
+  }
+  return result;
+}
+
+}  // namespace ses::metrics

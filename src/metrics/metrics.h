@@ -1,0 +1,44 @@
+#ifndef SES_METRICS_METRICS_H_
+#define SES_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace ses::metrics {
+
+/// Area under the ROC curve for binary labels (1 = positive). Ties in the
+/// scores are handled by the rank-sum (Mann-Whitney) formulation.
+double RocAuc(const std::vector<float>& scores, const std::vector<int>& labels);
+
+/// Explanation accuracy used by Table 4: AUC of per-edge importance scores
+/// (aligned with ds.graph.edges()) against the ground-truth motif edges.
+/// Following GNNExplainer's protocol the evaluation is restricted to edges
+/// with at least one endpoint inside a motif, so the score measures whether
+/// the explainer separates motif edges from the incident noise, not from the
+/// whole base graph.
+double ExplanationAuc(const data::Dataset& ds,
+                      const std::vector<float>& edge_scores);
+
+/// Silhouette coefficient of the labeled clustering of `embeddings`
+/// (Euclidean). Higher is better; range [-1, 1].
+double SilhouetteScore(const tensor::Tensor& embeddings,
+                       const std::vector<int64_t>& labels);
+
+/// Calinski-Harabasz index (between-cluster dispersion over within-cluster
+/// dispersion). Higher is better.
+double CalinskiHarabaszScore(const tensor::Tensor& embeddings,
+                             const std::vector<int64_t>& labels);
+
+/// Mean and sample standard deviation of a sequence.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd Summarize(const std::vector<double>& values);
+
+}  // namespace ses::metrics
+
+#endif  // SES_METRICS_METRICS_H_

@@ -1,0 +1,90 @@
+#include "models/asdgn.h"
+
+#include "autograd/ops.h"
+#include "autograd/sparse_ops.h"
+#include "tensor/ops.h"
+#include "models/backbone_models.h"
+#include "nn/optim.h"
+#include "util/logging.h"
+
+namespace ses::models {
+
+namespace ag = ses::autograd;
+namespace t = ses::tensor;
+
+AsdgnModel::Outputs AsdgnModel::Forward(const data::Dataset& ds, bool training,
+                                        util::Rng* rng) {
+  ag::Variable h = ag::Tanh(ag::SparseMaskedLinear(ds.features, {}, input_w_));
+  ag::Variable norm = nn::MakeGcnWeights(edges_);
+  // Antisymmetric weight W - W^T - gamma I, rebuilt each forward so the
+  // constraint holds exactly throughout training.
+  ag::Variable w_anti = ag::Sub(w_, ag::Transpose(w_));
+  w_anti = ag::Sub(w_anti, ag::Variable::Constant(t::Scale(
+                               t::Tensor::Eye(w_.rows()), gamma_)));
+  for (int64_t step = 0; step < num_steps_; ++step) {
+    ag::Variable local = ag::MatMul(h, w_anti);
+    ag::Variable agg = ag::MatMul(ag::SpMM(edges_, norm, h), v_);
+    ag::Variable delta = ag::Tanh(
+        ag::AddRowVector(ag::Add(local, agg), b_));
+    h = ag::Add(h, ag::Scale(delta, epsilon_));
+  }
+  Outputs out;
+  out.hidden = h;
+  h = ag::Dropout(h, config_.dropout, training, rng);
+  out.logits = head_->Forward(h);
+  return out;
+}
+
+void AsdgnModel::Fit(const data::Dataset& ds, const TrainConfig& config) {
+  config_ = config;
+  util::Rng rng(config.seed + 13);
+  input_w_ = ag::Variable::Parameter(
+      t::Tensor::Xavier(ds.num_features(), config.hidden, &rng));
+  w_ = ag::Variable::Parameter(
+      t::Tensor::Xavier(config.hidden, config.hidden, &rng));
+  v_ = ag::Variable::Parameter(
+      t::Tensor::Xavier(config.hidden, config.hidden, &rng));
+  b_ = ag::Variable::Parameter(t::Tensor::Zeros(1, config.hidden));
+  head_ = std::make_unique<nn::Linear>(config.hidden, ds.num_classes, &rng);
+  edges_ = ds.graph.DirectedEdges(/*add_self_loops=*/true);
+
+  params_ = {input_w_, w_, v_, b_};
+  {
+    auto hp = head_->Parameters();
+    params_.insert(params_.end(), hp.begin(), hp.end());
+  }
+  nn::Adam optimizer(params_, config.lr, 0.9f, 0.999f, 1e-8f,
+                     config.weight_decay);
+  std::vector<t::Tensor> best;
+  double best_val = -1.0;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    auto out = Forward(ds, /*training=*/true, &rng);
+    ag::Variable loss = ag::NllLoss(ag::LogSoftmaxRows(out.logits), ds.labels,
+                                    ds.train_idx);
+    ag::Backward(loss);
+    optimizer.Step();
+    if (!ds.val_idx.empty()) {
+      const double val = Accuracy(out.logits.value(), ds.labels, ds.val_idx);
+      if (val > best_val) {
+        best_val = val;
+        best.clear();
+        for (const auto& p : params_) best.push_back(p.value());
+      }
+    }
+  }
+  if (!best.empty())
+    for (size_t i = 0; i < params_.size(); ++i)
+      params_[i].mutable_value() = best[i];
+}
+
+tensor::Tensor AsdgnModel::Logits(const data::Dataset& ds) {
+  util::Rng rng(0);
+  return Forward(ds, /*training=*/false, &rng).logits.value();
+}
+
+tensor::Tensor AsdgnModel::Embeddings(const data::Dataset& ds) {
+  util::Rng rng(0);
+  return Forward(ds, /*training=*/false, &rng).hidden.value();
+}
+
+}  // namespace ses::models

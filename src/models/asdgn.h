@@ -1,0 +1,50 @@
+#ifndef SES_MODELS_ASDGN_H_
+#define SES_MODELS_ASDGN_H_
+
+#include <memory>
+
+#include "models/node_classifier.h"
+#include "nn/linear.h"
+#include "nn/gcn_conv.h"
+
+namespace ses::models {
+
+/// Anti-Symmetric DGN (Gravina et al., ICLR'23): a deep graph network whose
+/// update is the forward-Euler discretization of a stable, non-dissipative
+/// ODE. Each of the L shared-weight steps computes
+///   h <- h + eps * tanh( h (W - W^T - gamma I) + Agg(A, h) V + b )
+/// where the antisymmetric weight keeps the Jacobian's eigenvalues on the
+/// imaginary axis (long-range information is preserved, not smoothed away).
+class AsdgnModel : public NodeClassifier {
+ public:
+  AsdgnModel(int64_t num_steps = 4, float epsilon = 0.1f, float gamma = 0.1f)
+      : num_steps_(num_steps), epsilon_(epsilon), gamma_(gamma) {}
+
+  std::string name() const override { return "ASDGN"; }
+  void Fit(const data::Dataset& ds, const TrainConfig& config) override;
+  tensor::Tensor Logits(const data::Dataset& ds) override;
+  tensor::Tensor Embeddings(const data::Dataset& ds) override;
+
+ private:
+  struct Outputs {
+    autograd::Variable hidden;
+    autograd::Variable logits;
+  };
+  Outputs Forward(const data::Dataset& ds, bool training, util::Rng* rng);
+
+  int64_t num_steps_;
+  float epsilon_;
+  float gamma_;
+  autograd::Variable input_w_;  ///< F x hidden
+  autograd::Variable w_;        ///< hidden x hidden (antisymmetrized on the fly)
+  autograd::Variable v_;        ///< hidden x hidden aggregation weight
+  autograd::Variable b_;        ///< 1 x hidden
+  std::unique_ptr<nn::Linear> head_;
+  autograd::EdgeListPtr edges_;
+  TrainConfig config_;
+  std::vector<autograd::Variable> params_;
+};
+
+}  // namespace ses::models
+
+#endif  // SES_MODELS_ASDGN_H_

@@ -1,0 +1,72 @@
+#include "models/backbone_models.h"
+
+#include "autograd/ops.h"
+#include "nn/optim.h"
+#include "util/logging.h"
+
+namespace ses::models {
+
+namespace ag = ses::autograd;
+
+void ParameterSnapshot::Capture(const nn::Module& module) {
+  values_.clear();
+  for (const auto& p : module.Parameters()) values_.push_back(p.value());
+}
+
+void ParameterSnapshot::Restore(nn::Module* module) const {
+  auto params = module->Parameters();
+  SES_CHECK(params.size() == values_.size());
+  for (size_t i = 0; i < params.size(); ++i)
+    params[i].mutable_value() = values_[i];
+}
+
+void BackboneModel::Fit(const data::Dataset& ds, const TrainConfig& config) {
+  config_ = config;
+  util::Rng rng(config.seed + 1);
+  encoder_ = MakeEncoder(backbone_, ds.num_features(), config.hidden,
+                         ds.num_classes, &rng);
+  edges_ = ds.graph.DirectedEdges(/*add_self_loops=*/true);
+  nn::Adam optimizer(encoder_->Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
+                     config.weight_decay);
+  nn::FeatureInput input = MakeInput(ds);
+
+  ParameterSnapshot best;
+  double best_val = -1.0;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    auto out = encoder_->Forward(input, edges_, {}, config.dropout,
+                                 /*training=*/true, &rng);
+    ag::Variable loss = ag::NllLoss(ag::LogSoftmaxRows(out.logits), ds.labels,
+                                    ds.train_idx);
+    ag::Backward(loss);
+    optimizer.Step();
+    if (config.track_best_val && !ds.val_idx.empty()) {
+      const double val =
+          Accuracy(out.logits.value(), ds.labels, ds.val_idx);
+      if (val > best_val) {
+        best_val = val;
+        best.Capture(*encoder_);
+      }
+    }
+    if (config.verbose && epoch % 20 == 0)
+      SES_LOG_INFO << backbone_ << " epoch " << epoch << " loss "
+                   << loss.value()[0];
+  }
+  if (!best.empty()) best.Restore(encoder_.get());
+}
+
+Encoder::Output BackboneModel::EvalForward(const data::Dataset& ds) {
+  SES_CHECK(encoder_ != nullptr);
+  util::Rng rng(0);
+  return encoder_->Forward(MakeInput(ds), edges_, {}, 0.0f,
+                           /*training=*/false, &rng);
+}
+
+tensor::Tensor BackboneModel::Logits(const data::Dataset& ds) {
+  return EvalForward(ds).logits.value();
+}
+
+tensor::Tensor BackboneModel::Embeddings(const data::Dataset& ds) {
+  return EvalForward(ds).hidden.value();
+}
+
+}  // namespace ses::models

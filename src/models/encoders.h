@@ -1,0 +1,138 @@
+#ifndef SES_MODELS_ENCODERS_H_
+#define SES_MODELS_ENCODERS_H_
+
+#include <memory>
+#include <string>
+
+#include "autograd/sparse_ops.h"
+#include "nn/feature_input.h"
+#include "nn/gat_conv.h"
+#include "nn/gcn_conv.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace ses::models {
+
+/// Two-layer graph encoder (Eq. 2 of the paper): Z = Conv2(σ(Conv1(A, X)), A).
+///
+/// The same encoder instance runs under different message-passing supports —
+/// the plain adjacency, the k-hop adjacency, or a mask-weighted adjacency —
+/// which is what "the parameters of the graph encoder are shared in two
+/// phases" means operationally. `edge_mask`, when defined, multiplies the
+/// per-edge aggregation coefficient (normalized weight for GCN, attention
+/// for GAT), giving the mask generator a gradient path (Eq. 8).
+class Encoder : public nn::Module {
+ public:
+  struct Output {
+    autograd::Variable hidden;  ///< H = activation(Conv1(...)), N x hidden
+    autograd::Variable logits;  ///< Z, N x classes
+  };
+
+  virtual ~Encoder() = default;
+  virtual std::string backbone() const = 0;
+  virtual int64_t hidden_dim() const = 0;
+
+  /// `renormalize_mask` selects how a defined edge_mask enters the
+  /// aggregation: true (inference / enhanced predictive learning) treats the
+  /// masked adjacency as a weighted graph and renormalizes so the
+  /// aggregation scale is mask-invariant; false (explainable training's
+  /// masked pass) couples the absolute mask magnitude to the activations,
+  /// which is the gradient signal that makes the co-trained mask selective.
+  virtual Output Forward(const nn::FeatureInput& x,
+                         const autograd::EdgeListPtr& edges,
+                         const autograd::Variable& edge_mask, float dropout,
+                         bool training, util::Rng* rng,
+                         bool renormalize_mask = true) const = 0;
+
+  /// Mean attention per edge of the last forward (GAT only; empty for GCN).
+  virtual tensor::Tensor LastAttention() const { return {}; }
+};
+
+/// GCN backbone.
+class GcnEncoder : public Encoder {
+ public:
+  GcnEncoder(int64_t in, int64_t hidden, int64_t out, util::Rng* rng);
+  std::string backbone() const override { return "GCN"; }
+  int64_t hidden_dim() const override { return hidden_; }
+  Output Forward(const nn::FeatureInput& x, const autograd::EdgeListPtr& edges,
+                 const autograd::Variable& edge_mask, float dropout,
+                 bool training, util::Rng* rng,
+                 bool renormalize_mask = true) const override;
+
+ private:
+  int64_t hidden_;
+  nn::GcnConv conv1_;
+  nn::GcnConv conv2_;
+};
+
+/// GAT backbone (multi-head first layer, single-head output layer).
+class GatEncoder : public Encoder {
+ public:
+  GatEncoder(int64_t in, int64_t hidden, int64_t out, int64_t heads,
+             util::Rng* rng);
+  std::string backbone() const override { return "GAT"; }
+  int64_t hidden_dim() const override { return hidden_; }
+  Output Forward(const nn::FeatureInput& x, const autograd::EdgeListPtr& edges,
+                 const autograd::Variable& edge_mask, float dropout,
+                 bool training, util::Rng* rng,
+                 bool renormalize_mask = true) const override;
+  tensor::Tensor LastAttention() const override {
+    return conv1_.last_attention();
+  }
+
+ private:
+  int64_t hidden_;
+  nn::GatConv conv1_;
+  nn::GatConv conv2_;
+};
+
+/// GIN backbone (Xu et al.): h' = MLP((1 + eps) h_v + sum_u h_u). The paper
+/// names GIN among the interchangeable backbones; exposing it here lets SES
+/// run over a sum-aggregation encoder unchanged.
+class GinEncoder : public Encoder {
+ public:
+  GinEncoder(int64_t in, int64_t hidden, int64_t out, util::Rng* rng);
+  std::string backbone() const override { return "GIN"; }
+  int64_t hidden_dim() const override { return hidden_; }
+  Output Forward(const nn::FeatureInput& x, const autograd::EdgeListPtr& edges,
+                 const autograd::Variable& edge_mask, float dropout,
+                 bool training, util::Rng* rng,
+                 bool renormalize_mask = true) const override;
+
+ private:
+  int64_t hidden_;
+  autograd::Variable w1_;   ///< in x hidden (pre-aggregation projection)
+  nn::Mlp mlp1_;            ///< hidden -> hidden
+  nn::Mlp mlp2_;            ///< hidden -> out
+  autograd::Variable eps1_; ///< 1 x 1 learnable self-weight
+  autograd::Variable eps2_;
+};
+
+/// GraphSAGE backbone (Hamilton et al.), mean aggregator:
+/// h' = W_self h_v + W_nbr mean_u h_u.
+class SageEncoder : public Encoder {
+ public:
+  SageEncoder(int64_t in, int64_t hidden, int64_t out, util::Rng* rng);
+  std::string backbone() const override { return "SAGE"; }
+  int64_t hidden_dim() const override { return hidden_; }
+  Output Forward(const nn::FeatureInput& x, const autograd::EdgeListPtr& edges,
+                 const autograd::Variable& edge_mask, float dropout,
+                 bool training, util::Rng* rng,
+                 bool renormalize_mask = true) const override;
+
+ private:
+  int64_t hidden_;
+  autograd::Variable w_self1_, w_nbr1_;  ///< in x hidden
+  autograd::Variable w_self2_, w_nbr2_;  ///< hidden x out
+  autograd::Variable b1_, b2_;
+};
+
+/// Factory: backbone is "GCN", "GAT", "GIN" or "SAGE".
+std::unique_ptr<Encoder> MakeEncoder(const std::string& backbone, int64_t in,
+                                     int64_t hidden, int64_t out,
+                                     util::Rng* rng);
+
+}  // namespace ses::models
+
+#endif  // SES_MODELS_ENCODERS_H_

@@ -1,0 +1,23 @@
+#include "models/node_classifier.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace ses::models {
+
+double Accuracy(const tensor::Tensor& logits, const std::vector<int64_t>& labels,
+                const std::vector<int64_t>& idx) {
+  if (idx.empty()) return 0.0;
+  auto pred = tensor::ArgmaxRows(logits);
+  int64_t correct = 0;
+  for (int64_t i : idx)
+    if (pred[static_cast<size_t>(i)] == labels[static_cast<size_t>(i)]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(idx.size());
+}
+
+nn::FeatureInput MakeInput(const data::Dataset& ds) {
+  SES_CHECK(ds.features != nullptr);
+  return nn::FeatureInput::Sparse(ds.features);
+}
+
+}  // namespace ses::models

@@ -1,0 +1,53 @@
+#ifndef SES_MODELS_NODE_CLASSIFIER_H_
+#define SES_MODELS_NODE_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/feature_input.h"
+#include "tensor/tensor.h"
+
+namespace ses::models {
+
+/// Hyperparameters shared by every trainable model. Defaults follow §5.3 of
+/// the paper (Adam, lr 0.003, hidden 128).
+struct TrainConfig {
+  int64_t epochs = 200;
+  float lr = 0.003f;
+  int64_t hidden = 128;
+  float dropout = 0.5f;
+  float weight_decay = 5e-4f;
+  uint64_t seed = 0;
+  bool verbose = false;
+  /// Keep the parameters of the best validation epoch (standard protocol).
+  bool track_best_val = true;
+};
+
+/// Uniform interface over every prediction baseline and SES, so the Table 3
+/// harness can sweep models x datasets x seeds generically.
+class NodeClassifier {
+ public:
+  virtual ~NodeClassifier() = default;
+  virtual std::string name() const = 0;
+
+  /// Trains on ds.train_idx (model-specific).
+  virtual void Fit(const data::Dataset& ds, const TrainConfig& config) = 0;
+
+  /// Class scores for every node, evaluation mode. N x C.
+  virtual tensor::Tensor Logits(const data::Dataset& ds) = 0;
+
+  /// Hidden representations for visualization / clustering metrics. N x H.
+  virtual tensor::Tensor Embeddings(const data::Dataset& ds) = 0;
+};
+
+/// Fraction of nodes in `idx` whose argmax logit equals the label.
+double Accuracy(const tensor::Tensor& logits, const std::vector<int64_t>& labels,
+                const std::vector<int64_t>& idx);
+
+/// Wraps the dataset's CSR features for the conv layers.
+nn::FeatureInput MakeInput(const data::Dataset& ds);
+
+}  // namespace ses::models
+
+#endif  // SES_MODELS_NODE_CLASSIFIER_H_

@@ -1,0 +1,132 @@
+#include "models/protgnn.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "autograd/ops.h"
+#include "models/backbone_models.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace ses::models {
+
+namespace ag = ses::autograd;
+namespace t = ses::tensor;
+
+ProtGnnModel::Outputs ProtGnnModel::Forward(const data::Dataset& ds,
+                                            bool training, util::Rng* rng,
+                                            ag::Variable* similarities) {
+  auto enc = encoder_->Forward(MakeInput(ds), edges_, {}, config_.dropout,
+                               training, rng);
+  const int64_t num_protos = prototypes_.rows();
+  // Squared distance of every node embedding to every prototype, then the
+  // ProtGNN similarity log((d2 + 1) / (d2 + eps)).
+  ag::Variable sims;
+  for (int64_t p = 0; p < num_protos; ++p) {
+    ag::Variable proto_row = ag::SliceRows(prototypes_, p, p + 1);
+    ag::Variable diff = ag::SubRowVector(enc.hidden, proto_row);
+    ag::Variable d2 = ag::SumRows(ag::Mul(diff, diff));  // N x 1
+    ag::Variable sim = ag::Sub(ag::Log(ag::AddScalar(d2, 1.0f)),
+                               ag::Log(ag::AddScalar(d2, 1e-4f)));
+    sims = p == 0 ? sim : ag::ConcatCols(sims, sim);
+  }
+  if (similarities) *similarities = sims;
+  Outputs out;
+  out.hidden = enc.hidden;
+  out.logits = ag::MatMul(sims, ag::Variable::Constant(readout_));
+  return out;
+}
+
+void ProtGnnModel::Fit(const data::Dataset& ds, const TrainConfig& config) {
+  config_ = config;
+  util::Rng rng(config.seed + 19);
+  encoder_ = MakeEncoder(backbone_, ds.num_features(), config.hidden,
+                         ds.num_classes, &rng);
+  edges_ = ds.graph.DirectedEdges(/*add_self_loops=*/true);
+  const int64_t num_protos = ds.num_classes * protos_per_class_;
+  prototypes_ = ag::Variable::Parameter(
+      t::Tensor::Randn(num_protos, config.hidden, &rng));
+  // Fixed class-linked readout: own-class prototypes contribute +1,
+  // other-class prototypes -0.5 (the ProtGNN layout).
+  readout_ = t::Tensor(num_protos, ds.num_classes);
+  for (int64_t p = 0; p < num_protos; ++p)
+    for (int64_t c = 0; c < ds.num_classes; ++c)
+      readout_.At(p, c) = (p / protos_per_class_ == c) ? 1.0f : -0.5f;
+
+  std::vector<ag::Variable> params = encoder_->Parameters();
+  params.push_back(prototypes_);
+  nn::Adam optimizer(params, config.lr, 0.9f, 0.999f, 1e-8f,
+                     config.weight_decay);
+  std::vector<t::Tensor> best;
+  double best_val = -1.0;
+  const float lambda_cluster = 0.1f;
+  const float lambda_separation = 0.05f;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    ag::Variable sims;
+    auto out = Forward(ds, /*training=*/true, &rng, &sims);
+    ag::Variable loss = ag::NllLoss(ag::LogSoftmaxRows(out.logits), ds.labels,
+                                    ds.train_idx);
+    // Cluster / separation costs over training nodes. The nearest prototype
+    // is selected from current values (min has a selection gradient), using
+    // sims as a proxy for closeness (monotone decreasing in d2).
+    {
+      const t::Tensor& s = sims.value();
+      t::Tensor cluster_mask(s.rows(), s.cols());
+      t::Tensor separation_mask(s.rows(), s.cols());
+      for (int64_t i : ds.train_idx) {
+        const int64_t label = ds.labels[static_cast<size_t>(i)];
+        int64_t best_own = -1, best_other = -1;
+        for (int64_t p = 0; p < s.cols(); ++p) {
+          const bool own = (p / protos_per_class_) == label;
+          if (own) {
+            if (best_own < 0 || s.At(i, p) > s.At(i, best_own)) best_own = p;
+          } else {
+            if (best_other < 0 || s.At(i, p) > s.At(i, best_other))
+              best_other = p;
+          }
+        }
+        cluster_mask.At(i, best_own) = 1.0f;
+        separation_mask.At(i, best_other) = 1.0f;
+      }
+      const float inv = 1.0f / static_cast<float>(ds.train_idx.size());
+      // Maximize similarity to nearest own-class prototype, minimize it to
+      // the nearest other-class one.
+      ag::Variable cluster = ag::Scale(
+          ag::SumAll(ag::Mul(sims, ag::Variable::Constant(cluster_mask))),
+          -lambda_cluster * inv);
+      ag::Variable separation = ag::Scale(
+          ag::SumAll(ag::Mul(sims, ag::Variable::Constant(separation_mask))),
+          lambda_separation * inv);
+      loss = ag::Add(loss, ag::Add(cluster, separation));
+    }
+    ag::Backward(loss);
+    optimizer.Step();
+    if (!ds.val_idx.empty()) {
+      const double val = Accuracy(out.logits.value(), ds.labels, ds.val_idx);
+      if (val > best_val) {
+        best_val = val;
+        best.clear();
+        for (const auto& p : params) best.push_back(p.value());
+      }
+    }
+  }
+  if (!best.empty()) {
+    auto params_now = encoder_->Parameters();
+    params_now.push_back(prototypes_);
+    for (size_t i = 0; i < params_now.size(); ++i)
+      params_now[i].mutable_value() = best[i];
+  }
+}
+
+tensor::Tensor ProtGnnModel::Logits(const data::Dataset& ds) {
+  util::Rng rng(0);
+  return Forward(ds, /*training=*/false, &rng, nullptr).logits.value();
+}
+
+tensor::Tensor ProtGnnModel::Embeddings(const data::Dataset& ds) {
+  util::Rng rng(0);
+  return Forward(ds, /*training=*/false, &rng, nullptr).hidden.value();
+}
+
+}  // namespace ses::models

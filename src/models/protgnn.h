@@ -1,0 +1,55 @@
+#ifndef SES_MODELS_PROTGNN_H_
+#define SES_MODELS_PROTGNN_H_
+
+#include <memory>
+
+#include "models/encoders.h"
+#include "models/node_classifier.h"
+
+namespace ses::models {
+
+/// ProtGNN (Zhang et al., AAAI'22): a GNN backbone followed by a prototype
+/// layer. Each class owns `protos_per_class` learnable prototypes in
+/// embedding space; a node's similarity to prototype p is
+///   sim(z, p) = log((||z-p||^2 + 1) / (||z-p||^2 + eps)),
+/// and classification is a (fixed, class-linked) linear readout of the
+/// similarities. Training minimizes cross-entropy plus a cluster cost
+/// (pull each node to its nearest own-class prototype) and a separation
+/// cost (push it from the nearest other-class prototype) — the case-based
+/// reasoning the paper describes. Explanations are the nearest prototypes;
+/// the node prototypes at cluster boundaries are exactly the failure mode
+/// the SES paper cites for ProtGNN's weaker node-classification accuracy.
+class ProtGnnModel : public NodeClassifier {
+ public:
+  explicit ProtGnnModel(std::string backbone = "GCN",
+                        int64_t protos_per_class = 3)
+      : backbone_(std::move(backbone)), protos_per_class_(protos_per_class) {}
+
+  std::string name() const override { return "ProtGNN"; }
+  void Fit(const data::Dataset& ds, const TrainConfig& config) override;
+  tensor::Tensor Logits(const data::Dataset& ds) override;
+  tensor::Tensor Embeddings(const data::Dataset& ds) override;
+
+  /// Prototype vectors (P x hidden), row-major by class.
+  tensor::Tensor Prototypes() const { return prototypes_.value(); }
+
+ private:
+  struct Outputs {
+    autograd::Variable hidden;
+    autograd::Variable logits;
+  };
+  Outputs Forward(const data::Dataset& ds, bool training, util::Rng* rng,
+                  autograd::Variable* similarities);
+
+  std::string backbone_;
+  int64_t protos_per_class_;
+  std::unique_ptr<Encoder> encoder_;
+  autograd::Variable prototypes_;  ///< (C * protos_per_class) x hidden
+  tensor::Tensor readout_;         ///< fixed P x C class-linked weights
+  autograd::EdgeListPtr edges_;
+  TrainConfig config_;
+};
+
+}  // namespace ses::models
+
+#endif  // SES_MODELS_PROTGNN_H_

@@ -1,0 +1,99 @@
+#include "models/unimp.h"
+
+#include "autograd/ops.h"
+#include "autograd/sparse_ops.h"
+#include "models/backbone_models.h"
+#include "nn/optim.h"
+#include "util/logging.h"
+
+namespace ses::models {
+
+namespace ag = ses::autograd;
+namespace t = ses::tensor;
+
+Encoder::Output UniMpModel::Forward(const data::Dataset& ds,
+                                    const std::vector<int64_t>& visible_labels,
+                                    bool training, util::Rng* rng) {
+  // h0 = X W_x + onehot(visible labels) W_l
+  ag::Variable h0 = ag::SparseMaskedLinear(ds.features, {}, input_w_);
+  t::Tensor onehot(ds.num_nodes(), ds.num_classes);
+  for (int64_t i : visible_labels)
+    onehot.At(i, ds.labels[static_cast<size_t>(i)]) = 1.0f;
+  ag::Variable labels_in = ag::Variable::Constant(std::move(onehot));
+  h0 = ag::Add(h0, label_embed_->Forward(labels_in));
+  return encoder_->Forward(nn::FeatureInput::Dense(h0), edges_, {},
+                           config_.dropout, training, rng);
+}
+
+void UniMpModel::Fit(const data::Dataset& ds, const TrainConfig& config) {
+  config_ = config;
+  util::Rng rng(config.seed + 11);
+  int64_t heads = 4;
+  while (config.hidden % heads != 0) heads /= 2;
+  input_w_ = ag::Variable::Parameter(
+      t::Tensor::Xavier(ds.num_features(), config.hidden, &rng));
+  label_embed_ = std::make_unique<nn::Linear>(ds.num_classes, config.hidden,
+                                              &rng, /*bias=*/false);
+  encoder_ = std::make_unique<GatEncoder>(config.hidden, config.hidden,
+                                          ds.num_classes, heads, &rng);
+  edges_ = ds.graph.DirectedEdges(/*add_self_loops=*/true);
+
+  std::vector<ag::Variable> params = encoder_->Parameters();
+  params.push_back(input_w_);
+  {
+    auto lp = label_embed_->Parameters();
+    params.insert(params.end(), lp.begin(), lp.end());
+  }
+  nn::Adam optimizer(params, config.lr, 0.9f, 0.999f, 1e-8f,
+                     config.weight_decay);
+  ParameterSnapshot best_enc;
+  t::Tensor best_w;
+  std::vector<t::Tensor> best_lbl;
+  double best_val = -1.0;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Randomly hide half the training labels; predict the hidden ones too.
+    std::vector<int64_t> visible;
+    std::vector<int64_t> supervise;
+    for (int64_t i : ds.train_idx) {
+      if (rng.Bernoulli(1.0 - label_mask_rate_)) visible.push_back(i);
+      else supervise.push_back(i);
+    }
+    if (supervise.empty()) supervise = ds.train_idx;
+    auto out = Forward(ds, visible, /*training=*/true, &rng);
+    ag::Variable loss = ag::NllLoss(ag::LogSoftmaxRows(out.logits), ds.labels,
+                                    supervise);
+    ag::Backward(loss);
+    optimizer.Step();
+    if (!ds.val_idx.empty()) {
+      auto val_out = Forward(ds, ds.train_idx, /*training=*/false, &rng);
+      const double val = Accuracy(val_out.logits.value(), ds.labels, ds.val_idx);
+      if (val > best_val) {
+        best_val = val;
+        best_enc.Capture(*encoder_);
+        best_w = input_w_.value();
+        best_lbl.clear();
+        for (const auto& p : label_embed_->Parameters())
+          best_lbl.push_back(p.value());
+      }
+    }
+  }
+  if (!best_enc.empty()) {
+    best_enc.Restore(encoder_.get());
+    input_w_.mutable_value() = best_w;
+    auto lp = label_embed_->Parameters();
+    for (size_t i = 0; i < lp.size(); ++i) lp[i].mutable_value() = best_lbl[i];
+  }
+}
+
+tensor::Tensor UniMpModel::Logits(const data::Dataset& ds) {
+  util::Rng rng(0);
+  // At inference every training label is visible (the UniMP protocol).
+  return Forward(ds, ds.train_idx, /*training=*/false, &rng).logits.value();
+}
+
+tensor::Tensor UniMpModel::Embeddings(const data::Dataset& ds) {
+  util::Rng rng(0);
+  return Forward(ds, ds.train_idx, /*training=*/false, &rng).hidden.value();
+}
+
+}  // namespace ses::models

@@ -1,0 +1,43 @@
+#ifndef SES_MODELS_UNIMP_H_
+#define SES_MODELS_UNIMP_H_
+
+#include <memory>
+
+#include "models/encoders.h"
+#include "models/node_classifier.h"
+#include "nn/linear.h"
+
+namespace ses::models {
+
+/// UniMP (Shi et al., IJCAI'21): unified message passing that propagates
+/// both features and (partially masked) training labels. The node input is
+/// X W_x + L W_l where L holds one-hot labels of a random 1-p_mask subset of
+/// the training nodes each epoch (masked label prediction); message passing
+/// is attention-based (graph-transformer style, realized with the GAT
+/// layers).
+class UniMpModel : public NodeClassifier {
+ public:
+  UniMpModel() = default;
+
+  std::string name() const override { return "UniMP"; }
+  void Fit(const data::Dataset& ds, const TrainConfig& config) override;
+  tensor::Tensor Logits(const data::Dataset& ds) override;
+  tensor::Tensor Embeddings(const data::Dataset& ds) override;
+
+ private:
+  /// Forward with a given set of label-visible nodes.
+  Encoder::Output Forward(const data::Dataset& ds,
+                          const std::vector<int64_t>& visible_labels,
+                          bool training, util::Rng* rng);
+
+  std::unique_ptr<nn::Linear> label_embed_;  ///< C -> hidden
+  autograd::Variable input_w_;               ///< F -> hidden
+  std::unique_ptr<GatEncoder> encoder_;      ///< over hidden inputs
+  autograd::EdgeListPtr edges_;
+  TrainConfig config_;
+  float label_mask_rate_ = 0.5f;
+};
+
+}  // namespace ses::models
+
+#endif  // SES_MODELS_UNIMP_H_

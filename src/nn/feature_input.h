@@ -1,0 +1,56 @@
+#ifndef SES_NN_FEATURE_INPUT_H_
+#define SES_NN_FEATURE_INPUT_H_
+
+#include <memory>
+
+#include "autograd/ops.h"
+#include "autograd/sparse_ops.h"
+#include "tensor/sparse.h"
+
+namespace ses::nn {
+
+/// Node-feature input to a graph convolution: either a dense Variable or a
+/// sparse CSR matrix with an optional differentiable per-nonzero mask (the
+/// masked features M_f ⊙ X of SES, kept sparse end-to-end).
+class FeatureInput {
+ public:
+  FeatureInput() = default;
+
+  static FeatureInput Dense(autograd::Variable x) {
+    FeatureInput f;
+    f.dense_ = std::move(x);
+    return f;
+  }
+
+  static FeatureInput Sparse(std::shared_ptr<const tensor::SparseMatrix> x,
+                             autograd::Variable nnz_mask = {}) {
+    FeatureInput f;
+    f.sparse_ = std::move(x);
+    f.nnz_mask_ = std::move(nnz_mask);
+    return f;
+  }
+
+  bool is_sparse() const { return sparse_ != nullptr; }
+  int64_t rows() const { return is_sparse() ? sparse_->rows : dense_.rows(); }
+  int64_t cols() const { return is_sparse() ? sparse_->cols : dense_.cols(); }
+  const autograd::Variable& dense() const { return dense_; }
+  const std::shared_ptr<const tensor::SparseMatrix>& sparse() const {
+    return sparse_;
+  }
+  const autograd::Variable& nnz_mask() const { return nnz_mask_; }
+
+  /// x * W, via the sparse fused kernel when sparse.
+  autograd::Variable Project(const autograd::Variable& w) const {
+    if (is_sparse()) return autograd::SparseMaskedLinear(sparse_, nnz_mask_, w);
+    return autograd::MatMul(dense_, w);
+  }
+
+ private:
+  autograd::Variable dense_;
+  std::shared_ptr<const tensor::SparseMatrix> sparse_;
+  autograd::Variable nnz_mask_;
+};
+
+}  // namespace ses::nn
+
+#endif  // SES_NN_FEATURE_INPUT_H_

@@ -1,0 +1,65 @@
+#include "nn/gat_conv.h"
+
+#include "autograd/ops.h"
+
+#include "util/logging.h"
+
+namespace ses::nn {
+
+namespace ag = ses::autograd;
+namespace t = ses::tensor;
+
+GatConv::GatConv(int64_t in_features, int64_t out_per_head, int64_t heads,
+                 util::Rng* rng, float leaky_slope)
+    : leaky_slope_(leaky_slope) {
+  SES_CHECK(heads >= 1);
+  for (int64_t h = 0; h < heads; ++h) {
+    w_.push_back(RegisterParameter(
+        t::Tensor::Xavier(in_features, out_per_head, rng)));
+    a_src_.push_back(RegisterParameter(
+        t::Tensor::Xavier(out_per_head, 1, rng)));
+    a_dst_.push_back(RegisterParameter(
+        t::Tensor::Xavier(out_per_head, 1, rng)));
+  }
+  bias_ = RegisterParameter(t::Tensor::Zeros(1, heads * out_per_head));
+}
+
+ag::Variable GatConv::Forward(const FeatureInput& x,
+                              const ag::EdgeListPtr& edges,
+                              const ag::Variable& edge_mask,
+                              bool renormalize) const {
+  const int64_t e_count = edges->size();
+  last_attention_ = t::Tensor(e_count, 1);
+  ag::Variable out;
+  for (size_t h = 0; h < w_.size(); ++h) {
+    ag::Variable wh = x.Project(w_[h]);           // N x out
+    ag::Variable s_src = ag::MatMul(wh, a_src_[h]);  // N x 1
+    ag::Variable s_dst = ag::MatMul(wh, a_dst_[h]);  // N x 1
+    ag::Variable scores = ag::Add(ag::GatherRows(s_src, edges->src),
+                                  ag::GatherRows(s_dst, edges->dst));
+    scores = ag::LeakyRelu(scores, leaky_slope_);
+    ag::Variable alpha = ag::EdgeSoftmax(edges, scores);
+    if (edge_mask.defined()) {
+      alpha = ag::Mul(alpha, edge_mask);
+      if (renormalize) {
+        // Renormalize per destination so coefficients stay a convex
+        // combination — a sparse mask reweights messages instead of
+        // shrinking the aggregation toward zero.
+        ag::Variable ones = ag::Variable::Constant(
+            t::Tensor::Ones(edges->num_nodes, 1));
+        ag::Variable sums = ag::SpMM(edges, alpha, ones);
+        alpha = ag::Mul(
+            alpha, ag::GatherRows(ag::Pow(ag::AddScalar(sums, 1e-9f), -1.0f),
+                                  edges->dst));
+      }
+    }
+    last_attention_.AddInPlace(alpha.value());
+    ag::Variable head_out = ag::SpMM(edges, alpha, wh);
+    out = (h == 0) ? head_out : ag::ConcatCols(out, head_out);
+  }
+  last_attention_.ScaleInPlace(1.0f / static_cast<float>(w_.size()));
+  out = ag::AddRowVector(out, bias_);
+  return out;
+}
+
+}  // namespace ses::nn

@@ -1,0 +1,51 @@
+#ifndef SES_NN_GAT_CONV_H_
+#define SES_NN_GAT_CONV_H_
+
+#include <vector>
+
+#include "autograd/sparse_ops.h"
+#include "nn/feature_input.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace ses::nn {
+
+/// Graph attention layer (Velickovic et al.), multi-head with concatenation:
+///   e_uv = LeakyReLU(a_src . W h_u + a_dst . W h_v)
+///   α = softmax over incoming edges of v; out_v = Σ_u α_uv (W h_u)
+///
+/// An optional per-edge multiplier (`edge_mask`) scales the attention
+/// coefficients after normalization — this is how SES applies M̂_s ⊙ A on a
+/// GAT backbone. The per-edge attention values of the last Forward call are
+/// cached for the ATT explanation baseline.
+class GatConv : public Module {
+ public:
+  GatConv(int64_t in_features, int64_t out_per_head, int64_t heads,
+          util::Rng* rng, float leaky_slope = 0.2f);
+
+  /// `edges` must include self-loops. Output is N x (heads * out_per_head).
+  /// When `renormalize` is set, masked attention is re-normalized per
+  /// destination (convex combination preserved); otherwise the mask scales
+  /// the aggregation directly.
+  autograd::Variable Forward(const FeatureInput& x,
+                             const autograd::EdgeListPtr& edges,
+                             const autograd::Variable& edge_mask = {},
+                             bool renormalize = true) const;
+
+  /// Mean attention over heads for each edge of the last Forward (E x 1).
+  const tensor::Tensor& last_attention() const { return last_attention_; }
+
+  int64_t heads() const { return static_cast<int64_t>(w_.size()); }
+
+ private:
+  std::vector<autograd::Variable> w_;      ///< per-head in x out
+  std::vector<autograd::Variable> a_src_;  ///< per-head out x 1
+  std::vector<autograd::Variable> a_dst_;  ///< per-head out x 1
+  autograd::Variable bias_;                ///< 1 x heads*out
+  float leaky_slope_;
+  mutable tensor::Tensor last_attention_;
+};
+
+}  // namespace ses::nn
+
+#endif  // SES_NN_GAT_CONV_H_

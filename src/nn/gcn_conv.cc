@@ -1,0 +1,34 @@
+#include "nn/gcn_conv.h"
+
+#include "graph/graph.h"
+#include "util/logging.h"
+
+namespace ses::nn {
+
+namespace ag = ses::autograd;
+namespace t = ses::tensor;
+
+GcnConv::GcnConv(int64_t in_features, int64_t out_features, util::Rng* rng,
+                 bool bias) {
+  weight_ = RegisterParameter(t::Tensor::Xavier(in_features, out_features, rng));
+  if (bias) bias_ = RegisterParameter(t::Tensor::Zeros(1, out_features));
+}
+
+ag::Variable GcnConv::Forward(const FeatureInput& x,
+                              const ag::EdgeListPtr& edges,
+                              const ag::Variable& edge_weight) const {
+  ag::Variable h = x.Project(weight_);
+  ag::Variable out = ag::SpMM(edges, edge_weight, h);
+  if (bias_.defined()) out = ag::AddRowVector(out, bias_);
+  return out;
+}
+
+ag::Variable MakeGcnWeights(const ag::EdgeListPtr& edges) {
+  auto weights = graph::Graph::GcnNormWeights(*edges);
+  t::Tensor w(static_cast<int64_t>(weights.size()), 1);
+  for (size_t i = 0; i < weights.size(); ++i)
+    w[static_cast<int64_t>(i)] = weights[i];
+  return ag::Variable::Constant(std::move(w));
+}
+
+}  // namespace ses::nn

@@ -1,0 +1,40 @@
+#ifndef SES_NN_GCN_CONV_H_
+#define SES_NN_GCN_CONV_H_
+
+#include "autograd/sparse_ops.h"
+#include "nn/feature_input.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace ses::nn {
+
+/// Graph convolution layer (Kipf & Welling):
+///   out = Â (x W) + b,  Â given per call as (edges, edge_weight).
+///
+/// The caller supplies the message-passing support explicitly so the same
+/// layer instance can run over A, A^(k), or a masked adjacency M̂_s ⊙ A —
+/// exactly the parameter sharing the SES paper requires between its two
+/// training phases (the "shared graph encoder").
+class GcnConv : public Module {
+ public:
+  GcnConv(int64_t in_features, int64_t out_features, util::Rng* rng,
+          bool bias = true);
+
+  /// `edge_weight` is an E x 1 Variable over `edges` (normalization and/or
+  /// mask already folded in by the caller; see MakeGcnWeights).
+  autograd::Variable Forward(const FeatureInput& x,
+                             const autograd::EdgeListPtr& edges,
+                             const autograd::Variable& edge_weight) const;
+
+ private:
+  autograd::Variable weight_;
+  autograd::Variable bias_;
+};
+
+/// Constant symmetric-normalization weights for `edges` (degree over the
+/// edge list itself, so include self-loops in `edges` first).
+autograd::Variable MakeGcnWeights(const autograd::EdgeListPtr& edges);
+
+}  // namespace ses::nn
+
+#endif  // SES_NN_GCN_CONV_H_

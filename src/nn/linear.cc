@@ -1,0 +1,46 @@
+#include "nn/linear.h"
+
+#include "util/logging.h"
+
+namespace ses::nn {
+
+namespace ag = ses::autograd;
+namespace t = ses::tensor;
+
+Linear::Linear(int64_t in_features, int64_t out_features, util::Rng* rng,
+               bool bias) {
+  weight_ = RegisterParameter(t::Tensor::Xavier(in_features, out_features, rng));
+  if (bias) bias_ = RegisterParameter(t::Tensor::Zeros(1, out_features));
+}
+
+ag::Variable Linear::Forward(const ag::Variable& x) const {
+  ag::Variable y = ag::MatMul(x, weight_);
+  if (bias_.defined()) y = ag::AddRowVector(y, bias_);
+  return y;
+}
+
+Mlp::Mlp(const std::vector<int64_t>& dims, util::Rng* rng,
+         OutputActivation output_activation)
+    : output_activation_(output_activation) {
+  SES_CHECK(dims.size() >= 2);
+  layers_.reserve(dims.size() - 1);
+  for (size_t i = 0; i + 1 < dims.size(); ++i)
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  for (auto& layer : layers_) RegisterModule(&layer);
+}
+
+ag::Variable Mlp::Forward(const ag::Variable& x) const {
+  ag::Variable h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = ag::Relu(h);
+  }
+  switch (output_activation_) {
+    case OutputActivation::kNone: break;
+    case OutputActivation::kSigmoid: h = ag::Sigmoid(h); break;
+    case OutputActivation::kRelu: h = ag::Relu(h); break;
+  }
+  return h;
+}
+
+}  // namespace ses::nn

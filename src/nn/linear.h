@@ -1,0 +1,50 @@
+#ifndef SES_NN_LINEAR_H_
+#define SES_NN_LINEAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace ses::nn {
+
+/// Dense affine layer y = xW + b with Xavier-initialized W.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, util::Rng* rng,
+         bool bias = true);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  const autograd::Variable& weight() const { return weight_; }
+  const autograd::Variable& bias() const { return bias_; }
+  bool has_bias() const { return bias_.defined(); }
+
+ private:
+  autograd::Variable weight_;  ///< in x out
+  autograd::Variable bias_;    ///< 1 x out (undefined when bias = false)
+};
+
+/// Multi-layer perceptron with ReLU between layers and a configurable output
+/// activation. `dims` = {in, hidden..., out}.
+class Mlp : public Module {
+ public:
+  enum class OutputActivation { kNone, kSigmoid, kRelu };
+
+  Mlp(const std::vector<int64_t>& dims, util::Rng* rng,
+      OutputActivation output_activation = OutputActivation::kNone);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  const std::vector<Linear>& layers() const { return layers_; }
+
+ private:
+  std::vector<Linear> layers_;
+  OutputActivation output_activation_;
+};
+
+}  // namespace ses::nn
+
+#endif  // SES_NN_LINEAR_H_

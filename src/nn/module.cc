@@ -1,0 +1,84 @@
+#include "nn/module.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace ses::nn {
+
+std::vector<autograd::Variable> Module::Parameters() const {
+  std::vector<autograd::Variable> all = params_;
+  for (const Module* child : children_) {
+    auto sub = child->Parameters();
+    all.insert(all.end(), sub.begin(), sub.end());
+  }
+  return all;
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : Parameters()) p.ZeroGrad();
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& p : Parameters()) total += p.value().size();
+  return total;
+}
+
+void Module::CopyParametersFrom(const Module& other) {
+  auto dst = Parameters();
+  auto src = other.Parameters();
+  SES_CHECK(dst.size() == src.size());
+  for (size_t i = 0; i < dst.size(); ++i) {
+    SES_CHECK(dst[i].value().SameShape(src[i].value()));
+    dst[i].mutable_value() = src[i].value();
+  }
+}
+
+autograd::Variable Module::RegisterParameter(tensor::Tensor value) {
+  auto v = autograd::Variable::Parameter(std::move(value));
+  params_.push_back(v);
+  return v;
+}
+
+void Module::AdoptParameter(const autograd::Variable& param) {
+  SES_CHECK(param.requires_grad());
+  params_.push_back(param);
+}
+
+void Module::SaveParameters(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  SES_CHECK(out.good());
+  const auto params = Parameters();
+  const uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    const int64_t rows = p.value().rows(), cols = p.value().cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p.value().data()),
+              static_cast<std::streamsize>(sizeof(float) * p.value().size()));
+  }
+}
+
+void Module::LoadParameters(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SES_CHECK(in.good());
+  auto params = Parameters();
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  SES_CHECK(count == params.size());
+  for (auto& p : params) {
+    int64_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    SES_CHECK(rows == p.value().rows() && cols == p.value().cols());
+    in.read(reinterpret_cast<char*>(p.mutable_value().data()),
+            static_cast<std::streamsize>(sizeof(float) * p.value().size()));
+    SES_CHECK(in.good());
+  }
+}
+
+void Module::RegisterModule(Module* child) { children_.push_back(child); }
+
+}  // namespace ses::nn

@@ -1,0 +1,57 @@
+#ifndef SES_NN_MODULE_H_
+#define SES_NN_MODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace ses::nn {
+
+/// Base class for parameterized components: owns a flat registry of
+/// trainable parameters so optimizers and serialization can treat every
+/// model uniformly. Parameters of registered sub-modules are included.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters (this module + registered children).
+  std::vector<autograd::Variable> Parameters() const;
+
+  /// Zeroes the gradient of every parameter.
+  void ZeroGrad();
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters() const;
+
+  /// Deep-copies parameter VALUES from another module with an identical
+  /// architecture (same registration order and shapes).
+  void CopyParametersFrom(const Module& other);
+
+ public:
+  /// Serializes all parameter values to a binary file (shape-checked on
+  /// load). Format: count, then per parameter rows/cols + float32 data.
+  void SaveParameters(const std::string& path) const;
+  /// Restores values saved by SaveParameters into an identically shaped
+  /// module.
+  void LoadParameters(const std::string& path);
+
+ protected:
+  /// Registers a trainable parameter; returns it for storage in the layer.
+  autograd::Variable RegisterParameter(tensor::Tensor value);
+
+  /// Registers an externally constructed parameter Variable (shares the
+  /// node; updates through either handle are visible to both).
+  void AdoptParameter(const autograd::Variable& param);
+
+  /// Registers a child whose parameters are folded into Parameters().
+  void RegisterModule(Module* child);
+
+ private:
+  std::vector<autograd::Variable> params_;
+  std::vector<Module*> children_;
+};
+
+}  // namespace ses::nn
+
+#endif  // SES_NN_MODULE_H_

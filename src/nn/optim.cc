@@ -1,0 +1,63 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace ses::nn {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Adam::Adam(std::vector<autograd::Variable> params, float lr, float beta1,
+           float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.grad().SameShape(p.value())) continue;  // never touched
+    tensor::Tensor& value = p.mutable_value();
+    const tensor::Tensor& grad = p.grad();
+    tensor::Tensor& m = m_[i];
+    tensor::Tensor& v = v_[i];
+    const int64_t n = value.size();
+    for (int64_t j = 0; j < n; ++j) {
+      float g = grad[j];
+      if (weight_decay_ != 0.0f) g += weight_decay_ * value[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+  ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<autograd::Variable> params, float lr)
+    : Optimizer(std::move(params)), lr_(lr) {}
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    if (!p.grad().SameShape(p.value())) continue;
+    p.mutable_value().AddScaled(p.grad(), -lr_);
+  }
+  ZeroGrad();
+}
+
+}  // namespace ses::nn

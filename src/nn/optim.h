@@ -1,0 +1,58 @@
+#ifndef SES_NN_OPTIM_H_
+#define SES_NN_OPTIM_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace ses::nn {
+
+/// Optimizer interface: consumes accumulated gradients, updates parameter
+/// values in place, and zeroes the gradients.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// One update from the currently accumulated gradients; zeroes them after.
+  virtual void Step() = 0;
+
+  void ZeroGrad();
+
+ protected:
+  std::vector<autograd::Variable> params_;
+};
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+};
+
+/// Plain SGD (used by the per-node explainer optimizations where Adam state
+/// would dominate memory).
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Variable> params, float lr);
+  void Step() override;
+
+ private:
+  float lr_;
+};
+
+}  // namespace ses::nn
+
+#endif  // SES_NN_OPTIM_H_

@@ -1,0 +1,332 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ses::tensor {
+namespace {
+
+template <typename F>
+Tensor UnaryOp(const Tensor& a, F f) {
+  Tensor out(a.rows(), a.cols());
+  const float* src = a.data();
+  float* dst = out.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) dst[i] = f(src[i]);
+  return out;
+}
+
+template <typename F>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
+  SES_CHECK(a.SameShape(b));
+  Tensor out(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* dst = out.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) dst[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  SES_CHECK(a.cols() == b.rows());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out(m, n);
+  // i-k-j loop order: unit-stride access on B and C; OpenMP over rows.
+#pragma omp parallel for schedule(static) if (m * k * n > 1 << 16)
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.RowPtr(i);
+    float* crow = out.RowPtr(i);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;  // exploits sparse inputs (bag-of-words).
+      const float* brow = b.RowPtr(kk);
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  SES_CHECK(a.rows() == b.rows());
+  const int64_t m = a.cols(), k = a.rows(), n = b.cols();
+  Tensor out(m, n);
+#pragma omp parallel
+  {
+#pragma omp for schedule(static)
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = out.RowPtr(i);
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = a.At(kk, i);
+        if (av == 0.0f) continue;
+        const float* brow = b.RowPtr(kk);
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  SES_CHECK(a.cols() == b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor out(m, n);
+#pragma omp parallel for schedule(static) if (m * k * n > 1 << 16)
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.RowPtr(i);
+    float* crow = out.RowPtr(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.RowPtr(j);
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor out(a.cols(), a.rows());
+  for (int64_t r = 0; r < a.rows(); ++r)
+    for (int64_t c = 0; c < a.cols(); ++c) out.At(c, r) = a.At(r, c);
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor AddRowVector(const Tensor& a, const Tensor& bias) {
+  SES_CHECK(bias.size() == a.cols());
+  Tensor out(a.rows(), a.cols());
+  const float* pb = bias.data();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* src = a.RowPtr(r);
+    float* dst = out.RowPtr(r);
+    for (int64_t c = 0; c < a.cols(); ++c) dst[c] = src[c] + pb[c];
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x * s; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x + s; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return -x; });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::fabs(x); });
+}
+
+Tensor Sign(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::exp(x); });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::log(std::max(x, 1e-12f)); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::sqrt(std::max(x, 0.0f)); });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(a, [](float x) {
+    return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                     : std::exp(x) / (1.0f + std::exp(x));
+  });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float slope) {
+  return UnaryOp(a, [slope](float x) { return x > 0.0f ? x : slope * x; });
+}
+
+Tensor Elu(const Tensor& a, float alpha) {
+  return UnaryOp(a, [alpha](float x) {
+    return x > 0.0f ? x : alpha * (std::exp(x) - 1.0f);
+  });
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  Tensor out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* src = a.RowPtr(r);
+    float* dst = out.RowPtr(r);
+    float mx = src[0];
+    for (int64_t c = 1; c < a.cols(); ++c) mx = std::max(mx, src[c]);
+    double total = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      dst[c] = std::exp(src[c] - mx);
+      total += dst[c];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (int64_t c = 0; c < a.cols(); ++c) dst[c] *= inv;
+  }
+  return out;
+}
+
+Tensor LogSoftmaxRows(const Tensor& a) {
+  Tensor out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* src = a.RowPtr(r);
+    float* dst = out.RowPtr(r);
+    float mx = src[0];
+    for (int64_t c = 1; c < a.cols(); ++c) mx = std::max(mx, src[c]);
+    double total = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) total += std::exp(src[c] - mx);
+    const float lse = mx + static_cast<float>(std::log(total));
+    for (int64_t c = 0; c < a.cols(); ++c) dst[c] = src[c] - lse;
+  }
+  return out;
+}
+
+Tensor SumRows(const Tensor& a) {
+  Tensor out(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* src = a.RowPtr(r);
+    double acc = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) acc += src[c];
+    out[r] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Tensor SumCols(const Tensor& a) {
+  Tensor out(1, a.cols());
+  float* dst = out.data();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* src = a.RowPtr(r);
+    for (int64_t c = 0; c < a.cols(); ++c) dst[c] += src[c];
+  }
+  return out;
+}
+
+Tensor MeanRows(const Tensor& a) {
+  Tensor out = SumRows(a);
+  out.ScaleInPlace(1.0f / static_cast<float>(a.cols()));
+  return out;
+}
+
+std::vector<int64_t> ArgmaxRows(const Tensor& a) {
+  std::vector<int64_t> result(static_cast<size_t>(a.rows()));
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* src = a.RowPtr(r);
+    int64_t best = 0;
+    for (int64_t c = 1; c < a.cols(); ++c)
+      if (src[c] > src[best]) best = c;
+    result[static_cast<size_t>(r)] = best;
+  }
+  return result;
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& index) {
+  Tensor out(static_cast<int64_t>(index.size()), a.cols());
+  for (size_t i = 0; i < index.size(); ++i) {
+    SES_CHECK(index[i] >= 0 && index[i] < a.rows());
+    std::copy(a.RowPtr(index[i]), a.RowPtr(index[i]) + a.cols(),
+              out.RowPtr(static_cast<int64_t>(i)));
+  }
+  return out;
+}
+
+void ScatterAddRows(const Tensor& a, const std::vector<int64_t>& index,
+                    Tensor* out) {
+  SES_CHECK(out != nullptr && out->cols() == a.cols());
+  SES_CHECK(static_cast<int64_t>(index.size()) == a.rows());
+  for (size_t i = 0; i < index.size(); ++i) {
+    SES_CHECK(index[i] >= 0 && index[i] < out->rows());
+    const float* src = a.RowPtr(static_cast<int64_t>(i));
+    float* dst = out->RowPtr(index[i]);
+    for (int64_t c = 0; c < a.cols(); ++c) dst[c] += src[c];
+  }
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  SES_CHECK(a.rows() == b.rows());
+  Tensor out(a.rows(), a.cols() + b.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    std::copy(a.RowPtr(r), a.RowPtr(r) + a.cols(), out.RowPtr(r));
+    std::copy(b.RowPtr(r), b.RowPtr(r) + b.cols(), out.RowPtr(r) + a.cols());
+  }
+  return out;
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  SES_CHECK(a.cols() == b.cols());
+  Tensor out(a.rows() + b.rows(), a.cols());
+  std::copy(a.data(), a.data() + a.size(), out.data());
+  std::copy(b.data(), b.data() + b.size(), out.data() + a.size());
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int64_t lo, int64_t hi) {
+  SES_CHECK(0 <= lo && lo <= hi && hi <= a.rows());
+  Tensor out(hi - lo, a.cols());
+  std::copy(a.RowPtr(lo), a.RowPtr(lo) + out.size(), out.data());
+  return out;
+}
+
+Tensor PairwiseSquaredDistances(const Tensor& a) {
+  const int64_t n = a.rows();
+  Tensor sq = SumRows(Mul(a, a));  // row squared norms
+  Tensor dots = MatMulTransposedB(a, a);
+  Tensor out(n, n);
+#pragma omp parallel for schedule(static)
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = out.RowPtr(i);
+    const float* drow = dots.RowPtr(i);
+    for (int64_t j = 0; j < n; ++j)
+      row[j] = std::max(0.0f, sq[i] + sq[j] - 2.0f * drow[j]);
+  }
+  return out;
+}
+
+Tensor NormalizeRows(const Tensor& a, float eps) {
+  Tensor out = a;
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* src = a.RowPtr(r);
+    double acc = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) acc += static_cast<double>(src[c]) * src[c];
+    const float norm = static_cast<float>(std::sqrt(acc));
+    if (norm < eps) continue;
+    float* dst = out.RowPtr(r);
+    for (int64_t c = 0; c < a.cols(); ++c) dst[c] /= norm;
+  }
+  return out;
+}
+
+}  // namespace ses::tensor

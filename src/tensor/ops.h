@@ -1,0 +1,87 @@
+#ifndef SES_TENSOR_OPS_H_
+#define SES_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ses::tensor {
+
+/// Raw (non-differentiable) kernels. The autograd layer composes these into
+/// forward/backward passes; they are also used directly by inference-only
+/// code paths (metrics, explainer scoring, t-SNE).
+
+/// C = A * B. Cache-blocked, OpenMP-parallel over rows.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// C = A^T * B (without materializing A^T).
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+
+/// C = A * B^T (without materializing B^T).
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
+
+/// Transpose.
+Tensor Transpose(const Tensor& a);
+
+/// Elementwise binary ops (shapes must match).
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+/// out[r, c] = a[r, c] + bias[c]; `bias` is 1 x C or C x 1.
+Tensor AddRowVector(const Tensor& a, const Tensor& bias);
+
+/// Elementwise unary ops.
+Tensor Scale(const Tensor& a, float s);
+Tensor AddScalar(const Tensor& a, float s);
+Tensor Neg(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Sign(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);  ///< natural log; clamps input at 1e-12.
+Tensor Sqrt(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor LeakyRelu(const Tensor& a, float slope);
+Tensor Elu(const Tensor& a, float alpha = 1.0f);
+
+/// Row-wise softmax / log-softmax (numerically stabilized).
+Tensor SoftmaxRows(const Tensor& a);
+Tensor LogSoftmaxRows(const Tensor& a);
+
+/// Reductions.
+Tensor SumRows(const Tensor& a);  ///< N x C -> N x 1
+Tensor SumCols(const Tensor& a);  ///< N x C -> 1 x C
+Tensor MeanRows(const Tensor& a);
+
+/// Index of the max entry in each row.
+std::vector<int64_t> ArgmaxRows(const Tensor& a);
+
+/// out[i, :] = a[index[i], :].
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& index);
+
+/// out[index[i], :] += a[i, :]; `out` must be pre-sized to rows x a.cols().
+void ScatterAddRows(const Tensor& a, const std::vector<int64_t>& index,
+                    Tensor* out);
+
+/// Horizontal concatenation [a | b].
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+
+/// Vertical concatenation [a; b].
+Tensor ConcatRows(const Tensor& a, const Tensor& b);
+
+/// Rows r with lo <= r < hi.
+Tensor SliceRows(const Tensor& a, int64_t lo, int64_t hi);
+
+/// Squared Euclidean distance between each pair of rows: N x N output.
+Tensor PairwiseSquaredDistances(const Tensor& a);
+
+/// L2-normalizes each row (rows with norm < eps are left untouched).
+Tensor NormalizeRows(const Tensor& a, float eps = 1e-12f);
+
+}  // namespace ses::tensor
+
+#endif  // SES_TENSOR_OPS_H_

@@ -1,0 +1,46 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+namespace ses::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+namespace internal {
+
+void FailCheck(const char* expr, const char* file, int line) {
+  std::string msg = std::string("SES_CHECK failed: ") + expr + " at " + file +
+                    ":" + std::to_string(line);
+  LogMessage(LogLevel::kError, msg);
+  throw std::logic_error(msg);
+}
+
+}  // namespace internal
+}  // namespace ses::util

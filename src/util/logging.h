@@ -1,0 +1,60 @@
+#ifndef SES_UTIL_LOGGING_H_
+#define SES_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ses::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted log line to stderr (thread-safe).
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style log sink that emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ses::util
+
+#define SES_LOG_DEBUG ::ses::util::internal::LogStream(::ses::util::LogLevel::kDebug)
+#define SES_LOG_INFO ::ses::util::internal::LogStream(::ses::util::LogLevel::kInfo)
+#define SES_LOG_WARN ::ses::util::internal::LogStream(::ses::util::LogLevel::kWarning)
+#define SES_LOG_ERROR ::ses::util::internal::LogStream(::ses::util::LogLevel::kError)
+
+/// Always-on invariant check (kept in release builds; these guard API misuse,
+/// not hot loops).
+#define SES_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::ses::util::internal::FailCheck(#cond, __FILE__, __LINE__);          \
+    }                                                                       \
+  } while (0)
+
+namespace ses::util::internal {
+[[noreturn]] void FailCheck(const char* expr, const char* file, int line);
+}  // namespace ses::util::internal
+
+#endif  // SES_UTIL_LOGGING_H_

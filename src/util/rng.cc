@@ -1,0 +1,120 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ses::util {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::Uniform(float lo, float hi) {
+  return lo + static_cast<float>(Uniform()) * (hi - lo);
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  if (k > n) throw std::invalid_argument("SampleWithoutReplacement: k > n");
+  // For small k relative to n use Floyd's algorithm; otherwise shuffle.
+  if (k * 4 < n) {
+    std::vector<int64_t> result;
+    result.reserve(static_cast<size_t>(k));
+    // Floyd's algorithm with a linear membership probe (k is small here).
+    for (int64_t j = n - k; j < n; ++j) {
+      int64_t t = static_cast<int64_t>(UniformInt(static_cast<uint64_t>(j + 1)));
+      bool seen = false;
+      for (int64_t v : result) {
+        if (v == t) {
+          seen = true;
+          break;
+        }
+      }
+      result.push_back(seen ? j : t);
+    }
+    Shuffle(&result);
+    return result;
+  }
+  std::vector<int64_t> all(static_cast<size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  Shuffle(&all);
+  all.resize(static_cast<size_t>(k));
+  return all;
+}
+
+int64_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) throw std::invalid_argument("Categorical: non-positive weight sum");
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size() - 1);
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace ses::util

@@ -1,0 +1,70 @@
+#ifndef SES_UTIL_RNG_H_
+#define SES_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ses::util {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// All stochastic components in the library take an explicit `Rng` (or a
+/// seed) so that every experiment is reproducible bit-for-bit. The generator
+/// passes BigCrush and is substantially faster than std::mt19937_64.
+class Rng {
+ public:
+  /// Seeds the generator with splitmix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform float in [lo, hi).
+  float Uniform(float lo, float hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double Normal();
+
+  /// Normal with given mean / stddev.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  /// Draws an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative with a positive sum.
+  int64_t Categorical(const std::vector<double>& weights);
+
+  /// Forks an independent stream (useful for parallel workers).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace ses::util
+
+#endif  // SES_UTIL_RNG_H_

@@ -1,0 +1,69 @@
+#include "util/string_util.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace ses::util {
+
+std::vector<std::string> Split(const std::string& s, char delim) {
+  std::vector<std::string> result;
+  std::string piece;
+  std::istringstream in(s);
+  while (std::getline(in, piece, delim)) result.push_back(piece);
+  if (!s.empty() && s.back() == delim) result.push_back("");
+  return result;
+}
+
+std::string Join(const std::vector<std::string>& pieces, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+FlagParser::FlagParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) continue;
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags_.emplace_back(arg, "true");
+    } else {
+      flags_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+  }
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& fallback) const {
+  for (const auto& [k, v] : flags_)
+    if (k == name) return v;
+  return fallback;
+}
+
+int64_t FlagParser::GetInt(const std::string& name, int64_t fallback) const {
+  for (const auto& [k, v] : flags_)
+    if (k == name) return std::strtoll(v.c_str(), nullptr, 10);
+  return fallback;
+}
+
+double FlagParser::GetDouble(const std::string& name, double fallback) const {
+  for (const auto& [k, v] : flags_)
+    if (k == name) return std::strtod(v.c_str(), nullptr);
+  return fallback;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool fallback) const {
+  for (const auto& [k, v] : flags_)
+    if (k == name) return v == "true" || v == "1" || v == "yes";
+  return fallback;
+}
+
+}  // namespace ses::util

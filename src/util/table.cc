@@ -1,0 +1,110 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace ses::util {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  if (!header_.empty()) SES_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths;
+  auto account = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) account(header_);
+  for (const auto& row : rows_) account(row);
+
+  std::ostringstream out;
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  auto emit = [&out, &widths](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << row[i];
+      if (i + 1 < row.size())
+        out << std::string(widths[i] - row[i].size() + 2, ' ');
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::string cell = row[i];
+      bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        std::string escaped = "\"";
+        for (char c : cell) {
+          if (c == '"') escaped += "\"\"";
+          else escaped += c;
+        }
+        escaped += "\"";
+        cell = escaped;
+      }
+      out << cell;
+      if (i + 1 < row.size()) out << ",";
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+void Table::WriteCsv(const std::string& path) const {
+  WriteFile(path, ToCsv());
+}
+
+std::string Table::Num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string Table::MeanStd(double mean, double std, int digits) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f±%.*f", digits, mean, digits, std);
+  return buf;
+}
+
+void EnsureDirectories(const std::string& path) {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  EnsureDirectories(path);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << content;
+}
+
+}  // namespace ses::util

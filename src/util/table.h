@@ -1,0 +1,54 @@
+#ifndef SES_UTIL_TABLE_H_
+#define SES_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace ses::util {
+
+/// Plain-text table printer used by the benchmark harnesses to render the
+/// paper's tables (aligned columns, optional title), plus CSV export so the
+/// artifacts can be post-processed.
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header arity if a header is set.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with aligned columns.
+  std::string ToString() const;
+
+  /// Renders as CSV (no alignment, header first).
+  std::string ToCsv() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+  /// Writes ToCsv() to `path`, creating parent directories if needed.
+  void WriteCsv(const std::string& path) const;
+
+  /// Formats a float with `digits` decimals.
+  static std::string Num(double value, int digits = 2);
+
+  /// Formats "mean±std" as the paper's accuracy cells do.
+  static std::string MeanStd(double mean, double std, int digits = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Creates all missing directories on `path` (like `mkdir -p`).
+void EnsureDirectories(const std::string& path);
+
+/// Writes `content` to `path`, creating parent directories if needed.
+void WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace ses::util
+
+#endif  // SES_UTIL_TABLE_H_

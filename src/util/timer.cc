@@ -1,0 +1,29 @@
+#include "util/timer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ses::util {
+
+void Timer::Reset() { start_ = std::chrono::steady_clock::now(); }
+
+double Timer::ElapsedSeconds() const {
+  auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+double Timer::ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  } else {
+    int mins = static_cast<int>(seconds / 60.0);
+    double rem = seconds - 60.0 * mins;
+    std::snprintf(buf, sizeof(buf), "%d min %.0fs", mins, rem);
+  }
+  return buf;
+}
+
+}  // namespace ses::util

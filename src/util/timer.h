@@ -1,0 +1,32 @@
+#ifndef SES_UTIL_TIMER_H_
+#define SES_UTIL_TIMER_H_
+
+#include <chrono>
+#include <string>
+
+namespace ses::util {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() { Reset(); }
+
+  /// Restarts the stopwatch.
+  void Reset();
+
+  /// Elapsed seconds since construction / last Reset().
+  double ElapsedSeconds() const;
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Formats a duration as the paper does ("4.3s", "1 min 13s", "9 min 50s").
+std::string FormatDuration(double seconds);
+
+}  // namespace ses::util
+
+#endif  // SES_UTIL_TIMER_H_

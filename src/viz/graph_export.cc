@@ -1,0 +1,192 @@
+#include "viz/graph_export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace ses::viz {
+namespace {
+
+const char* kPalette[] = {"#4e79a7", "#f28e2b", "#e15759", "#76b7b2",
+                          "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+                          "#9c755f", "#bab0ac"};
+
+std::string ColorOf(int64_t label) {
+  return kPalette[static_cast<size_t>(label) % 10];
+}
+
+/// Deterministic Fruchterman-Reingold layout in the unit square.
+std::vector<std::pair<double, double>> Layout(const graph::Graph& g) {
+  const int64_t n = g.num_nodes();
+  util::Rng rng(12345);
+  std::vector<std::pair<double, double>> pos(static_cast<size_t>(n));
+  for (auto& p : pos) p = {rng.Uniform(), rng.Uniform()};
+  const double k = std::sqrt(1.0 / std::max<int64_t>(n, 1));
+  double temperature = 0.1;
+  for (int iter = 0; iter < 120; ++iter) {
+    std::vector<std::pair<double, double>> disp(static_cast<size_t>(n),
+                                                {0.0, 0.0});
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        double dx = pos[static_cast<size_t>(i)].first -
+                    pos[static_cast<size_t>(j)].first;
+        double dy = pos[static_cast<size_t>(i)].second -
+                    pos[static_cast<size_t>(j)].second;
+        double dist = std::max(1e-6, std::sqrt(dx * dx + dy * dy));
+        const double repulse = k * k / dist;
+        dx /= dist;
+        dy /= dist;
+        disp[static_cast<size_t>(i)].first += dx * repulse;
+        disp[static_cast<size_t>(i)].second += dy * repulse;
+        disp[static_cast<size_t>(j)].first -= dx * repulse;
+        disp[static_cast<size_t>(j)].second -= dy * repulse;
+      }
+    }
+    for (auto [u, v] : g.edges()) {
+      double dx = pos[static_cast<size_t>(u)].first -
+                  pos[static_cast<size_t>(v)].first;
+      double dy = pos[static_cast<size_t>(u)].second -
+                  pos[static_cast<size_t>(v)].second;
+      double dist = std::max(1e-6, std::sqrt(dx * dx + dy * dy));
+      const double attract = dist * dist / k;
+      dx /= dist;
+      dy /= dist;
+      disp[static_cast<size_t>(u)].first -= dx * attract;
+      disp[static_cast<size_t>(u)].second -= dy * attract;
+      disp[static_cast<size_t>(v)].first += dx * attract;
+      disp[static_cast<size_t>(v)].second += dy * attract;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      double dx = disp[static_cast<size_t>(i)].first;
+      double dy = disp[static_cast<size_t>(i)].second;
+      const double len = std::max(1e-9, std::sqrt(dx * dx + dy * dy));
+      const double step = std::min(len, temperature);
+      auto& p = pos[static_cast<size_t>(i)];
+      p.first = std::clamp(p.first + dx / len * step, 0.0, 1.0);
+      p.second = std::clamp(p.second + dy / len * step, 0.0, 1.0);
+    }
+    temperature *= 0.95;
+  }
+  return pos;
+}
+
+float MaxWeight(const std::vector<float>& w) {
+  float mx = 1e-9f;
+  for (float v : w) mx = std::max(mx, v);
+  return mx;
+}
+
+}  // namespace
+
+std::string SubgraphToSvg(const graph::Subgraph& sub,
+                          const std::vector<int64_t>& labels,
+                          const std::vector<float>& edge_weights,
+                          int64_t highlight_node) {
+  const auto& g = sub.graph;
+  SES_CHECK(edge_weights.size() == static_cast<size_t>(g.num_edges()));
+  auto pos = Layout(g);
+  const double size = 480.0, margin = 24.0;
+  auto px = [&](double x) { return margin + x * (size - 2 * margin); };
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << size
+      << "\" height=\"" << size << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  const float mx = MaxWeight(edge_weights);
+  for (size_t e = 0; e < edge_weights.size(); ++e) {
+    auto [u, v] = g.edges()[e];
+    const double alpha = 0.15 + 0.85 * edge_weights[e] / mx;
+    const double width = 0.6 + 2.4 * edge_weights[e] / mx;
+    svg << "<line x1=\"" << px(pos[static_cast<size_t>(u)].first) << "\" y1=\""
+        << px(pos[static_cast<size_t>(u)].second) << "\" x2=\""
+        << px(pos[static_cast<size_t>(v)].first) << "\" y2=\""
+        << px(pos[static_cast<size_t>(v)].second)
+        << "\" stroke=\"#333333\" stroke-opacity=\"" << alpha
+        << "\" stroke-width=\"" << width << "\"/>\n";
+  }
+  for (int64_t i = 0; i < g.num_nodes(); ++i) {
+    const int64_t global = sub.nodes[static_cast<size_t>(i)];
+    const bool is_center = i == highlight_node;
+    svg << "<circle cx=\"" << px(pos[static_cast<size_t>(i)].first)
+        << "\" cy=\"" << px(pos[static_cast<size_t>(i)].second) << "\" r=\""
+        << (is_center ? 9 : 6) << "\" fill=\""
+        << ColorOf(labels[static_cast<size_t>(global)]) << "\" stroke=\""
+        << (is_center ? "#000000" : "#ffffff") << "\" stroke-width=\""
+        << (is_center ? 2.5 : 1.0) << "\"/>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string SubgraphToDot(const graph::Subgraph& sub,
+                          const std::vector<int64_t>& labels,
+                          const std::vector<float>& edge_weights,
+                          int64_t highlight_node) {
+  const auto& g = sub.graph;
+  SES_CHECK(edge_weights.size() == static_cast<size_t>(g.num_edges()));
+  std::ostringstream dot;
+  dot << "graph explanation {\n  node [style=filled];\n";
+  for (int64_t i = 0; i < g.num_nodes(); ++i) {
+    const int64_t global = sub.nodes[static_cast<size_t>(i)];
+    dot << "  n" << global << " [fillcolor=\""
+        << ColorOf(labels[static_cast<size_t>(global)]) << "\""
+        << (i == highlight_node ? ", penwidth=3" : "") << "];\n";
+  }
+  const float mx = MaxWeight(edge_weights);
+  for (size_t e = 0; e < edge_weights.size(); ++e) {
+    auto [u, v] = g.edges()[e];
+    dot << "  n" << sub.nodes[static_cast<size_t>(u)] << " -- n"
+        << sub.nodes[static_cast<size_t>(v)] << " [penwidth="
+        << (0.5 + 3.0 * edge_weights[e] / mx) << "];\n";
+  }
+  dot << "}\n";
+  return dot.str();
+}
+
+void WriteHeatmapPgm(const tensor::Tensor& matrix, const std::string& path) {
+  util::EnsureDirectories(path);
+  std::ofstream out(path, std::ios::binary);
+  SES_CHECK(out.good());
+  const float lo = matrix.Min();
+  const float hi = std::max(matrix.Max(), lo + 1e-9f);
+  out << "P5\n" << matrix.cols() << " " << matrix.rows() << "\n255\n";
+  for (int64_t i = 0; i < matrix.size(); ++i) {
+    const float norm = (matrix[i] - lo) / (hi - lo);
+    out.put(static_cast<char>(static_cast<unsigned char>(255.0f * norm)));
+  }
+}
+
+std::string ScatterToSvg(const tensor::Tensor& points2d,
+                         const std::vector<int64_t>& labels,
+                         const std::string& title) {
+  SES_CHECK(points2d.cols() == 2);
+  const double size = 520.0, margin = 30.0;
+  float xlo = points2d.At(0, 0), xhi = xlo, ylo = points2d.At(0, 1), yhi = ylo;
+  for (int64_t i = 0; i < points2d.rows(); ++i) {
+    xlo = std::min(xlo, points2d.At(i, 0));
+    xhi = std::max(xhi, points2d.At(i, 0));
+    ylo = std::min(ylo, points2d.At(i, 1));
+    yhi = std::max(yhi, points2d.At(i, 1));
+  }
+  const float xr = std::max(xhi - xlo, 1e-6f), yr = std::max(yhi - ylo, 1e-6f);
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << size
+      << "\" height=\"" << size << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+      << "<text x=\"12\" y=\"18\" font-family=\"sans-serif\" font-size=\"14\">"
+      << title << "</text>\n";
+  for (int64_t i = 0; i < points2d.rows(); ++i) {
+    const double x = margin + (points2d.At(i, 0) - xlo) / xr * (size - 2 * margin);
+    const double y = margin + (points2d.At(i, 1) - ylo) / yr * (size - 2 * margin);
+    svg << "<circle cx=\"" << x << "\" cy=\"" << y << "\" r=\"2.5\" fill=\""
+        << ColorOf(labels[static_cast<size_t>(i)]) << "\" fill-opacity=\"0.8\"/>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace ses::viz

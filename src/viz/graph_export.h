@@ -1,0 +1,39 @@
+#ifndef SES_VIZ_GRAPH_EXPORT_H_
+#define SES_VIZ_GRAPH_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace ses::viz {
+
+/// Renders a subgraph with edge-importance weights as a standalone SVG
+/// (Figure 6 / Figure 8 style: darker edge = higher importance, node color
+/// by label). Layout is force-directed (Fruchterman-Reingold, deterministic
+/// seed).
+std::string SubgraphToSvg(const graph::Subgraph& sub,
+                          const std::vector<int64_t>& labels,
+                          const std::vector<float>& edge_weights,
+                          int64_t highlight_node = -1);
+
+/// Graphviz DOT export of the same data (for offline re-rendering).
+std::string SubgraphToDot(const graph::Subgraph& sub,
+                          const std::vector<int64_t>& labels,
+                          const std::vector<float>& edge_weights,
+                          int64_t highlight_node = -1);
+
+/// Writes a matrix as a binary PGM (P5) grayscale heatmap, min-max scaled —
+/// the Figure-7 mask-evolution images.
+void WriteHeatmapPgm(const tensor::Tensor& matrix, const std::string& path);
+
+/// 2-D scatter (e.g. t-SNE output) as SVG, colored by label (Figure 5).
+std::string ScatterToSvg(const tensor::Tensor& points2d,
+                         const std::vector<int64_t>& labels,
+                         const std::string& title);
+
+}  // namespace ses::viz
+
+#endif  // SES_VIZ_GRAPH_EXPORT_H_

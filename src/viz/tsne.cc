@@ -1,0 +1,134 @@
+#include "viz/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace ses::viz {
+
+namespace t = ses::tensor;
+
+namespace {
+
+/// Binary-searches the Gaussian bandwidth of row i so the conditional
+/// distribution's perplexity matches the target; writes p_{j|i}.
+void RowConditional(const t::Tensor& d2, int64_t i, double perplexity,
+                    std::vector<double>* p_row) {
+  const int64_t n = d2.rows();
+  double beta = 1.0, beta_min = -1e30, beta_max = 1e30;
+  const double log_perp = std::log(perplexity);
+  for (int iter = 0; iter < 50; ++iter) {
+    double sum = 0.0, dot = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) {
+        (*p_row)[static_cast<size_t>(j)] = 0.0;
+        continue;
+      }
+      const double pj = std::exp(-beta * d2.At(i, j));
+      (*p_row)[static_cast<size_t>(j)] = pj;
+      sum += pj;
+      dot += pj * d2.At(i, j);
+    }
+    if (sum <= 0.0) sum = 1e-12;
+    const double entropy = std::log(sum) + beta * dot / sum;
+    const double diff = entropy - log_perp;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0) {
+      beta_min = beta;
+      beta = beta_max > 1e29 ? beta * 2.0 : 0.5 * (beta + beta_max);
+    } else {
+      beta_max = beta;
+      beta = beta_min < -1e29 ? beta / 2.0 : 0.5 * (beta + beta_min);
+    }
+  }
+  double sum = 0.0;
+  for (double v : *p_row) sum += v;
+  if (sum <= 0.0) sum = 1e-12;
+  for (double& v : *p_row) v /= sum;
+}
+
+}  // namespace
+
+t::Tensor Tsne(const t::Tensor& data, const TsneOptions& options) {
+  const int64_t n = data.rows();
+  SES_CHECK(n >= 4);
+  util::Rng rng(options.seed + 777);
+
+  // Symmetrized affinities P.
+  t::Tensor d2 = t::PairwiseSquaredDistances(data);
+  std::vector<double> p(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
+  const double perplexity =
+      std::min(options.perplexity, static_cast<double>(n - 1) / 3.0);
+#pragma omp parallel
+  {
+    std::vector<double> row(static_cast<size_t>(n));
+#pragma omp for schedule(dynamic, 16)
+    for (int64_t i = 0; i < n; ++i) {
+      RowConditional(d2, i, perplexity, &row);
+      for (int64_t j = 0; j < n; ++j)
+        p[static_cast<size_t>(i * n + j)] = row[static_cast<size_t>(j)];
+    }
+  }
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = i + 1; j < n; ++j) {
+      const double sym = (p[static_cast<size_t>(i * n + j)] +
+                          p[static_cast<size_t>(j * n + i)]) /
+                         (2.0 * n);
+      p[static_cast<size_t>(i * n + j)] = std::max(sym, 1e-12);
+      p[static_cast<size_t>(j * n + i)] = std::max(sym, 1e-12);
+    }
+
+  // Gradient descent with momentum on the KL divergence.
+  const int64_t dims = options.output_dims;
+  t::Tensor y = t::Tensor::Randn(n, dims, &rng);
+  y.ScaleInPlace(1e-2f);
+  t::Tensor velocity(n, dims);
+  std::vector<double> q(static_cast<size_t>(n) * static_cast<size_t>(n));
+  for (int64_t iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iters ? options.early_exaggeration : 1.0;
+    const double momentum = iter < 100 ? 0.5 : 0.8;
+    // Student-t affinities Q (unnormalized), then total.
+    double q_total = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : q_total)
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        if (i == j) {
+          q[static_cast<size_t>(i * n + j)] = 0.0;
+          continue;
+        }
+        double dist = 0.0;
+        for (int64_t c = 0; c < dims; ++c) {
+          const double d = y.At(i, c) - y.At(j, c);
+          dist += d * d;
+        }
+        const double w = 1.0 / (1.0 + dist);
+        q[static_cast<size_t>(i * n + j)] = w;
+        q_total += w;
+      }
+    }
+    if (q_total <= 0.0) q_total = 1e-12;
+#pragma omp parallel for schedule(static)
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t c = 0; c < dims; ++c) {
+        double grad = 0.0;
+        for (int64_t j = 0; j < n; ++j) {
+          if (i == j) continue;
+          const double w = q[static_cast<size_t>(i * n + j)];
+          const double qij = std::max(w / q_total, 1e-12);
+          const double mult =
+              (exaggeration * p[static_cast<size_t>(i * n + j)] - qij) * w;
+          grad += 4.0 * mult * (y.At(i, c) - y.At(j, c));
+        }
+        velocity.At(i, c) = static_cast<float>(
+            momentum * velocity.At(i, c) - options.learning_rate * grad);
+      }
+    }
+    y.AddInPlace(velocity);
+  }
+  return y;
+}
+
+}  // namespace ses::viz

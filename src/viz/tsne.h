@@ -1,0 +1,27 @@
+#ifndef SES_VIZ_TSNE_H_
+#define SES_VIZ_TSNE_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ses::viz {
+
+/// Exact t-SNE (van der Maaten & Hinton, 2008) for the Figure-5 embedding
+/// visualizations. O(N^2) per iteration — fine at the few-thousand-node
+/// scale of the paper's CiteSeer plots; callers subsample above that.
+struct TsneOptions {
+  int64_t output_dims = 2;
+  double perplexity = 30.0;
+  int64_t iterations = 300;
+  double learning_rate = 200.0;
+  double early_exaggeration = 4.0;
+  int64_t exaggeration_iters = 50;
+  uint64_t seed = 0;
+};
+
+/// Returns an N x output_dims embedding of the rows of `data`.
+tensor::Tensor Tsne(const tensor::Tensor& data, const TsneOptions& options);
+
+}  // namespace ses::viz
+
+#endif  // SES_VIZ_TSNE_H_

@@ -1,0 +1,116 @@
+// Cross-module integration tests: the full SES pipeline against its
+// backbone, explanation quality end-to-end, and the Fidelity+ loop through
+// models + explainers + metrics.
+#include <gtest/gtest.h>
+
+#include "core/ses_model.h"
+#include "data/real_world.h"
+#include "data/synthetic.h"
+#include "explain/grad_att.h"
+#include "metrics/fidelity.h"
+#include "metrics/metrics.h"
+#include "models/backbone_models.h"
+
+using namespace ses;
+
+namespace {
+
+TEST(IntegrationTest, SesMatchesOrBeatsBackboneOnHomophilousGraph) {
+  auto ds = data::MakeRealWorldByName("Cora", /*scale=*/0.12, /*seed=*/11);
+  models::TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.hidden = 32;
+  cfg.dropout = 0.3f;
+  cfg.seed = 2;
+
+  models::BackboneModel gcn("GCN");
+  gcn.Fit(ds, cfg);
+  const double gcn_acc =
+      models::Accuracy(gcn.Logits(ds), ds.labels, ds.test_idx);
+
+  core::SesOptions opt;
+  opt.backbone = "GCN";
+  core::SesModel model(opt);
+  model.Fit(ds, cfg);
+  const double ses_acc =
+      models::Accuracy(model.Logits(ds), ds.labels, ds.test_idx);
+
+  EXPECT_GT(gcn_acc, 0.5);
+  // The paper's central prediction claim, with slack for the tiny graph.
+  EXPECT_GT(ses_acc, gcn_acc - 0.05);
+}
+
+TEST(IntegrationTest, ExplanationAucHighOnBaShapes) {
+  auto ds = data::MakeBaShapes();
+  core::SesOptions opt;
+  opt.backbone = "GCN";
+  core::SesModel model(opt);
+  models::TrainConfig cfg;
+  cfg.epochs = 150;
+  cfg.hidden = 64;
+  cfg.dropout = 0.2f;
+  cfg.seed = 1;
+  model.Fit(ds, cfg);
+  EXPECT_GT(metrics::ExplanationAuc(ds, model.EdgeScores(ds)), 0.75);
+}
+
+TEST(IntegrationTest, FidelityLoopProducesSignedSignal) {
+  auto ds = data::MakeRealWorldByName("Cora", 0.12, 5);
+  models::TrainConfig cfg;
+  cfg.epochs = 50;
+  cfg.hidden = 32;
+  cfg.seed = 3;
+  models::BackboneModel gcn("GCN");
+  gcn.Fit(ds, cfg);
+  // Saliency-ranked top features should matter more than inverse-ranked.
+  explain::GradExplainer grad(gcn.encoder());
+  auto scores = grad.ExplainFeaturesNnz(ds);
+  const double fid_top =
+      metrics::FidelityPlus(&gcn, ds, scores, 5, ds.test_idx);
+  std::vector<float> inverted(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) inverted[i] = -scores[i];
+  const double fid_bottom =
+      metrics::FidelityPlus(&gcn, ds, inverted, 5, ds.test_idx);
+  EXPECT_GE(fid_top, fid_bottom - 1.0);
+}
+
+TEST(IntegrationTest, MaskSnapshotsEvolveDuringTraining) {
+  data::SyntheticOptions sopt;
+  sopt.scale = 0.2;
+  auto ds = data::MakeBaShapes(sopt);
+  core::SesOptions opt;
+  core::SesModel model(opt);
+  models::TrainConfig cfg;
+  cfg.epochs = 50;
+  cfg.hidden = 32;
+  cfg.seed = 4;
+  model.Fit(ds, cfg);
+  ASSERT_EQ(model.mask_snapshots().size(), 3u);
+  // The Figure-7 claim: masks diverge from their near-uniform start.
+  const auto& first = model.mask_snapshots().front();
+  const auto& last = model.mask_snapshots().back();
+  EXPECT_GT(last.MaxAbsDiff(first), 0.01f);
+  auto spread = [](const tensor::Tensor& m) { return m.Max() - m.Min(); };
+  EXPECT_GT(spread(last), spread(first) * 0.5f);
+}
+
+TEST(IntegrationTest, LossHistoryDecreases) {
+  auto ds = data::MakeRealWorldByName("CiteSeer", 0.1, 6);
+  core::SesOptions opt;
+  core::SesModel model(opt);
+  models::TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.hidden = 32;
+  cfg.seed = 5;
+  model.Fit(ds, cfg);
+  const auto& history = model.loss_history();
+  ASSERT_GE(history.size(), 20u);
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    early += history[static_cast<size_t>(i)][1];
+    late += history[history.size() - 1 - static_cast<size_t>(i)][1];
+  }
+  EXPECT_LT(late, early);
+}
+
+}  // namespace

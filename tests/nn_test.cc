@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "graph/graph.h"
+#include "nn/gat_conv.h"
+#include "nn/gcn_conv.h"
+#include "nn/linear.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+
+namespace ag = ses::autograd;
+namespace nn = ses::nn;
+namespace t = ses::tensor;
+namespace g = ses::graph;
+
+namespace {
+
+TEST(ModuleTest, ParameterRegistry) {
+  ses::util::Rng rng(1);
+  nn::Mlp mlp({4, 8, 3}, &rng);
+  // Two Linear layers, each weight + bias.
+  EXPECT_EQ(mlp.Parameters().size(), 4u);
+  EXPECT_EQ(mlp.NumParameters(), 4 * 8 + 8 + 8 * 3 + 3);
+}
+
+TEST(ModuleTest, ZeroGradClearsAccumulation) {
+  ses::util::Rng rng(2);
+  nn::Linear layer(3, 2, &rng);
+  auto x = ag::Variable::Constant(t::Tensor::Randn(5, 3, &rng));
+  ag::Backward(ag::MeanAll(layer.Forward(x)));
+  EXPECT_GT(layer.weight().grad().Norm(), 0.0f);
+  layer.ZeroGrad();
+  EXPECT_FLOAT_EQ(layer.weight().grad().Norm(), 0.0f);
+}
+
+TEST(ModuleTest, CopyParametersFrom) {
+  ses::util::Rng rng(3);
+  nn::Mlp a({4, 6, 2}, &rng), b({4, 6, 2}, &rng);
+  EXPECT_GT(a.Parameters()[0].value().MaxAbsDiff(b.Parameters()[0].value()),
+            0.0f);
+  b.CopyParametersFrom(a);
+  for (size_t i = 0; i < a.Parameters().size(); ++i)
+    EXPECT_FLOAT_EQ(
+        a.Parameters()[i].value().MaxAbsDiff(b.Parameters()[i].value()), 0.0f);
+}
+
+TEST(LinearTest, GradientCheck) {
+  ses::util::Rng rng(4);
+  nn::Linear layer(5, 3, &rng);
+  auto x = ag::Variable::Constant(t::Tensor::Randn(6, 5, &rng));
+  auto result = ag::CheckGradients(
+      [&] { return ag::MeanAll(ag::Tanh(layer.Forward(x))); },
+      layer.Parameters());
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(MlpTest, OutputActivations) {
+  ses::util::Rng rng(5);
+  nn::Mlp sigmoid_mlp({3, 4, 2}, &rng, nn::Mlp::OutputActivation::kSigmoid);
+  auto x = ag::Variable::Constant(t::Tensor::Randn(7, 3, &rng));
+  t::Tensor out = sigmoid_mlp.Forward(x).value();
+  EXPECT_GT(out.Min(), 0.0f);
+  EXPECT_LT(out.Max(), 1.0f);
+  nn::Mlp relu_mlp({3, 4, 2}, &rng, nn::Mlp::OutputActivation::kRelu);
+  EXPECT_GE(relu_mlp.Forward(x).value().Min(), 0.0f);
+}
+
+TEST(GcnConvTest, MeanOverNeighborsOnRegularGraph) {
+  // On a triangle with self-loops, symmetric normalization averages equally.
+  g::Graph graph = g::Graph::FromUndirectedEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+  auto edges = graph.DirectedEdges(true);
+  ses::util::Rng rng(6);
+  nn::GcnConv conv(2, 2, &rng, /*bias=*/false);
+  // Identity weight to observe pure aggregation.
+  conv.Parameters()[0].mutable_value() = t::Tensor::Eye(2);
+  t::Tensor x{{3, 0}, {0, 3}, {3, 3}};
+  auto out = conv.Forward(nn::FeatureInput::Dense(ag::Variable::Constant(x)),
+                          edges, nn::MakeGcnWeights(edges));
+  // Every node aggregates (1/3) * column sums = (2, 2).
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(out.value().At(i, 0), 2.0f, 1e-5f);
+    EXPECT_NEAR(out.value().At(i, 1), 2.0f, 1e-5f);
+  }
+}
+
+TEST(GcnConvTest, GradientCheckThroughSparseInput) {
+  ses::util::Rng rng(7);
+  g::Graph graph = g::Graph::FromUndirectedEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto edges = graph.DirectedEdges(true);
+  t::Tensor dense = t::Tensor::Randn(4, 5, &rng);
+  dense[3] = dense[7] = 0.0f;
+  auto sparse = std::make_shared<t::SparseMatrix>(
+      t::SparseMatrix::FromDense(dense));
+  nn::GcnConv conv(5, 3, &rng);
+  auto mask = ag::Variable::Parameter(t::Tensor::Ones(sparse->nnz(), 1));
+  std::vector<ag::Variable> params = conv.Parameters();
+  params.push_back(mask);
+  auto result = ag::CheckGradients(
+      [&] {
+        auto input = nn::FeatureInput::Sparse(sparse, mask);
+        return ag::MeanAll(
+            conv.Forward(input, edges, nn::MakeGcnWeights(edges)));
+      },
+      params);
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(GcnConvTest, EdgeMaskZeroKillsMessage) {
+  g::Graph graph = g::Graph::FromUndirectedEdges(2, {{0, 1}});
+  auto edges = graph.DirectedEdges(/*add_self_loops=*/false);
+  ses::util::Rng rng(8);
+  nn::GcnConv conv(2, 2, &rng, /*bias=*/false);
+  t::Tensor x{{1, 2}, {3, 4}};
+  t::Tensor zero_w(2, 1);
+  auto out = conv.Forward(nn::FeatureInput::Dense(ag::Variable::Constant(x)),
+                          edges, ag::Variable::Constant(zero_w));
+  EXPECT_FLOAT_EQ(out.value().Norm(), 0.0f);
+}
+
+TEST(GatConvTest, GradientCheck) {
+  ses::util::Rng rng(9);
+  g::Graph graph = g::Graph::FromUndirectedEdges(4, {{0, 1}, {1, 2}, {2, 3},
+                                                     {3, 0}});
+  auto edges = graph.DirectedEdges(true);
+  // Slope 1 removes the LeakyReLU kink: float32 finite differences near the
+  // kink otherwise dominate the error (the kink's subgradient is separately
+  // covered by the op-level LeakyRelu check).
+  nn::GatConv conv(3, 2, /*heads=*/2, &rng, /*leaky_slope=*/1.0f);
+  auto x = ag::Variable::Constant(t::Tensor::Randn(4, 3, &rng));
+  auto result = ag::CheckGradients(
+      [&] {
+        return ag::MeanAll(
+            conv.Forward(nn::FeatureInput::Dense(x), edges));
+      },
+      conv.Parameters(), /*epsilon=*/2e-2f, /*tolerance=*/1e-1f);
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(GatConvTest, OutputShapeAndAttentionCache) {
+  ses::util::Rng rng(10);
+  g::Graph graph = g::Graph::FromUndirectedEdges(5, {{0, 1}, {1, 2}, {3, 4}});
+  auto edges = graph.DirectedEdges(true);
+  nn::GatConv conv(4, 3, /*heads=*/2, &rng);
+  auto x = ag::Variable::Constant(t::Tensor::Randn(5, 4, &rng));
+  auto out = conv.Forward(nn::FeatureInput::Dense(x), edges);
+  EXPECT_EQ(out.rows(), 5);
+  EXPECT_EQ(out.cols(), 6);  // heads * out_per_head
+  EXPECT_EQ(conv.last_attention().rows(), edges->size());
+  // Attention is a softmax over incoming edges: non-negative.
+  EXPECT_GE(conv.last_attention().Min(), 0.0f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  auto x = ag::Variable::Parameter(t::Tensor{{5.0f, -3.0f}});
+  nn::Adam adam({x}, 0.1f);
+  for (int i = 0; i < 300; ++i) {
+    ag::Backward(ag::MeanAll(ag::Mul(x, x)));
+    adam.Step();
+  }
+  EXPECT_LT(x.value().Norm(), 0.05f);
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  // With zero-gradient loss, decoupled weight decay alone shrinks weights.
+  auto x = ag::Variable::Parameter(t::Tensor{{1.0f}});
+  nn::Adam adam({x}, 0.01f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/1.0f);
+  auto zero = ag::Variable::Parameter(t::Tensor{{0.0f}});
+  for (int i = 0; i < 100; ++i) {
+    ag::Backward(ag::Mul(x, zero));  // d/dx = 0
+    adam.Step();
+  }
+  EXPECT_LT(std::fabs(x.value()[0]), 1.0f);
+}
+
+TEST(SgdTest, StepsDownhill) {
+  auto x = ag::Variable::Parameter(t::Tensor{{2.0f}});
+  nn::Sgd sgd({x}, 0.25f);
+  ag::Backward(ag::Mul(x, x));  // grad = 2x = 4
+  sgd.Step();
+  EXPECT_FLOAT_EQ(x.value()[0], 1.0f);
+}
+
+TEST(OptimTest, SkipsUntouchedParameters) {
+  ses::util::Rng rng(11);
+  auto used = ag::Variable::Parameter(t::Tensor{{1.0f}});
+  auto unused = ag::Variable::Parameter(t::Tensor{{7.0f}});
+  nn::Adam adam({used, unused}, 0.5f);
+  ag::Backward(ag::Mul(used, used));
+  adam.Step();
+  EXPECT_NE(used.value()[0], 1.0f);
+  EXPECT_FLOAT_EQ(unused.value()[0], 7.0f);
+}
+
+}  // namespace
+
+// --- masked-aggregation normalization invariants -----------------------------
+
+#include "models/encoders.h"
+
+namespace {
+
+TEST(MaskNormalizationTest, RenormalizedGcnIsScaleInvariantInMask) {
+  // Scaling every mask entry by a constant must not change the output when
+  // the weighted-degree renormalization is on.
+  ses::util::Rng rng(40);
+  g::Graph graph = g::Graph::FromUndirectedEdges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}});
+  auto edges = graph.DirectedEdges(true);
+  ses::models::GcnEncoder enc(4, 8, 3, &rng);
+  auto x = nn::FeatureInput::Dense(
+      ag::Variable::Constant(t::Tensor::Randn(6, 4, &rng)));
+  t::Tensor mask_t = t::Tensor::Uniform(edges->size(), 1, 0.2f, 0.9f, &rng);
+  t::Tensor mask_scaled = t::Scale(mask_t, 0.1f);
+  ses::util::Rng r1(0), r2(0);
+  auto a = enc.Forward(x, edges, ag::Variable::Constant(mask_t), 0.0f, false,
+                       &r1, /*renormalize_mask=*/true);
+  auto b = enc.Forward(x, edges, ag::Variable::Constant(mask_scaled), 0.0f,
+                       false, &r2, /*renormalize_mask=*/true);
+  EXPECT_LT(a.logits.value().MaxAbsDiff(b.logits.value()), 1e-4f);
+}
+
+TEST(MaskNormalizationTest, NonRenormalizedCouplesToMaskScale) {
+  // Without renormalization the same rescaling must change the output —
+  // this coupling is the phase-1 training signal.
+  ses::util::Rng rng(41);
+  g::Graph graph = g::Graph::FromUndirectedEdges(
+      5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto edges = graph.DirectedEdges(true);
+  ses::models::GcnEncoder enc(3, 6, 2, &rng);
+  auto x = nn::FeatureInput::Dense(
+      ag::Variable::Constant(t::Tensor::Randn(5, 3, &rng)));
+  t::Tensor mask_t = t::Tensor::Full(edges->size(), 1, 0.8f);
+  t::Tensor mask_half = t::Scale(mask_t, 0.5f);
+  ses::util::Rng r1(0), r2(0);
+  auto a = enc.Forward(x, edges, ag::Variable::Constant(mask_t), 0.0f, false,
+                       &r1, /*renormalize_mask=*/false);
+  auto b = enc.Forward(x, edges, ag::Variable::Constant(mask_half), 0.0f,
+                       false, &r2, /*renormalize_mask=*/false);
+  EXPECT_GT(a.logits.value().MaxAbsDiff(b.logits.value()), 1e-3f);
+}
+
+TEST(MaskNormalizationTest, GinAndSageEncodersGradCheck) {
+  ses::util::Rng rng(42);
+  g::Graph graph = g::Graph::FromUndirectedEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto edges = graph.DirectedEdges(true);
+  auto x = nn::FeatureInput::Dense(
+      ag::Variable::Constant(t::Tensor::Randn(4, 3, &rng)));
+  for (const std::string backbone : {"GIN", "SAGE"}) {
+    auto enc = ses::models::MakeEncoder(backbone, 3, 6, 2, &rng);
+    ses::util::Rng r0(0);
+    auto result = ag::CheckGradients(
+        [&] {
+          ses::util::Rng rr(0);
+          return ag::MeanAll(
+              enc->Forward(x, edges, {}, 0.0f, false, &rr).logits);
+        },
+        enc->Parameters(), /*epsilon=*/5e-3f, /*tolerance=*/1e-1f);
+    EXPECT_TRUE(result.ok) << backbone << " rel err " << result.max_rel_error;
+  }
+}
+
+}  // namespace
