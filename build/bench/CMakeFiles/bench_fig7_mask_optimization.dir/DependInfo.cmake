@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_mask_optimization.cc" "bench/CMakeFiles/bench_fig7_mask_optimization.dir/bench_fig7_mask_optimization.cc.o" "gcc" "bench/CMakeFiles/bench_fig7_mask_optimization.dir/bench_fig7_mask_optimization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/explain/CMakeFiles/ses_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ses_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ses_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/ses_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ses_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/ses_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ses_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ses_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/ses_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ses_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ses_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

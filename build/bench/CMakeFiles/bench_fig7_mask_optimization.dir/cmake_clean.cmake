@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_mask_optimization.dir/bench_fig7_mask_optimization.cc.o"
+  "CMakeFiles/bench_fig7_mask_optimization.dir/bench_fig7_mask_optimization.cc.o.d"
+  "bench_fig7_mask_optimization"
+  "bench_fig7_mask_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_mask_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

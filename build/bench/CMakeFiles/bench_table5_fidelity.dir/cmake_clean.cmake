@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_fidelity.dir/bench_table5_fidelity.cc.o"
+  "CMakeFiles/bench_table5_fidelity.dir/bench_table5_fidelity.cc.o.d"
+  "bench_table5_fidelity"
+  "bench_table5_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_explainers.dir/compare_explainers.cpp.o"
+  "CMakeFiles/compare_explainers.dir/compare_explainers.cpp.o.d"
+  "compare_explainers"
+  "compare_explainers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_explainers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_autograd.dir/grad_check.cc.o"
+  "CMakeFiles/ses_autograd.dir/grad_check.cc.o.d"
+  "CMakeFiles/ses_autograd.dir/ops.cc.o"
+  "CMakeFiles/ses_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/ses_autograd.dir/sparse_ops.cc.o"
+  "CMakeFiles/ses_autograd.dir/sparse_ops.cc.o.d"
+  "CMakeFiles/ses_autograd.dir/variable.cc.o"
+  "CMakeFiles/ses_autograd.dir/variable.cc.o.d"
+  "libses_autograd.a"
+  "libses_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

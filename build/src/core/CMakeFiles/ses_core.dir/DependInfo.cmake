@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/mask_generator.cc" "src/core/CMakeFiles/ses_core.dir/mask_generator.cc.o" "gcc" "src/core/CMakeFiles/ses_core.dir/mask_generator.cc.o.d"
+  "/root/repo/src/core/pairs.cc" "src/core/CMakeFiles/ses_core.dir/pairs.cc.o" "gcc" "src/core/CMakeFiles/ses_core.dir/pairs.cc.o.d"
+  "/root/repo/src/core/ses_model.cc" "src/core/CMakeFiles/ses_core.dir/ses_model.cc.o" "gcc" "src/core/CMakeFiles/ses_core.dir/ses_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/ses_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ses_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ses_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ses_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ses_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/ses_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ses_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_core.dir/mask_generator.cc.o"
+  "CMakeFiles/ses_core.dir/mask_generator.cc.o.d"
+  "CMakeFiles/ses_core.dir/pairs.cc.o"
+  "CMakeFiles/ses_core.dir/pairs.cc.o.d"
+  "CMakeFiles/ses_core.dir/ses_model.cc.o"
+  "CMakeFiles/ses_core.dir/ses_model.cc.o.d"
+  "libses_core.a"
+  "libses_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

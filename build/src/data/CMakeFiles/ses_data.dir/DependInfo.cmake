@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/ses_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/ses_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/real_world.cc" "src/data/CMakeFiles/ses_data.dir/real_world.cc.o" "gcc" "src/data/CMakeFiles/ses_data.dir/real_world.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/ses_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/ses_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ses_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ses_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ses_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/ses_autograd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

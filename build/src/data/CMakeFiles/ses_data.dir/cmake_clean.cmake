@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_data.dir/dataset.cc.o"
+  "CMakeFiles/ses_data.dir/dataset.cc.o.d"
+  "CMakeFiles/ses_data.dir/real_world.cc.o"
+  "CMakeFiles/ses_data.dir/real_world.cc.o.d"
+  "CMakeFiles/ses_data.dir/synthetic.cc.o"
+  "CMakeFiles/ses_data.dir/synthetic.cc.o.d"
+  "libses_data.a"
+  "libses_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

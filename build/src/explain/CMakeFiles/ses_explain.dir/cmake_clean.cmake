@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_explain.dir/explainer.cc.o"
+  "CMakeFiles/ses_explain.dir/explainer.cc.o.d"
+  "CMakeFiles/ses_explain.dir/gnn_explainer.cc.o"
+  "CMakeFiles/ses_explain.dir/gnn_explainer.cc.o.d"
+  "CMakeFiles/ses_explain.dir/grad_att.cc.o"
+  "CMakeFiles/ses_explain.dir/grad_att.cc.o.d"
+  "CMakeFiles/ses_explain.dir/graphlime.cc.o"
+  "CMakeFiles/ses_explain.dir/graphlime.cc.o.d"
+  "CMakeFiles/ses_explain.dir/pg_explainer.cc.o"
+  "CMakeFiles/ses_explain.dir/pg_explainer.cc.o.d"
+  "CMakeFiles/ses_explain.dir/pgm_explainer.cc.o"
+  "CMakeFiles/ses_explain.dir/pgm_explainer.cc.o.d"
+  "libses_explain.a"
+  "libses_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

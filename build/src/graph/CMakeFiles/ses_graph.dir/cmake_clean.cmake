@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_graph.dir/graph.cc.o"
+  "CMakeFiles/ses_graph.dir/graph.cc.o.d"
+  "CMakeFiles/ses_graph.dir/khop.cc.o"
+  "CMakeFiles/ses_graph.dir/khop.cc.o.d"
+  "CMakeFiles/ses_graph.dir/sampling.cc.o"
+  "CMakeFiles/ses_graph.dir/sampling.cc.o.d"
+  "libses_graph.a"
+  "libses_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

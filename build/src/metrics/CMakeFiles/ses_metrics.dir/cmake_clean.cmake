@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_metrics.dir/fidelity.cc.o"
+  "CMakeFiles/ses_metrics.dir/fidelity.cc.o.d"
+  "CMakeFiles/ses_metrics.dir/metrics.cc.o"
+  "CMakeFiles/ses_metrics.dir/metrics.cc.o.d"
+  "libses_metrics.a"
+  "libses_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

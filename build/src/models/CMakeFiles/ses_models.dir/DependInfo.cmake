@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/asdgn.cc" "src/models/CMakeFiles/ses_models.dir/asdgn.cc.o" "gcc" "src/models/CMakeFiles/ses_models.dir/asdgn.cc.o.d"
+  "/root/repo/src/models/backbone_models.cc" "src/models/CMakeFiles/ses_models.dir/backbone_models.cc.o" "gcc" "src/models/CMakeFiles/ses_models.dir/backbone_models.cc.o.d"
+  "/root/repo/src/models/encoders.cc" "src/models/CMakeFiles/ses_models.dir/encoders.cc.o" "gcc" "src/models/CMakeFiles/ses_models.dir/encoders.cc.o.d"
+  "/root/repo/src/models/node_classifier.cc" "src/models/CMakeFiles/ses_models.dir/node_classifier.cc.o" "gcc" "src/models/CMakeFiles/ses_models.dir/node_classifier.cc.o.d"
+  "/root/repo/src/models/protgnn.cc" "src/models/CMakeFiles/ses_models.dir/protgnn.cc.o" "gcc" "src/models/CMakeFiles/ses_models.dir/protgnn.cc.o.d"
+  "/root/repo/src/models/segnn.cc" "src/models/CMakeFiles/ses_models.dir/segnn.cc.o" "gcc" "src/models/CMakeFiles/ses_models.dir/segnn.cc.o.d"
+  "/root/repo/src/models/unimp.cc" "src/models/CMakeFiles/ses_models.dir/unimp.cc.o" "gcc" "src/models/CMakeFiles/ses_models.dir/unimp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ses_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ses_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ses_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ses_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/ses_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ses_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_models.dir/asdgn.cc.o"
+  "CMakeFiles/ses_models.dir/asdgn.cc.o.d"
+  "CMakeFiles/ses_models.dir/backbone_models.cc.o"
+  "CMakeFiles/ses_models.dir/backbone_models.cc.o.d"
+  "CMakeFiles/ses_models.dir/encoders.cc.o"
+  "CMakeFiles/ses_models.dir/encoders.cc.o.d"
+  "CMakeFiles/ses_models.dir/node_classifier.cc.o"
+  "CMakeFiles/ses_models.dir/node_classifier.cc.o.d"
+  "CMakeFiles/ses_models.dir/protgnn.cc.o"
+  "CMakeFiles/ses_models.dir/protgnn.cc.o.d"
+  "CMakeFiles/ses_models.dir/segnn.cc.o"
+  "CMakeFiles/ses_models.dir/segnn.cc.o.d"
+  "CMakeFiles/ses_models.dir/unimp.cc.o"
+  "CMakeFiles/ses_models.dir/unimp.cc.o.d"
+  "libses_models.a"
+  "libses_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

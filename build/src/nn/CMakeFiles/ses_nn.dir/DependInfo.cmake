@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/gat_conv.cc" "src/nn/CMakeFiles/ses_nn.dir/gat_conv.cc.o" "gcc" "src/nn/CMakeFiles/ses_nn.dir/gat_conv.cc.o.d"
+  "/root/repo/src/nn/gcn_conv.cc" "src/nn/CMakeFiles/ses_nn.dir/gcn_conv.cc.o" "gcc" "src/nn/CMakeFiles/ses_nn.dir/gcn_conv.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/ses_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/ses_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/ses_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/ses_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/nn/CMakeFiles/ses_nn.dir/optim.cc.o" "gcc" "src/nn/CMakeFiles/ses_nn.dir/optim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/ses_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ses_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ses_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ses_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_nn.dir/gat_conv.cc.o"
+  "CMakeFiles/ses_nn.dir/gat_conv.cc.o.d"
+  "CMakeFiles/ses_nn.dir/gcn_conv.cc.o"
+  "CMakeFiles/ses_nn.dir/gcn_conv.cc.o.d"
+  "CMakeFiles/ses_nn.dir/linear.cc.o"
+  "CMakeFiles/ses_nn.dir/linear.cc.o.d"
+  "CMakeFiles/ses_nn.dir/module.cc.o"
+  "CMakeFiles/ses_nn.dir/module.cc.o.d"
+  "CMakeFiles/ses_nn.dir/optim.cc.o"
+  "CMakeFiles/ses_nn.dir/optim.cc.o.d"
+  "libses_nn.a"
+  "libses_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

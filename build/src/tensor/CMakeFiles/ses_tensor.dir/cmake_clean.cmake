@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_tensor.dir/ops.cc.o"
+  "CMakeFiles/ses_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/ses_tensor.dir/sparse.cc.o"
+  "CMakeFiles/ses_tensor.dir/sparse.cc.o.d"
+  "CMakeFiles/ses_tensor.dir/tensor.cc.o"
+  "CMakeFiles/ses_tensor.dir/tensor.cc.o.d"
+  "libses_tensor.a"
+  "libses_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_util.dir/logging.cc.o"
+  "CMakeFiles/ses_util.dir/logging.cc.o.d"
+  "CMakeFiles/ses_util.dir/rng.cc.o"
+  "CMakeFiles/ses_util.dir/rng.cc.o.d"
+  "CMakeFiles/ses_util.dir/string_util.cc.o"
+  "CMakeFiles/ses_util.dir/string_util.cc.o.d"
+  "CMakeFiles/ses_util.dir/table.cc.o"
+  "CMakeFiles/ses_util.dir/table.cc.o.d"
+  "CMakeFiles/ses_util.dir/timer.cc.o"
+  "CMakeFiles/ses_util.dir/timer.cc.o.d"
+  "libses_util.a"
+  "libses_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_viz.dir/graph_export.cc.o"
+  "CMakeFiles/ses_viz.dir/graph_export.cc.o.d"
+  "CMakeFiles/ses_viz.dir/tsne.cc.o"
+  "CMakeFiles/ses_viz.dir/tsne.cc.o.d"
+  "libses_viz.a"
+  "libses_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
