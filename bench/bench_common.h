@@ -1,6 +1,8 @@
 #ifndef SES_BENCH_BENCH_COMMON_H_
 #define SES_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -13,9 +15,94 @@
 #include "models/protgnn.h"
 #include "models/segnn.h"
 #include "models/unimp.h"
+#include "obs/obs.h"
 #include "util/string_util.h"
+#include "util/table.h"
 
 namespace ses::bench {
+
+/// Observability wiring shared by the bench mains. Recognized flags:
+///   --trace-out=PATH      record spans, write a Chrome trace-event JSON
+///   --metrics-out=PATH    record spans, print a per-op aggregate table and
+///                         write span aggregates + metrics (CSV, or JSONL for
+///                         a .jsonl/.json path)
+///   --telemetry-out=PATH  stream one JSONL record per training epoch
+/// With none of the flags given, tracing stays disabled and the instrumented
+/// code paths cost nothing.
+class ObsSession {
+ public:
+  explicit ObsSession(const util::FlagParser& flags)
+      : trace_path_(flags.GetString("trace-out", "")),
+        metrics_path_(flags.GetString("metrics-out", "")) {
+    const std::string telemetry_path = flags.GetString("telemetry-out", "");
+    if (!trace_path_.empty() || !metrics_path_.empty())
+      obs::EnableTracing(true);
+    if (!telemetry_path.empty()) obs::Telemetry::Get().OpenJsonl(telemetry_path);
+  }
+
+  ~ObsSession() { Finish(); }
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Writes/prints everything the flags asked for. Idempotent; also invoked
+  /// by the destructor so early returns still flush.
+  void Finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (!trace_path_.empty() && obs::WriteChromeTrace(trace_path_))
+      std::printf("trace written to %s (open in chrome://tracing)\n",
+                  trace_path_.c_str());
+    if (!metrics_path_.empty()) {
+      PrintSpanAggregates();
+      WriteSpanAggregates(metrics_path_);
+    }
+    obs::Telemetry::Get().Close();
+  }
+
+ private:
+  void PrintSpanAggregates() const {
+    util::Table table("Per-op time breakdown (aggregated spans)");
+    table.SetHeader({"Op", "Count", "Total ms", "Mean us"});
+    for (const obs::LabelStats& s : obs::AggregateSpanStats()) {
+      char total[32], mean[32];
+      std::snprintf(total, sizeof(total), "%.3f", s.TotalMillis());
+      std::snprintf(mean, sizeof(mean), "%.2f", s.MeanNs() / 1e3);
+      table.AddRow({s.label, std::to_string(s.count), total, mean});
+    }
+    table.Print();
+  }
+
+  /// Span aggregates as CSV rows (or JSONL objects for .jsonl/.json paths),
+  /// followed by any registered counters/gauges/histograms.
+  static void WriteSpanAggregates(const std::string& path) {
+    const bool jsonl =
+        path.size() >= 5 && (path.rfind(".jsonl") == path.size() - 6 ||
+                             path.rfind(".json") == path.size() - 5);
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open metrics output %s\n", path.c_str());
+      return;
+    }
+    if (jsonl) {
+      for (const obs::LabelStats& s : obs::AggregateSpanStats())
+        out << "{\"kind\":\"span\",\"label\":\"" << s.label
+            << "\",\"count\":" << s.count << ",\"total_ms\":" << s.TotalMillis()
+            << ",\"mean_us\":" << s.MeanNs() / 1e3 << "}\n";
+      obs::MetricsRegistry::Get().WriteJsonl(out);
+    } else {
+      out << "label,count,total_ms,mean_us,min_us,max_us\n";
+      for (const obs::LabelStats& s : obs::AggregateSpanStats())
+        out << s.label << "," << s.count << "," << s.TotalMillis() << ","
+            << s.MeanNs() / 1e3 << "," << s.min_ns / 1e3 << ","
+            << s.max_ns / 1e3 << "\n";
+    }
+    std::printf("per-op metrics written to %s\n", path.c_str());
+  }
+
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool finished_ = false;
+};
 
 /// Resource profile for a benchmark run. The default ("fast") profile scales
 /// the real-world stand-ins and epoch counts to the 2-core CPU budget this

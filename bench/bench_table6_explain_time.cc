@@ -22,6 +22,7 @@ using namespace ses;
 int main(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
   bench::Profile profile = bench::Profile::FromFlags(flags);
+  bench::ObsSession obs_session(flags);
   std::printf("[Table 6] %s\n", profile.Describe().c_str());
 
   auto ds = data::MakeRealWorldByName("Cora", profile.real_scale, 1);

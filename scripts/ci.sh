@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI driver: builds the Release tree and an AddressSanitizer tree, runs the
+# full ctest suite on both. Any failure fails the script.
+#
+# Usage: scripts/ci.sh [JOBS]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_variant() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "=== [${name}] configure ==="
+  cmake -B "${build_dir}" -S . "$@"
+  echo "=== [${name}] build ==="
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "=== [${name}] test ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_variant "release" build -DCMAKE_BUILD_TYPE=Release
+run_variant "asan" build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSES_SANITIZE=address
+
+echo "=== all variants passed ==="

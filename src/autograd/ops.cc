@@ -2,8 +2,15 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
+
+/// Per-op instrumentation: SES_OP_FWD opens a span over the op's forward
+/// computation; the matching "bwd:" literal passed to MakeOpNode labels the
+/// span Backward() opens around the backward closure. Composite ops (Neg,
+/// MeanAll, TripletLoss, ...) are covered by the primitives they expand into.
+#define SES_OP_FWD(name) SES_TRACE_SPAN("fwd:" name)
 
 namespace ses::autograd {
 
@@ -13,7 +20,8 @@ namespace {
 
 /// Shorthand for a unary op whose backward multiplies the incoming gradient
 /// elementwise with a locally computed factor tensor.
-Variable UnaryWithFactor(const Variable& a, t::Tensor value, t::Tensor factor) {
+Variable UnaryWithFactor(const Variable& a, t::Tensor value, t::Tensor factor,
+                         const char* bwd_label) {
   NodePtr pa = a.node();
   auto node = MakeOpNode(
       std::move(value), {pa},
@@ -26,13 +34,15 @@ Variable UnaryWithFactor(const Variable& a, t::Tensor value, t::Tensor factor) {
           float* pd = dst.data();
           for (int64_t i = 0; i < n; ++i) pd[i] += pg[i] * pf[i];
         }
-      });
+      },
+      bwd_label);
   return Variable(node);
 }
 
 }  // namespace
 
 Variable MatMul(const Variable& a, const Variable& b) {
+  SES_OP_FWD("MatMul");
   NodePtr pa = a.node(), pb = b.node();
   t::Tensor value = t::MatMul(pa->value, pb->value);
   auto node = MakeOpNode(std::move(value), {pa, pb},
@@ -43,41 +53,49 @@ Variable MatMul(const Variable& a, const Variable& b) {
                            if (pb->requires_grad)
                              pb->EnsureGrad().AddInPlace(
                                  t::MatMulTransposedA(pa->value, g));
-                         });
+                         },
+                         "bwd:MatMul");
   return Variable(node);
 }
 
 Variable Transpose(const Variable& a) {
+  SES_OP_FWD("Transpose");
   NodePtr pa = a.node();
   auto node = MakeOpNode(t::Transpose(pa->value), {pa},
                          [pa](const t::Tensor& g) {
                            if (pa->requires_grad)
                              pa->EnsureGrad().AddInPlace(t::Transpose(g));
-                         });
+                         },
+                         "bwd:Transpose");
   return Variable(node);
 }
 
 Variable Add(const Variable& a, const Variable& b) {
+  SES_OP_FWD("Add");
   NodePtr pa = a.node(), pb = b.node();
   auto node = MakeOpNode(t::Add(pa->value, pb->value), {pa, pb},
                          [pa, pb](const t::Tensor& g) {
                            if (pa->requires_grad) pa->EnsureGrad().AddInPlace(g);
                            if (pb->requires_grad) pb->EnsureGrad().AddInPlace(g);
-                         });
+                         },
+                         "bwd:Add");
   return Variable(node);
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
+  SES_OP_FWD("Sub");
   NodePtr pa = a.node(), pb = b.node();
   auto node = MakeOpNode(t::Sub(pa->value, pb->value), {pa, pb},
                          [pa, pb](const t::Tensor& g) {
                            if (pa->requires_grad) pa->EnsureGrad().AddInPlace(g);
                            if (pb->requires_grad) pb->EnsureGrad().AddScaled(g, -1.0f);
-                         });
+                         },
+                         "bwd:Sub");
   return Variable(node);
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
+  SES_OP_FWD("Mul");
   NodePtr pa = a.node(), pb = b.node();
   auto node = MakeOpNode(t::Mul(pa->value, pb->value), {pa, pb},
                          [pa, pb](const t::Tensor& g) {
@@ -85,11 +103,13 @@ Variable Mul(const Variable& a, const Variable& b) {
                              pa->EnsureGrad().AddInPlace(t::Mul(g, pb->value));
                            if (pb->requires_grad)
                              pb->EnsureGrad().AddInPlace(t::Mul(g, pa->value));
-                         });
+                         },
+                         "bwd:Mul");
   return Variable(node);
 }
 
 Variable AddRowVector(const Variable& a, const Variable& bias) {
+  SES_OP_FWD("AddRowVector");
   NodePtr pa = a.node(), pb = bias.node();
   auto node = MakeOpNode(t::AddRowVector(pa->value, pb->value), {pa, pb},
                          [pa, pb](const t::Tensor& g) {
@@ -99,7 +119,8 @@ Variable AddRowVector(const Variable& a, const Variable& bias) {
                              colsum.Reshape(pb->value.rows(), pb->value.cols());
                              pb->EnsureGrad().AddInPlace(colsum);
                            }
-                         });
+                         },
+                         "bwd:AddRowVector");
   return Variable(node);
 }
 
@@ -108,40 +129,47 @@ Variable SubRowVector(const Variable& a, const Variable& row) {
 }
 
 Variable Scale(const Variable& a, float s) {
+  SES_OP_FWD("Scale");
   NodePtr pa = a.node();
   auto node = MakeOpNode(t::Scale(pa->value, s), {pa},
                          [pa, s](const t::Tensor& g) {
                            if (pa->requires_grad) pa->EnsureGrad().AddScaled(g, s);
-                         });
+                         },
+                         "bwd:Scale");
   return Variable(node);
 }
 
 Variable AddScalar(const Variable& a, float s) {
+  SES_OP_FWD("AddScalar");
   NodePtr pa = a.node();
   auto node = MakeOpNode(t::AddScalar(pa->value, s), {pa},
                          [pa](const t::Tensor& g) {
                            if (pa->requires_grad) pa->EnsureGrad().AddInPlace(g);
-                         });
+                         },
+                         "bwd:AddScalar");
   return Variable(node);
 }
 
 Variable Neg(const Variable& a) { return Scale(a, -1.0f); }
 
 Variable Sigmoid(const Variable& a) {
+  SES_OP_FWD("Sigmoid");
   t::Tensor y = t::Sigmoid(a.value());
   t::Tensor factor(y.rows(), y.cols());
   for (int64_t i = 0; i < y.size(); ++i) factor[i] = y[i] * (1.0f - y[i]);
-  return UnaryWithFactor(a, std::move(y), std::move(factor));
+  return UnaryWithFactor(a, std::move(y), std::move(factor), "bwd:Sigmoid");
 }
 
 Variable Tanh(const Variable& a) {
+  SES_OP_FWD("Tanh");
   t::Tensor y = t::Tanh(a.value());
   t::Tensor factor(y.rows(), y.cols());
   for (int64_t i = 0; i < y.size(); ++i) factor[i] = 1.0f - y[i] * y[i];
-  return UnaryWithFactor(a, std::move(y), std::move(factor));
+  return UnaryWithFactor(a, std::move(y), std::move(factor), "bwd:Tanh");
 }
 
 Variable Relu(const Variable& a) {
+  SES_OP_FWD("Relu");
   const t::Tensor& x = a.value();
   t::Tensor y(x.rows(), x.cols());
   t::Tensor factor(x.rows(), x.cols());
@@ -149,10 +177,11 @@ Variable Relu(const Variable& a) {
     y[i] = x[i] > 0.0f ? x[i] : 0.0f;
     factor[i] = x[i] > 0.0f ? 1.0f : 0.0f;
   }
-  return UnaryWithFactor(a, std::move(y), std::move(factor));
+  return UnaryWithFactor(a, std::move(y), std::move(factor), "bwd:Relu");
 }
 
 Variable LeakyRelu(const Variable& a, float slope) {
+  SES_OP_FWD("LeakyRelu");
   const t::Tensor& x = a.value();
   t::Tensor y(x.rows(), x.cols());
   t::Tensor factor(x.rows(), x.cols());
@@ -160,10 +189,11 @@ Variable LeakyRelu(const Variable& a, float slope) {
     y[i] = x[i] > 0.0f ? x[i] : slope * x[i];
     factor[i] = x[i] > 0.0f ? 1.0f : slope;
   }
-  return UnaryWithFactor(a, std::move(y), std::move(factor));
+  return UnaryWithFactor(a, std::move(y), std::move(factor), "bwd:LeakyRelu");
 }
 
 Variable Elu(const Variable& a, float alpha) {
+  SES_OP_FWD("Elu");
   const t::Tensor& x = a.value();
   t::Tensor y(x.rows(), x.cols());
   t::Tensor factor(x.rows(), x.cols());
@@ -176,33 +206,37 @@ Variable Elu(const Variable& a, float alpha) {
       factor[i] = y[i] + alpha;  // d/dx elu = elu(x) + alpha for x <= 0
     }
   }
-  return UnaryWithFactor(a, std::move(y), std::move(factor));
+  return UnaryWithFactor(a, std::move(y), std::move(factor), "bwd:Elu");
 }
 
 Variable Exp(const Variable& a) {
+  SES_OP_FWD("Exp");
   t::Tensor y = t::Exp(a.value());
   t::Tensor factor = y;
-  return UnaryWithFactor(a, std::move(y), std::move(factor));
+  return UnaryWithFactor(a, std::move(y), std::move(factor), "bwd:Exp");
 }
 
 Variable Log(const Variable& a) {
+  SES_OP_FWD("Log");
   const t::Tensor& x = a.value();
   t::Tensor y = t::Log(x);
   t::Tensor factor(x.rows(), x.cols());
   for (int64_t i = 0; i < x.size(); ++i)
     factor[i] = 1.0f / std::max(x[i], 1e-12f);
-  return UnaryWithFactor(a, std::move(y), std::move(factor));
+  return UnaryWithFactor(a, std::move(y), std::move(factor), "bwd:Log");
 }
 
 Variable Sqrt(const Variable& a, float eps) {
+  SES_OP_FWD("Sqrt");
   t::Tensor y = t::Sqrt(a.value());
   t::Tensor factor(y.rows(), y.cols());
   for (int64_t i = 0; i < y.size(); ++i)
     factor[i] = 0.5f / std::max(y[i], eps);
-  return UnaryWithFactor(a, std::move(y), std::move(factor));
+  return UnaryWithFactor(a, std::move(y), std::move(factor), "bwd:Sqrt");
 }
 
 Variable Pow(const Variable& a, float p) {
+  SES_OP_FWD("Pow");
   const t::Tensor& x = a.value();
   t::Tensor y(x.rows(), x.cols());
   t::Tensor factor(x.rows(), x.cols());
@@ -213,10 +247,11 @@ Variable Pow(const Variable& a, float p) {
     y[i] = std::pow(base, p);
     factor[i] = p * std::pow(base, p - 1.0f);
   }
-  return UnaryWithFactor(a, std::move(y), std::move(factor));
+  return UnaryWithFactor(a, std::move(y), std::move(factor), "bwd:Pow");
 }
 
 Variable ScaleBy(const Variable& a, const Variable& scalar) {
+  SES_OP_FWD("ScaleBy");
   NodePtr pa = a.node(), ps = scalar.node();
   SES_CHECK(ps->value.size() == 1);
   t::Tensor y = t::Scale(pa->value, ps->value[0]);
@@ -230,11 +265,13 @@ Variable ScaleBy(const Variable& a, const Variable& scalar) {
             acc += static_cast<double>(g[i]) * pa->value[i];
           ps->EnsureGrad()[0] += static_cast<float>(acc);
         }
-      });
+      },
+      "bwd:ScaleBy");
   return Variable(node);
 }
 
 Variable LogSoftmaxRows(const Variable& a) {
+  SES_OP_FWD("LogSoftmaxRows");
   NodePtr pa = a.node();
   t::Tensor y = t::LogSoftmaxRows(pa->value);
   t::Tensor softmax = t::Exp(y);
@@ -253,11 +290,13 @@ Variable LogSoftmaxRows(const Variable& a) {
           for (int64_t c = 0; c < g.cols(); ++c)
             pd[c] += pg[c] - ps[c] * static_cast<float>(rowsum);
         }
-      });
+      },
+      "bwd:LogSoftmaxRows");
   return Variable(node);
 }
 
 Variable SoftmaxRows(const Variable& a) {
+  SES_OP_FWD("SoftmaxRows");
   NodePtr pa = a.node();
   t::Tensor y = t::SoftmaxRows(pa->value);
   t::Tensor y_copy = y;
@@ -276,12 +315,14 @@ Variable SoftmaxRows(const Variable& a) {
           for (int64_t c = 0; c < g.cols(); ++c)
             pd[c] += py[c] * (pg[c] - static_cast<float>(dot));
         }
-      });
+      },
+      "bwd:SoftmaxRows");
   return Variable(node);
 }
 
 Variable Dropout(const Variable& a, float p, bool training, util::Rng* rng) {
   if (!training || p <= 0.0f) return a;
+  SES_OP_FWD("Dropout");
   SES_CHECK(p < 1.0f);
   const t::Tensor& x = a.value();
   const float keep = 1.0f - p;
@@ -289,10 +330,11 @@ Variable Dropout(const Variable& a, float p, bool training, util::Rng* rng) {
   for (int64_t i = 0; i < x.size(); ++i)
     mask[i] = rng->Bernoulli(keep) ? 1.0f / keep : 0.0f;
   t::Tensor y = t::Mul(x, mask);
-  return UnaryWithFactor(a, std::move(y), std::move(mask));
+  return UnaryWithFactor(a, std::move(y), std::move(mask), "bwd:Dropout");
 }
 
 Variable SumAll(const Variable& a) {
+  SES_OP_FWD("SumAll");
   NodePtr pa = a.node();
   t::Tensor y(1, 1);
   y[0] = pa->value.Sum();
@@ -303,7 +345,8 @@ Variable SumAll(const Variable& a) {
                            const float gv = g[0];
                            float* pd = dst.data();
                            for (int64_t i = 0; i < dst.size(); ++i) pd[i] += gv;
-                         });
+                         },
+                         "bwd:SumAll");
   return Variable(node);
 }
 
@@ -313,6 +356,7 @@ Variable MeanAll(const Variable& a) {
 }
 
 Variable SumRows(const Variable& a) {
+  SES_OP_FWD("SumRows");
   NodePtr pa = a.node();
   auto node = MakeOpNode(t::SumRows(pa->value), {pa},
                          [pa](const t::Tensor& g) {
@@ -323,11 +367,13 @@ Variable SumRows(const Variable& a) {
                              float* pd = dst.RowPtr(r);
                              for (int64_t c = 0; c < dst.cols(); ++c) pd[c] += gv;
                            }
-                         });
+                         },
+                         "bwd:SumRows");
   return Variable(node);
 }
 
 Variable SumCols(const Variable& a) {
+  SES_OP_FWD("SumCols");
   NodePtr pa = a.node();
   auto node = MakeOpNode(t::SumCols(pa->value), {pa},
                          [pa](const t::Tensor& g) {
@@ -338,22 +384,26 @@ Variable SumCols(const Variable& a) {
                              float* pd = dst.RowPtr(r);
                              for (int64_t c = 0; c < dst.cols(); ++c) pd[c] += pg[c];
                            }
-                         });
+                         },
+                         "bwd:SumCols");
   return Variable(node);
 }
 
 Variable GatherRows(const Variable& a, std::vector<int64_t> index) {
+  SES_OP_FWD("GatherRows");
   NodePtr pa = a.node();
   t::Tensor y = t::GatherRows(pa->value, index);
   auto node = MakeOpNode(std::move(y), {pa},
                          [pa, index = std::move(index)](const t::Tensor& g) {
                            if (!pa->requires_grad) return;
                            t::ScatterAddRows(g, index, &pa->EnsureGrad());
-                         });
+                         },
+                         "bwd:GatherRows");
   return Variable(node);
 }
 
 Variable ConcatCols(const Variable& a, const Variable& b) {
+  SES_OP_FWD("ConcatCols");
   NodePtr pa = a.node(), pb = b.node();
   auto node = MakeOpNode(
       t::ConcatCols(pa->value, pb->value), {pa, pb},
@@ -376,11 +426,13 @@ Variable ConcatCols(const Variable& a, const Variable& b) {
             for (int64_t c = 0; c < cb; ++c) pd[c] += pg[c];
           }
         }
-      });
+      },
+      "bwd:ConcatCols");
   return Variable(node);
 }
 
 Variable ConcatRows(const Variable& a, const Variable& b) {
+  SES_OP_FWD("ConcatRows");
   NodePtr pa = a.node(), pb = b.node();
   auto node = MakeOpNode(
       t::ConcatRows(pa->value, pb->value), {pa, pb},
@@ -390,11 +442,13 @@ Variable ConcatRows(const Variable& a, const Variable& b) {
           pa->EnsureGrad().AddInPlace(t::SliceRows(g, 0, ra));
         if (pb->requires_grad)
           pb->EnsureGrad().AddInPlace(t::SliceRows(g, ra, g.rows()));
-      });
+      },
+      "bwd:ConcatRows");
   return Variable(node);
 }
 
 Variable SliceRows(const Variable& a, int64_t lo, int64_t hi) {
+  SES_OP_FWD("SliceRows");
   NodePtr pa = a.node();
   auto node = MakeOpNode(
       t::SliceRows(pa->value, lo, hi), {pa},
@@ -406,12 +460,14 @@ Variable SliceRows(const Variable& a, int64_t lo, int64_t hi) {
           float* pd = dst.RowPtr(lo + r);
           for (int64_t c = 0; c < g.cols(); ++c) pd[c] += pg[c];
         }
-      });
+      },
+      "bwd:SliceRows");
   return Variable(node);
 }
 
 Variable NllLoss(const Variable& log_probs, const std::vector<int64_t>& labels,
                  const std::vector<int64_t>& indices) {
+  SES_OP_FWD("NllLoss");
   SES_CHECK(!indices.empty());
   NodePtr pa = log_probs.node();
   const t::Tensor& lp = pa->value;
@@ -432,11 +488,13 @@ Variable NllLoss(const Variable& log_probs, const std::vector<int64_t>& labels,
                            const float gv = g[0] * inv;
                            for (int64_t i : indices)
                              dst.At(i, labels[static_cast<size_t>(i)]) -= gv;
-                         });
+                         },
+                         "bwd:NllLoss");
   return Variable(node);
 }
 
 Variable L1Loss(const Variable& pred, const tensor::Tensor& target) {
+  SES_OP_FWD("L1Loss");
   NodePtr pa = pred.node();
   SES_CHECK(pa->value.SameShape(target));
   const int64_t n = pa->value.size();
@@ -454,11 +512,13 @@ Variable L1Loss(const Variable& pred, const tensor::Tensor& target) {
           const float d = pa->value[i] - target[i];
           dst[i] += gv * (d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f));
         }
-      });
+      },
+      "bwd:L1Loss");
   return Variable(node);
 }
 
 Variable MseLoss(const Variable& pred, const tensor::Tensor& target) {
+  SES_OP_FWD("MseLoss");
   NodePtr pa = pred.node();
   SES_CHECK(pa->value.SameShape(target));
   const int64_t n = pa->value.size();
@@ -477,7 +537,8 @@ Variable MseLoss(const Variable& pred, const tensor::Tensor& target) {
         const float gv = 2.0f * g[0] / static_cast<float>(pa->value.size());
         for (int64_t i = 0; i < pa->value.size(); ++i)
           dst[i] += gv * (pa->value[i] - target[i]);
-      });
+      },
+      "bwd:MseLoss");
   return Variable(node);
 }
 
@@ -490,6 +551,7 @@ Variable RowDistance(const Variable& a, const Variable& b, float eps) {
 
 Variable TripletLoss(const Variable& anchor, const Variable& positive,
                      const Variable& negative, float margin) {
+  SES_TRACE_SPAN("loss/TripletLoss");
   Variable d_ap = RowDistance(anchor, positive);
   Variable d_an = RowDistance(anchor, negative);
   Variable hinge = Relu(AddScalar(Sub(d_ap, d_an), margin));

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -11,6 +12,7 @@ namespace t = ses::tensor;
 
 Variable SpMM(const EdgeListPtr& edges, const Variable& edge_weight,
               const Variable& x) {
+  SES_TRACE_SPAN("fwd:SpMM");
   SES_CHECK(edges != nullptr);
   NodePtr pw = edge_weight.node(), px = x.node();
   const int64_t e_count = edges->size();
@@ -55,11 +57,13 @@ Variable SpMM(const EdgeListPtr& edges, const Variable& edge_weight,
             for (int64_t c = 0; c < f; ++c) drow[c] += we * grow[c];
           }
         }
-      });
+      },
+      "bwd:SpMM");
   return Variable(node);
 }
 
 Variable EdgeSoftmax(const EdgeListPtr& edges, const Variable& scores) {
+  SES_TRACE_SPAN("fwd:EdgeSoftmax");
   SES_CHECK(edges != nullptr);
   NodePtr ps = scores.node();
   const int64_t e_count = edges->size();
@@ -103,12 +107,14 @@ Variable EdgeSoftmax(const EdgeListPtr& edges, const Variable& scores) {
           ds[e] += y[e] * (g[e] - static_cast<float>(
                                       group_dot[static_cast<size_t>(d)]));
         }
-      });
+      },
+      "bwd:EdgeSoftmax");
   return Variable(node);
 }
 
 Variable SparseMaskedLinear(const std::shared_ptr<const tensor::SparseMatrix>& x,
                             const Variable& mask, const Variable& w) {
+  SES_TRACE_SPAN("fwd:SparseMaskedLinear");
   SES_CHECK(x != nullptr);
   NodePtr pw = w.node();
   NodePtr pm = mask.defined() ? mask.node() : nullptr;
@@ -169,13 +175,15 @@ Variable SparseMaskedLinear(const std::shared_ptr<const tensor::SparseMatrix>& x
             }
           }
         }
-      });
+      },
+      "bwd:SparseMaskedLinear");
   return Variable(node);
 }
 
 Variable FeatureMaskAtNnz(const Variable& h, const Variable& w2,
                           const Variable& b2,
                           const std::shared_ptr<const tensor::SparseMatrix>& pattern) {
+  SES_TRACE_SPAN("fwd:FeatureMaskAtNnz");
   SES_CHECK(pattern != nullptr);
   NodePtr ph = h.node(), pw = w2.node(), pb = b2.node();
   SES_CHECK(ph->value.rows() == pattern->rows);
@@ -249,7 +257,8 @@ Variable FeatureMaskAtNnz(const Variable& h, const Variable& w2,
             db[pattern->col_idx[static_cast<size_t>(e)]] +=
                 dz[static_cast<size_t>(e)];
         }
-      });
+      },
+      "bwd:FeatureMaskAtNnz");
   return Variable(node);
 }
 

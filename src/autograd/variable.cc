@@ -4,6 +4,7 @@
 #include <atomic>
 #include <unordered_set>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ses::autograd {
@@ -37,11 +38,13 @@ void Variable::ZeroGrad() {
 }
 
 NodePtr MakeOpNode(tensor::Tensor value, std::vector<NodePtr> parents,
-                   std::function<void(const tensor::Tensor&)> backward_fn) {
+                   std::function<void(const tensor::Tensor&)> backward_fn,
+                   const char* bwd_label) {
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
   node->parents = std::move(parents);
   node->backward_fn = std::move(backward_fn);
+  node->bwd_label = bwd_label;
   node->id = g_node_counter.fetch_add(1);
   for (const auto& p : node->parents) {
     if (p && p->requires_grad) {
@@ -53,6 +56,7 @@ NodePtr MakeOpNode(tensor::Tensor value, std::vector<NodePtr> parents,
 }
 
 void Backward(const Variable& root, const tensor::Tensor& seed) {
+  SES_TRACE_SPAN("autograd/backward");
   SES_CHECK(root.defined());
   SES_CHECK(seed.SameShape(root.value()));
   // Collect reachable nodes (iterative DFS to survive deep graphs).
@@ -74,7 +78,10 @@ void Backward(const Variable& root, const tensor::Tensor& seed) {
             [](const Node* a, const Node* b) { return a->id > b->id; });
   root.node()->EnsureGrad().AddInPlace(seed);
   for (Node* n : reachable) {
-    if (n->backward_fn && n->requires_grad) n->backward_fn(n->EnsureGrad());
+    if (n->backward_fn && n->requires_grad) {
+      obs::ScopedSpan span(n->bwd_label != nullptr ? n->bwd_label : "bwd:op");
+      n->backward_fn(n->EnsureGrad());
+    }
   }
 }
 

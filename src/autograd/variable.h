@@ -21,6 +21,9 @@ struct Node {
   tensor::Tensor grad;  ///< allocated lazily, same shape as value
   bool requires_grad = false;
   uint64_t id = 0;  ///< creation counter; defines topological order
+  /// Span label for this node's backward closure (a string literal like
+  /// "bwd:MatMul"); null for leaves / unlabeled ops.
+  const char* bwd_label = nullptr;
   std::vector<std::shared_ptr<Node>> parents;
   /// Consumes `self_grad` (the gradient of the loss w.r.t. this node's value)
   /// and accumulates into parents' `grad` tensors. Null for leaves.
@@ -70,9 +73,11 @@ void Backward(const Variable& root);
 void Backward(const Variable& root, const tensor::Tensor& seed);
 
 /// Internal: allocates a fresh interior node; `requires_grad` is inferred
-/// from parents.
+/// from parents. `bwd_label`, when given, must be a string literal; Backward
+/// opens a profiling span with it around the node's backward closure.
 NodePtr MakeOpNode(tensor::Tensor value, std::vector<NodePtr> parents,
-                   std::function<void(const tensor::Tensor&)> backward_fn);
+                   std::function<void(const tensor::Tensor&)> backward_fn,
+                   const char* bwd_label = nullptr);
 
 }  // namespace ses::autograd
 

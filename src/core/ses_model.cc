@@ -1,8 +1,12 @@
 #include "core/ses_model.h"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
 
 #include "nn/optim.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -35,11 +39,26 @@ ag::Variable MaskWithSelfLoops(const ag::Variable& mask, int64_t num_nodes) {
                         ag::Variable::Constant(t::Tensor::Ones(num_nodes, 1)));
 }
 
+/// Global L2 norm over every accumulated parameter gradient. Only evaluated
+/// when the telemetry sink is active (it walks every parameter element).
+double GlobalGradNorm(const std::vector<ag::Variable>& params) {
+  double acc = 0.0;
+  for (const ag::Variable& p : params) {
+    if (!p.defined()) continue;
+    const t::Tensor& g = p.grad();
+    if (!g.SameShape(p.value())) continue;  // gradient never allocated
+    for (int64_t i = 0; i < g.size(); ++i)
+      acc += static_cast<double>(g[i]) * g[i];
+  }
+  return std::sqrt(acc);
+}
+
 }  // namespace
 
 SesModel::SesModel(SesOptions options) : options_(std::move(options)) {}
 
 void SesModel::Fit(const data::Dataset& ds, const models::TrainConfig& config) {
+  SES_TRACE_SPAN("ses/fit");
   config_ = config;
   util::Rng rng(config.seed + 7);
   encoder_ = models::MakeEncoder(options_.backbone, ds.num_features(),
@@ -130,7 +149,12 @@ void SesModel::Fit(const data::Dataset& ds, const models::TrainConfig& config) {
   models::ParameterSnapshot best_masks;
   double best_val = -1.0;
   const float alpha = options_.alpha;
+  std::optional<obs::ScopedSpan> phase1_span;
+  phase1_span.emplace("ses/phase1");
+  util::Timer block_timer;  // verbose reporting: time per 20-epoch block
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    SES_TRACE_SPAN("ses/phase1_epoch");
+    util::Timer epoch_timer;
     // Plain pass: Z and H (Eq. 2).
     auto out = encoder_->Forward(plain_input, adj_edges_, {}, config.dropout,
                                  /*training=*/true, &rng);
@@ -186,6 +210,8 @@ void SesModel::Fit(const data::Dataset& ds, const models::TrainConfig& config) {
       loss = ag::Add(ag::Scale(l_sub, alpha), ag::Scale(l_xent, 1.0f - alpha));
     }
     ag::Backward(loss);
+    double grad_norm = -1.0;
+    if (obs::Telemetry::Get().active()) grad_norm = GlobalGradNorm(params);
     optimizer.Step();
 
     // Bookkeeping for Fig. 7 and best-val selection.
@@ -208,10 +234,26 @@ void SesModel::Fit(const data::Dataset& ds, const models::TrainConfig& config) {
         (epoch == 0 || epoch == config.epochs / 2 ||
          epoch == config.epochs - 1))
       mask_snapshots_.push_back(m_f.value());
-    if (config.verbose && epoch % 20 == 0)
+    if (obs::Telemetry::Get().active()) {
+      obs::EpochRecord record;
+      record.model = name();
+      record.phase = "phase1";
+      record.epoch = epoch;
+      record.loss = loss.value()[0];
+      record.grad_norm = grad_norm;
+      record.epoch_seconds = epoch_timer.ElapsedSeconds();
+      record.val_metric = best_val;
+      obs::Telemetry::Get().Emit(record);
+    }
+    if (config.verbose && epoch % 20 == 0) {
       SES_LOG_INFO << name() << " phase-1 epoch " << epoch << " loss "
-                   << loss.value()[0];
+                   << loss.value()[0] << " ("
+                   << util::FormatDuration(block_timer.ElapsedSeconds())
+                   << " for last block)";
+      block_timer.Reset();
+    }
   }
+  phase1_span.reset();
   // Restore the best-validation encoder AND the matching mask generator so
   // the frozen masks are coherent with the restored encoder's H.
   if (!best.empty()) {
@@ -223,6 +265,7 @@ void SesModel::Fit(const data::Dataset& ds, const models::TrainConfig& config) {
   // -------------------------------------------- freeze masks (inference)
   timer.Reset();
   {
+    SES_TRACE_SPAN("ses/freeze_masks");
     auto out = encoder_->Forward(plain_input, adj_edges_, {}, 0.0f,
                                  /*training=*/false, &rng);
     if (options_.use_feature_mask)
@@ -255,6 +298,7 @@ void SesModel::EnhancedPredictiveLearning(
     const FrozenMasks& masks, const PosNegPairs& pairs,
     const SesOptions& options, const models::TrainConfig& config,
     util::Rng* rng) {
+  SES_TRACE_SPAN("ses/phase2");
   auto adj_edges = ds.graph.DirectedEdges(/*add_self_loops=*/true);
   nn::FeatureInput input =
       (options.use_feature_mask && masks.feature_nnz.size() > 0)
@@ -278,6 +322,8 @@ void SesModel::EnhancedPredictiveLearning(
     best.Capture(*encoder);
   }
   for (int64_t epoch = 0; epoch < options.epl_epochs; ++epoch) {
+    SES_TRACE_SPAN("ses/phase2_epoch");
+    util::Timer epoch_timer;
     auto out = encoder->Forward(input, adj_edges, adj_mask, config.dropout,
                                 /*training=*/true, rng);
     ag::Variable loss;
@@ -300,6 +346,9 @@ void SesModel::EnhancedPredictiveLearning(
                          ds.train_idx);
     }
     ag::Backward(loss);
+    double grad_norm = -1.0;
+    if (obs::Telemetry::Get().active())
+      grad_norm = GlobalGradNorm(encoder->Parameters());
     optimizer.Step();
     if (!ds.val_idx.empty()) {
       const double val =
@@ -308,6 +357,17 @@ void SesModel::EnhancedPredictiveLearning(
         best_val = val;
         best.Capture(*encoder);
       }
+    }
+    if (obs::Telemetry::Get().active()) {
+      obs::EpochRecord record;
+      record.model = "SES";
+      record.phase = "phase2";
+      record.epoch = epoch;
+      record.loss = loss.value()[0];
+      record.grad_norm = grad_norm;
+      record.epoch_seconds = epoch_timer.ElapsedSeconds();
+      record.val_metric = best_val;
+      obs::Telemetry::Get().Emit(record);
     }
     if (config.verbose)
       SES_LOG_INFO << "phase-2 epoch " << epoch << " loss " << loss.value()[0];

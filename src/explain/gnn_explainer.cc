@@ -1,5 +1,7 @@
 #include "explain/gnn_explainer.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -116,12 +118,14 @@ void GnnExplainer::Run(const data::Dataset& ds,
 
 std::vector<float> GnnExplainer::ExplainEdges(
     const data::Dataset& ds, const std::vector<int64_t>& nodes) {
+  SES_TRACE_SPAN("explain/GNNExplainer");
   Run(ds, nodes);
   return edge_scores_;
 }
 
 std::vector<float> GnnExplainer::ExplainFeaturesNnz(
     const data::Dataset& ds, const std::vector<int64_t>& nodes) {
+  SES_TRACE_SPAN("explain/GNNExplainer");
   Run(ds, nodes);
   return feature_scores_;
 }

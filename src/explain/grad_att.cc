@@ -1,5 +1,7 @@
 #include "explain/grad_att.h"
 
+#include "obs/trace.h"
+
 #include <cmath>
 
 #include "autograd/ops.h"
@@ -37,6 +39,7 @@ void GradExplainer::ComputeGradients(const data::Dataset& ds,
 
 std::vector<float> GradExplainer::ExplainEdges(const data::Dataset& ds,
                                                const std::vector<int64_t>&) {
+  SES_TRACE_SPAN("explain/GRAD");
   t::Tensor edge_grad;
   ComputeGradients(ds, &edge_grad, nullptr);
   // Map |gradient| of the two directed copies onto the undirected edge.
@@ -51,6 +54,7 @@ std::vector<float> GradExplainer::ExplainEdges(const data::Dataset& ds,
 
 std::vector<float> GradExplainer::ExplainFeaturesNnz(
     const data::Dataset& ds, const std::vector<int64_t>&) {
+  SES_TRACE_SPAN("explain/GRAD");
   t::Tensor feature_grad;
   ComputeGradients(ds, nullptr, &feature_grad);
   std::vector<float> scores(static_cast<size_t>(feature_grad.size()));
@@ -61,6 +65,7 @@ std::vector<float> GradExplainer::ExplainFeaturesNnz(
 
 std::vector<float> AttExplainer::ExplainEdges(const data::Dataset& ds,
                                               const std::vector<int64_t>&) {
+  SES_TRACE_SPAN("explain/ATT");
   util::Rng rng(0);
   auto edges = ds.graph.DirectedEdges(/*add_self_loops=*/true);
   nn::FeatureInput input = nn::FeatureInput::Sparse(ds.features);

@@ -1,5 +1,7 @@
 #include "explain/graphlime.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -70,6 +72,7 @@ std::vector<float> GraphLimeExplainer::ExplainEdges(
 
 std::vector<float> GraphLimeExplainer::ExplainFeaturesNnz(
     const data::Dataset& ds, const std::vector<int64_t>& nodes) {
+  SES_TRACE_SPAN("explain/GraphLIME");
   util::Rng rng(41);
   std::vector<float> scores(static_cast<size_t>(ds.features->nnz()), 0.0f);
 

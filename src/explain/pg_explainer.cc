@@ -1,5 +1,7 @@
 #include "explain/pg_explainer.h"
 
+#include "obs/trace.h"
+
 #include <cmath>
 
 #include "autograd/ops.h"
@@ -14,6 +16,7 @@ namespace t = ses::tensor;
 
 std::vector<float> PgExplainer::ExplainEdges(const data::Dataset& ds,
                                              const std::vector<int64_t>&) {
+  SES_TRACE_SPAN("explain/PGExplainer");
   util::Rng rng(31);
   auto edges = ds.graph.DirectedEdges(/*add_self_loops=*/true);
   nn::FeatureInput input = nn::FeatureInput::Sparse(ds.features);

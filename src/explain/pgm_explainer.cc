@@ -1,5 +1,7 @@
 #include "explain/pgm_explainer.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -12,6 +14,7 @@ namespace t = ses::tensor;
 
 std::vector<float> PgmExplainer::ExplainEdges(
     const data::Dataset& ds, const std::vector<int64_t>& nodes) {
+  SES_TRACE_SPAN("explain/PGMExplainer");
   util::Rng rng(37);
   const auto& und_edges = ds.graph.edges();
   std::vector<float> scores(und_edges.size(), 0.0f);

@@ -2,6 +2,7 @@
 
 #include "autograd/ops.h"
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ses::nn {
@@ -28,6 +29,7 @@ ag::Variable GatConv::Forward(const FeatureInput& x,
                               const ag::EdgeListPtr& edges,
                               const ag::Variable& edge_mask,
                               bool renormalize) const {
+  SES_TRACE_SPAN("nn/GatConv");
   const int64_t e_count = edges->size();
   last_attention_ = t::Tensor(e_count, 1);
   ag::Variable out;

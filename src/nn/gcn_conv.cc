@@ -1,6 +1,7 @@
 #include "nn/gcn_conv.h"
 
 #include "graph/graph.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ses::nn {
@@ -17,6 +18,7 @@ GcnConv::GcnConv(int64_t in_features, int64_t out_features, util::Rng* rng,
 ag::Variable GcnConv::Forward(const FeatureInput& x,
                               const ag::EdgeListPtr& edges,
                               const ag::Variable& edge_weight) const {
+  SES_TRACE_SPAN("nn/GcnConv");
   ag::Variable h = x.Project(weight_);
   ag::Variable out = ag::SpMM(edges, edge_weight, h);
   if (bias_.defined()) out = ag::AddRowVector(out, bias_);

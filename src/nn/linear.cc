@@ -1,5 +1,6 @@
 #include "nn/linear.h"
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ses::nn {
@@ -14,6 +15,7 @@ Linear::Linear(int64_t in_features, int64_t out_features, util::Rng* rng,
 }
 
 ag::Variable Linear::Forward(const ag::Variable& x) const {
+  SES_TRACE_SPAN("nn/Linear");
   ag::Variable y = ag::MatMul(x, weight_);
   if (bias_.defined()) y = ag::AddRowVector(y, bias_);
   return y;
@@ -30,6 +32,7 @@ Mlp::Mlp(const std::vector<int64_t>& dims, util::Rng* rng,
 }
 
 ag::Variable Mlp::Forward(const ag::Variable& x) const {
+  SES_TRACE_SPAN("nn/Mlp");
   ag::Variable h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
     h = layers_[i].Forward(h);

@@ -1,0 +1,68 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace ses::obs {
+
+namespace {
+
+/// Escapes the few characters JSON forbids in strings. Labels are code
+/// literals, so this rarely fires, but the exporter must never emit a file
+/// chrome://tracing refuses to parse.
+void WriteJsonString(std::ostream& out, const char* s) {
+  out << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void WriteChromeTrace(std::ostream& out) {
+  const std::vector<TraceEvent> events = SnapshotEvents();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":";
+    WriteJsonString(out, ev.label);
+    // Chrome expects microseconds; keep nanosecond resolution as fractions.
+    out << ",\"cat\":\"ses\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid
+        << ",\"ts\":" << static_cast<double>(ev.start_ns) / 1e3
+        << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3 << "}";
+  }
+  out << "\n]}\n";
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    SES_LOG_ERROR << "cannot open trace output file " << path;
+    return false;
+  }
+  WriteChromeTrace(out);
+  return true;
+}
+
+}  // namespace ses::obs

@@ -1,0 +1,20 @@
+#ifndef SES_OBS_CHROME_TRACE_H_
+#define SES_OBS_CHROME_TRACE_H_
+
+#include <ostream>
+#include <string>
+
+namespace ses::obs {
+
+/// Serializes every recorded span as Chrome trace-event JSON ("X" complete
+/// events, microsecond timestamps). The output loads directly in
+/// chrome://tracing or https://ui.perfetto.dev.
+void WriteChromeTrace(std::ostream& out);
+
+/// File convenience wrapper; returns false (and logs) if the file cannot be
+/// opened.
+bool WriteChromeTrace(const std::string& path);
+
+}  // namespace ses::obs
+
+#endif  // SES_OBS_CHROME_TRACE_H_

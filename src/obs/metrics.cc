@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace ses::obs {
+
+namespace {
+
+/// CAS-loop add for the histogram running sum (no atomic<double>::fetch_add
+/// before C++20 on all toolchains; the loop is equivalent).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+template <typename Map>
+std::vector<std::string> SortedKeys(const Map& map) {
+  std::vector<std::string> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, value] : map) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)), counts_(edges_.size() + 1) {
+  SES_CHECK(std::is_sorted(edges_.begin(), edges_.end()));
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+  counts_[static_cast<size_t>(it - edges_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, v);
+}
+
+double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> edges) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(edges));
+  return *slot;
+}
+
+void MetricsRegistry::WriteCsv(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "kind,name,field,value\n";
+  for (const auto& name : SortedKeys(counters_))
+    out << "counter," << name << ",value," << counters_.at(name)->Value()
+        << "\n";
+  for (const auto& name : SortedKeys(gauges_))
+    out << "gauge," << name << ",value," << gauges_.at(name)->Value() << "\n";
+  for (const auto& name : SortedKeys(histograms_)) {
+    const Histogram& h = *histograms_.at(name);
+    out << "histogram," << name << ",count," << h.Count() << "\n";
+    out << "histogram," << name << ",sum," << h.Sum() << "\n";
+    for (size_t i = 0; i < h.edges().size(); ++i)
+      out << "histogram," << name << ",le_" << h.edges()[i] << ","
+          << h.BucketCount(i) << "\n";
+    out << "histogram," << name << ",le_inf,"
+        << h.BucketCount(h.edges().size()) << "\n";
+  }
+}
+
+void MetricsRegistry::WriteJsonl(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& name : SortedKeys(counters_))
+    out << "{\"kind\":\"counter\",\"name\":\"" << name
+        << "\",\"value\":" << counters_.at(name)->Value() << "}\n";
+  for (const auto& name : SortedKeys(gauges_))
+    out << "{\"kind\":\"gauge\",\"name\":\"" << name
+        << "\",\"value\":" << gauges_.at(name)->Value() << "}\n";
+  for (const auto& name : SortedKeys(histograms_)) {
+    const Histogram& h = *histograms_.at(name);
+    out << "{\"kind\":\"histogram\",\"name\":\"" << name
+        << "\",\"count\":" << h.Count() << ",\"sum\":" << h.Sum()
+        << ",\"edges\":[";
+    for (size_t i = 0; i < h.edges().size(); ++i)
+      out << (i ? "," : "") << h.edges()[i];
+    out << "],\"buckets\":[";
+    for (size_t i = 0; i <= h.edges().size(); ++i)
+      out << (i ? "," : "") << h.BucketCount(i);
+    out << "]}\n";
+  }
+}
+
+bool MetricsRegistry::WriteSnapshot(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    SES_LOG_ERROR << "cannot open metrics output file " << path;
+    return false;
+  }
+  const bool jsonl = path.size() >= 5 && (path.rfind(".jsonl") ==
+                                              path.size() - 6 ||
+                                          path.rfind(".json") == path.size() - 5);
+  if (jsonl)
+    WriteJsonl(out);
+  else
+    WriteCsv(out);
+  return true;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace ses::obs

@@ -1,0 +1,97 @@
+#ifndef SES_OBS_METRICS_H_
+#define SES_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ses::obs {
+
+/// Monotonic counter. Increments are a single atomic add.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins scalar.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. `edges` are ascending inclusive upper bounds;
+/// bucket i counts observations v with v <= edges[i] (first matching bucket),
+/// and one implicit overflow bucket counts everything above the last edge.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> edges);
+
+  void Observe(double v);
+
+  const std::vector<double>& edges() const { return edges_; }
+  /// i in [0, edges().size()]; the last index is the overflow bucket.
+  int64_t BucketCount(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::atomic<int64_t>> counts_;  ///< edges_.size() + 1 slots
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide registry of named metrics. Lookup/creation takes a mutex
+/// (cold path — callers should cache the returned reference); updates on the
+/// returned objects are lock-free. Returned references stay valid for the
+/// lifetime of the process.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `edges` only matters on first creation; later calls return the existing
+  /// histogram regardless of the edges argument.
+  Histogram& GetHistogram(const std::string& name, std::vector<double> edges);
+
+  /// One `kind,name,field,value` row per scalar (histograms expand to one row
+  /// per bucket), names sorted for deterministic output.
+  void WriteCsv(std::ostream& out) const;
+  /// One JSON object per metric, names sorted.
+  void WriteJsonl(std::ostream& out) const;
+  /// Path convenience wrappers; ".jsonl"/".json" suffix selects JSONL,
+  /// anything else CSV. Returns false (and logs) on open failure.
+  bool WriteSnapshot(const std::string& path) const;
+
+  /// Drops every registered metric (test support; invalidates references).
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ses::obs
+
+#endif  // SES_OBS_METRICS_H_

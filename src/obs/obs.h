@@ -1,0 +1,20 @@
+#ifndef SES_OBS_OBS_H_
+#define SES_OBS_OBS_H_
+
+/// ses_obs — the observability layer.
+///
+/// One include gives the whole surface:
+///  - SES_TRACE_SPAN(label): RAII hierarchical spans (trace.h), near-zero
+///    overhead while tracing is disabled (the default);
+///  - WriteChromeTrace(path): chrome://tracing export (chrome_trace.h);
+///  - MetricsRegistry: named counters / gauges / histograms with CSV and
+///    JSONL snapshots (metrics.h);
+///  - Telemetry: per-epoch training records to JSONL or a callback
+///    (telemetry.h).
+
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+#endif  // SES_OBS_OBS_H_

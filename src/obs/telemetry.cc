@@ -1,0 +1,51 @@
+#include "obs/telemetry.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ses::obs {
+
+Telemetry& Telemetry::Get() {
+  static Telemetry* telemetry = new Telemetry();
+  return *telemetry;
+}
+
+void Telemetry::SetCallback(EpochCallback cb) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  callback_ = std::move(cb);
+  active_.store(static_cast<bool>(callback_), std::memory_order_relaxed);
+}
+
+bool Telemetry::OpenJsonl(const std::string& path) {
+  auto out = std::make_shared<std::ofstream>(path);
+  if (!*out) {
+    SES_LOG_ERROR << "cannot open telemetry output file " << path;
+    return false;
+  }
+  SetCallback([out](const EpochRecord& record) {
+    *out << EpochRecordToJson(record) << "\n";
+    out->flush();  // records must survive a crash mid-training
+  });
+  return true;
+}
+
+void Telemetry::Close() { SetCallback(nullptr); }
+
+void Telemetry::EmitSlow(const EpochRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (callback_) callback_(record);
+}
+
+std::string EpochRecordToJson(const EpochRecord& record) {
+  std::ostringstream out;
+  out << "{\"model\":\"" << record.model << "\",\"phase\":\"" << record.phase
+      << "\",\"epoch\":" << record.epoch << ",\"loss\":" << record.loss
+      << ",\"grad_norm\":" << record.grad_norm
+      << ",\"epoch_seconds\":" << record.epoch_seconds
+      << ",\"val_metric\":" << record.val_metric << "}";
+  return out.str();
+}
+
+}  // namespace ses::obs

@@ -1,0 +1,169 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace ses::obs {
+
+std::atomic<bool> internal::g_tracing_enabled{false};
+
+namespace {
+
+uint64_t NowNs() {
+  // Steady-clock nanoseconds relative to the first call (the trace epoch),
+  // so Chrome-trace timestamps start near zero.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+constexpr size_t kChunkCap = 4096;
+
+/// Append-only chunk list. The owning thread writes events then publishes
+/// them with a release store of `size_`; readers acquire `size_` and walk the
+/// chunk chain, so concurrent snapshots see a consistent prefix without any
+/// lock on the recording path.
+struct Chunk {
+  TraceEvent events[kChunkCap];
+  std::atomic<Chunk*> next{nullptr};
+};
+
+class ThreadBuffer {
+ public:
+  ThreadBuffer() : head_(new Chunk()), tail_(head_) {}
+
+  void Record(const TraceEvent& ev) {
+    if (pos_ == kChunkCap) {
+      Chunk* c = new Chunk();
+      tail_->next.store(c, std::memory_order_release);
+      tail_ = c;
+      pos_ = 0;
+    }
+    tail_->events[pos_++] = ev;
+    size_.fetch_add(1, std::memory_order_release);
+  }
+
+  void AppendTo(std::vector<TraceEvent>* out) const {
+    size_t remaining = size_.load(std::memory_order_acquire);
+    for (const Chunk* c = head_; c != nullptr && remaining > 0;
+         c = c->next.load(std::memory_order_acquire)) {
+      const size_t take = std::min(remaining, kChunkCap);
+      out->insert(out->end(), c->events, c->events + take);
+      remaining -= take;
+    }
+  }
+
+  /// Drops every published event. Only safe when the owning thread is not
+  /// recording (see ResetTracing contract).
+  void Reset() {
+    Chunk* c = head_->next.load(std::memory_order_acquire);
+    while (c != nullptr) {
+      Chunk* next = c->next.load(std::memory_order_acquire);
+      delete c;
+      c = next;
+    }
+    head_->next.store(nullptr, std::memory_order_release);
+    tail_ = head_;
+    pos_ = 0;
+    size_.store(0, std::memory_order_release);
+  }
+
+  int depth = 0;
+
+ private:
+  Chunk* head_;
+  Chunk* tail_;
+  size_t pos_ = 0;  ///< events used in `tail_`
+  std::atomic<size_t> size_{0};
+};
+
+std::mutex g_registry_mutex;
+std::vector<ThreadBuffer*>& Registry() {
+  static std::vector<ThreadBuffer*>* r = new std::vector<ThreadBuffer*>();
+  return *r;
+}
+
+/// Buffers are registered once and intentionally never freed: snapshots may
+/// outlive the threads that produced the events, and the registry keeps them
+/// reachable (so leak checkers stay quiet).
+ThreadBuffer* LocalBuffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto* b = new ThreadBuffer();
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    Registry().push_back(b);
+    return b;
+  }();
+  return buffer;
+}
+
+}  // namespace
+
+void EnableTracing(bool on) {
+  internal::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+void ResetTracing() {
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  for (ThreadBuffer* b : Registry()) b->Reset();
+}
+
+void ScopedSpan::Begin(const char* label) {
+  label_ = label;
+  ++LocalBuffer()->depth;
+  start_ns_ = NowNs();  // last: excludes buffer setup from the measurement
+}
+
+void ScopedSpan::End() {
+  const uint64_t end_ns = NowNs();
+  ThreadBuffer* buffer = LocalBuffer();
+  --buffer->depth;
+  TraceEvent ev;
+  ev.label = label_;
+  ev.start_ns = start_ns_;
+  ev.dur_ns = end_ns - start_ns_;
+  ev.tid = util::ThreadId();
+  ev.depth = static_cast<uint16_t>(buffer->depth);
+  buffer->Record(ev);
+}
+
+std::vector<TraceEvent> SnapshotEvents() {
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  std::vector<TraceEvent> out;
+  for (const ThreadBuffer* b : Registry()) b->AppendTo(&out);
+  return out;
+}
+
+std::vector<LabelStats> AggregateSpanStats() {
+  std::unordered_map<std::string, LabelStats> by_label;
+  for (const TraceEvent& ev : SnapshotEvents()) {
+    LabelStats& s = by_label[ev.label];
+    if (s.count == 0) {
+      s.label = ev.label;
+      s.min_ns = ev.dur_ns;
+      s.max_ns = ev.dur_ns;
+    }
+    ++s.count;
+    s.total_ns += ev.dur_ns;
+    s.min_ns = std::min(s.min_ns, ev.dur_ns);
+    s.max_ns = std::max(s.max_ns, ev.dur_ns);
+  }
+  std::vector<LabelStats> out;
+  out.reserve(by_label.size());
+  for (auto& [label, stats] : by_label) out.push_back(std::move(stats));
+  std::sort(out.begin(), out.end(),
+            [](const LabelStats& a, const LabelStats& b) {
+              return a.total_ns != b.total_ns ? a.total_ns > b.total_ns
+                                              : a.label < b.label;
+            });
+  return out;
+}
+
+int CurrentSpanDepth() { return LocalBuffer()->depth; }
+
+}  // namespace ses::obs

@@ -1,0 +1,97 @@
+#ifndef SES_OBS_TRACE_H_
+#define SES_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ses::obs {
+
+namespace internal {
+/// Global tracing switch. Read inline on every span construction so the
+/// disabled path is a single relaxed load + branch (no allocation, no call).
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace internal
+
+/// One completed span. `label` must be a pointer with static storage duration
+/// (string literals); spans never copy the text.
+struct TraceEvent {
+  const char* label = nullptr;
+  uint64_t start_ns = 0;  ///< relative to the process trace epoch
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;   ///< small sequential thread id (util::ThreadId)
+  uint16_t depth = 0; ///< nesting depth at the time the span was open
+};
+
+/// Aggregated statistics for one span label (merged by string content across
+/// threads and translation units).
+struct LabelStats {
+  std::string label;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
+
+  double MeanNs() const {
+    return count == 0 ? 0.0 : static_cast<double>(total_ns) / count;
+  }
+  double TotalMillis() const { return static_cast<double>(total_ns) / 1e6; }
+};
+
+/// Turns span recording on/off at runtime. Default: off.
+void EnableTracing(bool on);
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Discards every recorded event. Only call at a quiescent point (no spans
+/// open on any thread); intended for tests and between bench repetitions.
+void ResetTracing();
+
+/// RAII span. Construction is a no-op (not even a clock read) while tracing
+/// is disabled; when enabled, completion appends one TraceEvent to a
+/// thread-local lock-free buffer.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* label) {
+    if (internal::g_tracing_enabled.load(std::memory_order_relaxed))
+      Begin(label);
+  }
+  ~ScopedSpan() {
+    if (label_ != nullptr) End();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Begin(const char* label);  // out of line: only runs when enabled
+  void End();
+
+  const char* label_ = nullptr;  ///< null => tracing was off at entry
+  uint64_t start_ns_ = 0;
+};
+
+/// Merged copy of every completed span across all threads, in no particular
+/// global order (per-thread order is preserved). Safe to call while other
+/// threads keep recording: it reads each buffer up to its published size.
+std::vector<TraceEvent> SnapshotEvents();
+
+/// Per-label aggregates computed from the current snapshot, sorted by
+/// descending total time.
+std::vector<LabelStats> AggregateSpanStats();
+
+/// Current nesting depth of the calling thread (test support).
+int CurrentSpanDepth();
+
+}  // namespace ses::obs
+
+#define SES_OBS_CONCAT_INNER(a, b) a##b
+#define SES_OBS_CONCAT(a, b) SES_OBS_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope.
+/// `label` must be a string literal (or otherwise outlive the program).
+#define SES_TRACE_SPAN(label) \
+  ::ses::obs::ScopedSpan SES_OBS_CONCAT(ses_span_, __LINE__)(label)
+
+#endif  // SES_OBS_TRACE_H_

@@ -1,8 +1,10 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
 #include <stdexcept>
 
@@ -22,15 +24,41 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// "2026-08-06T12:34:56.789Z" (UTC, millisecond resolution). `buf` must hold
+/// at least 32 bytes.
+void FormatIsoTimestamp(char* buf, size_t buf_size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  const size_t len = std::strftime(buf, buf_size, "%Y-%m-%dT%H:%M:%S", &tm_utc);
+  std::snprintf(buf + len, buf_size - len, ".%03dZ",
+                static_cast<int>(millis));
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+uint32_t ThreadId() {
+  static std::atomic<uint32_t> next_id{0};
+  thread_local const uint32_t id = next_id.fetch_add(1);
+  return id;
+}
+
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  char ts[32];
+  FormatIsoTimestamp(ts, sizeof(ts));
+  const uint32_t tid = ThreadId();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  std::fprintf(stderr, "%s [%s] [T%u] %s\n", ts, LevelName(level), tid,
+               message.c_str());
 }
 
 namespace internal {

@@ -1,6 +1,8 @@
 #ifndef SES_UTIL_LOGGING_H_
 #define SES_UTIL_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -12,8 +14,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Emits one formatted log line to stderr (thread-safe).
+/// Emits one formatted log line to stderr (thread-safe). Lines carry an
+/// ISO-8601 UTC timestamp and the calling thread's short id:
+///   2026-08-06T12:34:56.789Z [INFO] [T0] message
 void LogMessage(LogLevel level, const std::string& message);
+
+/// Small sequential id of the calling thread (0 for the first thread that
+/// asks, 1 for the next, ...). Stable for the thread's lifetime; used by log
+/// lines and trace events, which need something shorter than pthread ids.
+uint32_t ThreadId();
 
 namespace internal {
 
@@ -36,6 +45,11 @@ class LogStream {
   std::ostringstream stream_;
 };
 
+/// True on the 1st, (n+1)th, (2n+1)th ... call for a given site counter.
+inline bool LogEveryN(std::atomic<uint64_t>* counter, uint64_t n) {
+  return counter->fetch_add(1, std::memory_order_relaxed) % n == 0;
+}
+
 }  // namespace internal
 }  // namespace ses::util
 
@@ -43,6 +57,17 @@ class LogStream {
 #define SES_LOG_INFO ::ses::util::internal::LogStream(::ses::util::LogLevel::kInfo)
 #define SES_LOG_WARN ::ses::util::internal::LogStream(::ses::util::LogLevel::kWarning)
 #define SES_LOG_ERROR ::ses::util::internal::LogStream(::ses::util::LogLevel::kError)
+
+/// Rate-limited logging for hot loops: emits on the 1st, (n+1)th, (2n+1)th...
+/// execution of this statement. `level` is one of DEBUG, INFO, WARN, ERROR.
+/// Usage: SES_LOG_EVERY_N(INFO, 100) << "processed " << i << " edges";
+#define SES_LOG_EVERY_N(level, n)                                           \
+  for (bool ses_log_now_ = [] {                                             \
+         static ::std::atomic<uint64_t> ses_log_counter_{0};                \
+         return ::ses::util::internal::LogEveryN(&ses_log_counter_, (n));   \
+       }();                                                                 \
+       ses_log_now_; ses_log_now_ = false)                                  \
+  SES_LOG_##level
 
 /// Always-on invariant check (kept in release builds; these guard API misuse,
 /// not hot loops).
