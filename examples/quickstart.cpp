@@ -11,6 +11,18 @@
 //       layer, and training phase — open it in chrome://tracing
 //   ./build/examples/quickstart --telemetry-out=epochs.jsonl
 //       streams one JSON record (loss, grad-norm, wall-time) per epoch
+//   ./build/examples/quickstart --metrics-out=metrics.jsonl
+//       dumps the process-wide metrics registry (op counts, robustness
+//       counters) on exit
+//
+// Fault tolerance:
+//   ./build/examples/quickstart --checkpoint-dir=ckpt --checkpoint-every=10
+//       writes rotated, CRC-checked checkpoints; kill the process at any
+//       point and re-run the same command — training resumes from the last
+//       checkpoint and finishes bitwise-identically to an uninterrupted run
+//   --max-grad-norm=5 enables global-norm gradient clipping, and
+//   SES_FAULT_SPEC (env) injects NaNs / crashes / checkpoint corruption —
+//   see DESIGN.md "Fault tolerance".
 #include <cstdio>
 
 #include "core/ses_model.h"
@@ -26,13 +38,14 @@ int main(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
   const std::string trace_out = flags.GetString("trace-out", "");
   const std::string telemetry_out = flags.GetString("telemetry-out", "");
+  const std::string metrics_out = flags.GetString("metrics-out", "");
   if (!trace_out.empty()) obs::EnableTracing(true);
   if (!telemetry_out.empty()) obs::Telemetry::Get().OpenJsonl(telemetry_out);
 
   // 1. A dataset: a quarter-scale Cora-like citation network (graph +
   //    sparse bag-of-words features + labels + 60/20/20 split).
-  data::Dataset ds = data::MakeRealWorldByName("Cora", /*scale=*/0.25,
-                                               /*seed=*/7);
+  data::Dataset ds = data::MakeRealWorldByName(
+      "Cora", /*scale=*/flags.GetDouble("scale", 0.25), /*seed=*/7);
   std::printf("dataset: %s  nodes=%lld edges=%lld features=%lld classes=%lld\n",
               ds.name.c_str(), static_cast<long long>(ds.num_nodes()),
               static_cast<long long>(ds.graph.num_edges()),
@@ -48,9 +61,15 @@ int main(int argc, char** argv) {
   core::SesModel model(options);
 
   models::TrainConfig config;
-  config.epochs = 80;
+  config.epochs = flags.GetInt("epochs", 80);
   config.hidden = 64;
   config.seed = 1;
+  // Fault tolerance: periodic checkpoints (resume is automatic on re-run)
+  // and optional gradient clipping.
+  config.checkpoint_dir = flags.GetString("checkpoint-dir", "");
+  config.checkpoint_every = flags.GetInt("checkpoint-every", 20);
+  config.max_grad_norm =
+      static_cast<float>(flags.GetDouble("max-grad-norm", 0.0));
   model.Fit(ds, config);
 
   // 3. Prediction.
@@ -96,6 +115,20 @@ int main(int argc, char** argv) {
   if (!trace_out.empty() && obs::WriteChromeTrace(trace_out))
     std::printf("chrome trace written to %s (open in chrome://tracing)\n",
                 trace_out.c_str());
+  if (!metrics_out.empty() &&
+      obs::MetricsRegistry::Get().WriteSnapshot(metrics_out))
+    std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+  // 7. Robustness counters (nonzero when checkpointing is on or faults were
+  //    injected via SES_FAULT_SPEC).
+  auto& reg = obs::MetricsRegistry::Get();
+  std::printf(
+      "robustness: ckpt_writes=%lld resume_ok=%lld resume_corrupt=%lld "
+      "nan_skips=%lld rollbacks=%lld\n",
+      static_cast<long long>(reg.GetCounter("ses.ckpt.writes").Value()),
+      static_cast<long long>(reg.GetCounter("ses.ckpt.resume_ok").Value()),
+      static_cast<long long>(reg.GetCounter("ses.ckpt.resume_corrupt").Value()),
+      static_cast<long long>(reg.GetCounter("ses.train.nan_skips").Value()),
+      static_cast<long long>(reg.GetCounter("ses.train.rollbacks").Value()));
   obs::Telemetry::Get().Close();
   return 0;
 }

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # CI driver: builds the Release tree and an AddressSanitizer tree, runs the
-# full ctest suite on both. Any failure fails the script.
+# full ctest suite on both, then exercises the fault-injection matrix (NaN
+# injection, kill-and-resume, checkpoint corruption) against the ASan
+# quickstart binary. Any failure fails the script.
 #
 # Usage: scripts/ci.sh [JOBS]
 set -euo pipefail
@@ -22,5 +24,50 @@ run_variant() {
 run_variant "release" build -DCMAKE_BUILD_TYPE=Release
 run_variant "asan" build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSES_SANITIZE=address
+
+# ---------------------------------------------------------------------------
+# Fault-injection matrix (under ASan: resume paths must also be memory-clean).
+# A tiny quickstart run keeps each scenario to a few seconds.
+QUICKSTART="./build-asan/examples/quickstart"
+QS_ARGS=(--scale=0.12 --epochs=12 --checkpoint-every=4)
+FAULT_DIR="$(mktemp -d)"
+trap 'rm -rf "${FAULT_DIR}"' EXIT
+
+echo "=== [faults] NaN-loss injection: training must skip the step and finish ==="
+SES_FAULT_SPEC="nan_loss:phase=phase1,step=3" \
+  "${QUICKSTART}" "${QS_ARGS[@]}" --metrics-out="${FAULT_DIR}/nan-metrics.jsonl" \
+  | tee "${FAULT_DIR}/nan.log"
+grep -q "nan_skips=0" "${FAULT_DIR}/nan.log" && {
+  echo "FAIL: NaN injection did not register a skipped step"; exit 1; }
+grep -q '"ses.train.nan_skips"' "${FAULT_DIR}/nan-metrics.jsonl" || {
+  echo "FAIL: nan_skips counter missing from metrics snapshot"; exit 1; }
+
+echo "=== [faults] crash at phase-1 epoch 8, then resume from checkpoint ==="
+set +e
+SES_FAULT_SPEC="crash:phase=phase1,epoch=8" \
+  "${QUICKSTART}" "${QS_ARGS[@]}" --checkpoint-dir="${FAULT_DIR}/ckpt-crash"
+status=$?
+set -e
+[[ "${status}" -eq 42 ]] || {
+  echo "FAIL: injected crash exited with ${status}, expected 42"; exit 1; }
+"${QUICKSTART}" "${QS_ARGS[@]}" --checkpoint-dir="${FAULT_DIR}/ckpt-crash" \
+  | tee "${FAULT_DIR}/resume.log"
+grep -q "resume_ok=0" "${FAULT_DIR}/resume.log" && {
+  echo "FAIL: resume after crash did not load a checkpoint"; exit 1; }
+
+echo "=== [faults] corrupt newest checkpoint, resume must fall back ==="
+set +e
+SES_FAULT_SPEC="corrupt_ckpt:phase=phase1,epoch=8,mode=flip;crash:phase=phase1,epoch=10" \
+  "${QUICKSTART}" "${QS_ARGS[@]}" --checkpoint-dir="${FAULT_DIR}/ckpt-corrupt"
+status=$?
+set -e
+[[ "${status}" -eq 42 ]] || {
+  echo "FAIL: injected crash exited with ${status}, expected 42"; exit 1; }
+"${QUICKSTART}" "${QS_ARGS[@]}" --checkpoint-dir="${FAULT_DIR}/ckpt-corrupt" \
+  | tee "${FAULT_DIR}/fallback.log"
+grep -q "resume_corrupt=0" "${FAULT_DIR}/fallback.log" && {
+  echo "FAIL: corrupted checkpoint was not rejected on resume"; exit 1; }
+grep -q "resume_ok=0" "${FAULT_DIR}/fallback.log" && {
+  echo "FAIL: resume did not fall back to the previous rotation"; exit 1; }
 
 echo "=== all variants passed ==="

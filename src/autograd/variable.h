@@ -54,6 +54,9 @@ class Variable {
   const tensor::Tensor& value() const { return node_->value; }
   tensor::Tensor& mutable_value() { return node_->value; }
   const tensor::Tensor& grad() const { return node_->grad; }
+  /// Writable gradient, allocated (zero-filled) on first access. Used by the
+  /// optimizer's clipping pass and the fault-injection harness.
+  tensor::Tensor& mutable_grad() { return node_->EnsureGrad(); }
   bool requires_grad() const { return node_ && node_->requires_grad; }
   int64_t rows() const { return node_->value.rows(); }
   int64_t cols() const { return node_->value.cols(); }

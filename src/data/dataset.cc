@@ -1,7 +1,10 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "util/logging.h"
 
@@ -27,6 +30,69 @@ void AssignSplit(Dataset* ds, double train_frac, double val_frac,
   std::sort(ds->train_idx.begin(), ds->train_idx.end());
   std::sort(ds->val_idx.begin(), ds->val_idx.end());
   std::sort(ds->test_idx.begin(), ds->test_idx.end());
+}
+
+namespace {
+
+[[noreturn]] void Fail(const Dataset& ds, const std::string& what) {
+  throw std::runtime_error("dataset '" + ds.name + "': " + what);
+}
+
+void CheckSplit(const Dataset& ds, const char* split,
+                const std::vector<int64_t>& idx) {
+  for (int64_t i : idx)
+    if (i < 0 || i >= ds.num_nodes())
+      Fail(ds, std::string(split) + " index " + std::to_string(i) +
+                   " outside [0, " + std::to_string(ds.num_nodes()) + ")");
+}
+
+}  // namespace
+
+void ValidateDataset(const Dataset& ds) {
+  const int64_t n = ds.num_nodes();
+  if (static_cast<int64_t>(ds.labels.size()) != n)
+    Fail(ds, "have " + std::to_string(ds.labels.size()) + " labels for " +
+                 std::to_string(n) + " nodes");
+  if (ds.num_classes <= 0) Fail(ds, "num_classes must be positive");
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = ds.labels[static_cast<size_t>(i)];
+    if (y < 0 || y >= ds.num_classes)
+      Fail(ds, "label " + std::to_string(y) + " of node " + std::to_string(i) +
+                   " outside [0, " + std::to_string(ds.num_classes) + ")");
+  }
+
+  if (!ds.features) Fail(ds, "feature matrix missing");
+  const tensor::SparseMatrix& x = *ds.features;
+  if (x.rows != n)
+    Fail(ds, "feature matrix has " + std::to_string(x.rows) + " rows for " +
+                 std::to_string(n) + " nodes");
+  if (static_cast<int64_t>(x.row_ptr.size()) != x.rows + 1 ||
+      (x.rows > 0 && x.row_ptr.front() != 0) ||
+      (x.rows > 0 && x.row_ptr.back() != x.nnz()))
+    Fail(ds, "feature CSR row_ptr malformed");
+  for (int64_t r = 0; r < x.rows; ++r)
+    if (x.row_ptr[static_cast<size_t>(r)] > x.row_ptr[static_cast<size_t>(r) + 1])
+      Fail(ds, "feature CSR row_ptr not monotone at row " + std::to_string(r));
+  if (x.col_idx.size() != x.values.size())
+    Fail(ds, "feature CSR col_idx/values length mismatch");
+  for (size_t k = 0; k < x.col_idx.size(); ++k) {
+    if (x.col_idx[k] < 0 || x.col_idx[k] >= x.cols)
+      Fail(ds, "feature column index " + std::to_string(x.col_idx[k]) +
+                   " outside [0, " + std::to_string(x.cols) + ")");
+    if (!std::isfinite(x.values[k]))
+      Fail(ds, "non-finite feature value at nnz " + std::to_string(k));
+  }
+
+  CheckSplit(ds, "train", ds.train_idx);
+  CheckSplit(ds, "val", ds.val_idx);
+  CheckSplit(ds, "test", ds.test_idx);
+
+  for (auto [u, v] : ds.gt_motif_edges)
+    if (u < 0 || u >= n || v < 0 || v >= n)
+      Fail(ds, "ground-truth motif edge (" + std::to_string(u) + ", " +
+                   std::to_string(v) + ") has an out-of-range endpoint");
+  if (!ds.in_motif.empty() && static_cast<int64_t>(ds.in_motif.size()) != n)
+    Fail(ds, "in_motif size does not match node count");
 }
 
 }  // namespace ses::data

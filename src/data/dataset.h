@@ -46,6 +46,14 @@ struct Dataset {
 void AssignSplit(Dataset* ds, double train_frac, double val_frac,
                  util::Rng* rng);
 
+/// Structural validation run by every loader before a dataset is returned.
+/// Throws std::runtime_error (message prefixed with the dataset name) on:
+/// label count/range mismatches, malformed feature CSR, non-finite feature
+/// values, split indices outside [0, n), or ground-truth motif edges with
+/// out-of-range endpoints. Corrupt inputs fail loudly at load time instead
+/// of as NaNs ten epochs into training.
+void ValidateDataset(const Dataset& ds);
+
 }  // namespace ses::data
 
 #endif  // SES_DATA_DATASET_H_

@@ -143,6 +143,7 @@ Dataset MakeRealWorldStandIn(const RealWorldConfig& config) {
     }
   }
   AssignSplit(&ds, 0.6, 0.2, &rng);
+  ValidateDataset(ds);
   return ds;
 }
 

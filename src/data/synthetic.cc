@@ -177,6 +177,7 @@ Dataset Finalize(MotifBuilder* b, const std::string& name,
   ds.features = std::make_shared<tensor::SparseMatrix>(
       tensor::SparseMatrix::FromDense(features));
   AssignSplit(&ds, 0.8, 0.1, rng);
+  ValidateDataset(ds);
   return ds;
 }
 

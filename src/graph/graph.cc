@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "util/logging.h"
 
@@ -15,7 +17,13 @@ Graph Graph::FromUndirectedEdges(
   g.num_nodes_ = num_nodes;
   std::set<std::pair<int64_t, int64_t>> unique;
   for (auto [u, v] : edges) {
-    SES_CHECK(u >= 0 && u < num_nodes && v >= 0 && v < num_nodes);
+    // Out-of-range endpoints are a data problem (malformed edge file), not a
+    // programming error — reject with a catchable runtime_error.
+    if (u < 0 || u >= num_nodes || v < 0 || v >= num_nodes)
+      throw std::runtime_error("graph: edge (" + std::to_string(u) + ", " +
+                               std::to_string(v) +
+                               ") has an endpoint outside [0, " +
+                               std::to_string(num_nodes) + ")");
     if (u == v) continue;
     unique.emplace(std::min(u, v), std::max(u, v));
   }

@@ -55,6 +55,7 @@ void AsdgnModel::Fit(const data::Dataset& ds, const TrainConfig& config) {
   }
   nn::Adam optimizer(params_, config.lr, 0.9f, 0.999f, 1e-8f,
                      config.weight_decay);
+  optimizer.set_max_grad_norm(config.max_grad_norm);
   std::vector<t::Tensor> best;
   double best_val = -1.0;
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {

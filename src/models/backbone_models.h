@@ -39,6 +39,14 @@ class ParameterSnapshot {
   void Restore(nn::Module* module) const;
   bool empty() const { return values_.empty(); }
 
+  /// Checkpoint support: raw access to the captured values (registered
+  /// parameter order), so snapshots can be round-tripped through a
+  /// robust::TrainingCheckpoint.
+  const std::vector<tensor::Tensor>& values() const { return values_; }
+  void set_values(std::vector<tensor::Tensor> values) {
+    values_ = std::move(values);
+  }
+
  private:
   std::vector<tensor::Tensor> values_;
 };

@@ -22,6 +22,25 @@ struct TrainConfig {
   bool verbose = false;
   /// Keep the parameters of the best validation epoch (standard protocol).
   bool track_best_val = true;
+
+  /// --- fault tolerance (src/robust) ----------------------------------------
+  /// Directory for rotated training checkpoints; empty disables
+  /// checkpointing. A killed run restarted with the same directory resumes
+  /// from the newest valid checkpoint and reproduces the uninterrupted run
+  /// bitwise.
+  std::string checkpoint_dir;
+  /// Epochs between checkpoint writes (phase boundaries always checkpoint).
+  int64_t checkpoint_every = 20;
+  /// Rotation depth: keep the newest K checkpoint files.
+  int64_t checkpoint_keep = 3;
+  /// Resume from checkpoint_dir when it holds a valid checkpoint.
+  bool auto_resume = true;
+  /// Global-norm gradient clipping bound; 0 disables clipping.
+  float max_grad_norm = 0.0f;
+  /// Consecutive NaN/Inf steps tolerated before rolling back to the last
+  /// good checkpoint (with the learning rate scaled by rollback_lr_decay).
+  int64_t max_bad_steps = 3;
+  float rollback_lr_decay = 0.5f;
 };
 
 /// Uniform interface over every prediction baseline and SES, so the Table 3

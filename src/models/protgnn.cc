@@ -58,6 +58,7 @@ void ProtGnnModel::Fit(const data::Dataset& ds, const TrainConfig& config) {
   params.push_back(prototypes_);
   nn::Adam optimizer(params, config.lr, 0.9f, 0.999f, 1e-8f,
                      config.weight_decay);
+  optimizer.set_max_grad_norm(config.max_grad_norm);
   std::vector<t::Tensor> best;
   double best_val = -1.0;
   const float lambda_cluster = 0.1f;

@@ -25,6 +25,7 @@ void SegnnModel::Fit(const data::Dataset& ds, const TrainConfig& config) {
   edges_ = ds.graph.DirectedEdges(/*add_self_loops=*/true);
   nn::Adam optimizer(encoder_->Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
                      config.weight_decay);
+  optimizer.set_max_grad_norm(config.max_grad_norm);
   nn::FeatureInput input = MakeInput(ds);
   // Supervised embedding training (SEGNN additionally supervises similarity
   // with sampled same/different-label pairs).

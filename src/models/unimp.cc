@@ -46,6 +46,7 @@ void UniMpModel::Fit(const data::Dataset& ds, const TrainConfig& config) {
   }
   nn::Adam optimizer(params, config.lr, 0.9f, 0.999f, 1e-8f,
                      config.weight_decay);
+  optimizer.set_max_grad_norm(config.max_grad_norm);
   ParameterSnapshot best_enc;
   t::Tensor best_w;
   std::vector<t::Tensor> best_lbl;

@@ -1,7 +1,6 @@
 #include "nn/module.h"
 
-#include <fstream>
-
+#include "robust/serialize.h"
 #include "util/logging.h"
 
 namespace ses::nn {
@@ -47,35 +46,27 @@ void Module::AdoptParameter(const autograd::Variable& param) {
 }
 
 void Module::SaveParameters(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  SES_CHECK(out.good());
+  robust::Serializer s;
   const auto params = Parameters();
-  const uint64_t count = params.size();
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto& p : params) {
-    const int64_t rows = p.value().rows(), cols = p.value().cols();
-    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
-    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-    out.write(reinterpret_cast<const char*>(p.value().data()),
-              static_cast<std::streamsize>(sizeof(float) * p.value().size()));
-  }
+  std::vector<tensor::Tensor> values;
+  values.reserve(params.size());
+  for (const auto& p : params) values.push_back(p.value());
+  s.WriteTensorVec(values);
+  // Atomic write with magic/version header + CRC32: a crash mid-save never
+  // leaves a torn file, and bit rot is rejected on load instead of silently
+  // feeding garbage weights into inference.
+  robust::WriteFileAtomic(path, s.buffer());
 }
 
 void Module::LoadParameters(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  SES_CHECK(in.good());
+  const std::string payload = robust::ReadValidatedFile(path);
+  robust::Deserializer d(payload);
+  const std::vector<tensor::Tensor> values = d.ReadTensorVec();
   auto params = Parameters();
-  uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  SES_CHECK(count == params.size());
-  for (auto& p : params) {
-    int64_t rows = 0, cols = 0;
-    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
-    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
-    SES_CHECK(rows == p.value().rows() && cols == p.value().cols());
-    in.read(reinterpret_cast<char*>(p.mutable_value().data()),
-            static_cast<std::streamsize>(sizeof(float) * p.value().size()));
-    SES_CHECK(in.good());
+  SES_CHECK(values.size() == params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    SES_CHECK(values[i].SameShape(params[i].value()));
+    params[i].mutable_value() = values[i];
   }
 }
 

@@ -2,10 +2,36 @@
 
 #include <cmath>
 
+#include "util/logging.h"
+
 namespace ses::nn {
 
 void Optimizer::ZeroGrad() {
   for (auto& p : params_) p.ZeroGrad();
+}
+
+double Optimizer::GradNorm() const {
+  double acc = 0.0;
+  for (const auto& p : params_) {
+    if (!p.defined() || !p.grad().SameShape(p.value())) continue;
+    const tensor::Tensor& g = p.grad();
+    for (int64_t i = 0; i < g.size(); ++i)
+      acc += static_cast<double>(g[i]) * g[i];
+  }
+  return std::sqrt(acc);
+}
+
+double Optimizer::ClipGradients() {
+  const double norm = GradNorm();
+  if (max_grad_norm_ <= 0.0f || !std::isfinite(norm) ||
+      norm <= static_cast<double>(max_grad_norm_))
+    return norm;
+  const float scale = max_grad_norm_ / static_cast<float>(norm);
+  for (auto& p : params_) {
+    if (!p.defined() || !p.grad().SameShape(p.value())) continue;
+    p.mutable_grad().ScaleInPlace(scale);
+  }
+  return norm;
 }
 
 Adam::Adam(std::vector<autograd::Variable> params, float lr, float beta1,
@@ -24,7 +50,19 @@ Adam::Adam(std::vector<autograd::Variable> params, float lr, float beta1,
   }
 }
 
+void Adam::RestoreState(int64_t step_count, std::vector<tensor::Tensor> m,
+                        std::vector<tensor::Tensor> v) {
+  SES_CHECK(m.size() == params_.size() && v.size() == params_.size());
+  for (size_t i = 0; i < params_.size(); ++i)
+    SES_CHECK(m[i].SameShape(params_[i].value()) &&
+              v[i].SameShape(params_[i].value()));
+  t_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 void Adam::Step() {
+  ClipGradients();
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
@@ -53,6 +91,7 @@ Sgd::Sgd(std::vector<autograd::Variable> params, float lr)
     : Optimizer(std::move(params)), lr_(lr) {}
 
 void Sgd::Step() {
+  ClipGradients();
   for (auto& p : params_) {
     if (!p.grad().SameShape(p.value())) continue;
     p.mutable_value().AddScaled(p.grad(), -lr_);

@@ -20,8 +20,24 @@ class Optimizer {
 
   void ZeroGrad();
 
+  /// Global L2 norm over every currently accumulated gradient (parameters
+  /// whose gradient was never allocated contribute 0).
+  double GradNorm() const;
+
+  /// When > 0, Step rescales the gradients so their global norm does not
+  /// exceed this bound (standard global-norm clipping).
+  void set_max_grad_norm(float max_norm) { max_grad_norm_ = max_norm; }
+  float max_grad_norm() const { return max_grad_norm_; }
+
  protected:
+  /// Applies max_grad_norm clipping to the accumulated gradients; returns
+  /// the pre-clip global norm. No-op (but still returns the norm) when
+  /// clipping is disabled or the norm is non-finite — a NaN norm cannot be
+  /// "clipped" into health, the HealthMonitor must skip the step instead.
+  double ClipGradients();
+
   std::vector<autograd::Variable> params_;
+  float max_grad_norm_ = 0.0f;
 };
 
 /// Adam (Kingma & Ba) with optional decoupled weight decay.
@@ -34,6 +50,18 @@ class Adam : public Optimizer {
 
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
+
+  /// --- checkpoint support ---------------------------------------------------
+  /// Moment tensors are aligned with the constructor's parameter order; the
+  /// step counter drives bias correction. Restoring all three reproduces
+  /// the optimizer's trajectory bitwise.
+  int64_t step_count() const { return t_; }
+  const std::vector<tensor::Tensor>& moment1() const { return m_; }
+  const std::vector<tensor::Tensor>& moment2() const { return v_; }
+  /// Shape-checked restore of state captured from an identically
+  /// constructed optimizer.
+  void RestoreState(int64_t step_count, std::vector<tensor::Tensor> m,
+                    std::vector<tensor::Tensor> v);
 
  private:
   float lr_, beta1_, beta2_, eps_, weight_decay_;

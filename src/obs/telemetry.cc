@@ -1,5 +1,6 @@
 #include "obs/telemetry.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -38,13 +39,33 @@ void Telemetry::EmitSlow(const EpochRecord& record) {
   if (callback_) callback_(record);
 }
 
+namespace {
+
+/// NaN/Inf are not valid JSON literals — a poisoned-step record must still
+/// parse, so non-finite numbers serialize as null.
+void AppendNumber(std::ostringstream& out, double v) {
+  if (std::isfinite(v))
+    out << v;
+  else
+    out << "null";
+}
+
+}  // namespace
+
 std::string EpochRecordToJson(const EpochRecord& record) {
   std::ostringstream out;
   out << "{\"model\":\"" << record.model << "\",\"phase\":\"" << record.phase
-      << "\",\"epoch\":" << record.epoch << ",\"loss\":" << record.loss
-      << ",\"grad_norm\":" << record.grad_norm
-      << ",\"epoch_seconds\":" << record.epoch_seconds
-      << ",\"val_metric\":" << record.val_metric << "}";
+      << "\",\"epoch\":" << record.epoch << ",\"loss\":";
+  AppendNumber(out, record.loss);
+  out << ",\"grad_norm\":";
+  AppendNumber(out, record.grad_norm);
+  out << ",\"epoch_seconds\":";
+  AppendNumber(out, record.epoch_seconds);
+  out << ",\"val_metric\":";
+  AppendNumber(out, record.val_metric);
+  out << ",\"nan_skips\":" << record.nan_skips
+      << ",\"rollbacks\":" << record.rollbacks
+      << ",\"ckpt_writes\":" << record.ckpt_writes << "}";
   return out.str();
 }
 

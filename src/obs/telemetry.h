@@ -19,6 +19,11 @@ struct EpochRecord {
   double grad_norm = -1.0;      ///< global L2 norm of parameter grads; -1 if unset
   double epoch_seconds = 0.0;   ///< wall-time of this epoch
   double val_metric = -1.0;     ///< validation accuracy/loss; -1 if unset
+  /// Robustness counters (cumulative process-wide values at emit time,
+  /// mirrored from the ses.train.* / ses.ckpt.* metrics).
+  int64_t nan_skips = 0;   ///< optimizer steps skipped on NaN/Inf
+  int64_t rollbacks = 0;   ///< rollbacks to the last good checkpoint
+  int64_t ckpt_writes = 0; ///< checkpoints written
 };
 
 using EpochCallback = std::function<void(const EpochRecord&)>;

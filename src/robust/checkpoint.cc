@@ -1,0 +1,193 @@
+#include "robust/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "robust/serialize.h"
+#include "util/logging.h"
+
+namespace ses::robust {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kFilePrefix[] = "ckpt-";
+constexpr char kFileSuffix[] = ".ses";
+
+obs::Counter& WritesCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Get().GetCounter("ses.ckpt.writes");
+  return c;
+}
+
+obs::Counter& ResumeOkCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Get().GetCounter("ses.ckpt.resume_ok");
+  return c;
+}
+
+obs::Counter& ResumeCorruptCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Get().GetCounter("ses.ckpt.resume_corrupt");
+  return c;
+}
+
+template <typename T, typename WriteFn>
+void WriteNamed(Serializer* s, const std::map<std::string, T>& map,
+                WriteFn write) {
+  s->WriteU64(map.size());
+  for (const auto& [name, value] : map) {
+    s->WriteString(name);
+    write(s, value);
+  }
+}
+
+template <typename T, typename ReadFn>
+std::map<std::string, T> ReadNamed(Deserializer* d, ReadFn read) {
+  std::map<std::string, T> map;
+  const uint64_t n = d->ReadU64();
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name = d->ReadString();
+    map.emplace(std::move(name), read(d));
+  }
+  return map;
+}
+
+}  // namespace
+
+std::string TrainingCheckpoint::Serialize() const {
+  Serializer s;
+  s.WriteString(model);
+  s.WriteString(phase);
+  s.WriteI64(next_epoch);
+  s.WriteTensorVec(params);
+  s.WriteI64(optim.step_count);
+  s.WriteTensorVec(optim.m);
+  s.WriteTensorVec(optim.v);
+  s.WriteRngState(rng);
+  s.WriteF64(best_val);
+  s.WriteF32(lr);
+  WriteNamed(&s, tensors, [](Serializer* out, const tensor::Tensor& t) {
+    out->WriteTensor(t);
+  });
+  WriteNamed(&s, tensor_lists,
+             [](Serializer* out, const std::vector<tensor::Tensor>& v) {
+               out->WriteTensorVec(v);
+             });
+  WriteNamed(&s, int_lists,
+             [](Serializer* out, const std::vector<int64_t>& v) {
+               out->WriteI64Vec(v);
+             });
+  WriteNamed(&s, double_lists,
+             [](Serializer* out, const std::vector<double>& v) {
+               out->WriteF64Vec(v);
+             });
+  WriteNamed(&s, scalars,
+             [](Serializer* out, double v) { out->WriteF64(v); });
+  return s.TakeBuffer();
+}
+
+TrainingCheckpoint TrainingCheckpoint::Deserialize(const std::string& payload) {
+  Deserializer d(payload);
+  TrainingCheckpoint ckpt;
+  ckpt.model = d.ReadString();
+  ckpt.phase = d.ReadString();
+  ckpt.next_epoch = d.ReadI64();
+  ckpt.params = d.ReadTensorVec();
+  ckpt.optim.step_count = d.ReadI64();
+  ckpt.optim.m = d.ReadTensorVec();
+  ckpt.optim.v = d.ReadTensorVec();
+  ckpt.rng = d.ReadRngState();
+  ckpt.best_val = d.ReadF64();
+  ckpt.lr = d.ReadF32();
+  ckpt.tensors = ReadNamed<tensor::Tensor>(
+      &d, [](Deserializer* in) { return in->ReadTensor(); });
+  ckpt.tensor_lists = ReadNamed<std::vector<tensor::Tensor>>(
+      &d, [](Deserializer* in) { return in->ReadTensorVec(); });
+  ckpt.int_lists = ReadNamed<std::vector<int64_t>>(
+      &d, [](Deserializer* in) { return in->ReadI64Vec(); });
+  ckpt.double_lists = ReadNamed<std::vector<double>>(
+      &d, [](Deserializer* in) { return in->ReadF64Vec(); });
+  ckpt.scalars =
+      ReadNamed<double>(&d, [](Deserializer* in) { return in->ReadF64(); });
+  if (!d.AtEnd())
+    throw std::runtime_error("checkpoint: trailing bytes after payload");
+  return ckpt;
+}
+
+CheckpointManager::CheckpointManager(std::string dir, int64_t keep_last)
+    : dir_(std::move(dir)), keep_last_(std::max<int64_t>(1, keep_last)) {
+  fs::create_directories(dir_);
+  const auto existing = ListSorted();
+  next_seq_ = existing.empty() ? 1 : existing.back().first + 1;
+}
+
+std::vector<std::pair<uint64_t, std::string>> CheckpointManager::ListSorted()
+    const {
+  std::vector<std::pair<uint64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= sizeof(kFilePrefix) - 1 + sizeof(kFileSuffix) - 1)
+      continue;
+    if (name.rfind(kFilePrefix, 0) != 0 || !name.ends_with(kFileSuffix))
+      continue;
+    const std::string digits = name.substr(
+        sizeof(kFilePrefix) - 1,
+        name.size() - (sizeof(kFilePrefix) - 1) - (sizeof(kFileSuffix) - 1));
+    uint64_t seq = 0;
+    try {
+      seq = std::stoull(digits);
+    } catch (const std::exception&) {
+      continue;
+    }
+    out.emplace_back(seq, entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string CheckpointManager::Write(const TrainingCheckpoint& ckpt) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%010llu%s", kFilePrefix,
+                static_cast<unsigned long long>(next_seq_++), kFileSuffix);
+  const std::string path = (fs::path(dir_) / name).string();
+  WriteFileAtomic(path, ckpt.Serialize());
+  WritesCounter().Add();
+  auto all = ListSorted();
+  while (static_cast<int64_t>(all.size()) > keep_last_) {
+    std::error_code ec;
+    fs::remove(all.front().second, ec);
+    all.erase(all.begin());
+  }
+  return path;
+}
+
+std::optional<TrainingCheckpoint> CheckpointManager::LoadLatest() {
+  auto all = ListSorted();
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    try {
+      TrainingCheckpoint ckpt =
+          TrainingCheckpoint::Deserialize(ReadValidatedFile(it->second));
+      ResumeOkCounter().Add();
+      return ckpt;
+    } catch (const std::runtime_error& e) {
+      ResumeCorruptCounter().Add();
+      SES_LOG_WARN << "checkpoint " << it->second
+                   << " rejected, falling back to previous rotation: "
+                   << e.what();
+    }
+  }
+  return std::nullopt;
+}
+
+std::string CheckpointManager::LatestPath() const {
+  auto all = ListSorted();
+  return all.empty() ? std::string() : all.back().second;
+}
+
+}  // namespace ses::robust

@@ -1,0 +1,89 @@
+#ifndef SES_ROBUST_CHECKPOINT_H_
+#define SES_ROBUST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ses::robust {
+
+/// Optimizer state captured into a checkpoint: Adam's first/second moments
+/// (aligned with the parameter order) and the bias-correction step counter.
+/// SGD leaves the moment lists empty.
+struct OptimizerState {
+  int64_t step_count = 0;
+  std::vector<tensor::Tensor> m;
+  std::vector<tensor::Tensor> v;
+};
+
+/// One resumable training state. `params` follows the registered-parameter
+/// order of the module(s) being trained (the same order the optimizer sees),
+/// so restore is a positional copy with shape checks at the call site. The
+/// named maps carry phase-specific extras — frozen masks, best-validation
+/// snapshots, pair lists, loss history — without the core format having to
+/// know about them.
+struct TrainingCheckpoint {
+  std::string model;       ///< e.g. "SES (GAT)"
+  std::string phase;       ///< "phase1" / "phase2"
+  int64_t next_epoch = 0;  ///< first epoch the resumed loop should run
+  std::vector<tensor::Tensor> params;
+  OptimizerState optim;
+  util::RngState rng;
+  double best_val = -1.0;
+  float lr = 0.0f;  ///< optimizer LR at capture (rollback may have lowered it)
+
+  std::map<std::string, tensor::Tensor> tensors;
+  std::map<std::string, std::vector<tensor::Tensor>> tensor_lists;
+  std::map<std::string, std::vector<int64_t>> int_lists;
+  std::map<std::string, std::vector<double>> double_lists;
+  std::map<std::string, double> scalars;
+
+  /// Flat payload for WriteFileAtomic.
+  std::string Serialize() const;
+  /// Inverse of Serialize; throws std::runtime_error on malformed payload.
+  static TrainingCheckpoint Deserialize(const std::string& payload);
+};
+
+/// Writes rotated, integrity-checked checkpoints under one directory
+/// (`ckpt-<seq>.ses`, monotonically increasing `seq`) and resumes from the
+/// newest one that validates. Corrupt or truncated files are skipped with a
+/// warning — a damaged latest checkpoint falls back to the previous
+/// rotation instead of killing the run. Counters: `ses.ckpt.writes`,
+/// `ses.ckpt.resume_ok`, `ses.ckpt.resume_corrupt`.
+class CheckpointManager {
+ public:
+  /// Creates `dir` if missing. `keep_last` bounds the rotation depth.
+  explicit CheckpointManager(std::string dir, int64_t keep_last = 3);
+
+  /// Atomically writes the next checkpoint in sequence and prunes rotations
+  /// beyond keep_last. Returns the path written.
+  std::string Write(const TrainingCheckpoint& ckpt);
+
+  /// Loads the newest checkpoint that passes validation (magic, version,
+  /// CRC, structural decode). Returns nullopt if none does.
+  std::optional<TrainingCheckpoint> LoadLatest();
+
+  /// Path of the newest checkpoint file on disk ("" if none). Exposed for
+  /// the fault-injection harness, which corrupts it on purpose.
+  std::string LatestPath() const;
+
+  const std::string& dir() const { return dir_; }
+  int64_t keep_last() const { return keep_last_; }
+
+ private:
+  /// (sequence, path) pairs sorted ascending by sequence.
+  std::vector<std::pair<uint64_t, std::string>> ListSorted() const;
+
+  std::string dir_;
+  int64_t keep_last_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace ses::robust
+
+#endif  // SES_ROBUST_CHECKPOINT_H_

@@ -1,0 +1,95 @@
+#ifndef SES_ROBUST_FAULT_H_
+#define SES_ROBUST_FAULT_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ses::robust {
+
+/// Thrown by a `crash` fault with mode=throw — the in-process stand-in for
+/// SIGKILL that lets unit tests exercise the kill/resume path without
+/// forking.
+struct SimulatedCrash : std::runtime_error {
+  explicit SimulatedCrash(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Process exit code used by `crash` faults with mode=exit, so CI can tell
+/// an injected crash (expected) from a genuine failure.
+constexpr int kCrashExitCode = 42;
+
+/// One parsed fault directive. Matching is exact on (phase, epoch/step);
+/// each fault fires at most once.
+struct Fault {
+  std::string kind;   ///< nan_grad | nan_loss | crash | corrupt_ckpt
+  std::string phase;  ///< "phase1" / "phase2"; empty matches any phase
+  int64_t epoch = -1; ///< for crash / corrupt_ckpt
+  int64_t step = -1;  ///< for nan_grad / nan_loss (optimizer step in phase)
+  std::string mode;   ///< crash: exit(default)|throw; corrupt_ckpt: flip(default)|truncate
+  bool fired = false;
+};
+
+/// Deterministic fault-injection plan, driven by the `SES_FAULT_SPEC`
+/// environment variable (or an explicit spec string). Grammar:
+///
+///   spec  := fault (';' fault)*
+///   fault := kind (':' kv (',' kv)*)?
+///   kv    := key '=' value        keys: phase, epoch, step, mode
+///
+/// Examples:
+///   nan_grad:phase=phase1,step=7       poison one gradient to NaN
+///   nan_loss:phase=phase2,step=3       poison the loss value to NaN
+///   crash:phase=phase1,epoch=12        _Exit(42) at the start of the epoch
+///   crash:phase=phase2,epoch=2,mode=throw   throw SimulatedCrash instead
+///   corrupt_ckpt:phase=phase1,epoch=40,mode=truncate
+///                                      damage the newest checkpoint file
+///                                      right after the epoch's write
+///
+/// Every injection point is a no-op when the plan is empty, so instrumented
+/// loops cost nothing in normal runs.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parses a spec; throws std::runtime_error on bad grammar, unknown kinds
+  /// or keys (a mistyped fault spec must not silently test nothing).
+  static FaultPlan Parse(const std::string& spec);
+
+  /// Plan from $SES_FAULT_SPEC; empty plan when the variable is unset.
+  static FaultPlan FromEnv();
+
+  bool empty() const { return faults_.empty(); }
+
+  /// Crash injection: _Exit(kCrashExitCode) or throw SimulatedCrash when a
+  /// matching `crash` fault is armed for (phase, epoch).
+  void MaybeCrash(const std::string& phase, int64_t epoch);
+
+  /// True exactly once for a matching `nan_grad` / `nan_loss` fault; the
+  /// caller poisons the corresponding value.
+  bool TakeNanGrad(const std::string& phase, int64_t step);
+  bool TakeNanLoss(const std::string& phase, int64_t step);
+
+  /// Corrupts `path` in place when a matching `corrupt_ckpt` fault is armed:
+  /// mode=truncate halves the file, mode=flip (default) XORs one payload
+  /// byte at a deterministic offset. No-op on empty path.
+  void MaybeCorruptCheckpoint(const std::string& phase, int64_t epoch,
+                              const std::string& path);
+
+  const std::vector<Fault>& faults() const { return faults_; }
+
+ private:
+  Fault* Find(const std::string& kind, const std::string& phase,
+              int64_t epoch, int64_t step);
+
+  std::vector<Fault> faults_;
+};
+
+/// Damages a file on disk the way real corruption would: mode "truncate"
+/// halves it, mode "flip" XORs one byte past the header. Exposed for tests.
+void CorruptFile(const std::string& path, const std::string& mode);
+
+}  // namespace ses::robust
+
+#endif  // SES_ROBUST_FAULT_H_

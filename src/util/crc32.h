@@ -1,0 +1,22 @@
+#ifndef SES_UTIL_CRC32_H_
+#define SES_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ses::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum that
+/// guards checkpoint payloads against truncation and bit rot. Standard
+/// check value: Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(const void* data, size_t size);
+inline uint32_t Crc32(std::string_view s) { return Crc32(s.data(), s.size()); }
+
+/// Incremental form: feed chunks with the previous return value as `seed`
+/// (start from 0).
+uint32_t Crc32Update(uint32_t seed, const void* data, size_t size);
+
+}  // namespace ses::util
+
+#endif  // SES_UTIL_CRC32_H_

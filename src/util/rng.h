@@ -8,6 +8,23 @@
 
 namespace ses::util {
 
+/// Complete serializable state of an Rng stream: the four xoshiro256**
+/// words plus the Box-Muller cache. Restoring it resumes the stream exactly
+/// where it was captured (checkpoint/restore relies on this for bitwise
+/// reproducible resumed training).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+
+  bool operator==(const RngState& other) const {
+    return s[0] == other.s[0] && s[1] == other.s[1] && s[2] == other.s[2] &&
+           s[3] == other.s[3] &&
+           has_cached_normal == other.has_cached_normal &&
+           cached_normal == other.cached_normal;
+  }
+};
+
 /// Deterministic pseudo-random number generator (xoshiro256**).
 ///
 /// All stochastic components in the library take an explicit `Rng` (or a
@@ -58,6 +75,10 @@ class Rng {
 
   /// Forks an independent stream (useful for parallel workers).
   Rng Fork();
+
+  /// Captures / restores the full generator state (see RngState).
+  RngState State() const;
+  void SetState(const RngState& state);
 
  private:
   uint64_t s_[4];

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
+#include <stdexcept>
 
 #include "data/real_world.h"
 #include "data/synthetic.h"
+#include "graph/graph.h"
 
 namespace d = ses::data;
 
@@ -211,6 +214,76 @@ TEST(RealWorldTest, SeedsProduceDifferentSplits) {
   d::Dataset a = d::MakeRealWorldByName("Cora", 0.2, 1);
   d::Dataset b = d::MakeRealWorldByName("Cora", 0.2, 2);
   EXPECT_NE(a.train_idx, b.train_idx);
+}
+
+// ------------------------------------------------------- load-time validation
+
+TEST(ValidateDatasetTest, AcceptsEveryBuiltInLoader) {
+  for (const char* key : {"BAShapes", "Tree-Cycle", "Cora"})
+    EXPECT_NO_THROW(d::ValidateDataset(MakeByKey(key))) << key;
+}
+
+TEST(ValidateDatasetTest, RejectsOutOfRangeLabel) {
+  d::Dataset ds = MakeByKey("BAShapes");
+  ds.labels[3] = ds.num_classes;  // one past the end
+  EXPECT_THROW(d::ValidateDataset(ds), std::runtime_error);
+  ds.labels[3] = -1;
+  EXPECT_THROW(d::ValidateDataset(ds), std::runtime_error);
+}
+
+TEST(ValidateDatasetTest, RejectsLabelCountMismatch) {
+  d::Dataset ds = MakeByKey("BAShapes");
+  ds.labels.pop_back();
+  EXPECT_THROW(d::ValidateDataset(ds), std::runtime_error);
+}
+
+TEST(ValidateDatasetTest, RejectsNonFiniteFeature) {
+  d::Dataset ds = MakeByKey("BAShapes");
+  auto broken = std::make_shared<ses::tensor::SparseMatrix>(*ds.features);
+  broken->values[0] = std::numeric_limits<float>::quiet_NaN();
+  ds.features = broken;
+  EXPECT_THROW(d::ValidateDataset(ds), std::runtime_error);
+}
+
+TEST(ValidateDatasetTest, RejectsMalformedFeatureCsr) {
+  d::Dataset ds = MakeByKey("BAShapes");
+  auto broken = std::make_shared<ses::tensor::SparseMatrix>(*ds.features);
+  broken->col_idx[0] = broken->cols;  // column index out of range
+  ds.features = broken;
+  EXPECT_THROW(d::ValidateDataset(ds), std::runtime_error);
+}
+
+TEST(ValidateDatasetTest, RejectsSplitIndexOutOfRange) {
+  d::Dataset ds = MakeByKey("BAShapes");
+  ds.val_idx.push_back(ds.num_nodes());
+  EXPECT_THROW(d::ValidateDataset(ds), std::runtime_error);
+}
+
+TEST(ValidateDatasetTest, RejectsOutOfRangeMotifEdge) {
+  d::Dataset ds = MakeByKey("BAShapes");
+  ds.gt_motif_edges.emplace_back(0, ds.num_nodes() + 5);
+  EXPECT_THROW(d::ValidateDataset(ds), std::runtime_error);
+}
+
+TEST(ValidateDatasetTest, ErrorNamesTheDataset) {
+  d::Dataset ds = MakeByKey("BAShapes");
+  ds.labels[0] = -1;
+  try {
+    d::ValidateDataset(ds);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(ds.name), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GraphValidationTest, RejectsOutOfRangeEdgeEndpoint) {
+  EXPECT_THROW(
+      ses::graph::Graph::FromUndirectedEdges(3, {{0, 1}, {1, 3}}),
+      std::runtime_error);
+  EXPECT_THROW(
+      ses::graph::Graph::FromUndirectedEdges(3, {{-1, 1}}),
+      std::runtime_error);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -383,6 +384,23 @@ TEST(TelemetryTest, EpochRecordSerializesAsJson) {
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
   EXPECT_NE(json.find("\"phase\":\"phase1\""), std::string::npos);
   EXPECT_NE(json.find("\"epoch\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"nan_skips\":0"), std::string::npos);
+}
+
+TEST(TelemetryTest, NonFiniteNumbersSerializeAsNull) {
+  // A poisoned step emits a NaN loss; the record must stay valid JSON (nan
+  // and inf are not JSON literals).
+  obs::EpochRecord record;
+  record.model = "SES";
+  record.phase = "phase1";
+  record.loss = std::numeric_limits<double>::quiet_NaN();
+  record.grad_norm = std::numeric_limits<double>::infinity();
+  const std::string json = obs::EpochRecordToJson(record);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"loss\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"grad_norm\":null"), std::string::npos) << json;
+  EXPECT_EQ(json.find(":nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find(":inf"), std::string::npos) << json;
 }
 
 TEST(TelemetryTest, JsonlSinkWritesOneLinePerRecord) {
