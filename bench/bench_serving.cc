@@ -1,0 +1,228 @@
+// Serving-throughput benchmark for the tape-free inference fast path.
+//
+// Trains a small SES (GCN) model on the Cora stand-in, then measures:
+//   1. single-thread: the pre-PR tape-building eval forward vs. the
+//      InferenceSession fast path (tape-free forward over cached per-graph
+//      artifacts, and the warm memoized predict), with a bitwise logit check;
+//   2. multi-thread: N workers issuing a mixed 80/20 predict/explain query
+//      stream against one shared session, each worker inside a tensor
+//      workspace::Scope, reporting queries/sec, p50/p99 latency, the pool hit
+//      rate, and the session cache stats.
+//
+// Results go to --out (default BENCH_serving.json). --smoke shrinks every
+// knob for the ASan CI run (2 threads, tiny query counts).
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "bench_common.h"
+#include "core/inference_session.h"
+#include "tensor/workspace.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace ses;
+namespace ag = ses::autograd;
+
+namespace {
+
+/// The pre-PR eval path: a full taped forward (autograd nodes + backward
+/// closures allocated) with no cached aggregation — what SesModel::Logits
+/// cost before the inference fast path existed.
+tensor::Tensor TapedLogits(const core::SesModel& model,
+                           const data::Dataset& ds,
+                           const ag::EdgeListPtr& edges) {
+  util::Rng rng(0);
+  nn::FeatureInput input =
+      (model.options().use_feature_mask && model.feature_mask_nnz().size() > 0)
+          ? nn::FeatureInput::Sparse(
+                ds.features, ag::Variable::Constant(model.feature_mask_nnz()))
+          : models::MakeInput(ds);
+  ag::Variable adj_mask;
+  if (model.options().use_structure_mask &&
+      model.structure_mask_adj().size() > 0)
+    adj_mask = ag::Variable::Constant(model.structure_mask_adj());
+  return model.encoder()
+      ->Forward(input, edges, adj_mask, 0.0f, /*training=*/false, &rng)
+      .logits.value();
+}
+
+double PercentileMs(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagParser flags(argc, argv);
+  bench::Profile profile = bench::Profile::FromFlags(flags);
+  bench::ObsSession obs_session(flags);
+  const bool smoke = flags.GetBool("smoke", false);
+  const int64_t threads =
+      flags.GetInt("threads", smoke ? 2 : 4);
+  const int64_t queries_per_thread =
+      flags.GetInt("queries", smoke ? 50 : 2000);
+  const int64_t warm_iters = smoke ? 3 : 20;
+  const std::string out_path = flags.GetString("out", "BENCH_serving.json");
+  if (smoke) {
+    profile.real_scale = std::min(profile.real_scale, 0.15);
+    profile.epochs = std::min<int64_t>(profile.epochs, 3);
+    profile.hidden = std::min<int64_t>(profile.hidden, 32);
+  }
+  std::printf("[Serving] %s threads=%lld queries/thread=%lld\n",
+              profile.Describe().c_str(), static_cast<long long>(threads),
+              static_cast<long long>(queries_per_thread));
+
+  auto ds = data::MakeRealWorldByName("Cora", profile.real_scale, 1);
+  core::SesOptions opt;
+  opt.backbone = "GCN";
+  core::SesModel model(opt);
+  model.Fit(ds, profile.MakeTrainConfig(1));
+  std::printf("model trained (%lld nodes)\n",
+              static_cast<long long>(ds.graph.num_nodes()));
+
+  core::InferenceSession session(&model, &ds);
+  const auto edges = ds.graph.DirectedEdges(/*add_self_loops=*/true);
+
+  // --- Phase 1: single-thread tape path vs. fast path -----------------------
+  // Bitwise check first: the fast path must be indistinguishable from the
+  // taped eval forward.
+  tensor::Tensor tape_logits = TapedLogits(model, ds, edges);
+  tensor::Tensor fast_logits = session.Logits();
+  const float max_abs_diff = tape_logits.MaxAbsDiff(fast_logits);
+  SES_CHECK(max_abs_diff == 0.0f &&
+            "fast-path logits must be bitwise identical to the tape path");
+
+  tensor::workspace::Scope pool_scope;
+  util::Timer timer;
+  for (int64_t i = 0; i < warm_iters; ++i) TapedLogits(model, ds, edges);
+  const double tape_ms = timer.ElapsedSeconds() * 1e3 / warm_iters;
+
+  session.ForwardLogits();  // warm the pool buckets for this thread
+  // Pool stats from here on cover the steady-state fast path only (the tape
+  // loop above also drew from the pool and would inflate the hit count).
+  tensor::workspace::ResetStats();
+  timer.Reset();
+  for (int64_t i = 0; i < warm_iters; ++i) session.ForwardLogits();
+  const double forward_ms = timer.ElapsedSeconds() * 1e3 / warm_iters;
+
+  const int64_t predict_iters = warm_iters * 50;
+  timer.Reset();
+  for (int64_t i = 0; i < predict_iters; ++i)
+    session.PredictNode(i % ds.graph.num_nodes());
+  const double predict_ms = timer.ElapsedSeconds() * 1e3 / predict_iters;
+
+  const double forward_speedup = tape_ms / std::max(forward_ms, 1e-9);
+  const double predict_speedup = tape_ms / std::max(predict_ms, 1e-9);
+  std::printf(
+      "tape %.3f ms | tape-free forward %.3f ms (%.2fx) | warm predict "
+      "%.4f ms (%.1fx) | max_abs_diff %g\n",
+      tape_ms, forward_ms, forward_speedup, predict_ms, predict_speedup,
+      max_abs_diff);
+
+  // --- Phase 2: multi-thread mixed serving loop ----------------------------
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(threads));
+  std::atomic<int64_t> predicts{0}, explains{0};
+  timer.Reset();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int64_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      tensor::workspace::Scope scope;
+      util::Rng rng(static_cast<uint64_t>(1000 + w));
+      auto& lat = latencies[static_cast<size_t>(w)];
+      lat.reserve(static_cast<size_t>(queries_per_thread));
+      for (int64_t q = 0; q < queries_per_thread; ++q) {
+        const int64_t node =
+            static_cast<int64_t>(rng.UniformInt(
+                static_cast<uint64_t>(ds.graph.num_nodes())));
+        util::Timer qt;
+        if (rng.Uniform() < 0.8) {
+          session.PredictNode(node);
+          predicts.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          session.ExplainNode(node, /*top_k=*/5);
+          explains.fetch_add(1, std::memory_order_relaxed);
+        }
+        lat.push_back(qt.ElapsedSeconds() * 1e3);
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  const double wall_s = timer.ElapsedSeconds();
+
+  std::vector<double> all_ms;
+  for (auto& lat : latencies) all_ms.insert(all_ms.end(), lat.begin(), lat.end());
+  std::sort(all_ms.begin(), all_ms.end());
+  const double qps = static_cast<double>(all_ms.size()) / std::max(wall_s, 1e-9);
+  const double p50 = PercentileMs(all_ms, 0.50);
+  const double p99 = PercentileMs(all_ms, 0.99);
+
+  const auto pool = tensor::workspace::GlobalStats();
+  const double pool_hit_rate =
+      pool.hits + pool.misses > 0
+          ? static_cast<double>(pool.hits) /
+                static_cast<double>(pool.hits + pool.misses)
+          : 0.0;
+  const auto cache = session.stats();
+  tensor::workspace::SyncMetricsRegistry();
+  std::printf(
+      "%lld queries in %.2fs: %.0f qps, p50 %.4f ms, p99 %.4f ms | pool hit "
+      "rate %.1f%% | session cache %lld hits / %lld misses\n",
+      static_cast<long long>(all_ms.size()), wall_s, qps, p50, p99,
+      pool_hit_rate * 100.0, static_cast<long long>(cache.cache_hits),
+      static_cast<long long>(cache.cache_misses));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"dataset\": \"Cora\",\n"
+      << "  \"scale\": " << profile.real_scale << ",\n"
+      << "  \"nodes\": " << ds.graph.num_nodes() << ",\n"
+      << "  \"hidden\": " << profile.hidden << ",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"queries_per_thread\": " << queries_per_thread << ",\n"
+      << "  \"single_thread\": {\n"
+      << "    \"tape_forward_ms\": " << tape_ms << ",\n"
+      << "    \"session_forward_ms\": " << forward_ms << ",\n"
+      << "    \"warm_predict_ms\": " << predict_ms << ",\n"
+      << "    \"forward_speedup\": " << forward_speedup << ",\n"
+      << "    \"predict_speedup\": " << predict_speedup << ",\n"
+      << "    \"logits_max_abs_diff\": " << max_abs_diff << "\n"
+      << "  },\n"
+      << "  \"serving\": {\n"
+      << "    \"queries\": " << all_ms.size() << ",\n"
+      << "    \"predict_queries\": " << predicts.load() << ",\n"
+      << "    \"explain_queries\": " << explains.load() << ",\n"
+      << "    \"wall_seconds\": " << wall_s << ",\n"
+      << "    \"qps\": " << qps << ",\n"
+      << "    \"p50_ms\": " << p50 << ",\n"
+      << "    \"p99_ms\": " << p99 << "\n"
+      << "  },\n"
+      << "  \"pool\": {\n"
+      << "    \"hits\": " << pool.hits << ",\n"
+      << "    \"misses\": " << pool.misses << ",\n"
+      << "    \"hit_rate\": " << pool_hit_rate << ",\n"
+      << "    \"bytes_served\": " << pool.bytes_served << "\n"
+      << "  },\n"
+      << "  \"session_cache\": {\n"
+      << "    \"hits\": " << cache.cache_hits << ",\n"
+      << "    \"misses\": " << cache.cache_misses << "\n"
+      << "  }\n"
+      << "}\n";
+  std::printf("results written to %s\n", out_path.c_str());
+  return 0;
+}

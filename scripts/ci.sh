@@ -2,7 +2,8 @@
 # CI driver: builds the Release tree and an AddressSanitizer tree, runs the
 # full ctest suite on both, then exercises the fault-injection matrix (NaN
 # injection, kill-and-resume, checkpoint corruption) against the ASan
-# quickstart binary. Any failure fails the script.
+# quickstart binary and smoke-runs the multi-threaded serving benchmark
+# under ASan. Any failure fails the script.
 #
 # Usage: scripts/ci.sh [JOBS]
 set -euo pipefail
@@ -69,5 +70,16 @@ grep -q "resume_corrupt=0" "${FAULT_DIR}/fallback.log" && {
   echo "FAIL: corrupted checkpoint was not rejected on resume"; exit 1; }
 grep -q "resume_ok=0" "${FAULT_DIR}/fallback.log" && {
   echo "FAIL: resume did not fall back to the previous rotation"; exit 1; }
+
+# ---------------------------------------------------------------------------
+# Serving smoke (under ASan: the tape-free fast path, workspace pool, and the
+# multi-threaded query loop must be memory- and race-clean).
+echo "=== [serving] bench_serving --smoke (2 threads, ASan) ==="
+mkdir -p ci_artifacts
+./build-asan/bench/bench_serving --smoke --threads=2 \
+  --out=ci_artifacts/BENCH_serving.json | tee "${FAULT_DIR}/serving.log"
+grep -q '"logits_max_abs_diff": 0' ci_artifacts/BENCH_serving.json || {
+  echo "FAIL: fast-path logits diverged from the tape path"; exit 1; }
+echo "serving artifact archived at ci_artifacts/BENCH_serving.json"
 
 echo "=== all variants passed ==="

@@ -155,6 +155,7 @@ Variable Neg(const Variable& a) { return Scale(a, -1.0f); }
 Variable Sigmoid(const Variable& a) {
   SES_OP_FWD("Sigmoid");
   t::Tensor y = t::Sigmoid(a.value());
+  if (!GradEnabled()) return Variable(MakeTapeFreeNode(std::move(y)));
   t::Tensor factor(y.rows(), y.cols());
   for (int64_t i = 0; i < y.size(); ++i) factor[i] = y[i] * (1.0f - y[i]);
   return UnaryWithFactor(a, std::move(y), std::move(factor), "bwd:Sigmoid");
@@ -163,6 +164,7 @@ Variable Sigmoid(const Variable& a) {
 Variable Tanh(const Variable& a) {
   SES_OP_FWD("Tanh");
   t::Tensor y = t::Tanh(a.value());
+  if (!GradEnabled()) return Variable(MakeTapeFreeNode(std::move(y)));
   t::Tensor factor(y.rows(), y.cols());
   for (int64_t i = 0; i < y.size(); ++i) factor[i] = 1.0f - y[i] * y[i];
   return UnaryWithFactor(a, std::move(y), std::move(factor), "bwd:Tanh");
@@ -170,6 +172,7 @@ Variable Tanh(const Variable& a) {
 
 Variable Relu(const Variable& a) {
   SES_OP_FWD("Relu");
+  if (!GradEnabled()) return Variable(MakeTapeFreeNode(t::Relu(a.value())));
   const t::Tensor& x = a.value();
   t::Tensor y(x.rows(), x.cols());
   t::Tensor factor(x.rows(), x.cols());
@@ -182,6 +185,8 @@ Variable Relu(const Variable& a) {
 
 Variable LeakyRelu(const Variable& a, float slope) {
   SES_OP_FWD("LeakyRelu");
+  if (!GradEnabled())
+    return Variable(MakeTapeFreeNode(t::LeakyRelu(a.value(), slope)));
   const t::Tensor& x = a.value();
   t::Tensor y(x.rows(), x.cols());
   t::Tensor factor(x.rows(), x.cols());
@@ -194,6 +199,8 @@ Variable LeakyRelu(const Variable& a, float slope) {
 
 Variable Elu(const Variable& a, float alpha) {
   SES_OP_FWD("Elu");
+  if (!GradEnabled())
+    return Variable(MakeTapeFreeNode(t::Elu(a.value(), alpha)));
   const t::Tensor& x = a.value();
   t::Tensor y(x.rows(), x.cols());
   t::Tensor factor(x.rows(), x.cols());
@@ -212,6 +219,7 @@ Variable Elu(const Variable& a, float alpha) {
 Variable Exp(const Variable& a) {
   SES_OP_FWD("Exp");
   t::Tensor y = t::Exp(a.value());
+  if (!GradEnabled()) return Variable(MakeTapeFreeNode(std::move(y)));
   t::Tensor factor = y;
   return UnaryWithFactor(a, std::move(y), std::move(factor), "bwd:Exp");
 }
@@ -220,6 +228,7 @@ Variable Log(const Variable& a) {
   SES_OP_FWD("Log");
   const t::Tensor& x = a.value();
   t::Tensor y = t::Log(x);
+  if (!GradEnabled()) return Variable(MakeTapeFreeNode(std::move(y)));
   t::Tensor factor(x.rows(), x.cols());
   for (int64_t i = 0; i < x.size(); ++i)
     factor[i] = 1.0f / std::max(x[i], 1e-12f);
@@ -229,6 +238,7 @@ Variable Log(const Variable& a) {
 Variable Sqrt(const Variable& a, float eps) {
   SES_OP_FWD("Sqrt");
   t::Tensor y = t::Sqrt(a.value());
+  if (!GradEnabled()) return Variable(MakeTapeFreeNode(std::move(y)));
   t::Tensor factor(y.rows(), y.cols());
   for (int64_t i = 0; i < y.size(); ++i)
     factor[i] = 0.5f / std::max(y[i], eps);
@@ -239,6 +249,15 @@ Variable Pow(const Variable& a, float p) {
   SES_OP_FWD("Pow");
   const t::Tensor& x = a.value();
   t::Tensor y(x.rows(), x.cols());
+  if (!GradEnabled()) {
+    for (int64_t i = 0; i < x.size(); ++i) {
+      float base = x[i];
+      if (p < 0.0f && std::fabs(base) < 1e-12f)
+        base = base >= 0.0f ? 1e-12f : -1e-12f;
+      y[i] = std::pow(base, p);
+    }
+    return Variable(MakeTapeFreeNode(std::move(y)));
+  }
   t::Tensor factor(x.rows(), x.cols());
   for (int64_t i = 0; i < x.size(); ++i) {
     float base = x[i];
@@ -274,6 +293,7 @@ Variable LogSoftmaxRows(const Variable& a) {
   SES_OP_FWD("LogSoftmaxRows");
   NodePtr pa = a.node();
   t::Tensor y = t::LogSoftmaxRows(pa->value);
+  if (!GradEnabled()) return Variable(MakeTapeFreeNode(std::move(y)));
   t::Tensor softmax = t::Exp(y);
   auto node = MakeOpNode(
       std::move(y), {pa},
@@ -299,6 +319,7 @@ Variable SoftmaxRows(const Variable& a) {
   SES_OP_FWD("SoftmaxRows");
   NodePtr pa = a.node();
   t::Tensor y = t::SoftmaxRows(pa->value);
+  if (!GradEnabled()) return Variable(MakeTapeFreeNode(std::move(y)));
   t::Tensor y_copy = y;
   auto node = MakeOpNode(
       std::move(y), {pa},

@@ -90,6 +90,7 @@ Variable EdgeSoftmax(const EdgeListPtr& edges, const Variable& scores) {
     const int64_t d = edges->dst[static_cast<size_t>(e)];
     y[e] = static_cast<float>(y[e] / group_sum[static_cast<size_t>(d)]);
   }
+  if (!GradEnabled()) return Variable(MakeTapeFreeNode(std::move(y)));
   t::Tensor y_copy = y;
   auto node = MakeOpNode(
       std::move(y), {ps},
@@ -217,6 +218,7 @@ Variable FeatureMaskAtNnz(const Variable& h, const Variable& w2,
                        : std::exp(z) / (1.0f + std::exp(z));
     }
   }
+  if (!GradEnabled()) return Variable(MakeTapeFreeNode(std::move(y)));
   t::Tensor y_copy = y;
   auto node = MakeOpNode(
       std::move(y), {ph, pw, pb},

@@ -10,7 +10,17 @@
 namespace ses::autograd {
 namespace {
 std::atomic<uint64_t> g_node_counter{0};
+std::atomic<uint64_t> g_tape_nodes_created{0};
+thread_local int t_inference_depth = 0;
 }  // namespace
+
+InferenceGuard::InferenceGuard() { ++t_inference_depth; }
+
+InferenceGuard::~InferenceGuard() { --t_inference_depth; }
+
+bool InferenceGuard::Active() { return t_inference_depth > 0; }
+
+uint64_t TapeNodesCreated() { return g_tape_nodes_created.load(); }
 
 tensor::Tensor& Node::EnsureGrad() {
   if (!grad.SameShape(value)) grad = tensor::Tensor(value.rows(), value.cols());
@@ -37,15 +47,23 @@ void Variable::ZeroGrad() {
   if (node_ && node_->grad.SameShape(node_->value)) node_->grad.Fill(0.0f);
 }
 
-NodePtr MakeOpNode(tensor::Tensor value, std::vector<NodePtr> parents,
-                   std::function<void(const tensor::Tensor&)> backward_fn,
-                   const char* bwd_label) {
+NodePtr MakeTapeFreeNode(tensor::Tensor value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->id = g_node_counter.fetch_add(1);
+  return node;
+}
+
+NodePtr MakeTapeNode(tensor::Tensor value, std::vector<NodePtr> parents,
+                     std::function<void(const tensor::Tensor&)> backward_fn,
+                     const char* bwd_label) {
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
   node->parents = std::move(parents);
   node->backward_fn = std::move(backward_fn);
   node->bwd_label = bwd_label;
   node->id = g_node_counter.fetch_add(1);
+  g_tape_nodes_created.fetch_add(1, std::memory_order_relaxed);
   for (const auto& p : node->parents) {
     if (p && p->requires_grad) {
       node->requires_grad = true;

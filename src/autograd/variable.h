@@ -75,12 +75,56 @@ class Variable {
 void Backward(const Variable& root);
 void Backward(const Variable& root, const tensor::Tensor& seed);
 
+/// Thread-local, re-entrant no-grad scope. While one (or more) guards are
+/// alive on a thread, every op in autograd/ops.cc and autograd/sparse_ops.cc
+/// produces a *tape-free* node: no parent edges, no backward closure, no
+/// requires_grad propagation. Forward values are bitwise identical to the
+/// taped path (the same tensor kernels run); only the bookkeeping is elided.
+/// Serving and eval-only paths wrap their forwards in this guard; calling
+/// Backward on a guard-built graph is a silent no-op past the root.
+class InferenceGuard {
+ public:
+  InferenceGuard();
+  ~InferenceGuard();
+  InferenceGuard(const InferenceGuard&) = delete;
+  InferenceGuard& operator=(const InferenceGuard&) = delete;
+
+  /// True when at least one guard is alive on the calling thread.
+  static bool Active();
+};
+
+/// True when ops on this thread should record backward state — i.e. no
+/// InferenceGuard is active.
+inline bool GradEnabled() { return !InferenceGuard::Active(); }
+
+/// Process-wide count of interior nodes created *with* a backward closure
+/// (tape nodes). Leaves (Parameter/Constant) and guard-mode tape-free nodes
+/// do not count. Tests snapshot this around an eval forward to assert the
+/// no-grad path allocates zero tape nodes.
+uint64_t TapeNodesCreated();
+
+/// Internal: tape-free interior node (no parents, no closure, no grad).
+NodePtr MakeTapeFreeNode(tensor::Tensor value);
+
+/// Internal: full tape node; `requires_grad` is inferred from parents.
+NodePtr MakeTapeNode(tensor::Tensor value, std::vector<NodePtr> parents,
+                     std::function<void(const tensor::Tensor&)> backward_fn,
+                     const char* bwd_label);
+
 /// Internal: allocates a fresh interior node; `requires_grad` is inferred
 /// from parents. `bwd_label`, when given, must be a string literal; Backward
 /// opens a profiling span with it around the node's backward closure.
+///
+/// Templated over the closure so that under an active InferenceGuard the
+/// std::function (and its heap allocation) is never constructed — the raw
+/// lambda argument is simply dropped along with the parents vector.
+template <typename BackwardFn>
 NodePtr MakeOpNode(tensor::Tensor value, std::vector<NodePtr> parents,
-                   std::function<void(const tensor::Tensor&)> backward_fn,
-                   const char* bwd_label = nullptr);
+                   BackwardFn&& backward_fn, const char* bwd_label = nullptr) {
+  if (!GradEnabled()) return MakeTapeFreeNode(std::move(value));
+  return MakeTapeNode(std::move(value), std::move(parents),
+                      std::forward<BackwardFn>(backward_fn), bwd_label);
+}
 
 }  // namespace ses::autograd
 

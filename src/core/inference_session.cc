@@ -1,0 +1,140 @@
+#include "core/inference_session.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace ses::core {
+
+namespace ag = ses::autograd;
+namespace t = ses::tensor;
+
+InferenceSession::InferenceSession(const SesModel* model,
+                                   const data::Dataset* ds)
+    : encoder_(model->encoder()), model_(model), ds_(ds) {
+  SES_CHECK(encoder_ != nullptr && "SesModel must be Fit before serving");
+  SES_CHECK(ds_ != nullptr);
+}
+
+InferenceSession::InferenceSession(const models::Encoder* encoder,
+                                   const data::Dataset* ds)
+    : encoder_(encoder), ds_(ds) {
+  SES_CHECK(encoder_ != nullptr);
+  SES_CHECK(ds_ != nullptr);
+}
+
+void InferenceSession::EnsureArtifactsLocked() {
+  const int64_t version = graph_version_.load();
+  if (artifact_version_ == version) return;
+  SES_TRACE_SPAN("infer/build_artifacts");
+  ag::InferenceGuard no_grad;
+  adj_edges_ = ds_->graph.DirectedEdges(/*add_self_loops=*/true);
+  if (model_ != nullptr && model_->options().use_feature_mask &&
+      model_->feature_mask_nnz().size() > 0) {
+    input_ = nn::FeatureInput::Sparse(
+        ds_->features, ag::Variable::Constant(model_->feature_mask_nnz()));
+  } else {
+    input_ = models::MakeInput(*ds_);
+  }
+  adj_mask_ = {};
+  if (model_ != nullptr && model_->options().use_structure_mask &&
+      model_->structure_mask_adj().size() > 0)
+    adj_mask_ = ag::Variable::Constant(model_->structure_mask_adj());
+  cached_aggregation_ =
+      encoder_->PrecomputeAggregation(adj_edges_, adj_mask_,
+                                      /*renormalize_mask=*/true);
+  artifact_version_ = version;
+  logits_version_ = -1;  // stale memo belongs to the previous graph
+}
+
+tensor::Tensor InferenceSession::RunForward() const {
+  ag::InferenceGuard no_grad;
+  util::Rng rng(0);
+  auto out = encoder_->Forward(input_, adj_edges_, adj_mask_, 0.0f,
+                               /*training=*/false, &rng,
+                               /*renormalize_mask=*/true, &cached_aggregation_);
+  return out.logits.value();
+}
+
+tensor::Tensor InferenceSession::Logits() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EnsureArtifactsLocked();
+  if (logits_version_ == artifact_version_) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::Get().GetCounter("ses.infer.cache_hits").Add(1);
+    return logits_;
+  }
+  SES_TRACE_SPAN("infer/logits_miss");
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::Get().GetCounter("ses.infer.cache_misses").Add(1);
+  logits_ = RunForward();
+  logits_version_ = artifact_version_;
+  return logits_;
+}
+
+int64_t InferenceSession::PredictNode(int64_t node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EnsureArtifactsLocked();
+  if (logits_version_ != artifact_version_) {
+    SES_TRACE_SPAN("infer/logits_miss");
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::Get().GetCounter("ses.infer.cache_misses").Add(1);
+    logits_ = RunForward();
+    logits_version_ = artifact_version_;
+  } else {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::Get().GetCounter("ses.infer.cache_hits").Add(1);
+  }
+  SES_CHECK(node >= 0 && node < logits_.rows());
+  const float* row = logits_.RowPtr(node);
+  int64_t best = 0;
+  for (int64_t c = 1; c < logits_.cols(); ++c)
+    if (row[c] > row[best]) best = c;
+  return best;
+}
+
+InferenceSession::Explanation InferenceSession::ExplainNode(
+    int64_t node, int64_t top_k) const {
+  Explanation ex;
+  if (model_ == nullptr || model_->structure_mask_khop().size() == 0)
+    return ex;
+  const graph::KHopAdjacency& khop = model_->khop();
+  SES_CHECK(node >= 0 && node < khop.num_nodes());
+  const auto nbrs = khop.Neighbors(node);
+  const int64_t offset = khop.PairOffset(node);
+  const tensor::Tensor& mask = model_->structure_mask_khop();
+  const int64_t n = static_cast<int64_t>(nbrs.size());
+  const int64_t k = std::min<int64_t>(top_k, n);
+  if (k <= 0) return ex;
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&mask, offset](int64_t a, int64_t b) {
+                      return mask[offset + a] > mask[offset + b];
+                    });
+  ex.neighbors.reserve(static_cast<size_t>(k));
+  ex.scores.reserve(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    ex.neighbors.push_back(nbrs[static_cast<size_t>(order[static_cast<size_t>(i)])]);
+    ex.scores.push_back(mask[offset + order[static_cast<size_t>(i)]]);
+  }
+  return ex;
+}
+
+tensor::Tensor InferenceSession::ForwardLogits() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EnsureArtifactsLocked();
+  }
+  // Artifacts are immutable until the next InvalidateGraph(); the forward
+  // itself only reads them, so it runs outside the lock and scales across
+  // worker threads.
+  SES_TRACE_SPAN("infer/forward");
+  return RunForward();
+}
+
+}  // namespace ses::core

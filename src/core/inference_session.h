@@ -1,0 +1,107 @@
+#ifndef SES_CORE_INFERENCE_SESSION_H_
+#define SES_CORE_INFERENCE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/ses_model.h"
+
+namespace ses::core {
+
+/// Serving-side view of one trained model over one graph.
+///
+/// Training rebuilds every per-graph artifact on each forward (edge lists,
+/// GCN-normalized aggregation weights, mask constants) because the mask and
+/// parameters move between steps. At serving time all of that is frozen, so
+/// the session computes each artifact once per *graph version* and replays
+/// warm queries against the cache:
+///
+///  - the message-passing edge list (A + self-loops),
+///  - the FeatureInput with the frozen feature mask M_f,
+///  - the frozen structure mask over the 1-hop support,
+///  - the encoder's precomputed aggregation weights (symmetric GCN
+///    normalization / GIN-SAGE weights; undefined for GAT whose attention is
+///    input-dependent),
+///  - the full-graph logits themselves (memoized; PredictNode serves argmax
+///    rows out of them).
+///
+/// All forwards run under autograd::InferenceGuard (tape-free) and are
+/// bitwise identical to the taped eval path — the same tensor kernels run in
+/// the same order. Queries are thread-safe: artifact (re)builds and the
+/// logits memo are mutex-guarded, warm reads copy out under the lock.
+/// Explanation queries read the frozen structure mask directly and never
+/// touch the encoder.
+class InferenceSession {
+ public:
+  /// Serves a trained SesModel: masked forward + mask-based explanations.
+  /// Both the model and the dataset must outlive the session.
+  InferenceSession(const SesModel* model, const data::Dataset* ds);
+
+  /// Serves a bare trained encoder (no masks; ExplainNode returns empty).
+  InferenceSession(const models::Encoder* encoder, const data::Dataset* ds);
+
+  /// Marks every cached artifact stale. Call after mutating the graph,
+  /// features, or masks; the next query rebuilds under the new version.
+  void InvalidateGraph() { graph_version_.fetch_add(1); }
+  int64_t graph_version() const { return graph_version_.load(); }
+
+  /// Full-graph class logits, memoized per graph version.
+  tensor::Tensor Logits();
+
+  /// Argmax class of `node`, served from the memoized logits.
+  int64_t PredictNode(int64_t node);
+
+  /// Top-k most important k-hop neighbors of `node` under the frozen
+  /// structure mask, most important first. Empty for bare-encoder sessions
+  /// (no mask to read).
+  struct Explanation {
+    std::vector<int64_t> neighbors;
+    std::vector<float> scores;
+  };
+  Explanation ExplainNode(int64_t node, int64_t top_k) const;
+
+  /// Un-memoized tape-free forward through the cached per-graph artifacts —
+  /// what a serving benchmark times as the steady-state fast path.
+  tensor::Tensor ForwardLogits();
+
+  /// Per-session memo outcomes (also mirrored into the metrics registry as
+  /// `ses.infer.cache_hits` / `ses.infer.cache_misses`).
+  struct Stats {
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
+  };
+  Stats stats() const {
+    return {cache_hits_.load(), cache_misses_.load()};
+  }
+
+ private:
+  /// Rebuilds the per-graph artifacts if the version moved. Caller holds
+  /// `mutex_`.
+  void EnsureArtifactsLocked();
+  /// Tape-free forward over the cached artifacts. Caller holds `mutex_` or
+  /// otherwise guarantees the artifacts are built and stable.
+  tensor::Tensor RunForward() const;
+
+  const models::Encoder* encoder_ = nullptr;
+  const SesModel* model_ = nullptr;  ///< null for bare-encoder sessions
+  const data::Dataset* ds_ = nullptr;
+
+  std::atomic<int64_t> graph_version_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+
+  mutable std::mutex mutex_;
+  int64_t artifact_version_ = -1;  ///< version the artifacts were built at
+  autograd::EdgeListPtr adj_edges_;
+  nn::FeatureInput input_;
+  autograd::Variable adj_mask_;
+  autograd::Variable cached_aggregation_;
+  int64_t logits_version_ = -1;  ///< version the memoized logits match
+  tensor::Tensor logits_;
+};
+
+}  // namespace ses::core
+
+#endif  // SES_CORE_INFERENCE_SESSION_H_

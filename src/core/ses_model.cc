@@ -14,6 +14,7 @@
 #include "robust/fault.h"
 #include "robust/health.h"
 #include "tensor/ops.h"
+#include "tensor/workspace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -84,12 +85,17 @@ std::vector<std::array<double, 3>> UnflattenHistory(
   return history;
 }
 
-/// Mirrors the robustness counters into a telemetry record.
+/// Mirrors the robustness and serving counters into a telemetry record.
 void FillRobustCounters(obs::EpochRecord* record) {
+  t::workspace::SyncMetricsRegistry();
   auto& registry = obs::MetricsRegistry::Get();
   record->nan_skips = registry.GetCounter("ses.train.nan_skips").Value();
   record->rollbacks = registry.GetCounter("ses.train.rollbacks").Value();
   record->ckpt_writes = registry.GetCounter("ses.ckpt.writes").Value();
+  record->pool_hits = registry.GetCounter("ses.pool.hits").Value();
+  record->pool_misses = registry.GetCounter("ses.pool.misses").Value();
+  record->infer_cache_hits =
+      registry.GetCounter("ses.infer.cache_hits").Value();
 }
 
 /// Recovery context threaded through the phase-2 loop. `base` carries the
@@ -171,6 +177,7 @@ void Phase2LoopImpl(models::Encoder* encoder, const data::Dataset& ds,
     // Baseline: the phase-1 encoder itself (under masked inference). Phase 2
     // keeps whatever validates best, so it can refine but never regress.
     if (!ds.val_idx.empty()) {
+      ag::InferenceGuard no_grad;
       auto initial = encoder->Forward(input, adj_edges, adj_mask, 0.0f,
                                       /*training=*/false, rng);
       best_val =
@@ -594,6 +601,9 @@ void SesModel::Fit(const data::Dataset& ds, const models::TrainConfig& config) {
   timer.Reset();
   if (!resume_phase2) {
     SES_TRACE_SPAN("ses/freeze_masks");
+    // Mask freezing only reads values out of the forward; no gradient flows
+    // back, so the whole readout runs tape-free.
+    ag::InferenceGuard no_grad;
     auto out = encoder_->Forward(plain_input, adj_edges_, {}, 0.0f,
                                  /*training=*/false, &rng);
     if (options_.use_feature_mask)
@@ -664,6 +674,7 @@ void SesModel::EnhancedPredictiveLearning(
 
 models::Encoder::Output SesModel::EvalForward(const data::Dataset& ds) const {
   SES_CHECK(encoder_ != nullptr);
+  ag::InferenceGuard no_grad;
   util::Rng rng(0);
   nn::FeatureInput input =
       (options_.use_feature_mask && masks_.feature_nnz.size() > 0)

@@ -88,6 +88,11 @@ class SesModel : public models::NodeClassifier {
   const tensor::Tensor& structure_mask_khop() const {
     return masks_.structure_khop;
   }
+  /// M̂_s over the 1-hop message-passing edges (DirectedEdges(true) order) —
+  /// the mask EvalForward applies; serving sessions cache it per graph.
+  const tensor::Tensor& structure_mask_adj() const {
+    return masks_.structure_adj;
+  }
   const graph::KHopAdjacency& khop() const { return *khop_; }
   /// Symmetrized importance score per undirected edge of ds.graph — the
   /// representation the explanation-AUC metric consumes.

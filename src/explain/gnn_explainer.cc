@@ -29,9 +29,11 @@ void GnnExplainer::Run(const data::Dataset& ds,
   feature_scores_.assign(static_cast<size_t>(ds.features->nnz()), 0.0f);
   std::vector<float> feature_counts(feature_scores_.size(), 0.0f);
 
-  // Original full-graph predictions (the explanation target).
+  // Original full-graph predictions (the explanation target). Read-only,
+  // so tape-free; the mask optimization below still records its own tape.
   std::vector<int64_t> original_pred;
   {
+    ag::InferenceGuard no_grad;
     util::Rng r0(0);
     auto out = encoder_->Forward(nn::FeatureInput::Sparse(ds.features),
                                  ds.graph.DirectedEdges(true), {}, 0.0f,

@@ -66,6 +66,9 @@ std::vector<float> GradExplainer::ExplainFeaturesNnz(
 std::vector<float> AttExplainer::ExplainEdges(const data::Dataset& ds,
                                               const std::vector<int64_t>&) {
   SES_TRACE_SPAN("explain/ATT");
+  // ATT only reads the attention coefficients the forward leaves behind;
+  // GRAD above needs the tape and must NOT take this guard.
+  ag::InferenceGuard no_grad;
   util::Rng rng(0);
   auto edges = ds.graph.DirectedEdges(/*add_self_loops=*/true);
   nn::FeatureInput input = nn::FeatureInput::Sparse(ds.features);

@@ -79,6 +79,7 @@ std::vector<float> GraphLimeExplainer::ExplainFeaturesNnz(
   // Soft predictions from the trained model (the dependent variable).
   t::Tensor probs;
   {
+    autograd::InferenceGuard no_grad;
     util::Rng r0(0);
     auto out = encoder_->Forward(nn::FeatureInput::Sparse(ds.features),
                                  ds.graph.DirectedEdges(true), {}, 0.0f,

@@ -22,9 +22,12 @@ std::vector<float> PgExplainer::ExplainEdges(const data::Dataset& ds,
   nn::FeatureInput input = nn::FeatureInput::Sparse(ds.features);
 
   // Frozen embeddings + original predictions from the trained model.
+  // Tape-free: gradient later flows to the scorer through `mask`, not
+  // through this embedding extraction.
   t::Tensor embeddings;
   std::vector<int64_t> original_pred;
   {
+    ag::InferenceGuard no_grad;
     util::Rng r0(0);
     auto out = encoder_->Forward(input, edges, {}, 0.0f, /*training=*/false,
                                  &r0);

@@ -15,6 +15,8 @@ namespace t = ses::tensor;
 std::vector<float> PgmExplainer::ExplainEdges(
     const data::Dataset& ds, const std::vector<int64_t>& nodes) {
   SES_TRACE_SPAN("explain/PGMExplainer");
+  // Perturbation-based: only forward predictions are compared, never grads.
+  autograd::InferenceGuard no_grad;
   util::Rng rng(37);
   const auto& und_edges = ds.graph.edges();
   std::vector<float> scores(und_edges.size(), 0.0f);

@@ -79,11 +79,13 @@ void AsdgnModel::Fit(const data::Dataset& ds, const TrainConfig& config) {
 }
 
 tensor::Tensor AsdgnModel::Logits(const data::Dataset& ds) {
+  ag::InferenceGuard no_grad;
   util::Rng rng(0);
   return Forward(ds, /*training=*/false, &rng).logits.value();
 }
 
 tensor::Tensor AsdgnModel::Embeddings(const data::Dataset& ds) {
+  ag::InferenceGuard no_grad;
   util::Rng rng(0);
   return Forward(ds, /*training=*/false, &rng).hidden.value();
 }

@@ -57,6 +57,7 @@ void BackboneModel::Fit(const data::Dataset& ds, const TrainConfig& config) {
 
 Encoder::Output BackboneModel::EvalForward(const data::Dataset& ds) {
   SES_CHECK(encoder_ != nullptr);
+  ag::InferenceGuard no_grad;
   util::Rng rng(0);
   return encoder_->Forward(MakeInput(ds), edges_, {}, 0.0f,
                            /*training=*/false, &rng);

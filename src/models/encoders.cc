@@ -46,20 +46,27 @@ GcnEncoder::GcnEncoder(int64_t in, int64_t hidden, int64_t out, util::Rng* rng)
   RegisterModule(&conv2_);
 }
 
+ag::Variable GcnEncoder::PrecomputeAggregation(const ag::EdgeListPtr& edges,
+                                               const ag::Variable& edge_mask,
+                                               bool renormalize_mask) const {
+  if (!edge_mask.defined()) return nn::MakeGcnWeights(edges);
+  if (renormalize_mask) return WeightedGcnNorm(edges, edge_mask);
+  return ag::Mul(nn::MakeGcnWeights(edges), edge_mask);
+}
+
 Encoder::Output GcnEncoder::Forward(const nn::FeatureInput& x,
                                     const ag::EdgeListPtr& edges,
                                     const ag::Variable& edge_mask,
                                     float dropout, bool training,
-                                    util::Rng* rng,
-                                    bool renormalize_mask) const {
-  ag::Variable weights;
-  if (!edge_mask.defined()) {
-    weights = nn::MakeGcnWeights(edges);
-  } else if (renormalize_mask) {
-    weights = WeightedGcnNorm(edges, edge_mask);
-  } else {
-    weights = ag::Mul(nn::MakeGcnWeights(edges), edge_mask);
-  }
+                                    util::Rng* rng, bool renormalize_mask,
+                                    const ag::Variable* cached_aggregation)
+    const {
+  const bool use_cached =
+      cached_aggregation != nullptr && cached_aggregation->defined();
+  SES_CHECK(!use_cached || !training);
+  ag::Variable weights =
+      use_cached ? *cached_aggregation
+                 : PrecomputeAggregation(edges, edge_mask, renormalize_mask);
   ag::Variable h = ag::Relu(conv1_.Forward(x, edges, weights));
   Output out;
   out.hidden = h;
@@ -82,8 +89,13 @@ Encoder::Output GatEncoder::Forward(const nn::FeatureInput& x,
                                     const ag::EdgeListPtr& edges,
                                     const ag::Variable& edge_mask,
                                     float dropout, bool training,
-                                    util::Rng* rng,
-                                    bool renormalize_mask) const {
+                                    util::Rng* rng, bool renormalize_mask,
+                                    const ag::Variable* cached_aggregation)
+    const {
+  // Attention coefficients depend on node features; there is nothing to
+  // cache, so `cached_aggregation` is ignored (PrecomputeAggregation
+  // returns undefined for GAT).
+  (void)cached_aggregation;
   ag::Variable h =
       ag::Elu(conv1_.Forward(x, edges, edge_mask, renormalize_mask));
   Output out;
@@ -132,14 +144,27 @@ GinEncoder::GinEncoder(int64_t in, int64_t hidden, int64_t out, util::Rng* rng)
   AdoptParameter(eps2_);
 }
 
+ag::Variable GinEncoder::PrecomputeAggregation(const ag::EdgeListPtr& edges,
+                                               const ag::Variable& edge_mask,
+                                               bool renormalize_mask) const {
+  return AggregationWeights(edges, edge_mask, /*mean=*/false,
+                            renormalize_mask);
+}
+
 Encoder::Output GinEncoder::Forward(const nn::FeatureInput& x,
                                     const ag::EdgeListPtr& edges,
                                     const ag::Variable& edge_mask,
                                     float dropout, bool training,
-                                    util::Rng* rng,
-                                    bool renormalize_mask) const {
-  ag::Variable w = AggregationWeights(edges, edge_mask, /*mean=*/false,
-                                      renormalize_mask);
+                                    util::Rng* rng, bool renormalize_mask,
+                                    const ag::Variable* cached_aggregation)
+    const {
+  const bool use_cached =
+      cached_aggregation != nullptr && cached_aggregation->defined();
+  SES_CHECK(!use_cached || !training);
+  ag::Variable w = use_cached ? *cached_aggregation
+                              : AggregationWeights(edges, edge_mask,
+                                                   /*mean=*/false,
+                                                   renormalize_mask);
   ag::Variable h0 = x.Project(w1_);
   ag::Variable agg1 = ag::SpMM(edges, w, h0);
   ag::Variable h1 = mlp1_.Forward(
@@ -167,14 +192,27 @@ SageEncoder::SageEncoder(int64_t in, int64_t hidden, int64_t out,
     AdoptParameter(p);
 }
 
+ag::Variable SageEncoder::PrecomputeAggregation(const ag::EdgeListPtr& edges,
+                                                const ag::Variable& edge_mask,
+                                                bool renormalize_mask) const {
+  return AggregationWeights(edges, edge_mask, /*mean=*/true,
+                            renormalize_mask);
+}
+
 Encoder::Output SageEncoder::Forward(const nn::FeatureInput& x,
                                      const ag::EdgeListPtr& edges,
                                      const ag::Variable& edge_mask,
                                      float dropout, bool training,
-                                     util::Rng* rng,
-                                     bool renormalize_mask) const {
-  ag::Variable w = AggregationWeights(edges, edge_mask, /*mean=*/true,
-                                      renormalize_mask);
+                                     util::Rng* rng, bool renormalize_mask,
+                                     const ag::Variable* cached_aggregation)
+    const {
+  const bool use_cached =
+      cached_aggregation != nullptr && cached_aggregation->defined();
+  SES_CHECK(!use_cached || !training);
+  ag::Variable w = use_cached ? *cached_aggregation
+                              : AggregationWeights(edges, edge_mask,
+                                                   /*mean=*/true,
+                                                   renormalize_mask);
   ag::Variable self1 = x.Project(w_self1_);
   ag::Variable nbr1 = ag::SpMM(edges, w, x.Project(w_nbr1_));
   ag::Variable h = ag::Relu(

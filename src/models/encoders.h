@@ -39,11 +39,36 @@ class Encoder : public nn::Module {
   /// aggregation scale is mask-invariant; false (explainable training's
   /// masked pass) couples the absolute mask magnitude to the activations,
   /// which is the gradient signal that makes the co-trained mask selective.
+  ///
+  /// `cached_aggregation`, when non-null and defined, supplies the per-edge
+  /// aggregation weights a previous PrecomputeAggregation call derived from
+  /// the same (edges, edge_mask, renormalize_mask) triple, skipping their
+  /// recomputation. Only legal when `training` is false: a cached Variable is
+  /// typically tape-free, so reusing it in a training forward would silently
+  /// detach the mask gradient path.
   virtual Output Forward(const nn::FeatureInput& x,
                          const autograd::EdgeListPtr& edges,
                          const autograd::Variable& edge_mask, float dropout,
                          bool training, util::Rng* rng,
-                         bool renormalize_mask = true) const = 0;
+                         bool renormalize_mask = true,
+                         const autograd::Variable* cached_aggregation =
+                             nullptr) const = 0;
+
+  /// Derives the per-edge aggregation weights Forward would compute from
+  /// (edges, edge_mask, renormalize_mask) — GCN symmetric normalization,
+  /// GIN/SAGE sum/mean weights. These depend only on the graph structure and
+  /// the mask, never on node features, so serving paths compute them once per
+  /// graph version and pass them back via `cached_aggregation`. Returns an
+  /// undefined Variable when the weights are input-dependent (GAT attention)
+  /// and caching is impossible.
+  virtual autograd::Variable PrecomputeAggregation(
+      const autograd::EdgeListPtr& edges, const autograd::Variable& edge_mask,
+      bool renormalize_mask = true) const {
+    (void)edges;
+    (void)edge_mask;
+    (void)renormalize_mask;
+    return {};
+  }
 
   /// Mean attention per edge of the last forward (GAT only; empty for GCN).
   virtual tensor::Tensor LastAttention() const { return {}; }
@@ -57,8 +82,12 @@ class GcnEncoder : public Encoder {
   int64_t hidden_dim() const override { return hidden_; }
   Output Forward(const nn::FeatureInput& x, const autograd::EdgeListPtr& edges,
                  const autograd::Variable& edge_mask, float dropout,
-                 bool training, util::Rng* rng,
-                 bool renormalize_mask = true) const override;
+                 bool training, util::Rng* rng, bool renormalize_mask = true,
+                 const autograd::Variable* cached_aggregation =
+                     nullptr) const override;
+  autograd::Variable PrecomputeAggregation(
+      const autograd::EdgeListPtr& edges, const autograd::Variable& edge_mask,
+      bool renormalize_mask = true) const override;
 
  private:
   int64_t hidden_;
@@ -75,8 +104,9 @@ class GatEncoder : public Encoder {
   int64_t hidden_dim() const override { return hidden_; }
   Output Forward(const nn::FeatureInput& x, const autograd::EdgeListPtr& edges,
                  const autograd::Variable& edge_mask, float dropout,
-                 bool training, util::Rng* rng,
-                 bool renormalize_mask = true) const override;
+                 bool training, util::Rng* rng, bool renormalize_mask = true,
+                 const autograd::Variable* cached_aggregation =
+                     nullptr) const override;
   tensor::Tensor LastAttention() const override {
     return conv1_.last_attention();
   }
@@ -97,8 +127,12 @@ class GinEncoder : public Encoder {
   int64_t hidden_dim() const override { return hidden_; }
   Output Forward(const nn::FeatureInput& x, const autograd::EdgeListPtr& edges,
                  const autograd::Variable& edge_mask, float dropout,
-                 bool training, util::Rng* rng,
-                 bool renormalize_mask = true) const override;
+                 bool training, util::Rng* rng, bool renormalize_mask = true,
+                 const autograd::Variable* cached_aggregation =
+                     nullptr) const override;
+  autograd::Variable PrecomputeAggregation(
+      const autograd::EdgeListPtr& edges, const autograd::Variable& edge_mask,
+      bool renormalize_mask = true) const override;
 
  private:
   int64_t hidden_;
@@ -118,8 +152,12 @@ class SageEncoder : public Encoder {
   int64_t hidden_dim() const override { return hidden_; }
   Output Forward(const nn::FeatureInput& x, const autograd::EdgeListPtr& edges,
                  const autograd::Variable& edge_mask, float dropout,
-                 bool training, util::Rng* rng,
-                 bool renormalize_mask = true) const override;
+                 bool training, util::Rng* rng, bool renormalize_mask = true,
+                 const autograd::Variable* cached_aggregation =
+                     nullptr) const override;
+  autograd::Variable PrecomputeAggregation(
+      const autograd::EdgeListPtr& edges, const autograd::Variable& edge_mask,
+      bool renormalize_mask = true) const override;
 
  private:
   int64_t hidden_;

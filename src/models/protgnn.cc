@@ -121,11 +121,13 @@ void ProtGnnModel::Fit(const data::Dataset& ds, const TrainConfig& config) {
 }
 
 tensor::Tensor ProtGnnModel::Logits(const data::Dataset& ds) {
+  ag::InferenceGuard no_grad;
   util::Rng rng(0);
   return Forward(ds, /*training=*/false, &rng, nullptr).logits.value();
 }
 
 tensor::Tensor ProtGnnModel::Embeddings(const data::Dataset& ds) {
+  ag::InferenceGuard no_grad;
   util::Rng rng(0);
   return Forward(ds, /*training=*/false, &rng, nullptr).hidden.value();
 }

@@ -75,6 +75,7 @@ void SegnnModel::Fit(const data::Dataset& ds, const TrainConfig& config) {
 tensor::Tensor SegnnModel::Logits(const data::Dataset& ds) {
   SES_CHECK(encoder_ != nullptr);
   if (logits_valid_ && fitted_ds_ == &ds) return cached_logits_;
+  ag::InferenceGuard no_grad;
   util::Rng rng(0);
   auto out = encoder_->Forward(MakeInput(ds), edges_, {}, 0.0f,
                                /*training=*/false, &rng);
@@ -116,6 +117,7 @@ tensor::Tensor SegnnModel::Logits(const data::Dataset& ds) {
 }
 
 tensor::Tensor SegnnModel::Embeddings(const data::Dataset& ds) {
+  ag::InferenceGuard no_grad;
   util::Rng rng(0);
   return encoder_
       ->Forward(MakeInput(ds), edges_, {}, 0.0f, /*training=*/false, &rng)

@@ -66,6 +66,7 @@ void UniMpModel::Fit(const data::Dataset& ds, const TrainConfig& config) {
     ag::Backward(loss);
     optimizer.Step();
     if (!ds.val_idx.empty()) {
+      ag::InferenceGuard no_grad;
       auto val_out = Forward(ds, ds.train_idx, /*training=*/false, &rng);
       const double val = Accuracy(val_out.logits.value(), ds.labels, ds.val_idx);
       if (val > best_val) {
@@ -87,12 +88,14 @@ void UniMpModel::Fit(const data::Dataset& ds, const TrainConfig& config) {
 }
 
 tensor::Tensor UniMpModel::Logits(const data::Dataset& ds) {
+  ag::InferenceGuard no_grad;
   util::Rng rng(0);
   // At inference every training label is visible (the UniMP protocol).
   return Forward(ds, ds.train_idx, /*training=*/false, &rng).logits.value();
 }
 
 tensor::Tensor UniMpModel::Embeddings(const data::Dataset& ds) {
+  ag::InferenceGuard no_grad;
   util::Rng rng(0);
   return Forward(ds, ds.train_idx, /*training=*/false, &rng).hidden.value();
 }

@@ -65,7 +65,10 @@ std::string EpochRecordToJson(const EpochRecord& record) {
   AppendNumber(out, record.val_metric);
   out << ",\"nan_skips\":" << record.nan_skips
       << ",\"rollbacks\":" << record.rollbacks
-      << ",\"ckpt_writes\":" << record.ckpt_writes << "}";
+      << ",\"ckpt_writes\":" << record.ckpt_writes
+      << ",\"pool_hits\":" << record.pool_hits
+      << ",\"pool_misses\":" << record.pool_misses
+      << ",\"infer_cache_hits\":" << record.infer_cache_hits << "}";
   return out.str();
 }
 

@@ -24,6 +24,11 @@ struct EpochRecord {
   int64_t nan_skips = 0;   ///< optimizer steps skipped on NaN/Inf
   int64_t rollbacks = 0;   ///< rollbacks to the last good checkpoint
   int64_t ckpt_writes = 0; ///< checkpoints written
+  /// Serving/allocator counters (cumulative, mirrored from the ses.pool.* /
+  /// ses.infer.* metrics).
+  int64_t pool_hits = 0;         ///< workspace-pool buffer reuses
+  int64_t pool_misses = 0;       ///< workspace-pool allocator fallbacks
+  int64_t infer_cache_hits = 0;  ///< InferenceSession logits-memo hits
 };
 
 using EpochCallback = std::function<void(const EpochRecord&)>;

@@ -14,6 +14,7 @@ Tensor UnaryOp(const Tensor& a, F f) {
   const float* src = a.data();
   float* dst = out.data();
   const int64_t n = a.size();
+#pragma omp parallel for schedule(static) if (n > kOmpWorkThreshold)
   for (int64_t i = 0; i < n; ++i) dst[i] = f(src[i]);
   return out;
 }
@@ -26,6 +27,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
   const float* pb = b.data();
   float* dst = out.data();
   const int64_t n = a.size();
+#pragma omp parallel for schedule(static) if (n > kOmpWorkThreshold)
   for (int64_t i = 0; i < n; ++i) dst[i] = f(pa[i], pb[i]);
   return out;
 }
@@ -37,7 +39,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   Tensor out(m, n);
   // i-k-j loop order: unit-stride access on B and C; OpenMP over rows.
-#pragma omp parallel for schedule(static) if (m * k * n > 1 << 16)
+#pragma omp parallel for schedule(static) if (m * k * n > kOmpWorkThreshold)
   for (int64_t i = 0; i < m; ++i) {
     const float* arow = a.RowPtr(i);
     float* crow = out.RowPtr(i);
@@ -55,17 +57,14 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
   SES_CHECK(a.rows() == b.rows());
   const int64_t m = a.cols(), k = a.rows(), n = b.cols();
   Tensor out(m, n);
-#pragma omp parallel
-  {
-#pragma omp for schedule(static)
-    for (int64_t i = 0; i < m; ++i) {
-      float* crow = out.RowPtr(i);
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = a.At(kk, i);
-        if (av == 0.0f) continue;
-        const float* brow = b.RowPtr(kk);
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
+#pragma omp parallel for schedule(static) if (m * k * n > kOmpWorkThreshold)
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = out.RowPtr(i);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = a.At(kk, i);
+      if (av == 0.0f) continue;
+      const float* brow = b.RowPtr(kk);
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
   return out;
@@ -75,7 +74,7 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   SES_CHECK(a.cols() == b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
   Tensor out(m, n);
-#pragma omp parallel for schedule(static) if (m * k * n > 1 << 16)
+#pragma omp parallel for schedule(static) if (m * k * n > kOmpWorkThreshold)
   for (int64_t i = 0; i < m; ++i) {
     const float* arow = a.RowPtr(i);
     float* crow = out.RowPtr(i);
@@ -305,7 +304,7 @@ Tensor PairwiseSquaredDistances(const Tensor& a) {
   Tensor sq = SumRows(Mul(a, a));  // row squared norms
   Tensor dots = MatMulTransposedB(a, a);
   Tensor out(n, n);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (n * n > kOmpWorkThreshold)
   for (int64_t i = 0; i < n; ++i) {
     float* row = out.RowPtr(i);
     const float* drow = dots.RowPtr(i);

@@ -12,6 +12,12 @@ namespace ses::tensor {
 /// forward/backward passes; they are also used directly by inference-only
 /// code paths (metrics, explainer scoring, t-SNE).
 
+/// Minimum scalar work (flops for matmuls, elements for elementwise loops)
+/// before a kernel forks an OpenMP team. Below this the fork/join overhead
+/// dominates — per-node motif subgraphs are a few dozen rows — so every
+/// parallel kernel guards its `parallel for` with this one constant.
+inline constexpr int64_t kOmpWorkThreshold = 1 << 16;
+
 /// C = A * B. Cache-blocked, OpenMP-parallel over rows.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 

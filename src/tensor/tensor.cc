@@ -4,13 +4,18 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/workspace.h"
 #include "util/logging.h"
 
 namespace ses::tensor {
 
 Tensor::Tensor(int64_t rows, int64_t cols)
-    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.0f) {
+    : rows_(rows), cols_(cols), data_(workspace::Acquire(rows * cols)) {
   SES_CHECK(rows >= 0 && cols >= 0);
+}
+
+Tensor::~Tensor() {
+  if (!data_.empty()) workspace::Release(std::move(data_));
 }
 
 Tensor::Tensor(std::initializer_list<std::initializer_list<float>> values) {

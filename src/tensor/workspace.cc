@@ -1,0 +1,116 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+
+namespace ses::tensor::workspace {
+namespace {
+
+/// Retention policy: a thread parks at most kMaxBuffersPerBucket buffers of
+/// any one size and kMaxBytesHeld bytes in total; overflow is freed. The
+/// caps bound worst-case residency (a 2-layer GNN forward touches a few
+/// dozen distinct shapes) while keeping every steady-state shape resident.
+constexpr size_t kMaxBuffersPerBucket = 16;
+constexpr int64_t kMaxBytesHeld = int64_t{256} << 20;  // 256 MiB per thread
+
+std::atomic<int64_t> g_hits{0};
+std::atomic<int64_t> g_misses{0};
+std::atomic<int64_t> g_bytes_served{0};
+// High-water marks already folded into the metrics registry.
+std::atomic<int64_t> g_synced_hits{0};
+std::atomic<int64_t> g_synced_misses{0};
+std::atomic<int64_t> g_synced_bytes{0};
+
+struct ThreadPool {
+  std::unordered_map<int64_t, std::vector<std::vector<float>>> buckets;
+  int64_t bytes_held = 0;
+  int depth = 0;  ///< Scope nesting level; pooling active while > 0
+};
+
+ThreadPool& Pool() {
+  thread_local ThreadPool pool;
+  return pool;
+}
+
+}  // namespace
+
+Scope::Scope() { ++Pool().depth; }
+Scope::~Scope() { --Pool().depth; }
+
+bool Active() { return Pool().depth > 0; }
+
+std::vector<float> Acquire(int64_t elements) {
+  if (elements <= 0) return {};
+  ThreadPool& pool = Pool();
+  if (pool.depth > 0) {
+    auto it = pool.buckets.find(elements);
+    if (it != pool.buckets.end() && !it->second.empty()) {
+      std::vector<float> buffer = std::move(it->second.back());
+      it->second.pop_back();
+      pool.bytes_held -= static_cast<int64_t>(buffer.capacity() * sizeof(float));
+      std::fill(buffer.begin(), buffer.end(), 0.0f);
+      g_hits.fetch_add(1, std::memory_order_relaxed);
+      g_bytes_served.fetch_add(elements * static_cast<int64_t>(sizeof(float)),
+                               std::memory_order_relaxed);
+      return buffer;
+    }
+    g_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  return std::vector<float>(static_cast<size_t>(elements), 0.0f);
+}
+
+void Release(std::vector<float>&& buffer) {
+  if (buffer.empty()) return;
+  ThreadPool& pool = Pool();
+  if (pool.depth <= 0) return;  // buffer freed by the caller's destructor
+  const int64_t bytes = static_cast<int64_t>(buffer.capacity() * sizeof(float));
+  auto& bucket = pool.buckets[static_cast<int64_t>(buffer.size())];
+  if (bucket.size() >= kMaxBuffersPerBucket ||
+      pool.bytes_held + bytes > kMaxBytesHeld)
+    return;
+  bucket.push_back(std::move(buffer));
+  pool.bytes_held += bytes;
+}
+
+Stats GlobalStats() {
+  Stats s;
+  s.hits = g_hits.load(std::memory_order_relaxed);
+  s.misses = g_misses.load(std::memory_order_relaxed);
+  s.bytes_served = g_bytes_served.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResetStats() {
+  g_hits.store(0, std::memory_order_relaxed);
+  g_misses.store(0, std::memory_order_relaxed);
+  g_bytes_served.store(0, std::memory_order_relaxed);
+  g_synced_hits.store(0, std::memory_order_relaxed);
+  g_synced_misses.store(0, std::memory_order_relaxed);
+  g_synced_bytes.store(0, std::memory_order_relaxed);
+}
+
+void Trim() {
+  ThreadPool& pool = Pool();
+  pool.buckets.clear();
+  pool.bytes_held = 0;
+}
+
+int64_t ThreadBytesHeld() { return Pool().bytes_held; }
+
+void SyncMetricsRegistry() {
+  auto& registry = obs::MetricsRegistry::Get();
+  auto sync = [&registry](const char* name, std::atomic<int64_t>& total,
+                          std::atomic<int64_t>& synced) {
+    const int64_t now = total.load(std::memory_order_relaxed);
+    const int64_t prev = synced.exchange(now, std::memory_order_relaxed);
+    if (now > prev) registry.GetCounter(name).Add(now - prev);
+  };
+  sync("ses.pool.hits", g_hits, g_synced_hits);
+  sync("ses.pool.misses", g_misses, g_synced_misses);
+  sync("ses.pool.bytes", g_bytes_served, g_synced_bytes);
+}
+
+}  // namespace ses::tensor::workspace

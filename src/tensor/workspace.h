@@ -1,0 +1,71 @@
+#ifndef SES_TENSOR_WORKSPACE_H_
+#define SES_TENSOR_WORKSPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ses::tensor::workspace {
+
+/// Thread-local, size-bucketed free-list of tensor storage buffers.
+///
+/// Inside an active Scope, `Tensor(rows, cols)` draws its flat buffer from
+/// the calling thread's pool and `~Tensor` parks the buffer back, so a
+/// steady-state forward pass (same op sequence, same shapes every query)
+/// performs no heap allocation after its first iteration. Buffers are keyed
+/// by exact element count — GNN inference replays identical shapes, so
+/// exact-size buckets hit without internal fragmentation. Each thread owns
+/// its free lists outright (no sharing, no locks); cumulative hit/miss/byte
+/// statistics are process-wide atomics mirrored into the obs metrics
+/// registry as `ses.pool.hits` / `ses.pool.misses` / `ses.pool.bytes` by
+/// SyncMetricsRegistry().
+///
+/// Pool buffers are zero-filled on acquire, so pooled and malloc'd tensors
+/// are bitwise indistinguishable to every kernel.
+
+/// Enables pooling on the constructing thread for its lifetime; nestable
+/// (inner scopes are no-ops). Buffers parked in the pool survive across
+/// scopes until Trim() or thread exit.
+class Scope {
+ public:
+  Scope();
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+};
+
+/// True while the current thread is inside at least one Scope.
+bool Active();
+
+/// Zero-filled buffer of `elements` floats — pooled when Active(), a plain
+/// allocation otherwise. Non-positive sizes return an empty buffer.
+std::vector<float> Acquire(int64_t elements);
+
+/// Returns a buffer to the current thread's pool. Outside a Scope (or when
+/// the pool is at capacity) the buffer is simply freed.
+void Release(std::vector<float>&& buffer);
+
+/// Cumulative process-wide statistics.
+struct Stats {
+  int64_t hits = 0;          ///< acquires served from a free list
+  int64_t misses = 0;        ///< acquires that fell through to the allocator
+  int64_t bytes_served = 0;  ///< bytes handed out from pooled buffers
+};
+Stats GlobalStats();
+
+/// Zeroes the cumulative statistics (tests / benchmark phases).
+void ResetStats();
+
+/// Frees every buffer parked in the current thread's pool.
+void Trim();
+
+/// Bytes currently parked in the current thread's pool.
+int64_t ThreadBytesHeld();
+
+/// Folds the cumulative stats into the obs metrics registry counters
+/// `ses.pool.hits`, `ses.pool.misses`, `ses.pool.bytes` (delta since the
+/// previous sync, so repeated calls are idempotent).
+void SyncMetricsRegistry();
+
+}  // namespace ses::tensor::workspace
+
+#endif  // SES_TENSOR_WORKSPACE_H_
