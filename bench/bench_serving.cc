@@ -11,6 +11,12 @@
 //
 // Results go to --out (default BENCH_serving.json). --smoke shrinks every
 // knob for the ASan CI run (2 threads, tiny query counts).
+//
+// Latency percentiles come from labeled registry histograms
+// (ses.infer.latency_us{op=...}); per-op SLO budgets feed the ses.slo.*
+// burn-rate gauges. Combined with the ObsSession flags (--metrics-port,
+// --access-log, --trace-out) a run is fully scrapable and joinable while it
+// executes.
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -53,13 +59,6 @@ tensor::Tensor TapedLogits(const core::SesModel& model,
       .logits.value();
 }
 
-double PercentileMs(std::vector<double>& sorted_ms, double p) {
-  if (sorted_ms.empty()) return 0.0;
-  const size_t idx = static_cast<size_t>(
-      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
-  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -81,6 +80,25 @@ int main(int argc, char** argv) {
   std::printf("[Serving] %s threads=%lld queries/thread=%lld\n",
               profile.Describe().c_str(), static_cast<long long>(threads),
               static_cast<long long>(queries_per_thread));
+
+  // Register every metric family up front — per-op SLO budgets (whose
+  // rolling burn rates land in the ses.slo.* gauges), the labeled latency
+  // histograms, and the ses.pool.* counters — so a live /metrics scrape
+  // taken at any point of the run, including during training, already sees
+  // the full serving exposition. The report below reads its percentiles
+  // back out of the histograms instead of keeping private sorted-vector
+  // percentile code.
+  obs::SloTracker::Get().SetBudget("infer.predict", /*latency_budget_us=*/1e3);
+  obs::SloTracker::Get().SetBudget("infer.explain", /*latency_budget_us=*/2e3);
+  auto& registry = obs::MetricsRegistry::Get();
+  const auto& edges_us = obs::Histogram::DefaultLatencyEdgesUs();
+  obs::Histogram& all_hist =
+      registry.GetHistogram("ses.infer.latency_us", {{"op", "all"}}, edges_us);
+  obs::Histogram& predict_hist = registry.GetHistogram(
+      "ses.infer.latency_us", {{"op", "predict"}}, edges_us);
+  obs::Histogram& explain_hist = registry.GetHistogram(
+      "ses.infer.latency_us", {{"op", "explain"}}, edges_us);
+  tensor::workspace::SyncMetricsRegistry();
 
   auto ds = data::MakeRealWorldByName("Cora", profile.real_scale, 1);
   core::SesOptions opt;
@@ -130,8 +148,10 @@ int main(int argc, char** argv) {
       max_abs_diff);
 
   // --- Phase 2: multi-thread mixed serving loop ----------------------------
-  std::vector<std::vector<double>> latencies(
-      static_cast<size_t>(threads));
+  // Refresh the warm-phase pool counters in the registry before the workers
+  // start hammering the histograms.
+  tensor::workspace::SyncMetricsRegistry();
+
   std::atomic<int64_t> predicts{0}, explains{0};
   timer.Reset();
   std::vector<std::thread> workers;
@@ -140,8 +160,6 @@ int main(int argc, char** argv) {
     workers.emplace_back([&, w] {
       tensor::workspace::Scope scope;
       util::Rng rng(static_cast<uint64_t>(1000 + w));
-      auto& lat = latencies[static_cast<size_t>(w)];
-      lat.reserve(static_cast<size_t>(queries_per_thread));
       for (int64_t q = 0; q < queries_per_thread; ++q) {
         const int64_t node =
             static_cast<int64_t>(rng.UniformInt(
@@ -149,24 +167,28 @@ int main(int argc, char** argv) {
         util::Timer qt;
         if (rng.Uniform() < 0.8) {
           session.PredictNode(node);
+          const double us = qt.ElapsedSeconds() * 1e6;
+          predict_hist.Observe(us);
+          all_hist.Observe(us);
           predicts.fetch_add(1, std::memory_order_relaxed);
         } else {
           session.ExplainNode(node, /*top_k=*/5);
+          const double us = qt.ElapsedSeconds() * 1e6;
+          explain_hist.Observe(us);
+          all_hist.Observe(us);
           explains.fetch_add(1, std::memory_order_relaxed);
         }
-        lat.push_back(qt.ElapsedSeconds() * 1e3);
       }
     });
   }
   for (auto& th : workers) th.join();
   const double wall_s = timer.ElapsedSeconds();
 
-  std::vector<double> all_ms;
-  for (auto& lat : latencies) all_ms.insert(all_ms.end(), lat.begin(), lat.end());
-  std::sort(all_ms.begin(), all_ms.end());
-  const double qps = static_cast<double>(all_ms.size()) / std::max(wall_s, 1e-9);
-  const double p50 = PercentileMs(all_ms, 0.50);
-  const double p99 = PercentileMs(all_ms, 0.99);
+  const int64_t total_queries = all_hist.Count();
+  const double qps =
+      static_cast<double>(total_queries) / std::max(wall_s, 1e-9);
+  const double p50 = all_hist.P50() / 1e3;  // histogram is in us, report ms
+  const double p99 = all_hist.P99() / 1e3;
 
   const auto pool = tensor::workspace::GlobalStats();
   const double pool_hit_rate =
@@ -179,15 +201,26 @@ int main(int argc, char** argv) {
   std::printf(
       "%lld queries in %.2fs: %.0f qps, p50 %.4f ms, p99 %.4f ms | pool hit "
       "rate %.1f%% | session cache %lld hits / %lld misses\n",
-      static_cast<long long>(all_ms.size()), wall_s, qps, p50, p99,
+      static_cast<long long>(total_queries), wall_s, qps, p50, p99,
       pool_hit_rate * 100.0, static_cast<long long>(cache.cache_hits),
       static_cast<long long>(cache.cache_misses));
+  const auto predict_slo = obs::SloTracker::Get().Snapshot("infer.predict");
+  const auto explain_slo = obs::SloTracker::Get().Snapshot("infer.explain");
+  std::printf(
+      "slo: predict %lld/%lld over budget (burn %.3f) | explain %lld/%lld "
+      "over budget (burn %.3f)\n",
+      static_cast<long long>(predict_slo.breaches),
+      static_cast<long long>(predict_slo.requests), predict_slo.burn_rate,
+      static_cast<long long>(explain_slo.breaches),
+      static_cast<long long>(explain_slo.requests), explain_slo.burn_rate);
 
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
     return 1;
   }
+  const double p95 = all_hist.P95() / 1e3;
+  const double p999 = all_hist.P999() / 1e3;
   out << "{\n"
       << "  \"dataset\": \"Cora\",\n"
       << "  \"scale\": " << profile.real_scale << ",\n"
@@ -204,13 +237,23 @@ int main(int argc, char** argv) {
       << "    \"logits_max_abs_diff\": " << max_abs_diff << "\n"
       << "  },\n"
       << "  \"serving\": {\n"
-      << "    \"queries\": " << all_ms.size() << ",\n"
+      << "    \"queries\": " << total_queries << ",\n"
       << "    \"predict_queries\": " << predicts.load() << ",\n"
       << "    \"explain_queries\": " << explains.load() << ",\n"
       << "    \"wall_seconds\": " << wall_s << ",\n"
       << "    \"qps\": " << qps << ",\n"
       << "    \"p50_ms\": " << p50 << ",\n"
-      << "    \"p99_ms\": " << p99 << "\n"
+      << "    \"p95_ms\": " << p95 << ",\n"
+      << "    \"p99_ms\": " << p99 << ",\n"
+      << "    \"p999_ms\": " << p999 << "\n"
+      << "  },\n"
+      << "  \"slo\": {\n"
+      << "    \"predict\": {\"requests\": " << predict_slo.requests
+      << ", \"breaches\": " << predict_slo.breaches
+      << ", \"burn_rate\": " << predict_slo.burn_rate << "},\n"
+      << "    \"explain\": {\"requests\": " << explain_slo.requests
+      << ", \"breaches\": " << explain_slo.breaches
+      << ", \"burn_rate\": " << explain_slo.burn_rate << "}\n"
       << "  },\n"
       << "  \"pool\": {\n"
       << "    \"hits\": " << pool.hits << ",\n"

@@ -14,6 +14,11 @@
 //   ./build/examples/quickstart --metrics-out=metrics.jsonl
 //       dumps the process-wide metrics registry (op counts, robustness
 //       counters) on exit
+//   ./build/examples/quickstart --metrics-port=9100
+//       serves live Prometheus metrics on http://localhost:9100/metrics for
+//       the whole run (plus /healthz and /spans); pass 0 for an ephemeral
+//       port — watch training health gauges update with
+//         watch -n1 'curl -s localhost:9100/metrics | grep ses.health'
 //
 // Fault tolerance:
 //   ./build/examples/quickstart --checkpoint-dir=ckpt --checkpoint-every=10
@@ -24,6 +29,7 @@
 //   SES_FAULT_SPEC (env) injects NaNs / crashes / checkpoint corruption —
 //   see DESIGN.md "Fault tolerance".
 #include <cstdio>
+#include <memory>
 
 #include "core/ses_model.h"
 #include "data/real_world.h"
@@ -39,8 +45,41 @@ int main(int argc, char** argv) {
   const std::string trace_out = flags.GetString("trace-out", "");
   const std::string telemetry_out = flags.GetString("telemetry-out", "");
   const std::string metrics_out = flags.GetString("metrics-out", "");
+  const int64_t metrics_port = flags.GetInt("metrics-port", -1);
   if (!trace_out.empty()) obs::EnableTracing(true);
-  if (!telemetry_out.empty()) obs::Telemetry::Get().OpenJsonl(telemetry_out);
+  if (!telemetry_out.empty()) {
+    obs::Telemetry::Get().OpenJsonl(telemetry_out);
+    // Per-epoch records carry model-health fields (per-layer gradient norms,
+    // weight-update ratios, dead-ReLU fraction, attention entropy).
+    obs::ModelHealthMonitor::Get().SetEnabled(true);
+  }
+  std::unique_ptr<obs::MetricsServer> metrics_server;
+  if (metrics_port >= 0) {
+    metrics_server = std::make_unique<obs::MetricsServer>();
+    // A live scrape target needs the health gauges populated too.
+    obs::ModelHealthMonitor::Get().SetEnabled(true);
+    if (metrics_server->Start(static_cast<uint16_t>(metrics_port))) {
+      std::printf("metrics server on http://localhost:%u/metrics\n",
+                  static_cast<unsigned>(metrics_server->port()));
+      // Flush so a watcher polling redirected output sees the port now.
+      std::fflush(stdout);
+    } else {
+      metrics_server.reset();
+    }
+  }
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    // A crashed run (SES_FAULT_SPEC, fatal signal) must still leave its
+    // artifacts on disk. Register the robustness counters up front
+    // (GetCounter is idempotent) so even an early-crash snapshot carries
+    // them instead of coming out empty.
+    auto& registry = obs::MetricsRegistry::Get();
+    for (const char* counter :
+         {"ses.ckpt.writes", "ses.ckpt.resume_ok", "ses.ckpt.resume_corrupt",
+          "ses.train.nan_skips", "ses.train.rollbacks"})
+      registry.GetCounter(counter);
+    obs::SetCrashArtifacts(trace_out, metrics_out);
+    obs::InstallCrashHandlers();
+  }
 
   // 1. A dataset: a quarter-scale Cora-like citation network (graph +
   //    sparse bag-of-words features + labels + 60/20/20 split).
@@ -129,6 +168,9 @@ int main(int argc, char** argv) {
       static_cast<long long>(reg.GetCounter("ses.ckpt.resume_corrupt").Value()),
       static_cast<long long>(reg.GetCounter("ses.train.nan_skips").Value()),
       static_cast<long long>(reg.GetCounter("ses.train.rollbacks").Value()));
+  if (metrics_server) metrics_server->Stop();
   obs::Telemetry::Get().Close();
+  obs::ModelHealthMonitor::Get().SetEnabled(false);
+  obs::SetCrashArtifacts("", "");
   return 0;
 }

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Serving-performance regression gate.
+#
+# Compares a freshly produced bench_serving JSON artifact against the
+# committed baseline (BENCH_serving.json at the repo root) and fails when
+#   - warm-predict throughput (1000 / single_thread.warm_predict_ms, i.e.
+#     QPS of the memoized fast path) drops by more than the allowed fraction,
+#   - or the multi-threaded serving p99 latency rises by more than it.
+#
+# Usage: scripts/bench_check.sh CANDIDATE.json [BASELINE.json]
+#   SES_BENCH_MAX_REGRESSION  allowed fractional regression (default 0.20)
+#
+# Micro-benchmarks on a shared 2-core box are noisy; 20% is wide enough to
+# ignore scheduler jitter while still catching a real fast-path regression
+# (those historically show up as 2-10x, not 1.2x).
+set -euo pipefail
+
+CANDIDATE="${1:?usage: scripts/bench_check.sh CANDIDATE.json [BASELINE.json]}"
+BASELINE="${2:-$(dirname "$0")/../BENCH_serving.json}"
+MAX_REGRESSION="${SES_BENCH_MAX_REGRESSION:-0.20}"
+
+python3 - "$BASELINE" "$CANDIDATE" "$MAX_REGRESSION" <<'PY'
+import json
+import sys
+
+baseline_path, candidate_path, allowed = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(baseline_path) as f:
+    base = json.load(f)
+with open(candidate_path) as f:
+    cand = json.load(f)
+
+
+def warm_qps(doc):
+    ms = doc["single_thread"]["warm_predict_ms"]
+    return 1000.0 / ms if ms > 0 else float("inf")
+
+
+failures = []
+
+base_qps, cand_qps = warm_qps(base), warm_qps(cand)
+qps_drop = 0.0 if base_qps <= 0 else (base_qps - cand_qps) / base_qps
+print(f"warm-predict QPS: baseline {base_qps:,.0f}  candidate {cand_qps:,.0f}  "
+      f"drop {qps_drop:+.1%} (allowed {allowed:.0%})")
+if qps_drop > allowed:
+    failures.append(f"warm-predict QPS dropped {qps_drop:.1%} (> {allowed:.0%})")
+
+base_p99, cand_p99 = base["serving"]["p99_ms"], cand["serving"]["p99_ms"]
+p99_rise = 0.0 if base_p99 <= 0 else (cand_p99 - base_p99) / base_p99
+print(f"serving p99: baseline {base_p99:.6f} ms  candidate {cand_p99:.6f} ms  "
+      f"rise {p99_rise:+.1%} (allowed {allowed:.0%})")
+if p99_rise > allowed:
+    failures.append(f"serving p99 rose {p99_rise:.1%} (> {allowed:.0%})")
+
+if failures:
+    for f in failures:
+        print(f"BENCH GATE FAIL: {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench gate passed")
+PY

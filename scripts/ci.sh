@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI driver: builds the Release tree and an AddressSanitizer tree, runs the
-# full ctest suite on both, then exercises the fault-injection matrix (NaN
-# injection, kill-and-resume, checkpoint corruption) against the ASan
-# quickstart binary and smoke-runs the multi-threaded serving benchmark
-# under ASan. Any failure fails the script.
+# full ctest suite on both (including the obs_v2 observability tests), then
+# exercises the fault-injection matrix (NaN injection, kill-and-resume,
+# checkpoint corruption, crash-with-artifacts) against the ASan quickstart
+# binary, smoke-runs the multi-threaded serving benchmark under ASan while
+# scraping its live /metrics endpoint and joining the access log against the
+# Chrome trace, and finally gates serving performance against the committed
+# baseline. Any failure fails the script.
 #
 # Usage: scripts/ci.sh [JOBS]
 set -euo pipefail
@@ -71,15 +74,125 @@ grep -q "resume_corrupt=0" "${FAULT_DIR}/fallback.log" && {
 grep -q "resume_ok=0" "${FAULT_DIR}/fallback.log" && {
   echo "FAIL: resume did not fall back to the previous rotation"; exit 1; }
 
+echo "=== [faults] crash must still flush the observability artifacts ==="
+set +e
+SES_FAULT_SPEC="crash:phase=phase1,epoch=8" \
+  "${QUICKSTART}" "${QS_ARGS[@]}" --trace-out="${FAULT_DIR}/crash-trace.json" \
+  --metrics-out="${FAULT_DIR}/crash-metrics.jsonl"
+status=$?
+set -e
+[[ "${status}" -eq 42 ]] || {
+  echo "FAIL: injected crash exited with ${status}, expected 42"; exit 1; }
+python3 - "${FAULT_DIR}/crash-trace.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+assert trace["traceEvents"], "crash-flushed trace has no spans"
+PY
+[[ -s "${FAULT_DIR}/crash-metrics.jsonl" ]] || {
+  echo "FAIL: crash did not flush the metrics snapshot"; exit 1; }
+echo "crashed run left a parseable trace and a metrics snapshot"
+
 # ---------------------------------------------------------------------------
-# Serving smoke (under ASan: the tape-free fast path, workspace pool, and the
-# multi-threaded query loop must be memory- and race-clean).
-echo "=== [serving] bench_serving --smoke (2 threads, ASan) ==="
+# Serving smoke (under ASan: the tape-free fast path, workspace pool, the
+# multi-threaded query loop AND the embedded metrics server must be memory-
+# and race-clean). The benchmark runs in the background with the full
+# observability surface on; the live /metrics endpoint is scraped mid-run.
+# Deliberately NOT --smoke: the run must last long enough (~15 s of training
+# under ASan; every metric family registers before training starts) for the
+# scraper to catch it alive.
+echo "=== [serving] bench_serving with live /metrics (2 threads, ASan) ==="
 mkdir -p ci_artifacts
-./build-asan/bench/bench_serving --smoke --threads=2 \
-  --out=ci_artifacts/BENCH_serving.json | tee "${FAULT_DIR}/serving.log"
+./build-asan/bench/bench_serving --scale=0.35 --epochs=150 --hidden=32 \
+  --seeds=1 --threads=2 --queries=2000 \
+  --metrics-port=0 --access-log="${FAULT_DIR}/access.jsonl" \
+  --trace-out="${FAULT_DIR}/serving-trace.json" \
+  --out=ci_artifacts/BENCH_serving.json >"${FAULT_DIR}/serving.log" 2>&1 &
+SERVING_PID=$!
+for _ in $(seq 1 200); do
+  grep -q "metrics server on" "${FAULT_DIR}/serving.log" && break
+  kill -0 "${SERVING_PID}" 2>/dev/null || break
+  sleep 0.05
+done
+PORT="$(sed -n 's#.*localhost:\([0-9]*\)/metrics.*#\1#p' \
+  "${FAULT_DIR}/serving.log" | head -1)"
+[[ -n "${PORT}" ]] || {
+  cat "${FAULT_DIR}/serving.log"
+  echo "FAIL: bench_serving never announced its metrics port"; exit 1; }
+python3 - "${PORT}" "${SERVING_PID}" <<'PY'
+import os, sys, time, urllib.request
+
+port, pid = sys.argv[1], int(sys.argv[2])
+need = ["ses_pool_", "ses_infer_", "ses_slo_"]
+body = ""
+deadline = time.monotonic() + 120
+while time.monotonic() < deadline:
+    try:
+        with urllib.request.urlopen(f"http://localhost:{port}/metrics",
+                                    timeout=5) as resp:
+            assert "version=0.0.4" in resp.headers["Content-Type"]
+            body = resp.read().decode()
+    except OSError:
+        body = ""
+    if all(n in body for n in need):
+        break
+    try:
+        os.kill(pid, 0)  # benchmark still running?
+    except ProcessLookupError:
+        sys.exit(f"bench_serving (pid {pid}) exited before a complete scrape")
+    time.sleep(0.05)
+missing = [n for n in need if n not in body]
+assert not missing, f"mid-run scrape missing families {missing}"
+# Shape check: every non-comment line must be "name[{labels}] value", and the
+# histogram series must close with a +Inf bucket.
+for line in body.splitlines():
+    if not line or line.startswith("#"):
+        continue
+    name_part = line.split("{")[0].split(" ")[0]
+    assert name_part and name_part.replace("_", "a").replace(":", "a").isalnum(), line
+    float(line.rsplit(" ", 1)[1])  # value parses as a number
+assert 'le="+Inf"' in body, "histogram exposition lacks a +Inf bucket"
+with urllib.request.urlopen(f"http://localhost:{port}/healthz",
+                            timeout=5) as resp:
+    import json
+    health = json.load(resp)
+assert health["status"] == "ok", health
+print(f"mid-run scrape ok: {len(body.splitlines())} exposition lines, "
+      f"all of {need} present")
+PY
+wait "${SERVING_PID}" || {
+  cat "${FAULT_DIR}/serving.log"
+  echo "FAIL: bench_serving exited non-zero"; exit 1; }
 grep -q '"logits_max_abs_diff": 0' ci_artifacts/BENCH_serving.json || {
   echo "FAIL: fast-path logits diverged from the tape path"; exit 1; }
 echo "serving artifact archived at ci_artifacts/BENCH_serving.json"
+
+echo "=== [serving] every access-log trace-id resolves to trace spans ==="
+python3 - "${FAULT_DIR}/access.jsonl" "${FAULT_DIR}/serving-trace.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    entries = [json.loads(line) for line in f if line.strip()]
+assert entries, "access log is empty"
+with open(sys.argv[2]) as f:
+    trace = json.load(f)
+span_ids = {ev["args"]["trace_id"] for ev in trace["traceEvents"]
+            if "args" in ev and "trace_id" in ev["args"]}
+orphans = [e["trace_id"] for e in entries if e["trace_id"] not in span_ids]
+assert not orphans, f"{len(orphans)} access-log requests have no spans, " \
+                    f"e.g. trace_id {orphans[0]}"
+ops = {e["op"] for e in entries}
+assert {"infer.predict", "infer.explain"} <= ops, ops
+print(f"{len(entries)} access-log lines joined against "
+      f"{len(span_ids)} request trace-ids")
+PY
+
+# ---------------------------------------------------------------------------
+# Serving-performance gate: a fresh Release run must stay within the allowed
+# regression envelope of the committed baseline (see scripts/bench_check.sh).
+echo "=== [bench gate] Release bench_serving vs committed BENCH_serving.json ==="
+./build/bench/bench_serving --out=ci_artifacts/BENCH_serving_release.json \
+  | tee "${FAULT_DIR}/serving-release.log"
+scripts/bench_check.sh ci_artifacts/BENCH_serving_release.json
 
 echo "=== all variants passed ==="

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "obs/metrics.h"
+#include "obs/request.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -12,6 +13,25 @@ namespace ses::core {
 
 namespace ag = ses::autograd;
 namespace t = ses::tensor;
+
+namespace {
+
+/// Cheap result fingerprint for the access log: dims plus the first and last
+/// logit rows — enough to notice a changed result without hashing the full
+/// matrix on every request.
+uint64_t LogitsDigest(const t::Tensor& logits) {
+  uint64_t h = obs::Fnv1aBegin();
+  const int64_t dims[2] = {logits.rows(), logits.cols()};
+  h = obs::Fnv1a(h, dims, sizeof(dims));
+  if (logits.rows() > 0 && logits.cols() > 0) {
+    const size_t row_bytes = static_cast<size_t>(logits.cols()) * sizeof(float);
+    h = obs::Fnv1a(h, logits.RowPtr(0), row_bytes);
+    h = obs::Fnv1a(h, logits.RowPtr(logits.rows() - 1), row_bytes);
+  }
+  return h;
+}
+
+}  // namespace
 
 InferenceSession::InferenceSession(const SesModel* model,
                                    const data::Dataset* ds)
@@ -61,11 +81,14 @@ tensor::Tensor InferenceSession::RunForward() const {
 }
 
 tensor::Tensor InferenceSession::Logits() {
+  obs::RequestScope request("infer.logits");
   std::lock_guard<std::mutex> lock(mutex_);
   EnsureArtifactsLocked();
   if (logits_version_ == artifact_version_) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     obs::MetricsRegistry::Get().GetCounter("ses.infer.cache_hits").Add(1);
+    request.NoteCacheHit(true);
+    request.SetDigest(LogitsDigest(logits_));
     return logits_;
   }
   SES_TRACE_SPAN("infer/logits_miss");
@@ -73,10 +96,12 @@ tensor::Tensor InferenceSession::Logits() {
   obs::MetricsRegistry::Get().GetCounter("ses.infer.cache_misses").Add(1);
   logits_ = RunForward();
   logits_version_ = artifact_version_;
+  request.SetDigest(LogitsDigest(logits_));
   return logits_;
 }
 
 int64_t InferenceSession::PredictNode(int64_t node) {
+  obs::RequestScope request("infer.predict");
   std::lock_guard<std::mutex> lock(mutex_);
   EnsureArtifactsLocked();
   if (logits_version_ != artifact_version_) {
@@ -88,17 +113,22 @@ int64_t InferenceSession::PredictNode(int64_t node) {
   } else {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     obs::MetricsRegistry::Get().GetCounter("ses.infer.cache_hits").Add(1);
+    request.NoteCacheHit(true);
   }
   SES_CHECK(node >= 0 && node < logits_.rows());
   const float* row = logits_.RowPtr(node);
   int64_t best = 0;
   for (int64_t c = 1; c < logits_.cols(); ++c)
     if (row[c] > row[best]) best = c;
+  const int64_t fingerprint[2] = {node, best};
+  request.SetDigest(
+      obs::Fnv1a(obs::Fnv1aBegin(), fingerprint, sizeof(fingerprint)));
   return best;
 }
 
 InferenceSession::Explanation InferenceSession::ExplainNode(
     int64_t node, int64_t top_k) const {
+  obs::RequestScope request("infer.explain");
   Explanation ex;
   if (model_ == nullptr || model_->structure_mask_khop().size() == 0)
     return ex;
@@ -122,10 +152,15 @@ InferenceSession::Explanation InferenceSession::ExplainNode(
     ex.neighbors.push_back(nbrs[static_cast<size_t>(order[static_cast<size_t>(i)])]);
     ex.scores.push_back(mask[offset + order[static_cast<size_t>(i)]]);
   }
+  uint64_t h = obs::Fnv1a(obs::Fnv1aBegin(), &node, sizeof(node));
+  h = obs::Fnv1a(h, ex.neighbors.data(),
+                 ex.neighbors.size() * sizeof(int64_t));
+  request.SetDigest(h);
   return ex;
 }
 
 tensor::Tensor InferenceSession::ForwardLogits() {
+  obs::RequestScope request("infer.forward");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     EnsureArtifactsLocked();
@@ -134,7 +169,9 @@ tensor::Tensor InferenceSession::ForwardLogits() {
   // itself only reads them, so it runs outside the lock and scales across
   // worker threads.
   SES_TRACE_SPAN("infer/forward");
-  return RunForward();
+  tensor::Tensor logits = RunForward();
+  request.SetDigest(LogitsDigest(logits));
+  return logits;
 }
 
 }  // namespace ses::core

@@ -8,6 +8,7 @@
 
 #include "nn/optim.h"
 #include "obs/metrics.h"
+#include "obs/model_health.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "robust/checkpoint.h"
@@ -96,6 +97,33 @@ void FillRobustCounters(obs::EpochRecord* record) {
   record->pool_misses = registry.GetCounter("ses.pool.misses").Value();
   record->infer_cache_hits =
       registry.GetCounter("ses.infer.cache_hits").Value();
+}
+
+/// Feeds one training forward's health signals (dead hidden units, GAT
+/// attention entropy) to the ModelHealthMonitor. No-op while disabled.
+void ObserveForwardHealth(const models::Encoder& encoder,
+                          const models::Encoder::Output& out,
+                          const ag::EdgeListPtr& edges) {
+  auto& monitor = obs::ModelHealthMonitor::Get();
+  if (!monitor.enabled()) return;
+  const t::Tensor& hidden = out.hidden.value();
+  monitor.ObserveActivations(hidden.data(), hidden.rows(), hidden.cols());
+  const t::Tensor att = encoder.LastAttention();
+  if (att.size() > 0 && att.size() == edges->size())
+    monitor.ObserveAttention(att.data(), edges->dst.data(), edges->size());
+}
+
+/// Copies a finalized health window into the telemetry record.
+void FillHealth(const obs::ModelHealthMonitor::EpochHealth& health,
+                obs::EpochRecord* record) {
+  for (const auto& p : health.params) {
+    if (p.grad_norm >= 0.0)
+      record->layer_grad_norms.emplace_back(p.name, p.grad_norm);
+    if (p.update_ratio >= 0.0)
+      record->update_ratios.emplace_back(p.name, p.update_ratio);
+  }
+  record->dead_fraction = health.dead_fraction;
+  record->attn_entropy = health.attn_entropy;
 }
 
 /// Recovery context threaded through the phase-2 loop. `base` carries the
@@ -190,12 +218,16 @@ void Phase2LoopImpl(models::Encoder* encoder, const data::Dataset& ds,
   }
 
   const int64_t ckpt_every = std::max<int64_t>(1, config.checkpoint_every);
+  auto& health_monitor = obs::ModelHealthMonitor::Get();
+  const std::vector<std::string> param_names = encoder->ParameterNames();
   for (int64_t epoch = start_epoch; epoch < options.epl_epochs; ++epoch) {
     SES_TRACE_SPAN("ses/phase2_epoch");
     if (ctx && ctx->faults) ctx->faults->MaybeCrash("phase2", epoch);
     util::Timer epoch_timer;
+    health_monitor.BeginEpoch("SES");
     auto out = encoder->Forward(input, adj_edges, adj_mask, config.dropout,
                                 /*training=*/true, rng);
+    ObserveForwardHealth(*encoder, out, adj_edges);
     ag::Variable loss;
     if (options.use_triplet && pairs.size() > 0) {
       // Eq. 11: gather anchor / positive / negative rows of Ẑ.
@@ -226,11 +258,15 @@ void Phase2LoopImpl(models::Encoder* encoder, const data::Dataset& ds,
     }
     const double grad_norm = optimizer.GradNorm();
     const double loss_value = loss.value()[0];
+    if (health_monitor.enabled())
+      obs::ObserveParamsPreStep(param_names, encoder->Parameters());
     bool stepped = false;
     switch (health.Observe(loss_value, grad_norm)) {
       case robust::HealthMonitor::Action::kProceed:
         optimizer.Step();
         stepped = true;
+        if (health_monitor.enabled())
+          obs::ObserveParamsPostStep(param_names, encoder->Parameters());
         break;
       case robust::HealthMonitor::Action::kRollback:
         if (ctx && ctx->mgr) {
@@ -259,6 +295,8 @@ void Phase2LoopImpl(models::Encoder* encoder, const data::Dataset& ds,
         best.Capture(*encoder);
       }
     }
+    obs::ModelHealthMonitor::EpochHealth epoch_health;
+    if (health_monitor.enabled()) epoch_health = health_monitor.EndEpoch();
     if (obs::Telemetry::Get().active()) {
       obs::EpochRecord record;
       record.model = "SES";
@@ -269,6 +307,7 @@ void Phase2LoopImpl(models::Encoder* encoder, const data::Dataset& ds,
       record.epoch_seconds = epoch_timer.ElapsedSeconds();
       record.val_metric = best_val;
       FillRobustCounters(&record);
+      FillHealth(epoch_health, &record);
       obs::Telemetry::Get().Emit(record);
     }
     if (config.verbose)
@@ -445,14 +484,21 @@ void SesModel::Fit(const data::Dataset& ds, const models::TrainConfig& config) {
     const float alpha = options_.alpha;
     std::optional<obs::ScopedSpan> phase1_span;
     phase1_span.emplace("ses/phase1");
+    auto& health_monitor = obs::ModelHealthMonitor::Get();
+    // Names aligned with `params` (encoder then mask generator).
+    std::vector<std::string> param_names = encoder_->ParameterNames();
+    for (const std::string& n : mask_generator_->ParameterNames())
+      param_names.push_back("maskgen." + n);
     util::Timer block_timer;  // verbose reporting: time per 20-epoch block
     for (int64_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
       SES_TRACE_SPAN("ses/phase1_epoch");
       faults.MaybeCrash("phase1", epoch);
       util::Timer epoch_timer;
+      health_monitor.BeginEpoch(name());
       // Plain pass: Z and H (Eq. 2).
       auto out = encoder_->Forward(plain_input, adj_edges_, {}, config.dropout,
                                    /*training=*/true, &rng);
+      ObserveForwardHealth(*encoder_, out, adj_edges_);
       ag::Variable l_xent = ag::NllLoss(ag::LogSoftmaxRows(out.logits),
                                         ds.labels, ds.train_idx);
 
@@ -513,11 +559,15 @@ void SesModel::Fit(const data::Dataset& ds, const models::TrainConfig& config) {
         params[0].mutable_grad()[0] = std::numeric_limits<float>::quiet_NaN();
       const double grad_norm = optimizer.GradNorm();
       const double loss_value = loss.value()[0];
+      if (health_monitor.enabled())
+        obs::ObserveParamsPreStep(param_names, params);
       bool stepped = false;
       switch (health.Observe(loss_value, grad_norm)) {
         case robust::HealthMonitor::Action::kProceed:
           optimizer.Step();
           stepped = true;
+          if (health_monitor.enabled())
+            obs::ObserveParamsPostStep(param_names, params);
           break;
         case robust::HealthMonitor::Action::kRollback:
           if (ckpt_mgr) {
@@ -562,6 +612,8 @@ void SesModel::Fit(const data::Dataset& ds, const models::TrainConfig& config) {
           (epoch == 0 || epoch == config.epochs / 2 ||
            epoch == config.epochs - 1))
         mask_snapshots_.push_back(m_f.value());
+      obs::ModelHealthMonitor::EpochHealth epoch_health;
+      if (health_monitor.enabled()) epoch_health = health_monitor.EndEpoch();
       if (obs::Telemetry::Get().active()) {
         obs::EpochRecord record;
         record.model = name();
@@ -572,6 +624,7 @@ void SesModel::Fit(const data::Dataset& ds, const models::TrainConfig& config) {
         record.epoch_seconds = epoch_timer.ElapsedSeconds();
         record.val_metric = best_val;
         FillRobustCounters(&record);
+        FillHealth(epoch_health, &record);
         obs::Telemetry::Get().Emit(record);
       }
       if (config.verbose && epoch % 20 == 0) {

@@ -42,8 +42,8 @@ ag::Variable RenormalizeAttention(const ag::EdgeListPtr& edges,
 
 GcnEncoder::GcnEncoder(int64_t in, int64_t hidden, int64_t out, util::Rng* rng)
     : hidden_(hidden), conv1_(in, hidden, rng), conv2_(hidden, out, rng) {
-  RegisterModule(&conv1_);
-  RegisterModule(&conv2_);
+  RegisterModule(&conv1_, "conv1");
+  RegisterModule(&conv2_, "conv2");
 }
 
 ag::Variable GcnEncoder::PrecomputeAggregation(const ag::EdgeListPtr& edges,
@@ -81,8 +81,8 @@ GatEncoder::GatEncoder(int64_t in, int64_t hidden, int64_t out, int64_t heads,
       conv1_(in, hidden / heads, heads, rng),
       conv2_(hidden, out, /*heads=*/1, rng) {
   SES_CHECK(hidden % heads == 0);
-  RegisterModule(&conv1_);
-  RegisterModule(&conv2_);
+  RegisterModule(&conv1_, "conv1");
+  RegisterModule(&conv2_, "conv2");
 }
 
 Encoder::Output GatEncoder::Forward(const nn::FeatureInput& x,
@@ -136,12 +136,12 @@ GinEncoder::GinEncoder(int64_t in, int64_t hidden, int64_t out, util::Rng* rng)
   w1_ = ag::Variable::Parameter(t::Tensor::Xavier(in, hidden, rng));
   eps1_ = ag::Variable::Parameter(t::Tensor::Zeros(1, 1));
   eps2_ = ag::Variable::Parameter(t::Tensor::Zeros(1, 1));
-  RegisterModule(&mlp1_);
-  RegisterModule(&mlp2_);
+  RegisterModule(&mlp1_, "mlp1");
+  RegisterModule(&mlp2_, "mlp2");
   // w1_/eps were created outside RegisterParameter; adopt them.
-  AdoptParameter(w1_);
-  AdoptParameter(eps1_);
-  AdoptParameter(eps2_);
+  AdoptParameter(w1_, "w1");
+  AdoptParameter(eps1_, "eps1");
+  AdoptParameter(eps2_, "eps2");
 }
 
 ag::Variable GinEncoder::PrecomputeAggregation(const ag::EdgeListPtr& edges,
@@ -188,8 +188,12 @@ SageEncoder::SageEncoder(int64_t in, int64_t hidden, int64_t out,
   w_nbr2_ = ag::Variable::Parameter(t::Tensor::Xavier(hidden, out, rng));
   b1_ = ag::Variable::Parameter(t::Tensor::Zeros(1, hidden));
   b2_ = ag::Variable::Parameter(t::Tensor::Zeros(1, out));
-  for (auto& p : {w_self1_, w_nbr1_, w_self2_, w_nbr2_, b1_, b2_})
-    AdoptParameter(p);
+  AdoptParameter(w_self1_, "w_self1");
+  AdoptParameter(w_nbr1_, "w_nbr1");
+  AdoptParameter(w_self2_, "w_self2");
+  AdoptParameter(w_nbr2_, "w_nbr2");
+  AdoptParameter(b1_, "b1");
+  AdoptParameter(b2_, "b2");
 }
 
 ag::Variable SageEncoder::PrecomputeAggregation(const ag::EdgeListPtr& edges,

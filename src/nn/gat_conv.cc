@@ -15,14 +15,15 @@ GatConv::GatConv(int64_t in_features, int64_t out_per_head, int64_t heads,
     : leaky_slope_(leaky_slope) {
   SES_CHECK(heads >= 1);
   for (int64_t h = 0; h < heads; ++h) {
+    const std::string head = std::to_string(h);
     w_.push_back(RegisterParameter(
-        t::Tensor::Xavier(in_features, out_per_head, rng)));
+        t::Tensor::Xavier(in_features, out_per_head, rng), "w" + head));
     a_src_.push_back(RegisterParameter(
-        t::Tensor::Xavier(out_per_head, 1, rng)));
+        t::Tensor::Xavier(out_per_head, 1, rng), "a_src" + head));
     a_dst_.push_back(RegisterParameter(
-        t::Tensor::Xavier(out_per_head, 1, rng)));
+        t::Tensor::Xavier(out_per_head, 1, rng), "a_dst" + head));
   }
-  bias_ = RegisterParameter(t::Tensor::Zeros(1, heads * out_per_head));
+  bias_ = RegisterParameter(t::Tensor::Zeros(1, heads * out_per_head), "bias");
 }
 
 ag::Variable GatConv::Forward(const FeatureInput& x,

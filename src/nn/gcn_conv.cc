@@ -11,8 +11,10 @@ namespace t = ses::tensor;
 
 GcnConv::GcnConv(int64_t in_features, int64_t out_features, util::Rng* rng,
                  bool bias) {
-  weight_ = RegisterParameter(t::Tensor::Xavier(in_features, out_features, rng));
-  if (bias) bias_ = RegisterParameter(t::Tensor::Zeros(1, out_features));
+  weight_ = RegisterParameter(
+      t::Tensor::Xavier(in_features, out_features, rng), "weight");
+  if (bias)
+    bias_ = RegisterParameter(t::Tensor::Zeros(1, out_features), "bias");
 }
 
 ag::Variable GcnConv::Forward(const FeatureInput& x,

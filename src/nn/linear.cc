@@ -10,8 +10,10 @@ namespace t = ses::tensor;
 
 Linear::Linear(int64_t in_features, int64_t out_features, util::Rng* rng,
                bool bias) {
-  weight_ = RegisterParameter(t::Tensor::Xavier(in_features, out_features, rng));
-  if (bias) bias_ = RegisterParameter(t::Tensor::Zeros(1, out_features));
+  weight_ = RegisterParameter(
+      t::Tensor::Xavier(in_features, out_features, rng), "weight");
+  if (bias)
+    bias_ = RegisterParameter(t::Tensor::Zeros(1, out_features), "bias");
 }
 
 ag::Variable Linear::Forward(const ag::Variable& x) const {
@@ -28,7 +30,8 @@ Mlp::Mlp(const std::vector<int64_t>& dims, util::Rng* rng,
   layers_.reserve(dims.size() - 1);
   for (size_t i = 0; i + 1 < dims.size(); ++i)
     layers_.emplace_back(dims[i], dims[i + 1], rng);
-  for (auto& layer : layers_) RegisterModule(&layer);
+  for (size_t i = 0; i < layers_.size(); ++i)
+    RegisterModule(&layers_[i], "fc" + std::to_string(i));
 }
 
 ag::Variable Mlp::Forward(const ag::Variable& x) const {

@@ -34,15 +34,35 @@ void Module::CopyParametersFrom(const Module& other) {
   }
 }
 
-autograd::Variable Module::RegisterParameter(tensor::Tensor value) {
+std::vector<std::string> Module::ParameterNames() const {
+  std::vector<std::string> names;
+  names.reserve(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i)
+    names.push_back(param_names_[i].empty() ? "p" + std::to_string(i)
+                                            : param_names_[i]);
+  for (size_t c = 0; c < children_.size(); ++c) {
+    const std::string prefix = child_prefixes_[c].empty()
+                                   ? "m" + std::to_string(c)
+                                   : child_prefixes_[c];
+    for (const std::string& sub : children_[c]->ParameterNames())
+      names.push_back(prefix + "." + sub);
+  }
+  return names;
+}
+
+autograd::Variable Module::RegisterParameter(tensor::Tensor value,
+                                             std::string name) {
   auto v = autograd::Variable::Parameter(std::move(value));
   params_.push_back(v);
+  param_names_.push_back(std::move(name));
   return v;
 }
 
-void Module::AdoptParameter(const autograd::Variable& param) {
+void Module::AdoptParameter(const autograd::Variable& param,
+                            std::string name) {
   SES_CHECK(param.requires_grad());
   params_.push_back(param);
+  param_names_.push_back(std::move(name));
 }
 
 void Module::SaveParameters(const std::string& path) const {
@@ -70,6 +90,9 @@ void Module::LoadParameters(const std::string& path) {
   }
 }
 
-void Module::RegisterModule(Module* child) { children_.push_back(child); }
+void Module::RegisterModule(Module* child, std::string prefix) {
+  children_.push_back(child);
+  child_prefixes_.push_back(std::move(prefix));
+}
 
 }  // namespace ses::nn

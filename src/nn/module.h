@@ -18,6 +18,12 @@ class Module {
   /// All trainable parameters (this module + registered children).
   std::vector<autograd::Variable> Parameters() const;
 
+  /// Names aligned with Parameters(): a parameter registered as "weight" in
+  /// a child registered as "conv1" reports "conv1.weight". Unnamed
+  /// parameters default to "p<index>", unnamed children to "m<index>", so
+  /// every parameter always has a distinct dotted path.
+  std::vector<std::string> ParameterNames() const;
+
   /// Zeroes the gradient of every parameter.
   void ZeroGrad();
 
@@ -38,18 +44,23 @@ class Module {
 
  protected:
   /// Registers a trainable parameter; returns it for storage in the layer.
-  autograd::Variable RegisterParameter(tensor::Tensor value);
+  /// `name` (optional) becomes its segment in ParameterNames().
+  autograd::Variable RegisterParameter(tensor::Tensor value,
+                                       std::string name = "");
 
   /// Registers an externally constructed parameter Variable (shares the
   /// node; updates through either handle are visible to both).
-  void AdoptParameter(const autograd::Variable& param);
+  void AdoptParameter(const autograd::Variable& param, std::string name = "");
 
-  /// Registers a child whose parameters are folded into Parameters().
-  void RegisterModule(Module* child);
+  /// Registers a child whose parameters are folded into Parameters();
+  /// `prefix` (optional) prefixes the child's parameter names.
+  void RegisterModule(Module* child, std::string prefix = "");
 
  private:
   std::vector<autograd::Variable> params_;
+  std::vector<std::string> param_names_;  ///< aligned with params_
   std::vector<Module*> children_;
+  std::vector<std::string> child_prefixes_;  ///< aligned with children_
 };
 
 }  // namespace ses::nn

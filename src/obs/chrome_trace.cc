@@ -50,7 +50,11 @@ void WriteChromeTrace(std::ostream& out) {
     // Chrome expects microseconds; keep nanosecond resolution as fractions.
     out << ",\"cat\":\"ses\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid
         << ",\"ts\":" << static_cast<double>(ev.start_ns) / 1e3
-        << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3 << "}";
+        << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3;
+    // Spans recorded inside a RequestScope carry the request's trace-id, so
+    // an access-log line can be joined to its spans in the trace viewer.
+    if (ev.trace_id != 0) out << ",\"args\":{\"trace_id\":" << ev.trace_id << "}";
+    out << "}";
   }
   out << "\n]}\n";
 }

@@ -1,0 +1,67 @@
+#include "obs/crash_flush.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/request.h"
+#include "obs/trace.h"
+
+namespace ses::obs {
+
+namespace {
+
+std::mutex g_artifacts_mutex;
+std::string g_trace_path;    // NOLINT: intentionally leaked process state
+std::string g_metrics_path;  // NOLINT
+std::atomic<bool> g_flushed{false};
+std::atomic<bool> g_handlers_installed{false};
+
+void FatalSignalHandler(int signum) {
+  FlushObservability();
+  // Restore the default disposition and re-raise, so the process still dies
+  // with the original signal (core dumps, wait-status, CI assertions intact).
+  std::signal(signum, SIG_DFL);
+  std::raise(signum);
+}
+
+}  // namespace
+
+void SetCrashArtifacts(const std::string& trace_path,
+                       const std::string& metrics_path) {
+  std::lock_guard<std::mutex> lock(g_artifacts_mutex);
+  g_trace_path = trace_path;
+  g_metrics_path = metrics_path;
+  // New artifacts re-arm the flush: a run can register, finish, clear, and a
+  // later run in the same process still gets its own crash coverage.
+  g_flushed.store(false, std::memory_order_relaxed);
+}
+
+void FlushObservability() {
+  if (g_flushed.exchange(true, std::memory_order_relaxed)) return;
+  std::string trace_path, metrics_path;
+  {
+    std::lock_guard<std::mutex> lock(g_artifacts_mutex);
+    trace_path = g_trace_path;
+    metrics_path = g_metrics_path;
+  }
+  if (!trace_path.empty() && TracingEnabled()) WriteChromeTrace(trace_path);
+  if (!metrics_path.empty()) MetricsRegistry::Get().WriteSnapshot(metrics_path);
+  AccessLog::Get().Flush();
+}
+
+void InstallCrashHandlers() {
+  if (g_handlers_installed.exchange(true, std::memory_order_relaxed)) return;
+  std::atexit(FlushObservability);
+  for (const int signum :
+       {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL, SIGTERM})
+    std::signal(signum, FatalSignalHandler);
+}
+
+void ResetFlushForTest() { g_flushed.store(false, std::memory_order_relaxed); }
+
+}  // namespace ses::obs

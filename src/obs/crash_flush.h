@@ -1,0 +1,33 @@
+#ifndef SES_OBS_CRASH_FLUSH_H_
+#define SES_OBS_CRASH_FLUSH_H_
+
+#include <string>
+
+namespace ses::obs {
+
+/// Registers the artifacts FlushObservability writes: the Chrome-trace and
+/// metrics-snapshot paths a run intends to produce at clean exit. Empty
+/// strings clear a registration. Thread-safe.
+void SetCrashArtifacts(const std::string& trace_path,
+                       const std::string& metrics_path);
+
+/// Writes every registered artifact plus any open access-log/telemetry sink.
+/// Idempotent: the second and later calls are no-ops, so a normal-exit flush
+/// followed by an atexit flush writes each file once. Safe to call from
+/// fatal-signal context in the "best effort before dying" sense (it
+/// allocates; the process was about to abort anyway).
+void FlushObservability();
+
+/// Installs an atexit hook and fatal-signal handlers (SIGSEGV, SIGABRT,
+/// SIGBUS, SIGFPE, SIGILL, SIGTERM) that call FlushObservability before the
+/// process dies, so a crash mid-run keeps its trace and metrics. Handlers
+/// re-raise with default disposition, preserving the original exit status.
+/// Idempotent.
+void InstallCrashHandlers();
+
+/// Re-arms FlushObservability after a completed flush (test support).
+void ResetFlushForTest();
+
+}  // namespace ses::obs
+
+#endif  // SES_OBS_CRASH_FLUSH_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <mutex>
 
 #include "util/logging.h"
 
@@ -16,6 +17,22 @@ void AtomicAdd(std::atomic<double>* target, double delta) {
   while (!target->compare_exchange_weak(cur, cur + delta,
                                         std::memory_order_relaxed)) {
   }
+}
+
+/// Registry keys may carry canonical label suffixes (`name{k="v"}`) whose
+/// quotes and backslashes must be escaped inside JSON strings.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
 }
 
 template <typename Map>
@@ -44,35 +61,118 @@ void Histogram::Observe(double v) {
 
 double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
 
+double Histogram::Quantile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  const int64_t total = Count();
+  if (total == 0) return 0.0;
+  // The rank of the target observation (1-based), then a walk to the bucket
+  // holding it. Bucket counts are re-read once each; a concurrent Observe can
+  // make the walk see slightly more than `total`, which only shifts the
+  // estimate within a bucket.
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const double in_bucket = static_cast<double>(BucketCount(i));
+    if (cumulative + in_bucket >= rank && in_bucket > 0) {
+      const double lower = i == 0 ? std::min(0.0, edges_[0]) : edges_[i - 1];
+      const double fraction = (rank - cumulative) / in_bucket;
+      return lower + fraction * (edges_[i] - lower);
+    }
+    cumulative += in_bucket;
+  }
+  // Overflow bucket: no finite upper bound, saturate at the last edge.
+  return edges_.empty() ? 0.0 : edges_.back();
+}
+
+std::vector<double> Histogram::ExponentialEdges(double start, double factor,
+                                                int count) {
+  SES_CHECK(start > 0.0 && factor > 1.0 && count > 0);
+  std::vector<double> edges;
+  edges.reserve(static_cast<size_t>(count));
+  double edge = start;
+  for (int i = 0; i < count; ++i) {
+    edges.push_back(edge);
+    edge *= factor;
+  }
+  return edges;
+}
+
+const std::vector<double>& Histogram::DefaultLatencyEdgesUs() {
+  static const std::vector<double>* edges =
+      new std::vector<double>(ExponentialEdges(0.1, 2.0, 30));
+  return *edges;
+}
+
 MetricsRegistry& MetricsRegistry::Get() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
 
+std::string MetricsRegistry::LabeledName(const std::string& name,
+                                         const LabelSet& labels) {
+  if (labels.empty()) return name;
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = name;
+  out += '{';
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ',';
+    out += sorted[i].first;
+    out += "=\"";
+    for (const char c : sorted[i].second) {
+      switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+      }
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const LabelSet& labels) {
+  return GetCounter(LabeledName(name, labels));
+}
+
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const LabelSet& labels) {
+  return GetGauge(LabeledName(name, labels));
+}
+
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> edges) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(edges));
   return *slot;
 }
 
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const LabelSet& labels,
+                                         std::vector<double> edges) {
+  return GetHistogram(LabeledName(name, labels), std::move(edges));
+}
+
 void MetricsRegistry::WriteCsv(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock lock(mutex_);
   out << "kind,name,field,value\n";
   for (const auto& name : SortedKeys(counters_))
     out << "counter," << name << ",value," << counters_.at(name)->Value()
@@ -92,16 +192,16 @@ void MetricsRegistry::WriteCsv(std::ostream& out) const {
 }
 
 void MetricsRegistry::WriteJsonl(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock lock(mutex_);
   for (const auto& name : SortedKeys(counters_))
-    out << "{\"kind\":\"counter\",\"name\":\"" << name
+    out << "{\"kind\":\"counter\",\"name\":\"" << JsonEscape(name)
         << "\",\"value\":" << counters_.at(name)->Value() << "}\n";
   for (const auto& name : SortedKeys(gauges_))
-    out << "{\"kind\":\"gauge\",\"name\":\"" << name
+    out << "{\"kind\":\"gauge\",\"name\":\"" << JsonEscape(name)
         << "\",\"value\":" << gauges_.at(name)->Value() << "}\n";
   for (const auto& name : SortedKeys(histograms_)) {
     const Histogram& h = *histograms_.at(name);
-    out << "{\"kind\":\"histogram\",\"name\":\"" << name
+    out << "{\"kind\":\"histogram\",\"name\":\"" << JsonEscape(name)
         << "\",\"count\":" << h.Count() << ",\"sum\":" << h.Sum()
         << ",\"edges\":[";
     for (size_t i = 0; i < h.edges().size(); ++i)
@@ -119,18 +219,21 @@ bool MetricsRegistry::WriteSnapshot(const std::string& path) const {
     SES_LOG_ERROR << "cannot open metrics output file " << path;
     return false;
   }
-  const bool jsonl = path.size() >= 5 && (path.rfind(".jsonl") ==
-                                              path.size() - 6 ||
-                                          path.rfind(".json") == path.size() - 5);
-  if (jsonl)
+  const auto has_suffix = [&path](const std::string& suffix) {
+    return path.size() >= suffix.size() &&
+           path.rfind(suffix) == path.size() - suffix.size();
+  };
+  if (has_suffix(".jsonl") || has_suffix(".json"))
     WriteJsonl(out);
+  else if (has_suffix(".prom"))
+    WritePrometheus(out);
   else
     WriteCsv(out);
   return true;
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -4,10 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace ses::obs {
@@ -33,9 +34,10 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Fixed-bucket histogram. `edges` are ascending inclusive upper bounds;
-/// bucket i counts observations v with v <= edges[i] (first matching bucket),
-/// and one implicit overflow bucket counts everything above the last edge.
+/// Bucketed histogram with configurable boundaries. `edges` are ascending
+/// inclusive upper bounds; bucket i counts observations v with v <= edges[i]
+/// (first matching bucket), and one implicit overflow bucket counts
+/// everything above the last edge.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> edges);
@@ -50,6 +52,26 @@ class Histogram {
   int64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const;
 
+  /// Bucket-interpolated quantile estimate for q in [0, 1]: finds the bucket
+  /// holding the q-th observation and interpolates linearly inside it
+  /// (buckets are assumed to start at 0, or at the previous edge). An
+  /// observation landing in the overflow bucket reports the last edge — the
+  /// estimate saturates rather than extrapolating to infinity. Returns 0
+  /// with no observations.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+  double P999() const { return Quantile(0.999); }
+
+  /// `count` geometric boundaries start, start*factor, start*factor^2, ...
+  /// (the standard shape for latency histograms).
+  static std::vector<double> ExponentialEdges(double start, double factor,
+                                              int count);
+  /// Default latency buckets in microseconds: 30 geometric edges covering
+  /// 0.1 us .. ~54 s.
+  static const std::vector<double>& DefaultLatencyEdgesUs();
+
  private:
   std::vector<double> edges_;
   std::vector<std::atomic<int64_t>> counts_;  ///< edges_.size() + 1 slots
@@ -57,27 +79,54 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
-/// Process-wide registry of named metrics. Lookup/creation takes a mutex
-/// (cold path — callers should cache the returned reference); updates on the
-/// returned objects are lock-free. Returned references stay valid for the
+/// Process-wide registry of named metrics. Registration takes the registry
+/// lock exclusively (cold path — callers should cache the returned
+/// reference); exports take it shared, so a live `/metrics` scrape never
+/// races a concurrent GetCounter on a new name. Updates on the returned
+/// objects are lock-free, and returned references stay valid for the
 /// lifetime of the process.
+///
+/// Metrics can carry Prometheus-style labels: GetCounter("ses.slo.requests",
+/// {{"op", "predict"}}) registers a distinct time series per label set. The
+/// labels are folded into the registry key in a canonical encoded form (see
+/// LabeledName); the Prometheus exporter splits them back out.
 class MetricsRegistry {
  public:
+  /// One label set: (key, value) pairs. Order is irrelevant — keys are
+  /// sorted before encoding.
+  using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
   static MetricsRegistry& Get();
 
   Counter& GetCounter(const std::string& name);
+  Counter& GetCounter(const std::string& name, const LabelSet& labels);
   Gauge& GetGauge(const std::string& name);
+  Gauge& GetGauge(const std::string& name, const LabelSet& labels);
   /// `edges` only matters on first creation; later calls return the existing
   /// histogram regardless of the edges argument.
   Histogram& GetHistogram(const std::string& name, std::vector<double> edges);
+  Histogram& GetHistogram(const std::string& name, const LabelSet& labels,
+                          std::vector<double> edges);
+
+  /// Canonical registry key for a labeled metric: `name{k1="v1",k2="v2"}`
+  /// with keys sorted and values escaped (\\, \", \n). An empty label set
+  /// returns `name` unchanged. This is exactly the Prometheus sample syntax
+  /// minus name sanitization, so keys round-trip through the exporter.
+  static std::string LabeledName(const std::string& name,
+                                 const LabelSet& labels);
 
   /// One `kind,name,field,value` row per scalar (histograms expand to one row
   /// per bucket), names sorted for deterministic output.
   void WriteCsv(std::ostream& out) const;
   /// One JSON object per metric, names sorted.
   void WriteJsonl(std::ostream& out) const;
+  /// Prometheus text exposition format 0.0.4 (implemented in prometheus.cc):
+  /// `# TYPE` headers per family, sanitized names, escaped label values,
+  /// cumulative `_bucket{le=...}` series plus `_sum`/`_count` per histogram.
+  void WritePrometheus(std::ostream& out) const;
   /// Path convenience wrappers; ".jsonl"/".json" suffix selects JSONL,
-  /// anything else CSV. Returns false (and logs) on open failure.
+  /// ".prom" Prometheus exposition, anything else CSV. Returns false (and
+  /// logs) on open failure.
   bool WriteSnapshot(const std::string& path) const;
 
   /// Drops every registered metric (test support; invalidates references).
@@ -86,7 +135,7 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mutex_;
+  mutable std::shared_mutex mutex_;
   std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
   std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;

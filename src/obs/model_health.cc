@@ -1,0 +1,185 @@
+#include "obs/model_health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+
+namespace ses::obs {
+
+namespace {
+
+double L2Norm(const float* data, int64_t n) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i)
+    sum += static_cast<double>(data[i]) * static_cast<double>(data[i]);
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+ModelHealthMonitor& ModelHealthMonitor::Get() {
+  static ModelHealthMonitor* monitor = new ModelHealthMonitor();
+  return *monitor;
+}
+
+void ModelHealthMonitor::BeginEpoch(const std::string& model) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  model_ = model;
+  params_.clear();
+  pre_values_.clear();
+  pre_offsets_.clear();
+  dead_sum_ = 0.0;
+  dead_calls_ = 0;
+  attn_sum_ = 0.0;
+  attn_calls_ = 0;
+}
+
+void ModelHealthMonitor::ObserveParamPreStep(const std::string& name,
+                                             const float* value, int64_t n,
+                                             const float* grad,
+                                             int64_t grad_n) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  PendingParam pending;
+  pending.name = name;
+  if (grad_n > 0) pending.grad_norm = L2Norm(grad, grad_n);
+  pending.pre_norm = L2Norm(value, n);
+  pre_offsets_.push_back(static_cast<int64_t>(pre_values_.size()));
+  pre_values_.insert(pre_values_.end(), value, value + n);
+  params_.push_back(std::move(pending));
+}
+
+void ModelHealthMonitor::ObserveParamPostStep(const std::string& name,
+                                              const float* value, int64_t n) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Match the most recent un-finalized pre-step snapshot with this name
+  // (names may repeat across modules; pre/post calls come in matching order).
+  for (size_t i = params_.size(); i-- > 0;) {
+    PendingParam& p = params_[i];
+    if (p.name != name || p.update_ratio >= 0.0) continue;
+    const float* pre = pre_values_.data() + pre_offsets_[i];
+    const int64_t count = std::min(
+        n, (i + 1 < pre_offsets_.size()
+                ? pre_offsets_[i + 1]
+                : static_cast<int64_t>(pre_values_.size())) -
+               pre_offsets_[i]);
+    double delta_sq = 0.0;
+    for (int64_t j = 0; j < count; ++j) {
+      const double d =
+          static_cast<double>(value[j]) - static_cast<double>(pre[j]);
+      delta_sq += d * d;
+    }
+    p.update_ratio = p.pre_norm > 0.0 ? std::sqrt(delta_sq) / p.pre_norm : 0.0;
+    return;
+  }
+}
+
+void ModelHealthMonitor::ObserveActivations(const float* data, int64_t rows,
+                                            int64_t cols) {
+  if (!enabled() || rows <= 0 || cols <= 0) return;
+  std::vector<uint8_t> alive(static_cast<size_t>(cols), 0);
+  int64_t remaining = cols;
+  for (int64_t r = 0; r < rows && remaining > 0; ++r) {
+    const float* row = data + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      if (row[c] != 0.0f && !alive[static_cast<size_t>(c)]) {
+        alive[static_cast<size_t>(c)] = 1;
+        --remaining;
+      }
+    }
+  }
+  const double fraction =
+      static_cast<double>(remaining) / static_cast<double>(cols);
+  std::lock_guard<std::mutex> lock(mutex_);
+  dead_sum_ += fraction;
+  ++dead_calls_;
+}
+
+void ModelHealthMonitor::ObserveAttention(const float* att, const int64_t* dst,
+                                          int64_t n_edges) {
+  if (!enabled() || n_edges <= 0) return;
+  // Group incoming attention per destination; entropy of the normalized
+  // distribution over in-edges, scaled by log(deg) into [0, 1].
+  std::unordered_map<int64_t, std::vector<double>> incoming;
+  for (int64_t e = 0; e < n_edges; ++e)
+    incoming[dst[e]].push_back(std::max(0.0, static_cast<double>(att[e])));
+  double entropy_sum = 0.0;
+  int64_t counted = 0;
+  for (const auto& [node, weights] : incoming) {
+    if (weights.size() < 2) continue;
+    double total = 0.0;
+    for (const double w : weights) total += w;
+    if (total <= 0.0) continue;
+    double entropy = 0.0;
+    for (const double w : weights) {
+      const double p = w / total;
+      if (p > 0.0) entropy -= p * std::log(p);
+    }
+    entropy_sum += entropy / std::log(static_cast<double>(weights.size()));
+    ++counted;
+  }
+  if (counted == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  attn_sum_ += entropy_sum / static_cast<double>(counted);
+  ++attn_calls_;
+}
+
+ModelHealthMonitor::EpochHealth ModelHealthMonitor::EndEpoch() {
+  EpochHealth health;
+  if (!enabled()) return health;
+  std::lock_guard<std::mutex> lock(mutex_);
+  health.params.reserve(params_.size());
+  auto& registry = MetricsRegistry::Get();
+  for (const PendingParam& p : params_) {
+    ParamHealth out;
+    out.name = p.name;
+    out.grad_norm = p.grad_norm;
+    out.update_ratio = p.update_ratio;
+    health.params.push_back(out);
+    const MetricsRegistry::LabelSet labels = {{"model", model_},
+                                              {"param", p.name}};
+    if (p.grad_norm >= 0.0)
+      registry.GetGauge("ses.health.grad_norm", labels).Set(p.grad_norm);
+    if (p.update_ratio >= 0.0)
+      registry.GetGauge("ses.health.update_ratio", labels)
+          .Set(p.update_ratio);
+  }
+  const MetricsRegistry::LabelSet model_labels = {{"model", model_}};
+  if (dead_calls_ > 0) {
+    health.dead_fraction = dead_sum_ / static_cast<double>(dead_calls_);
+    registry.GetGauge("ses.health.dead_fraction", model_labels)
+        .Set(health.dead_fraction);
+  }
+  if (attn_calls_ > 0) {
+    health.attn_entropy = attn_sum_ / static_cast<double>(attn_calls_);
+    registry.GetGauge("ses.health.attn_entropy", model_labels)
+        .Set(health.attn_entropy);
+  }
+  params_.clear();
+  pre_values_.clear();
+  pre_offsets_.clear();
+  dead_sum_ = 0.0;
+  dead_calls_ = 0;
+  attn_sum_ = 0.0;
+  attn_calls_ = 0;
+  return health;
+}
+
+void ModelHealthMonitor::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_relaxed);
+  model_.clear();
+  params_.clear();
+  pre_values_.clear();
+  pre_offsets_.clear();
+  dead_sum_ = 0.0;
+  dead_calls_ = 0;
+  attn_sum_ = 0.0;
+  attn_calls_ = 0;
+}
+
+}  // namespace ses::obs

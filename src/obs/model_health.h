@@ -1,0 +1,131 @@
+#ifndef SES_OBS_MODEL_HEALTH_H_
+#define SES_OBS_MODEL_HEALTH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ses::obs {
+
+/// Training-health monitor: per-parameter gradient norms and weight-update
+/// ratios, dead-ReLU fractions of hidden activations, and attention entropy,
+/// collected once per epoch and exported as `ses.health.*` gauges (labeled
+/// {model, param}) plus the per-epoch telemetry record.
+///
+/// The obs layer deliberately knows nothing about tensors or autograd, so
+/// every observation takes raw float pointers; the template helpers below
+/// adapt anything shaped like a Variable (`.value()` / `.grad()` returning a
+/// `.data()`/`.size()` object). Disabled by default — each Observe* is a
+/// relaxed atomic load until SetEnabled(true).
+///
+/// Intended call pattern, once per monitored epoch:
+///   BeginEpoch(model)
+///   ObserveParamPreStep(...) per parameter   (before optimizer.Step)
+///   ObserveParamPostStep(...) per parameter  (after optimizer.Step)
+///   ObserveActivations(...), ObserveAttention(...) as the forward pass
+///   EndEpoch()  -> summary + gauge export
+class ModelHealthMonitor {
+ public:
+  struct ParamHealth {
+    std::string name;
+    double grad_norm = -1.0;     ///< L2 norm of the gradient; -1 if no grad
+    double update_ratio = -1.0;  ///< ||W_after - W_before|| / ||W_before||
+  };
+
+  struct EpochHealth {
+    std::vector<ParamHealth> params;  ///< in ObserveParamPreStep order
+    double dead_fraction = -1.0;  ///< fraction of dead hidden units; -1 unset
+    double attn_entropy = -1.0;   ///< mean normalized attention entropy
+  };
+
+  static ModelHealthMonitor& Get();
+
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Starts a collection window; `model` labels the exported gauges.
+  void BeginEpoch(const std::string& model);
+
+  /// Records one parameter before the optimizer step: its gradient L2 norm
+  /// and a snapshot of the value norm (pass grad_n == 0 for a parameter with
+  /// no gradient this step).
+  void ObserveParamPreStep(const std::string& name, const float* value,
+                           int64_t n, const float* grad, int64_t grad_n);
+
+  /// Records the same parameter after the step; pairs with the pre-step
+  /// snapshot by name to compute the weight-update ratio.
+  void ObserveParamPostStep(const std::string& name, const float* value,
+                            int64_t n);
+
+  /// Records a post-ReLU activation matrix (rows x cols, row-major): a
+  /// hidden unit (column) is dead when it is exactly zero for every row.
+  /// Multiple calls per epoch average their dead fractions.
+  void ObserveActivations(const float* data, int64_t rows, int64_t cols);
+
+  /// Records per-edge attention coefficients: for each destination node the
+  /// entropy of its incoming distribution, normalized by log(in-degree) so 1
+  /// means uniform attention and 0 means one-hot. Destinations with fewer
+  /// than two incoming edges are skipped. Multiple calls average.
+  void ObserveAttention(const float* att, const int64_t* dst, int64_t n_edges);
+
+  /// Finalizes the window: exports `ses.health.*` gauges and returns the
+  /// summary. Safe to call without observations (returns empty/-1 fields).
+  EpochHealth EndEpoch();
+
+  /// Drops all pending state and disables the monitor (test support).
+  void ResetForTest();
+
+ private:
+  ModelHealthMonitor() = default;
+
+  struct PendingParam {
+    std::string name;
+    double grad_norm = -1.0;
+    double pre_norm = 0.0;
+    double update_ratio = -1.0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::mutex mutex_;  ///< collection is single-trainer; lock is cheap
+  std::string model_;
+  std::vector<PendingParam> params_;
+  std::vector<float> pre_values_;    ///< concatenated pre-step snapshots
+  std::vector<int64_t> pre_offsets_; ///< params_[i] snapshot at offset [i]
+  double dead_sum_ = 0.0;
+  int64_t dead_calls_ = 0;
+  double attn_sum_ = 0.0;
+  int64_t attn_calls_ = 0;
+};
+
+/// Observes every parameter of a Module-like object before the optimizer
+/// step. `params` is a range of Variable-like values, `names` the aligned
+/// parameter names.
+template <typename ParamVec, typename NameVec>
+inline void ObserveParamsPreStep(const NameVec& names, const ParamVec& params) {
+  auto& monitor = ModelHealthMonitor::Get();
+  if (!monitor.enabled()) return;
+  for (size_t i = 0; i < params.size(); ++i) {
+    const auto& value = params[i].value();
+    const auto& grad = params[i].grad();
+    monitor.ObserveParamPreStep(names[i], value.data(), value.size(),
+                                grad.data(), grad.size());
+  }
+}
+
+/// Post-step counterpart of ObserveParamsPreStep.
+template <typename ParamVec, typename NameVec>
+inline void ObserveParamsPostStep(const NameVec& names,
+                                  const ParamVec& params) {
+  auto& monitor = ModelHealthMonitor::Get();
+  if (!monitor.enabled()) return;
+  for (size_t i = 0; i < params.size(); ++i) {
+    const auto& value = params[i].value();
+    monitor.ObserveParamPostStep(names[i], value.data(), value.size());
+  }
+}
+
+}  // namespace ses::obs
+
+#endif  // SES_OBS_MODEL_HEALTH_H_

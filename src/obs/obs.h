@@ -7,13 +7,28 @@
 ///  - SES_TRACE_SPAN(label): RAII hierarchical spans (trace.h), near-zero
 ///    overhead while tracing is disabled (the default);
 ///  - WriteChromeTrace(path): chrome://tracing export (chrome_trace.h);
-///  - MetricsRegistry: named counters / gauges / histograms with CSV and
-///    JSONL snapshots (metrics.h);
+///  - MetricsRegistry: named counters / gauges / histograms, optionally
+///    labeled, with CSV / JSONL / Prometheus snapshots (metrics.h);
+///  - MetricsServer: embedded HTTP endpoint serving /metrics (Prometheus
+///    exposition), /healthz and /spans for live scraping (metrics_server.h);
+///  - RequestScope / AccessLog: request-scoped trace-ids propagated into
+///    spans, one JSONL access-log line per request (request.h);
+///  - SloTracker: per-op latency budgets, breach counters and rolling
+///    burn rates exported as ses.slo.* (slo.h);
+///  - ModelHealthMonitor: per-epoch gradient norms, update ratios, dead-unit
+///    fractions and attention entropy as ses.health.* (model_health.h);
 ///  - Telemetry: per-epoch training records to JSONL or a callback
-///    (telemetry.h).
+///    (telemetry.h);
+///  - FlushObservability / InstallCrashHandlers: artifacts survive crashes
+///    and fault-injection kills (crash_flush.h).
 
 #include "obs/chrome_trace.h"
+#include "obs/crash_flush.h"
 #include "obs/metrics.h"
+#include "obs/metrics_server.h"
+#include "obs/model_health.h"
+#include "obs/request.h"
+#include "obs/slo.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 

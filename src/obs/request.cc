@@ -1,0 +1,119 @@
+#include "obs/request.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/slo.h"
+#include "util/logging.h"
+
+namespace ses::obs {
+
+thread_local uint64_t internal::t_current_trace_id = 0;
+
+namespace {
+/// Ids start at 1 so 0 can mean "no active request" everywhere.
+std::atomic<uint64_t> g_next_trace_id{1};
+}  // namespace
+
+uint64_t RequestsStarted() {
+  return g_next_trace_id.load(std::memory_order_relaxed) - 1;
+}
+
+AccessLog& AccessLog::Get() {
+  static AccessLog* log = new AccessLog();
+  return *log;
+}
+
+bool AccessLog::Open(const std::string& path) {
+  auto out = std::make_shared<std::ofstream>(path);
+  if (!*out) {
+    SES_LOG_ERROR << "cannot open access log " << path;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(out);
+  lines_.store(0, std::memory_order_relaxed);
+  active_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void AccessLog::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_.store(false, std::memory_order_relaxed);
+  if (sink_) sink_->flush();
+  sink_.reset();
+}
+
+void AccessLog::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_) sink_->flush();
+}
+
+void AccessLog::RecordSlow(const AccessEntry& entry) {
+  const std::string line = EntryToJson(entry);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!sink_) return;
+  *sink_ << line << '\n';
+  lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string AccessLog::EntryToJson(const AccessEntry& entry) {
+  std::ostringstream out;
+  out << "{\"trace_id\":" << entry.trace_id << ",\"op\":\"" << entry.op
+      << "\",\"latency_us\":" << entry.latency_us
+      << ",\"cache_hit\":" << (entry.cache_hit ? "true" : "false")
+      << ",\"error\":" << (entry.error ? "true" : "false")
+      << ",\"digest\":\"";
+  // Digest as fixed-width hex: JSON numbers lose precision past 2^53.
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(entry.digest));
+  out << hex << "\"}";
+  return out.str();
+}
+
+uint64_t RequestScope::Acquire(uint64_t* prev, bool* owner) {
+  *prev = internal::t_current_trace_id;
+  if (*prev != 0) {
+    *owner = false;
+    return *prev;
+  }
+  *owner = true;
+  const uint64_t id = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  internal::t_current_trace_id = id;
+  return id;
+}
+
+RequestScope::RequestScope(const char* op)
+    : op_(op), trace_id_(Acquire(&prev_id_, &owner_)), span_(op) {
+  if (owner_ &&
+      (SloTracker::Get().enabled() || AccessLog::Get().active())) {
+    measured_ = true;
+    start_ = std::chrono::steady_clock::now();
+  }
+}
+
+RequestScope::~RequestScope() {
+  if (!owner_) return;
+  internal::t_current_trace_id = prev_id_;
+  if (!measured_) return;
+  const double latency_us =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count() /
+      1e3;
+  SloTracker::Get().Record(op_, latency_us, error_);
+  if (AccessLog::Get().active()) {
+    AccessEntry entry;
+    entry.trace_id = trace_id_;
+    entry.op = op_;
+    entry.latency_us = latency_us;
+    entry.cache_hit = cache_hit_;
+    entry.error = error_;
+    entry.digest = digest_;
+    AccessLog::Get().Record(entry);
+  }
+}
+
+}  // namespace ses::obs

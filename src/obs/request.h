@@ -1,0 +1,126 @@
+#ifndef SES_OBS_REQUEST_H_
+#define SES_OBS_REQUEST_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace ses::obs {
+
+namespace internal {
+extern thread_local uint64_t t_current_trace_id;
+}  // namespace internal
+
+/// Trace-id of the request active on the calling thread; 0 outside any
+/// request. Span recording reads this at open time, so every span that runs
+/// inside a RequestScope carries the request's id into the Chrome trace.
+inline uint64_t CurrentTraceId() { return internal::t_current_trace_id; }
+
+/// One completed request, as the access log records it.
+struct AccessEntry {
+  uint64_t trace_id = 0;
+  const char* op = "";       ///< static-storage op name ("infer.predict", ...)
+  double latency_us = 0.0;
+  bool cache_hit = false;
+  bool error = false;
+  uint64_t digest = 0;       ///< FNV-1a digest of the result (0 = unset)
+};
+
+/// Process-wide JSONL access log: one line per completed request. Disabled
+/// by default — Record is a relaxed atomic load until Open installs a sink.
+class AccessLog {
+ public:
+  static AccessLog& Get();
+
+  /// Opens (truncates) `path` as the log sink. Returns false and logs on
+  /// failure.
+  bool Open(const std::string& path);
+  /// Flushes and removes the sink.
+  void Close();
+  /// Flushes buffered lines to disk (crash-path support; cheap when closed).
+  void Flush();
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  void Record(const AccessEntry& entry) {
+    if (active()) RecordSlow(entry);
+  }
+
+  /// Lines written since Open (test support).
+  int64_t lines_written() const {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+  /// Serializes one entry as a single-line JSON object (exposed for tests).
+  static std::string EntryToJson(const AccessEntry& entry);
+
+ private:
+  AccessLog() = default;
+  void RecordSlow(const AccessEntry& entry);
+
+  std::atomic<bool> active_{false};
+  std::atomic<int64_t> lines_{0};
+  std::mutex mutex_;  ///< guards sink_
+  std::shared_ptr<std::ostream> sink_;
+};
+
+/// 64-bit FNV-1a, the digest the access log uses to fingerprint results.
+inline uint64_t Fnv1a(uint64_t hash, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+inline uint64_t Fnv1aBegin() { return 0xcbf29ce484222325ull; }
+
+/// RAII request context. The outermost scope on a thread allocates a fresh
+/// monotonic trace-id, publishes it thread-locally (so spans and nested
+/// scopes inherit it), opens one span named after the op, and on destruction
+/// emits one access-log entry plus one SloTracker observation. Nested scopes
+/// reuse the enclosing id and stay silent — one request, one log line.
+///
+/// Latency is only measured (two clock reads) while something consumes it —
+/// an SLO budget or an open access log; with both off a scope costs a TLS
+/// id bump and a few relaxed loads, keeping the warm predict path fast.
+class RequestScope {
+ public:
+  explicit RequestScope(const char* op);
+  ~RequestScope();
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+  uint64_t trace_id() const { return trace_id_; }
+  /// True for the outermost scope — the one that owns logging.
+  bool owner() const { return owner_; }
+
+  void NoteCacheHit(bool hit) { cache_hit_ = hit; }
+  void NoteError() { error_ = true; }
+  void SetDigest(uint64_t digest) { digest_ = digest; }
+
+ private:
+  static uint64_t Acquire(uint64_t* prev, bool* owner);
+
+  const char* op_;
+  uint64_t prev_id_ = 0;
+  bool owner_ = false;
+  bool measured_ = false;  ///< clock reads on: SLO budget or access log live
+  uint64_t trace_id_;  ///< initialized via Acquire, before span_
+  ScopedSpan span_;    ///< opens after the id is published
+  std::chrono::steady_clock::time_point start_;
+  bool cache_hit_ = false;
+  bool error_ = false;
+  uint64_t digest_ = 0;
+};
+
+/// Total requests started (test support; also the source of trace-ids).
+uint64_t RequestsStarted();
+
+}  // namespace ses::obs
+
+#endif  // SES_OBS_REQUEST_H_

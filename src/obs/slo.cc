@@ -1,0 +1,118 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace ses::obs {
+
+SloTracker& SloTracker::Get() {
+  static SloTracker* tracker = new SloTracker();
+  return *tracker;
+}
+
+SloTracker::OpState::OpState(const std::string& op, Budget b)
+    : budget(b), ring(static_cast<size_t>(b.window)) {
+  auto& registry = MetricsRegistry::Get();
+  const MetricsRegistry::LabelSet labels = {{"op", op}};
+  requests_metric = &registry.GetCounter("ses.slo.requests", labels);
+  breaches_metric = &registry.GetCounter("ses.slo.breaches", labels);
+  errors_metric = &registry.GetCounter("ses.slo.errors", labels);
+  burn_rate_metric = &registry.GetGauge("ses.slo.burn_rate", labels);
+  registry.GetGauge("ses.slo.latency_budget_us", labels)
+      .Set(b.latency_budget_us);
+  registry.GetGauge("ses.slo.target", labels).Set(b.target);
+}
+
+double SloTracker::OpState::BurnRate() const {
+  const int64_t seen = std::min(requests.load(std::memory_order_relaxed),
+                                static_cast<int64_t>(ring.size()));
+  if (seen == 0) return 0.0;
+  const double burned_fraction =
+      static_cast<double>(ring_burned.load(std::memory_order_relaxed)) /
+      static_cast<double>(seen);
+  const double error_budget = std::max(1e-9, 1.0 - budget.target);
+  return burned_fraction / error_budget;
+}
+
+void SloTracker::SetBudget(const std::string& op, double latency_budget_us,
+                           double target, int64_t window) {
+  SES_CHECK(latency_budget_us > 0.0 && target > 0.0 && target < 1.0 &&
+            window > 0);
+  Budget budget{latency_budget_us, target, window};
+  std::unique_lock lock(mutex_);
+  ops_[op] = std::make_unique<OpState>(op, budget);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void SloTracker::RecordSlow(const std::string& op, double latency_us,
+                            bool error) {
+  OpState* state = nullptr;
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = ops_.find(op);
+    if (it == ops_.end()) return;
+    state = it->second.get();
+  }
+  // The map only grows and OpStates are never replaced mid-run (SetBudget on
+  // an existing op installs a fresh state, which racing Records may miss for
+  // one observation — acceptable for monitoring).
+  state->requests.fetch_add(1, std::memory_order_relaxed);
+  state->requests_metric->Add(1);
+  const bool breached = latency_us > state->budget.latency_budget_us;
+  if (breached) {
+    state->breaches.fetch_add(1, std::memory_order_relaxed);
+    state->breaches_metric->Add(1);
+  }
+  if (error) {
+    state->errors.fetch_add(1, std::memory_order_relaxed);
+    state->errors_metric->Add(1);
+  }
+  const uint8_t burned = breached || error ? 1 : 0;
+  const size_t slot = static_cast<size_t>(
+      state->ring_pos.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<int64_t>(state->ring.size()));
+  const uint8_t previous =
+      state->ring[slot].exchange(burned, std::memory_order_relaxed);
+  if (previous != burned)
+    state->ring_burned.fetch_add(burned ? 1 : -1, std::memory_order_relaxed);
+  state->burn_rate_metric->Set(state->BurnRate());
+}
+
+SloTracker::OpSnapshot SloTracker::Snapshot(const std::string& op) const {
+  std::shared_lock lock(mutex_);
+  OpSnapshot snap;
+  const auto it = ops_.find(op);
+  if (it == ops_.end()) return snap;
+  const OpState& s = *it->second;
+  snap.budget = s.budget;
+  snap.requests = s.requests.load(std::memory_order_relaxed);
+  snap.breaches = s.breaches.load(std::memory_order_relaxed);
+  snap.errors = s.errors.load(std::memory_order_relaxed);
+  snap.burn_rate = s.BurnRate();
+  return snap;
+}
+
+std::vector<std::pair<std::string, SloTracker::OpSnapshot>>
+SloTracker::SnapshotAll() const {
+  std::vector<std::pair<std::string, OpSnapshot>> out;
+  {
+    std::shared_lock lock(mutex_);
+    out.reserve(ops_.size());
+    for (const auto& [op, state] : ops_) out.emplace_back(op, OpSnapshot{});
+  }
+  for (auto& [op, snap] : out) snap = Snapshot(op);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void SloTracker::ResetForTest() {
+  std::unique_lock lock(mutex_);
+  ops_.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace ses::obs

@@ -1,0 +1,101 @@
+#ifndef SES_OBS_SLO_H_
+#define SES_OBS_SLO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ses::obs {
+
+class Counter;
+class Gauge;
+
+/// Service-level-objective tracker: per-op latency budgets, breach/error
+/// counters, and a rolling burn rate, all mirrored into the `ses.slo.*`
+/// metric family (labeled by op) so a live `/metrics` scrape sees them.
+///
+/// Semantics: an op's SLO is "a fraction `target` of requests completes
+/// within `latency_budget_us` and without error". Every request outside the
+/// budget (or failed) consumes error budget (1 - target). The burn rate is
+/// measured over a rolling window of the last `window` requests:
+///
+///   burn_rate = (window breaches + errors) / window_size / (1 - target)
+///
+/// 1.0 means the op is consuming its error budget exactly as fast as the
+/// target allows; above 1.0 the SLO is being burned down. Counters are
+/// cumulative; the burn-rate gauge is the live rolling value.
+class SloTracker {
+ public:
+  struct Budget {
+    double latency_budget_us = 0.0;  ///< per-request latency budget
+    double target = 0.999;           ///< success-fraction objective
+    int64_t window = 512;            ///< rolling-window size (requests)
+  };
+
+  struct OpSnapshot {
+    Budget budget;
+    int64_t requests = 0;  ///< cumulative
+    int64_t breaches = 0;  ///< cumulative latency-budget breaches
+    int64_t errors = 0;    ///< cumulative failed requests
+    double burn_rate = 0.0;
+  };
+
+  static SloTracker& Get();
+
+  /// Declares (or replaces) the budget for `op`. Until the first SetBudget
+  /// call the tracker is disabled and Record costs one relaxed load.
+  void SetBudget(const std::string& op, double latency_budget_us,
+                 double target = 0.999, int64_t window = 512);
+
+  /// Records one completed request. Ops without a declared budget are
+  /// ignored.
+  void Record(const std::string& op, double latency_us, bool error = false) {
+    if (enabled_.load(std::memory_order_relaxed)) RecordSlow(op, latency_us, error);
+  }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Live view of one op; requests == 0 when the op has no budget.
+  OpSnapshot Snapshot(const std::string& op) const;
+  std::vector<std::pair<std::string, OpSnapshot>> SnapshotAll() const;
+
+  /// Drops every budget and counter (test support).
+  void ResetForTest();
+
+ private:
+  /// Per-op state. Counters/gauges are registry references (cached once);
+  /// the rolling window is a ring of outcome flags with a running breach
+  /// count, so Record stays O(1).
+  struct OpState {
+    Budget budget;
+    std::atomic<int64_t> requests{0};
+    std::atomic<int64_t> breaches{0};
+    std::atomic<int64_t> errors{0};
+    std::vector<std::atomic<uint8_t>> ring;  ///< 1 = burned error budget
+    std::atomic<int64_t> ring_pos{0};
+    std::atomic<int64_t> ring_burned{0};
+    Counter* requests_metric = nullptr;
+    Counter* breaches_metric = nullptr;
+    Counter* errors_metric = nullptr;
+    Gauge* burn_rate_metric = nullptr;
+
+    explicit OpState(const std::string& op, Budget b);
+    double BurnRate() const;
+  };
+
+  SloTracker() = default;
+  void RecordSlow(const std::string& op, double latency_us, bool error);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::shared_mutex mutex_;  ///< guards ops_ map shape
+  std::unordered_map<std::string, std::unique_ptr<OpState>> ops_;
+};
+
+}  // namespace ses::obs
+
+#endif  // SES_OBS_SLO_H_

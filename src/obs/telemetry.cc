@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/logging.h"
@@ -50,6 +51,28 @@ void AppendNumber(std::ostringstream& out, double v) {
     out << "null";
 }
 
+/// Per-parameter health maps serialize as a JSON object keyed by parameter
+/// name; names come from nn::Module registration and contain no JSON
+/// metacharacters, but escape the two that would break parsing anyway.
+void AppendNamedValues(
+    std::ostringstream& out,
+    const std::vector<std::pair<std::string, double>>& values) {
+  out << "{";
+  bool first = true;
+  for (const auto& [name, v] : values) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"";
+    for (const char c : name) {
+      if (c == '"' || c == '\\') out << '\\';
+      out << c;
+    }
+    out << "\":";
+    AppendNumber(out, v);
+  }
+  out << "}";
+}
+
 }  // namespace
 
 std::string EpochRecordToJson(const EpochRecord& record) {
@@ -68,7 +91,20 @@ std::string EpochRecordToJson(const EpochRecord& record) {
       << ",\"ckpt_writes\":" << record.ckpt_writes
       << ",\"pool_hits\":" << record.pool_hits
       << ",\"pool_misses\":" << record.pool_misses
-      << ",\"infer_cache_hits\":" << record.infer_cache_hits << "}";
+      << ",\"infer_cache_hits\":" << record.infer_cache_hits
+      << ",\"layer_grad_norms\":";
+  AppendNamedValues(out, record.layer_grad_norms);
+  out << ",\"update_ratios\":";
+  AppendNamedValues(out, record.update_ratios);
+  out << ",\"dead_fraction\":";
+  AppendNumber(out, record.dead_fraction < 0.0
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : record.dead_fraction);
+  out << ",\"attn_entropy\":";
+  AppendNumber(out, record.attn_entropy < 0.0
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : record.attn_entropy);
+  out << "}";
   return out.str();
 }
 

@@ -6,6 +6,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace ses::obs {
 
@@ -29,6 +31,12 @@ struct EpochRecord {
   int64_t pool_hits = 0;         ///< workspace-pool buffer reuses
   int64_t pool_misses = 0;       ///< workspace-pool allocator fallbacks
   int64_t infer_cache_hits = 0;  ///< InferenceSession logits-memo hits
+  /// Model-health fields (from ModelHealthMonitor; empty / -1 when the
+  /// monitor is disabled).
+  std::vector<std::pair<std::string, double>> layer_grad_norms;
+  std::vector<std::pair<std::string, double>> update_ratios;
+  double dead_fraction = -1.0;  ///< mean fraction of dead hidden units
+  double attn_entropy = -1.0;   ///< mean normalized GAT attention entropy
 };
 
 using EpochCallback = std::function<void(const EpochRecord&)>;

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/request.h"
 #include "util/logging.h"
 
 namespace ses::obs {
@@ -115,6 +116,10 @@ void ResetTracing() {
 
 void ScopedSpan::Begin(const char* label) {
   label_ = label;
+  // Captured at open, not close: a RequestScope member span must keep its id
+  // even if the request's thread-local slot is restored first during
+  // destruction.
+  trace_id_ = CurrentTraceId();
   ++LocalBuffer()->depth;
   start_ns_ = NowNs();  // last: excludes buffer setup from the measurement
 }
@@ -127,6 +132,7 @@ void ScopedSpan::End() {
   ev.label = label_;
   ev.start_ns = start_ns_;
   ev.dur_ns = end_ns - start_ns_;
+  ev.trace_id = trace_id_;
   ev.tid = util::ThreadId();
   ev.depth = static_cast<uint16_t>(buffer->depth);
   buffer->Record(ev);

@@ -20,6 +20,9 @@ struct TraceEvent {
   const char* label = nullptr;
   uint64_t start_ns = 0;  ///< relative to the process trace epoch
   uint64_t dur_ns = 0;
+  /// Request trace-id active on the thread when the span opened (see
+  /// obs/request.h); 0 outside any request.
+  uint64_t trace_id = 0;
   uint32_t tid = 0;   ///< small sequential thread id (util::ThreadId)
   uint16_t depth = 0; ///< nesting depth at the time the span was open
 };
@@ -70,6 +73,7 @@ class ScopedSpan {
 
   const char* label_ = nullptr;  ///< null => tracing was off at entry
   uint64_t start_ns_ = 0;
+  uint64_t trace_id_ = 0;  ///< request id captured at Begin
 };
 
 /// Merged copy of every completed span across all threads, in no particular

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/crash_flush.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -104,6 +105,10 @@ void FaultPlan::MaybeCrash(const std::string& phase, int64_t epoch) {
   if (f->mode == "throw")
     throw SimulatedCrash("injected crash at " + phase + " epoch " +
                          std::to_string(epoch));
+  // _Exit skips atexit hooks and signal handlers by design (that is the
+  // point of the simulated hard kill), so flush the observability artifacts
+  // here — a crashed run must still leave its trace, metrics and access log.
+  obs::FlushObservability();
   std::_Exit(kCrashExitCode);
 }
 

@@ -1,0 +1,477 @@
+// Tests for the serving-grade observability layer: Prometheus exposition
+// (parse-back, label escaping, bucket ordering), the embedded metrics
+// server, request-scoped tracing and the access log, SLO burn-rate math,
+// model-health statistics, and registry thread-safety under a concurrent
+// scrape. Run the binary under TSan (SES_SANITIZE=thread) to exercise the
+// shared-lock registry paths with real data races on the line.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "obs/obs.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ses;
+using obs::MetricsRegistry;
+
+/// Drops all singleton observability state. SloTracker caches registry
+/// pointers, so it must be reset before the registry that owns them.
+void ResetObsState() {
+  obs::SloTracker::Get().ResetForTest();
+  obs::ModelHealthMonitor::Get().ResetForTest();
+  MetricsRegistry::Get().ResetForTest();
+  obs::ResetTracing();
+  obs::EnableTracing(false);
+  obs::AccessLog::Get().Close();
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition: a small parser strong enough to prove the exporter
+// round-trips names, labels and histogram series.
+
+struct PromSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+/// Parses `name{k="v",...} value` with Prometheus label unescaping.
+PromSample ParseSample(const std::string& line) {
+  PromSample sample;
+  size_t pos = line.find('{');
+  const size_t space = line.rfind(' ');
+  if (pos == std::string::npos || pos > space) {
+    pos = line.find(' ');
+    sample.name = line.substr(0, pos);
+  } else {
+    sample.name = line.substr(0, pos);
+    ++pos;  // past '{'
+    while (line[pos] != '}') {
+      const size_t eq = line.find('=', pos);
+      const std::string key = line.substr(pos, eq - pos);
+      pos = eq + 2;  // past ="
+      std::string value;
+      while (line[pos] != '"') {
+        if (line[pos] == '\\') {
+          ++pos;
+          if (line[pos] == 'n') value += '\n';
+          else value += line[pos];
+          ++pos;
+          continue;
+        }
+        value += line[pos++];
+      }
+      ++pos;  // past closing quote
+      sample.labels[key] = value;
+      if (line[pos] == ',') ++pos;
+    }
+  }
+  sample.value = std::stod(line.substr(space + 1));
+  return sample;
+}
+
+TEST(PrometheusTest, LabelValuesRoundTripThroughEscaping) {
+  ResetObsState();
+  auto& registry = MetricsRegistry::Get();
+  const std::string tricky = "a\"b\\c\nd,e={}";
+  registry.GetCounter("ses.test.requests", {{"op", tricky}}).Add(7);
+
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  bool found = false;
+  std::istringstream lines(out.str());
+  for (std::string line; std::getline(lines, line);) {
+    if (line.empty() || line[0] == '#') continue;
+    const PromSample sample = ParseSample(line);
+    if (sample.name != "ses_test_requests") continue;
+    found = true;
+    EXPECT_EQ(sample.labels.at("op"), tricky);
+    EXPECT_DOUBLE_EQ(sample.value, 7.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PrometheusTest, LabelOrderIsCanonicalAcrossCallSites) {
+  ResetObsState();
+  auto& registry = MetricsRegistry::Get();
+  obs::Counter& a =
+      registry.GetCounter("ses.test.c", {{"x", "1"}, {"y", "2"}});
+  obs::Counter& b =
+      registry.GetCounter("ses.test.c", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(&a, &b) << "label order must not create a second time series";
+}
+
+TEST(PrometheusTest, HistogramSeriesIsCumulativeWithAscendingLe) {
+  ResetObsState();
+  auto& registry = MetricsRegistry::Get();
+  obs::Histogram& hist =
+      registry.GetHistogram("ses.test.latency", {{"op", "q"}}, {1.0, 2.0, 10.0});
+  hist.Observe(0.5);
+  hist.Observe(1.5);
+  hist.Observe(5.0);
+  hist.Observe(100.0);
+
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  std::istringstream lines(out.str());
+  std::vector<PromSample> buckets;
+  int type_headers = 0;
+  double sum = -1, count = -1;
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("# TYPE ses_test_latency", 0) == 0) {
+      ++type_headers;
+      EXPECT_NE(line.find("histogram"), std::string::npos);
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    const PromSample sample = ParseSample(line);
+    if (sample.name == "ses_test_latency_bucket") buckets.push_back(sample);
+    if (sample.name == "ses_test_latency_sum") sum = sample.value;
+    if (sample.name == "ses_test_latency_count") count = sample.value;
+  }
+  EXPECT_EQ(type_headers, 1) << "exactly one # TYPE line per family";
+  ASSERT_EQ(buckets.size(), 4u);  // 3 edges + +Inf
+  // Cumulative counts: <=1 -> 1, <=2 -> 2, <=10 -> 3, +Inf -> 4.
+  EXPECT_EQ(buckets[0].labels.at("le"), "1");
+  EXPECT_DOUBLE_EQ(buckets[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(buckets[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(buckets[2].value, 3.0);
+  EXPECT_EQ(buckets[3].labels.at("le"), "+Inf");
+  EXPECT_DOUBLE_EQ(buckets[3].value, 4.0);
+  for (const auto& b : buckets) EXPECT_EQ(b.labels.at("op"), "q");
+  EXPECT_DOUBLE_EQ(sum, 107.0);
+  EXPECT_DOUBLE_EQ(count, 4.0);
+}
+
+TEST(HistogramTest, QuantilesInterpolateInsideBuckets) {
+  obs::Histogram hist({10.0, 20.0, 40.0});
+  // 10 observations in (10, 20]: the q-th observation interpolates linearly
+  // across that bucket's width.
+  for (int i = 0; i < 10; ++i) hist.Observe(15.0);
+  EXPECT_DOUBLE_EQ(hist.P50(), 15.0);   // 5th of 10 -> midpoint of (10, 20]
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.0), 10.0);
+  // Overflow observations saturate at the last edge instead of inventing an
+  // upper bound.
+  hist.Observe(1e9);
+  EXPECT_DOUBLE_EQ(hist.P999(), 40.0);
+  EXPECT_EQ(hist.Count(), 11);
+}
+
+// ---------------------------------------------------------------------------
+// Embedded metrics server, exercised through a real socket.
+
+std::string HttpGet(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  EXPECT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  std::string response;
+  char buf[4096];
+  for (ssize_t n; (n = ::recv(fd, buf, sizeof(buf), 0)) > 0;)
+    response.append(buf, static_cast<size_t>(n));
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsServerTest, ServesMetricsHealthzAndSpansOnEphemeralPort) {
+  ResetObsState();
+  MetricsRegistry::Get().GetCounter("ses.test.live").Add(3);
+  obs::SloTracker::Get().SetBudget("op.a", 100.0);
+
+  obs::MetricsServer server;
+  ASSERT_TRUE(server.Start(0));
+  ASSERT_NE(server.port(), 0);
+
+  const std::string metrics =
+      HttpGet(server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("ses_test_live 3"), std::string::npos);
+  EXPECT_NE(metrics.find("ses_slo_latency_budget_us"), std::string::npos);
+
+  const std::string health =
+      HttpGet(server.port(), "GET /healthz?verbose=1 HTTP/1.0\r\n\r\n");
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"op\":\"op.a\""), std::string::npos);
+
+  const std::string spans = HttpGet(server.port(), "GET /spans HTTP/1.0\r\n\r\n");
+  EXPECT_NE(spans.find("application/json"), std::string::npos);
+
+  EXPECT_NE(HttpGet(server.port(), "GET /nope HTTP/1.0\r\n\r\n")
+                .find("404 Not Found"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "POST /metrics HTTP/1.0\r\n\r\n")
+                .find("405 Method Not Allowed"),
+            std::string::npos);
+
+  EXPECT_GE(server.requests_served(), 5);
+  server.Stop();
+  EXPECT_EQ(server.port(), 0);
+  // A stopped server can be restarted.
+  ASSERT_TRUE(server.Start(0));
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Request scopes: trace-id allocation, propagation, span tagging, access log.
+
+TEST(RequestScopeTest, NestedScopesShareOneIdAndThreadsGetFreshOnes) {
+  ResetObsState();
+  uint64_t outer_id = 0, inner_id = 0, thread_id = 0;
+  {
+    obs::RequestScope outer("op.outer");
+    outer_id = outer.trace_id();
+    EXPECT_TRUE(outer.owner());
+    EXPECT_EQ(obs::CurrentTraceId(), outer_id);
+    {
+      obs::RequestScope inner("op.inner");
+      inner_id = inner.trace_id();
+      EXPECT_FALSE(inner.owner());
+    }
+    // A sibling thread is outside the request: it must not inherit the id.
+    std::thread([&] {
+      EXPECT_EQ(obs::CurrentTraceId(), 0u);
+      obs::RequestScope scope("op.thread");
+      thread_id = scope.trace_id();
+    }).join();
+  }
+  EXPECT_EQ(obs::CurrentTraceId(), 0u);
+  EXPECT_NE(outer_id, 0u);
+  EXPECT_EQ(inner_id, outer_id);
+  EXPECT_NE(thread_id, outer_id);
+}
+
+TEST(RequestScopeTest, SpansOpenedInsideARequestCarryItsTraceId) {
+  ResetObsState();
+  obs::EnableTracing(true);
+  uint64_t id = 0;
+  {
+    obs::RequestScope scope("op.traced");
+    id = scope.trace_id();
+    SES_TRACE_SPAN("op.traced.child");
+  }
+  { SES_TRACE_SPAN("op.orphan"); }
+  int tagged = 0;
+  for (const obs::TraceEvent& ev : obs::SnapshotEvents()) {
+    if (std::string(ev.label) == "op.orphan") {
+      EXPECT_EQ(ev.trace_id, 0u);
+    }
+    if (ev.trace_id == id) ++tagged;
+  }
+  EXPECT_GE(tagged, 2) << "the request span and its child must both be tagged";
+}
+
+TEST(AccessLogTest, EntrySerializationMatchesTheDocumentedSchema) {
+  obs::AccessEntry entry;
+  entry.trace_id = 42;
+  entry.op = "infer.predict";
+  entry.latency_us = 12.5;
+  entry.cache_hit = true;
+  entry.digest = 0xdeadbeefull;
+  EXPECT_EQ(obs::AccessLog::EntryToJson(entry),
+            "{\"trace_id\":42,\"op\":\"infer.predict\",\"latency_us\":12.5,"
+            "\"cache_hit\":true,\"error\":false,"
+            "\"digest\":\"00000000deadbeef\"}");
+}
+
+TEST(AccessLogTest, RequestScopesWriteOneLineEach) {
+  ResetObsState();
+  const std::string path = ::testing::TempDir() + "/access_log_test.jsonl";
+  ASSERT_TRUE(obs::AccessLog::Get().Open(path));
+  {
+    obs::RequestScope scope("op.logged");
+    scope.NoteCacheHit(true);
+    scope.SetDigest(7);
+    obs::RequestScope nested("op.silent");  // not the owner: no line
+  }
+  obs::AccessLog::Get().Close();
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"op\":\"op.logged\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"cache_hit\":true"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"digest\":\"0000000000000007\""),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SLO tracker.
+
+TEST(SloTrackerTest, BurnRateMatchesTheRollingWindowDefinition) {
+  ResetObsState();
+  auto& slo = obs::SloTracker::Get();
+  slo.SetBudget("op.fast", /*latency_budget_us=*/100.0, /*target=*/0.9,
+                /*window=*/10);
+  // 7 in budget + 3 breaches: burn = (3 / 10) / (1 - 0.9) = 3.0.
+  for (int i = 0; i < 7; ++i) slo.Record("op.fast", 50.0);
+  for (int i = 0; i < 3; ++i) slo.Record("op.fast", 500.0);
+  obs::SloTracker::OpSnapshot snap = slo.Snapshot("op.fast");
+  EXPECT_EQ(snap.requests, 10);
+  EXPECT_EQ(snap.breaches, 3);
+  EXPECT_EQ(snap.errors, 0);
+  EXPECT_DOUBLE_EQ(snap.burn_rate, 3.0);
+
+  // A full window of healthy requests flushes the breaches back out.
+  for (int i = 0; i < 10; ++i) slo.Record("op.fast", 1.0);
+  snap = slo.Snapshot("op.fast");
+  EXPECT_EQ(snap.requests, 20);
+  EXPECT_EQ(snap.breaches, 3) << "cumulative counter must not roll";
+  EXPECT_DOUBLE_EQ(snap.burn_rate, 0.0);
+
+  // Errors burn budget even when fast, and unbudgeted ops are ignored.
+  slo.Record("op.fast", 1.0, /*error=*/true);
+  EXPECT_EQ(slo.Snapshot("op.fast").errors, 1);
+  slo.Record("op.unknown", 1.0);
+  EXPECT_EQ(slo.Snapshot("op.unknown").requests, 0);
+
+  // The mirrored metric family is labeled by op.
+  std::ostringstream out;
+  MetricsRegistry::Get().WritePrometheus(out);
+  EXPECT_NE(out.str().find("ses_slo_requests{op=\"op.fast\"} 21"),
+            std::string::npos);
+}
+
+TEST(SloTrackerTest, PartialWindowUsesSeenRequestsNotCapacity) {
+  ResetObsState();
+  auto& slo = obs::SloTracker::Get();
+  slo.SetBudget("op.partial", 100.0, /*target=*/0.5, /*window=*/100);
+  slo.Record("op.partial", 500.0);
+  slo.Record("op.partial", 1.0);
+  // 1 breach over the 2 requests seen (not over the window capacity of 100):
+  // burn = (1/2) / (1 - 0.5) = 1.0.
+  EXPECT_DOUBLE_EQ(slo.Snapshot("op.partial").burn_rate, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Model health.
+
+TEST(ModelHealthTest, DeadUnitsAreExactlyZeroColumns) {
+  ResetObsState();
+  auto& monitor = obs::ModelHealthMonitor::Get();
+  monitor.SetEnabled(true);
+  monitor.BeginEpoch("test");
+  // Column 1 is dead (all exactly 0); column 0 has one live row; column 2 is
+  // tiny-but-alive — magnitude must not matter, only exact zeros.
+  const float acts[2][3] = {{0.0f, 0.0f, 1e-30f}, {2.0f, 0.0f, 0.0f}};
+  monitor.ObserveActivations(&acts[0][0], 2, 3);
+  const auto health = monitor.EndEpoch();
+  EXPECT_DOUBLE_EQ(health.dead_fraction, 1.0 / 3.0);
+  monitor.SetEnabled(false);
+}
+
+TEST(ModelHealthTest, AttentionEntropyIsOneForUniformZeroForOneHot) {
+  ResetObsState();
+  auto& monitor = obs::ModelHealthMonitor::Get();
+  monitor.SetEnabled(true);
+
+  monitor.BeginEpoch("test");
+  const int64_t dst_uniform[4] = {0, 0, 0, 0};
+  const float att_uniform[4] = {0.25f, 0.25f, 0.25f, 0.25f};
+  monitor.ObserveAttention(att_uniform, dst_uniform, 4);
+  EXPECT_NEAR(monitor.EndEpoch().attn_entropy, 1.0, 1e-9);
+
+  monitor.BeginEpoch("test");
+  const float att_onehot[4] = {1.0f, 0.0f, 0.0f, 0.0f};
+  monitor.ObserveAttention(att_onehot, dst_uniform, 4);
+  EXPECT_NEAR(monitor.EndEpoch().attn_entropy, 0.0, 1e-9);
+
+  // Single-edge destinations carry no information and must be skipped.
+  monitor.BeginEpoch("test");
+  const int64_t dst_single[1] = {3};
+  const float att_single[1] = {1.0f};
+  monitor.ObserveAttention(att_single, dst_single, 1);
+  EXPECT_DOUBLE_EQ(monitor.EndEpoch().attn_entropy, -1.0);
+  monitor.SetEnabled(false);
+}
+
+TEST(ModelHealthTest, UpdateRatioAndGradNormComeFromTheSnapshots) {
+  ResetObsState();
+  auto& monitor = obs::ModelHealthMonitor::Get();
+  monitor.SetEnabled(true);
+  monitor.BeginEpoch("test");
+  const float pre[2] = {3.0f, 4.0f};    // ||pre|| = 5
+  const float grad[2] = {0.6f, 0.8f};   // ||grad|| = 1
+  monitor.ObserveParamPreStep("w", pre, 2, grad, 2);
+  const float post[2] = {3.0f, 3.0f};   // ||post - pre|| = 1
+  monitor.ObserveParamPostStep("w", post, 2);
+  const auto health = monitor.EndEpoch();
+  ASSERT_EQ(health.params.size(), 1u);
+  EXPECT_EQ(health.params[0].name, "w");
+  EXPECT_NEAR(health.params[0].grad_norm, 1.0, 1e-6);
+  EXPECT_NEAR(health.params[0].update_ratio, 1.0 / 5.0, 1e-6);
+  monitor.SetEnabled(false);
+}
+
+TEST(ModuleTest, ParameterNamesFollowTheRegistrationTree) {
+  util::Rng rng(1);
+  nn::Mlp mlp({4, 8, 2}, &rng);
+  const std::vector<std::string> names = mlp.ParameterNames();
+  ASSERT_EQ(names.size(), mlp.Parameters().size());
+  EXPECT_NE(std::find(names.begin(), names.end(), "fc0.weight"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "fc1.bias"), names.end());
+}
+
+// ---------------------------------------------------------------------------
+// Registry thread-safety: scraping while new labeled series register. Run
+// under TSan to turn latent races into failures.
+
+TEST(MetricsRegistryTest, ScrapeWhileRegisteringIsSafe) {
+  ResetObsState();
+  auto& registry = MetricsRegistry::Get();
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      std::ostringstream out;
+      registry.WritePrometheus(out);
+      std::ostringstream jsonl;
+      registry.WriteJsonl(jsonl);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        registry
+            .GetCounter("ses.test.hammer",
+                        {{"thread", std::to_string(t)},
+                         {"series", std::to_string(i)}})
+            .Add(1);
+        registry.GetHistogram("ses.test.hammer_hist",
+                              {{"thread", std::to_string(t)}}, {1.0, 10.0})
+            .Observe(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  scraper.join();
+
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  EXPECT_NE(out.str().find("ses_test_hammer"), std::string::npos);
+}
+
+}  // namespace
