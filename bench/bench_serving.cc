@@ -7,7 +7,18 @@
 //   2. multi-thread: N workers issuing a mixed 80/20 predict/explain query
 //      stream against one shared session, each worker inside a tensor
 //      workspace::Scope, reporting queries/sec, p50/p99 latency, the pool hit
-//      rate, and the session cache stats.
+//      rate, and the session cache stats;
+//   3. scheduler: the serve::BatchScheduler front end vs. the direct path,
+//      after a bitwise logit check through the scheduled path. Closed-loop
+//      mode (submit -> Get, one in flight per client) shows what the flush
+//      deadline costs a synchronous caller; open-loop mode (each client
+//      streams requests with a bounded outstanding window, like a pipelined
+//      RPC client) shows the micro-batching throughput win. Both paths carry
+//      full per-request accounting — the direct path records its latency
+//      histogram sample and SLO point inline per request, the scheduled path
+//      gets the same from the worker's batched ObserveMany/RecordMany — so
+//      the comparison is serving-loop vs. serving-loop, not instrumented
+//      vs. bare.
 //
 // Results go to --out (default BENCH_serving.json). --smoke shrinks every
 // knob for the ASan CI run (2 threads, tiny query counts).
@@ -28,6 +39,7 @@
 #include "autograd/variable.h"
 #include "bench_common.h"
 #include "core/inference_session.h"
+#include "serve/batch_scheduler.h"
 #include "tensor/workspace.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -71,6 +83,14 @@ int main(int argc, char** argv) {
   const int64_t queries_per_thread =
       flags.GetInt("queries", smoke ? 50 : 2000);
   const int64_t warm_iters = smoke ? 3 : 20;
+  // Phase 3 knobs. The open-loop comparison needs enough concurrent clients
+  // for micro-batches to actually form (the acceptance bar is >= 8).
+  const int64_t sched_clients =
+      flags.GetInt("sched-clients", smoke ? 2 : std::max<int64_t>(threads, 8));
+  const int64_t closed_queries =
+      flags.GetInt("closed-queries", smoke ? 20 : 1000);
+  const int64_t open_queries =
+      flags.GetInt("open-queries", smoke ? 200 : 50000);
   const std::string out_path = flags.GetString("out", "BENCH_serving.json");
   if (smoke) {
     profile.real_scale = std::min(profile.real_scale, 0.15);
@@ -98,6 +118,14 @@ int main(int argc, char** argv) {
       "ses.infer.latency_us", {{"op", "predict"}}, edges_us);
   obs::Histogram& explain_hist = registry.GetHistogram(
       "ses.infer.latency_us", {{"op", "explain"}}, edges_us);
+  // The scheduler registers its own families on construction, but that
+  // happens in phase 3 — pre-touch them here so a scrape taken during
+  // training already sees the ses.sched.* exposition (ci.sh relies on it).
+  registry.GetCounter("ses.sched.requests");
+  registry.GetCounter("ses.sched.batches");
+  registry.GetGauge("ses.sched.queue_depth");
+  registry.GetHistogram("ses.sched.queue_wait_us", edges_us);
+  registry.GetHistogram("ses.sched.e2e_us", edges_us);
   tensor::workspace::SyncMetricsRegistry();
 
   auto ds = data::MakeRealWorldByName("Cora", profile.real_scale, 1);
@@ -214,6 +242,169 @@ int main(int argc, char** argv) {
       static_cast<long long>(explain_slo.breaches),
       static_cast<long long>(explain_slo.requests), explain_slo.burn_rate);
 
+  // --- Phase 3: batch scheduler vs. direct path ----------------------------
+  serve::SchedulerOptions sched_opt;
+  sched_opt.max_batch_size = 256;
+  sched_opt.flush_deadline_us = 200;
+  sched_opt.num_workers = 1;
+  sched_opt.e2e_budget_us = 1e3;  // same budget class as infer.predict
+  serve::BatchScheduler scheduler(&session, sched_opt);
+  obs::Histogram& e2e_hist = registry.GetHistogram(
+      "ses.sched.e2e_us", obs::Histogram::DefaultLatencyEdgesUs());
+  obs::Histogram& queue_wait_hist = registry.GetHistogram(
+      "ses.sched.queue_wait_us", obs::Histogram::DefaultLatencyEdgesUs());
+
+  // Bitwise gate first: logit rows and predictions through the scheduled
+  // path must be indistinguishable from the direct session calls.
+  {
+    const int64_t probe = std::min<int64_t>(64, ds.graph.num_nodes());
+    std::vector<serve::LogitsRowFuture> rows;
+    std::vector<serve::PredictFuture> preds;
+    for (int64_t n = 0; n < probe; ++n) {
+      rows.push_back(scheduler.SubmitLogitsRow(n));
+      preds.push_back(scheduler.SubmitPredict(n));
+    }
+    const tensor::Tensor& direct = session.Logits();
+    for (int64_t n = 0; n < probe; ++n) {
+      const std::vector<float> row = rows[static_cast<size_t>(n)].Get();
+      SES_CHECK(static_cast<int64_t>(row.size()) == direct.cols());
+      const float* want = direct.RowPtr(n);
+      for (size_t c = 0; c < row.size(); ++c)
+        SES_CHECK(row[c] == want[c] &&
+                  "scheduled logits must be bitwise identical");
+      SES_CHECK(preds[static_cast<size_t>(n)].Get() ==
+                session.PredictNode(n));
+    }
+  }
+
+  // Closed-loop: every client keeps exactly one request in flight, so lone
+  // arrivals ride the flush deadline — this mode prices the latency a
+  // synchronous caller pays for batching.
+  std::atomic<int64_t> sink{0};
+  timer.Reset();
+  {
+    std::vector<std::thread> clients;
+    for (int64_t w = 0; w < sched_clients; ++w) {
+      clients.emplace_back([&, w] {
+        util::Rng rng(static_cast<uint64_t>(2000 + w));
+        int64_t local = 0;
+        for (int64_t q = 0; q < closed_queries; ++q) {
+          const int64_t node = static_cast<int64_t>(
+              rng.UniformInt(static_cast<uint64_t>(ds.graph.num_nodes())));
+          local += scheduler.SubmitPredict(node).Get();
+        }
+        sink.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+    for (auto& th : clients) th.join();
+  }
+  const double closed_wall_s = timer.ElapsedSeconds();
+  const double closed_qps =
+      static_cast<double>(sched_clients * closed_queries) /
+      std::max(closed_wall_s, 1e-9);
+  // Snapshot before the open-loop flood so these quantiles describe the
+  // closed-loop regime.
+  const double closed_p50_ms = e2e_hist.P50() / 1e3;
+  const double closed_p99_ms = e2e_hist.P99() / 1e3;
+
+  // Open-loop, direct baseline: clients hammer PredictNode back to back with
+  // the same per-query accounting phase 2 uses (timer + latency histogram;
+  // the SLO point is recorded inside PredictNode's RequestScope).
+  timer.Reset();
+  {
+    std::vector<std::thread> clients;
+    for (int64_t w = 0; w < sched_clients; ++w) {
+      clients.emplace_back([&, w] {
+        tensor::workspace::Scope scope;
+        util::Rng rng(static_cast<uint64_t>(3000 + w));
+        int64_t local = 0;
+        for (int64_t q = 0; q < open_queries; ++q) {
+          const int64_t node = static_cast<int64_t>(
+              rng.UniformInt(static_cast<uint64_t>(ds.graph.num_nodes())));
+          util::Timer qt;
+          local += session.PredictNode(node);
+          predict_hist.Observe(qt.ElapsedSeconds() * 1e6);
+        }
+        sink.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+    for (auto& th : clients) th.join();
+  }
+  const double direct_wall_s = timer.ElapsedSeconds();
+  const double direct_qps =
+      static_cast<double>(sched_clients * open_queries) /
+      std::max(direct_wall_s, 1e-9);
+
+  // Open-loop, scheduled: each client pipelines submissions — arrivals go
+  // in via SubmitPredictStream in bursts of kChunk, and a bounded window of
+  // outstanding futures is harvested as it wraps. Latency accounting
+  // happens worker-side (queue-wait + end-to-end histograms, sched.e2e
+  // SLO), batched per flush.
+  constexpr int64_t kWindow = 512;
+  constexpr int64_t kChunk = 16;
+  timer.Reset();
+  {
+    std::vector<std::thread> clients;
+    for (int64_t w = 0; w < sched_clients; ++w) {
+      clients.emplace_back([&, w] {
+        util::Rng rng(static_cast<uint64_t>(3000 + w));  // same stream as direct
+        std::vector<serve::PredictFuture> window(
+            static_cast<size_t>(std::max(kChunk, std::min(kWindow, open_queries))));
+        int64_t chunk_nodes[kChunk];
+        serve::PredictFuture chunk_futs[kChunk];
+        int64_t local = 0;
+        for (int64_t q = 0; q < open_queries; q += kChunk) {
+          const int64_t burst = std::min(kChunk, open_queries - q);
+          for (int64_t i = 0; i < burst; ++i)
+            chunk_nodes[i] = static_cast<int64_t>(
+                rng.UniformInt(static_cast<uint64_t>(ds.graph.num_nodes())));
+          const int64_t accepted =
+              scheduler.SubmitPredictStream(chunk_nodes, burst, chunk_futs);
+          SES_CHECK(accepted == burst);
+          for (int64_t i = 0; i < burst; ++i) {
+            const size_t slot = static_cast<size_t>(
+                (q + i) % static_cast<int64_t>(window.size()));
+            if (q + i >= static_cast<int64_t>(window.size()))
+              local += window[slot].Get();
+            window[slot] = std::move(chunk_futs[i]);
+          }
+        }
+        for (auto& f : window)
+          if (f.valid()) local += f.Get();
+        sink.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+    for (auto& th : clients) th.join();
+  }
+  const double sched_wall_s = timer.ElapsedSeconds();
+  const double sched_qps =
+      static_cast<double>(sched_clients * open_queries) /
+      std::max(sched_wall_s, 1e-9);
+  const double sched_speedup = sched_qps / std::max(direct_qps, 1e-9);
+  // Dominated by the open-loop flood (it outnumbers the earlier phases by
+  // ~50x), so these quantiles describe the open-loop regime.
+  const double open_p50_ms = e2e_hist.P50() / 1e3;
+  const double open_p99_ms = e2e_hist.P99() / 1e3;
+
+  const auto sched_stats = scheduler.stats();
+  scheduler.Stop();
+  const double avg_batch =
+      sched_stats.batches > 0
+          ? static_cast<double>(sched_stats.requests) /
+                static_cast<double>(sched_stats.batches)
+          : 0.0;
+  const auto sched_slo = obs::SloTracker::Get().Snapshot("sched.e2e");
+  std::printf(
+      "scheduler (%lld clients): closed-loop %.0f qps (p50 %.3f ms) | "
+      "open-loop direct %.0f qps vs scheduled %.0f qps (%.2fx) | avg batch "
+      "%.1f over %lld batches (%lld full / %lld deadline / %lld shutdown)\n",
+      static_cast<long long>(sched_clients), closed_qps, closed_p50_ms,
+      direct_qps, sched_qps, sched_speedup, avg_batch,
+      static_cast<long long>(sched_stats.batches),
+      static_cast<long long>(sched_stats.full_flushes),
+      static_cast<long long>(sched_stats.deadline_flushes),
+      static_cast<long long>(sched_stats.shutdown_flushes));
+
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -260,6 +451,35 @@ int main(int argc, char** argv) {
       << "    \"misses\": " << pool.misses << ",\n"
       << "    \"hit_rate\": " << pool_hit_rate << ",\n"
       << "    \"bytes_served\": " << pool.bytes_served << "\n"
+      << "  },\n"
+      << "  \"scheduler\": {\n"
+      << "    \"clients\": " << sched_clients << ",\n"
+      << "    \"max_batch_size\": " << sched_opt.max_batch_size << ",\n"
+      << "    \"flush_deadline_us\": " << sched_opt.flush_deadline_us << ",\n"
+      << "    \"workers\": " << sched_opt.num_workers << ",\n"
+      << "    \"closed_loop\": {\n"
+      << "      \"queries\": " << sched_clients * closed_queries << ",\n"
+      << "      \"qps\": " << closed_qps << ",\n"
+      << "      \"p50_ms\": " << closed_p50_ms << ",\n"
+      << "      \"p99_ms\": " << closed_p99_ms << "\n"
+      << "    },\n"
+      << "    \"open_loop\": {\n"
+      << "      \"queries\": " << sched_clients * open_queries << ",\n"
+      << "      \"direct_qps\": " << direct_qps << ",\n"
+      << "      \"sched_qps\": " << sched_qps << ",\n"
+      << "      \"speedup_vs_direct\": " << sched_speedup << ",\n"
+      << "      \"p50_ms\": " << open_p50_ms << ",\n"
+      << "      \"p99_ms\": " << open_p99_ms << "\n"
+      << "    },\n"
+      << "    \"batches\": " << sched_stats.batches << ",\n"
+      << "    \"avg_batch\": " << avg_batch << ",\n"
+      << "    \"full_flushes\": " << sched_stats.full_flushes << ",\n"
+      << "    \"deadline_flushes\": " << sched_stats.deadline_flushes << ",\n"
+      << "    \"shutdown_flushes\": " << sched_stats.shutdown_flushes << ",\n"
+      << "    \"queue_wait_p99_us\": " << queue_wait_hist.P99() << ",\n"
+      << "    \"slo_e2e\": {\"requests\": " << sched_slo.requests
+      << ", \"breaches\": " << sched_slo.breaches
+      << ", \"burn_rate\": " << sched_slo.burn_rate << "}\n"
       << "  },\n"
       << "  \"session_cache\": {\n"
       << "    \"hits\": " << cache.cache_hits << ",\n"

@@ -5,51 +5,134 @@
 # committed baseline (BENCH_serving.json at the repo root) and fails when
 #   - warm-predict throughput (1000 / single_thread.warm_predict_ms, i.e.
 #     QPS of the memoized fast path) drops by more than the allowed fraction,
-#   - or the multi-threaded serving p99 latency rises by more than it.
+#   - or the multi-threaded serving p99 latency rises by more than it,
+#   - or the scheduler's open-loop speedup over the direct path falls below
+#     SES_BENCH_MIN_SCHED_SPEEDUP (default 2.0; skipped when either JSON
+#     predates the scheduler block).
+#
+# Missing files and schema mismatches fail with a one-line diagnosis instead
+# of a JSON traceback. When the machine was already busy before the benchmark
+# ran (pre-bench 1-minute load average, as captured by `scripts/ci.sh bench`
+# in SES_BENCH_PRELOAD, above SES_BENCH_MAX_LOAD x nproc), the gate prints a
+# warning and exits 0 — a loaded box cannot distinguish a regression from
+# scheduler noise, and a false FAIL would teach people to ignore the gate.
 #
 # Usage: scripts/bench_check.sh CANDIDATE.json [BASELINE.json]
-#   SES_BENCH_MAX_REGRESSION  allowed fractional regression (default 0.20)
+#   SES_BENCH_MAX_REGRESSION      allowed fractional regression (default 0.20)
+#   SES_BENCH_MIN_SCHED_SPEEDUP   open-loop sched/direct floor (default 2.0)
+#   SES_BENCH_MAX_LOAD            per-core pre-bench load ceiling (default 0.8)
+#   SES_BENCH_PRELOAD             pre-bench 1-min loadavg (set by ci.sh)
 #
-# Micro-benchmarks on a shared 2-core box are noisy; 20% is wide enough to
-# ignore scheduler jitter while still catching a real fast-path regression
-# (those historically show up as 2-10x, not 1.2x).
+# Micro-benchmarks on a shared box are noisy; 20% is wide enough to ignore
+# scheduler jitter while still catching a real fast-path regression (those
+# historically show up as 2-10x, not 1.2x).
 set -euo pipefail
 
 CANDIDATE="${1:?usage: scripts/bench_check.sh CANDIDATE.json [BASELINE.json]}"
 BASELINE="${2:-$(dirname "$0")/../BENCH_serving.json}"
 MAX_REGRESSION="${SES_BENCH_MAX_REGRESSION:-0.20}"
+MIN_SCHED_SPEEDUP="${SES_BENCH_MIN_SCHED_SPEEDUP:-2.0}"
+MAX_LOAD="${SES_BENCH_MAX_LOAD:-0.8}"
+PRELOAD="${SES_BENCH_PRELOAD:-}"
 
-python3 - "$BASELINE" "$CANDIDATE" "$MAX_REGRESSION" <<'PY'
+for f in "${CANDIDATE}" "${BASELINE}"; do
+  if [[ ! -f "${f}" ]]; then
+    echo "BENCH GATE FAIL: ${f} does not exist." >&2
+    if [[ "${f}" == "${BASELINE}" ]]; then
+      echo "  The committed baseline is produced by:" >&2
+      echo "    ./build/bench/bench_serving --out=BENCH_serving.json" >&2
+    else
+      echo "  Run the serving benchmark first (scripts/ci.sh bench does)." >&2
+    fi
+    exit 1
+  fi
+done
+
+# Noise guard: the load average BEFORE the benchmark started tells us whether
+# something else was competing for the cores during the measurement.
+if [[ -n "${PRELOAD}" ]]; then
+  NCPU="$(nproc 2>/dev/null || echo 1)"
+  if python3 -c "import sys; sys.exit(0 if float('${PRELOAD}') > float('${MAX_LOAD}') * ${NCPU} else 1)"; then
+    echo "BENCH GATE SKIPPED: pre-bench load average ${PRELOAD} exceeds" \
+         "${MAX_LOAD} x ${NCPU} cores — this machine is too busy for the" \
+         "numbers to mean anything. Re-run on a quiet box to enforce the gate."
+    exit 0
+  fi
+fi
+
+python3 - "$BASELINE" "$CANDIDATE" "$MAX_REGRESSION" "$MIN_SCHED_SPEEDUP" <<'PY'
 import json
 import sys
 
-baseline_path, candidate_path, allowed = sys.argv[1], sys.argv[2], float(sys.argv[3])
-with open(baseline_path) as f:
-    base = json.load(f)
-with open(candidate_path) as f:
-    cand = json.load(f)
+baseline_path, candidate_path = sys.argv[1], sys.argv[2]
+allowed, min_sched = float(sys.argv[3]), float(sys.argv[4])
 
 
-def warm_qps(doc):
-    ms = doc["single_thread"]["warm_predict_ms"]
-    return 1000.0 / ms if ms > 0 else float("inf")
+def load(path, role):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except json.JSONDecodeError as e:
+        sys.exit(f"BENCH GATE FAIL: {role} {path} is not valid JSON "
+                 f"(line {e.lineno}: {e.msg}). Was the benchmark interrupted?")
 
+
+def lookup(doc, path, role, src):
+    node = doc
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            sys.exit(f"BENCH GATE FAIL: {role} {src} has no '{path}' "
+                     f"(missing '{key}'). The bench_serving schema changed — "
+                     f"regenerate the baseline with "
+                     f"./build/bench/bench_serving --out=BENCH_serving.json")
+        node = node[key]
+    if not isinstance(node, (int, float)):
+        sys.exit(f"BENCH GATE FAIL: {role} {src} field '{path}' is "
+                 f"{type(node).__name__}, expected a number.")
+    return float(node)
+
+
+base = load(baseline_path, "baseline")
+cand = load(candidate_path, "candidate")
 
 failures = []
 
-base_qps, cand_qps = warm_qps(base), warm_qps(cand)
+
+def warm_qps(doc, role, src):
+    ms = lookup(doc, "single_thread.warm_predict_ms", role, src)
+    return 1000.0 / ms if ms > 0 else float("inf")
+
+
+base_qps = warm_qps(base, "baseline", baseline_path)
+cand_qps = warm_qps(cand, "candidate", candidate_path)
 qps_drop = 0.0 if base_qps <= 0 else (base_qps - cand_qps) / base_qps
 print(f"warm-predict QPS: baseline {base_qps:,.0f}  candidate {cand_qps:,.0f}  "
       f"drop {qps_drop:+.1%} (allowed {allowed:.0%})")
 if qps_drop > allowed:
     failures.append(f"warm-predict QPS dropped {qps_drop:.1%} (> {allowed:.0%})")
 
-base_p99, cand_p99 = base["serving"]["p99_ms"], cand["serving"]["p99_ms"]
+base_p99 = lookup(base, "serving.p99_ms", "baseline", baseline_path)
+cand_p99 = lookup(cand, "serving.p99_ms", "candidate", candidate_path)
 p99_rise = 0.0 if base_p99 <= 0 else (cand_p99 - base_p99) / base_p99
 print(f"serving p99: baseline {base_p99:.6f} ms  candidate {cand_p99:.6f} ms  "
       f"rise {p99_rise:+.1%} (allowed {allowed:.0%})")
 if p99_rise > allowed:
     failures.append(f"serving p99 rose {p99_rise:.1%} (> {allowed:.0%})")
+
+# Scheduler gate: only enforced when both sides carry the scheduler block, so
+# the gate still works against pre-scheduler baselines during bisection.
+if "scheduler" in base and "scheduler" in cand:
+    speedup = lookup(cand, "scheduler.open_loop.speedup_vs_direct",
+                     "candidate", candidate_path)
+    print(f"scheduler open-loop speedup: {speedup:.2f}x "
+          f"(floor {min_sched:.1f}x)")
+    if speedup < min_sched:
+        failures.append(
+            f"scheduler open-loop speedup {speedup:.2f}x fell below the "
+            f"{min_sched:.1f}x floor")
+else:
+    print("scheduler block absent from baseline or candidate; speedup gate "
+          "skipped")
 
 if failures:
     for f in failures:

@@ -1,129 +1,113 @@
 #!/usr/bin/env bash
-# CI driver: builds the Release tree and an AddressSanitizer tree, runs the
-# full ctest suite on both (including the obs_v2 observability tests), then
-# exercises the fault-injection matrix (NaN injection, kill-and-resume,
-# checkpoint corruption, crash-with-artifacts) against the ASan quickstart
-# binary, smoke-runs the multi-threaded serving benchmark under ASan while
-# scraping its live /metrics endpoint and joining the access log against the
-# Chrome trace, and finally gates serving performance against the committed
-# baseline. Any failure fails the script.
+# Staged CI driver. Each stage is individually invocable so the GitHub
+# workflow (.github/workflows/ci.yml) can fan them out as separate jobs and a
+# developer can reproduce exactly one job locally:
 #
-# Usage: scripts/ci.sh [JOBS]
+#   scripts/ci.sh release   # Release build + FULL ctest suite (tier1 + slow)
+#   scripts/ci.sh asan      # ASan build + tier1 ctest + serving smoke with a
+#                           # live /metrics scrape and access-log/trace join
+#   scripts/ci.sh tsan      # TSan build (OpenMP off) + tier1 ctest + batch-
+#                           # scheduler smoke under contention
+#   scripts/ci.sh faults    # fault-injection matrix (NaN skip, crash/resume,
+#                           # checkpoint corruption, artifact flush) on ASan
+#   scripts/ci.sh bench     # Release bench_serving gated against the
+#                           # committed BENCH_serving.json baseline
+#
+# No arguments runs every stage in the order above. A numeric first argument
+# is accepted as a job count for backward compatibility; JOBS=<n> works too.
+# Stage logs and artifacts land in ci_artifacts/ (uploaded by CI on failure).
+# Test tiers: ctest labels split the suite into `tier1` (fast unit tests, run
+# on every variant) and `slow` (integration/fault/bench smokes, release only).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-JOBS="${1:-$(nproc)}"
+JOBS="${JOBS:-$(nproc)}"
 
-run_variant() {
+# ccache transparently accelerates the CI matrix when present (the workflow
+# installs and caches it); local runs without ccache are unaffected.
+CMAKE_EXTRA=()
+if command -v ccache >/dev/null 2>&1; then
+  CMAKE_EXTRA+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+mkdir -p ci_artifacts
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "${SCRATCH}"' EXIT
+
+# build_variant NAME BUILD_DIR [cmake args...] — configure + build once.
+build_variant() {
   local name="$1" build_dir="$2"
   shift 2
   echo "=== [${name}] configure ==="
-  cmake -B "${build_dir}" -S . "$@"
+  cmake -B "${build_dir}" -S . "${CMAKE_EXTRA[@]}" "$@"
   echo "=== [${name}] build ==="
   cmake --build "${build_dir}" -j "${JOBS}"
-  echo "=== [${name}] test ==="
-  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 }
 
-run_variant "release" build -DCMAKE_BUILD_TYPE=Release
-run_variant "asan" build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSES_SANITIZE=address
+ensure_release() {
+  [[ -f build/CMakeCache.txt ]] || build_variant "release" build \
+    -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}"
+}
+
+ensure_asan() {
+  [[ -f build-asan/CMakeCache.txt ]] || build_variant "asan" build-asan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSES_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}"
+}
+
+ensure_tsan() {
+  [[ -f build-tsan/CMakeCache.txt ]] || build_variant "tsan" build-tsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSES_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}"
+}
 
 # ---------------------------------------------------------------------------
-# Fault-injection matrix (under ASan: resume paths must also be memory-clean).
-# A tiny quickstart run keeps each scenario to a few seconds.
-QUICKSTART="./build-asan/examples/quickstart"
-QS_ARGS=(--scale=0.12 --epochs=12 --checkpoint-every=4)
-FAULT_DIR="$(mktemp -d)"
-trap 'rm -rf "${FAULT_DIR}"' EXIT
-
-echo "=== [faults] NaN-loss injection: training must skip the step and finish ==="
-SES_FAULT_SPEC="nan_loss:phase=phase1,step=3" \
-  "${QUICKSTART}" "${QS_ARGS[@]}" --metrics-out="${FAULT_DIR}/nan-metrics.jsonl" \
-  | tee "${FAULT_DIR}/nan.log"
-grep -q "nan_skips=0" "${FAULT_DIR}/nan.log" && {
-  echo "FAIL: NaN injection did not register a skipped step"; exit 1; }
-grep -q '"ses.train.nan_skips"' "${FAULT_DIR}/nan-metrics.jsonl" || {
-  echo "FAIL: nan_skips counter missing from metrics snapshot"; exit 1; }
-
-echo "=== [faults] crash at phase-1 epoch 8, then resume from checkpoint ==="
-set +e
-SES_FAULT_SPEC="crash:phase=phase1,epoch=8" \
-  "${QUICKSTART}" "${QS_ARGS[@]}" --checkpoint-dir="${FAULT_DIR}/ckpt-crash"
-status=$?
-set -e
-[[ "${status}" -eq 42 ]] || {
-  echo "FAIL: injected crash exited with ${status}, expected 42"; exit 1; }
-"${QUICKSTART}" "${QS_ARGS[@]}" --checkpoint-dir="${FAULT_DIR}/ckpt-crash" \
-  | tee "${FAULT_DIR}/resume.log"
-grep -q "resume_ok=0" "${FAULT_DIR}/resume.log" && {
-  echo "FAIL: resume after crash did not load a checkpoint"; exit 1; }
-
-echo "=== [faults] corrupt newest checkpoint, resume must fall back ==="
-set +e
-SES_FAULT_SPEC="corrupt_ckpt:phase=phase1,epoch=8,mode=flip;crash:phase=phase1,epoch=10" \
-  "${QUICKSTART}" "${QS_ARGS[@]}" --checkpoint-dir="${FAULT_DIR}/ckpt-corrupt"
-status=$?
-set -e
-[[ "${status}" -eq 42 ]] || {
-  echo "FAIL: injected crash exited with ${status}, expected 42"; exit 1; }
-"${QUICKSTART}" "${QS_ARGS[@]}" --checkpoint-dir="${FAULT_DIR}/ckpt-corrupt" \
-  | tee "${FAULT_DIR}/fallback.log"
-grep -q "resume_corrupt=0" "${FAULT_DIR}/fallback.log" && {
-  echo "FAIL: corrupted checkpoint was not rejected on resume"; exit 1; }
-grep -q "resume_ok=0" "${FAULT_DIR}/fallback.log" && {
-  echo "FAIL: resume did not fall back to the previous rotation"; exit 1; }
-
-echo "=== [faults] crash must still flush the observability artifacts ==="
-set +e
-SES_FAULT_SPEC="crash:phase=phase1,epoch=8" \
-  "${QUICKSTART}" "${QS_ARGS[@]}" --trace-out="${FAULT_DIR}/crash-trace.json" \
-  --metrics-out="${FAULT_DIR}/crash-metrics.jsonl"
-status=$?
-set -e
-[[ "${status}" -eq 42 ]] || {
-  echo "FAIL: injected crash exited with ${status}, expected 42"; exit 1; }
-python3 - "${FAULT_DIR}/crash-trace.json" <<'PY'
-import json, sys
-with open(sys.argv[1]) as f:
-    trace = json.load(f)
-assert trace["traceEvents"], "crash-flushed trace has no spans"
-PY
-[[ -s "${FAULT_DIR}/crash-metrics.jsonl" ]] || {
-  echo "FAIL: crash did not flush the metrics snapshot"; exit 1; }
-echo "crashed run left a parseable trace and a metrics snapshot"
+stage_release() {
+  build_variant "release" build -DCMAKE_BUILD_TYPE=Release
+  echo "=== [release] full ctest suite (tier1 + slow) ==="
+  ctest --test-dir build --output-on-failure -j "${JOBS}"
+}
 
 # ---------------------------------------------------------------------------
-# Serving smoke (under ASan: the tape-free fast path, workspace pool, the
-# multi-threaded query loop AND the embedded metrics server must be memory-
-# and race-clean). The benchmark runs in the background with the full
-# observability surface on; the live /metrics endpoint is scraped mid-run.
-# Deliberately NOT --smoke: the run must last long enough (~15 s of training
-# under ASan; every metric family registers before training starts) for the
-# scraper to catch it alive.
-echo "=== [serving] bench_serving with live /metrics (2 threads, ASan) ==="
-mkdir -p ci_artifacts
-./build-asan/bench/bench_serving --scale=0.35 --epochs=150 --hidden=32 \
-  --seeds=1 --threads=2 --queries=2000 \
-  --metrics-port=0 --access-log="${FAULT_DIR}/access.jsonl" \
-  --trace-out="${FAULT_DIR}/serving-trace.json" \
-  --out=ci_artifacts/BENCH_serving.json >"${FAULT_DIR}/serving.log" 2>&1 &
-SERVING_PID=$!
-for _ in $(seq 1 200); do
-  grep -q "metrics server on" "${FAULT_DIR}/serving.log" && break
-  kill -0 "${SERVING_PID}" 2>/dev/null || break
-  sleep 0.05
-done
-PORT="$(sed -n 's#.*localhost:\([0-9]*\)/metrics.*#\1#p' \
-  "${FAULT_DIR}/serving.log" | head -1)"
-[[ -n "${PORT}" ]] || {
-  cat "${FAULT_DIR}/serving.log"
-  echo "FAIL: bench_serving never announced its metrics port"; exit 1; }
-python3 - "${PORT}" "${SERVING_PID}" <<'PY'
+stage_asan() {
+  build_variant "asan" build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSES_SANITIZE=address
+  echo "=== [asan] tier1 ctest ==="
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L tier1
+
+  # Serving smoke (under ASan: the tape-free fast path, workspace pool, the
+  # multi-threaded query loop, the batch scheduler AND the embedded metrics
+  # server must be memory-clean). The benchmark runs in the background with
+  # the full observability surface on; the live /metrics endpoint is scraped
+  # mid-run. Deliberately NOT --smoke: the run must last long enough (~15 s
+  # of training under ASan; every metric family registers before training
+  # starts) for the scraper to catch it alive.
+  echo "=== [asan] bench_serving with live /metrics (2 threads) ==="
+  ./build-asan/bench/bench_serving --scale=0.35 --epochs=150 --hidden=32 \
+    --seeds=1 --threads=2 --queries=2000 \
+    --sched-clients=2 --closed-queries=50 --open-queries=500 \
+    --metrics-port=0 --access-log="${SCRATCH}/access.jsonl" \
+    --trace-out="${SCRATCH}/serving-trace.json" \
+    --out=ci_artifacts/BENCH_serving_asan.json \
+    >"ci_artifacts/serving-asan.log" 2>&1 &
+  local serving_pid=$!
+  for _ in $(seq 1 200); do
+    grep -q "metrics server on" "ci_artifacts/serving-asan.log" && break
+    kill -0 "${serving_pid}" 2>/dev/null || break
+    sleep 0.05
+  done
+  local port
+  port="$(sed -n 's#.*localhost:\([0-9]*\)/metrics.*#\1#p' \
+    "ci_artifacts/serving-asan.log" | head -1)"
+  [[ -n "${port}" ]] || {
+    cat "ci_artifacts/serving-asan.log"
+    echo "FAIL: bench_serving never announced its metrics port"; exit 1; }
+  python3 - "${port}" "${serving_pid}" <<'PY'
 import os, sys, time, urllib.request
 
 port, pid = sys.argv[1], int(sys.argv[2])
-need = ["ses_pool_", "ses_infer_", "ses_slo_"]
+need = ["ses_pool_", "ses_infer_", "ses_slo_", "ses_sched_"]
 body = ""
 deadline = time.monotonic() + 120
 while time.monotonic() < deadline:
@@ -160,15 +144,14 @@ assert health["status"] == "ok", health
 print(f"mid-run scrape ok: {len(body.splitlines())} exposition lines, "
       f"all of {need} present")
 PY
-wait "${SERVING_PID}" || {
-  cat "${FAULT_DIR}/serving.log"
-  echo "FAIL: bench_serving exited non-zero"; exit 1; }
-grep -q '"logits_max_abs_diff": 0' ci_artifacts/BENCH_serving.json || {
-  echo "FAIL: fast-path logits diverged from the tape path"; exit 1; }
-echo "serving artifact archived at ci_artifacts/BENCH_serving.json"
+  wait "${serving_pid}" || {
+    cat "ci_artifacts/serving-asan.log"
+    echo "FAIL: bench_serving exited non-zero"; exit 1; }
+  grep -q '"logits_max_abs_diff": 0' ci_artifacts/BENCH_serving_asan.json || {
+    echo "FAIL: fast-path logits diverged from the tape path"; exit 1; }
 
-echo "=== [serving] every access-log trace-id resolves to trace spans ==="
-python3 - "${FAULT_DIR}/access.jsonl" "${FAULT_DIR}/serving-trace.json" <<'PY'
+  echo "=== [asan] every access-log trace-id resolves to trace spans ==="
+  python3 - "${SCRATCH}/access.jsonl" "${SCRATCH}/serving-trace.json" <<'PY'
 import json, sys
 
 with open(sys.argv[1]) as f:
@@ -183,16 +166,129 @@ assert not orphans, f"{len(orphans)} access-log requests have no spans, " \
                     f"e.g. trace_id {orphans[0]}"
 ops = {e["op"] for e in entries}
 assert {"infer.predict", "infer.explain"} <= ops, ops
+assert {"sched.predict"} <= ops, \
+    f"scheduled requests missing from the access log: {ops}"
 print(f"{len(entries)} access-log lines joined against "
       f"{len(span_ids)} request trace-ids")
 PY
+}
 
 # ---------------------------------------------------------------------------
-# Serving-performance gate: a fresh Release run must stay within the allowed
-# regression envelope of the committed baseline (see scripts/bench_check.sh).
-echo "=== [bench gate] Release bench_serving vs committed BENCH_serving.json ==="
-./build/bench/bench_serving --out=ci_artifacts/BENCH_serving_release.json \
-  | tee "${FAULT_DIR}/serving-release.log"
-scripts/bench_check.sh ci_artifacts/BENCH_serving_release.json
+stage_tsan() {
+  build_variant "tsan" build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSES_SANITIZE=thread
+  echo "=== [tsan] tier1 ctest ==="
+  ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L tier1
 
-echo "=== all variants passed ==="
+  # Scheduler smoke under TSan: concurrent producers, micro-batch formation,
+  # worker-pool execution, lock-free future completion, and the batched
+  # metrics/SLO recording all race-checked in one run. --smoke keeps the
+  # model tiny; the scheduler phase still pushes thousands of requests
+  # through every flush path.
+  echo "=== [tsan] bench_serving --smoke (scheduler under contention) ==="
+  ./build-tsan/bench/bench_serving --smoke --sched-clients=4 \
+    --out=ci_artifacts/BENCH_serving_tsan.json \
+    | tee "ci_artifacts/serving-tsan.log"
+  grep -q "speedup_vs_direct" ci_artifacts/BENCH_serving_tsan.json || {
+    echo "FAIL: TSan smoke produced no scheduler block"; exit 1; }
+}
+
+# ---------------------------------------------------------------------------
+stage_faults() {
+  ensure_asan
+  # Fault-injection matrix (under ASan: resume paths must also be
+  # memory-clean). A tiny quickstart run keeps each scenario to seconds.
+  local quickstart="./build-asan/examples/quickstart"
+  local qs_args=(--scale=0.12 --epochs=12 --checkpoint-every=4)
+  local fault_dir="${SCRATCH}/faults"
+  mkdir -p "${fault_dir}"
+
+  echo "=== [faults] NaN-loss injection: training must skip the step and finish ==="
+  SES_FAULT_SPEC="nan_loss:phase=phase1,step=3" \
+    "${quickstart}" "${qs_args[@]}" --metrics-out="${fault_dir}/nan-metrics.jsonl" \
+    | tee "${fault_dir}/nan.log"
+  grep -q "nan_skips=0" "${fault_dir}/nan.log" && {
+    echo "FAIL: NaN injection did not register a skipped step"; exit 1; }
+  grep -q '"ses.train.nan_skips"' "${fault_dir}/nan-metrics.jsonl" || {
+    echo "FAIL: nan_skips counter missing from metrics snapshot"; exit 1; }
+
+  echo "=== [faults] crash at phase-1 epoch 8, then resume from checkpoint ==="
+  set +e
+  SES_FAULT_SPEC="crash:phase=phase1,epoch=8" \
+    "${quickstart}" "${qs_args[@]}" --checkpoint-dir="${fault_dir}/ckpt-crash"
+  local status=$?
+  set -e
+  [[ "${status}" -eq 42 ]] || {
+    echo "FAIL: injected crash exited with ${status}, expected 42"; exit 1; }
+  "${quickstart}" "${qs_args[@]}" --checkpoint-dir="${fault_dir}/ckpt-crash" \
+    | tee "${fault_dir}/resume.log"
+  grep -q "resume_ok=0" "${fault_dir}/resume.log" && {
+    echo "FAIL: resume after crash did not load a checkpoint"; exit 1; }
+
+  echo "=== [faults] corrupt newest checkpoint, resume must fall back ==="
+  set +e
+  SES_FAULT_SPEC="corrupt_ckpt:phase=phase1,epoch=8,mode=flip;crash:phase=phase1,epoch=10" \
+    "${quickstart}" "${qs_args[@]}" --checkpoint-dir="${fault_dir}/ckpt-corrupt"
+  status=$?
+  set -e
+  [[ "${status}" -eq 42 ]] || {
+    echo "FAIL: injected crash exited with ${status}, expected 42"; exit 1; }
+  "${quickstart}" "${qs_args[@]}" --checkpoint-dir="${fault_dir}/ckpt-corrupt" \
+    | tee "${fault_dir}/fallback.log"
+  grep -q "resume_corrupt=0" "${fault_dir}/fallback.log" && {
+    echo "FAIL: corrupted checkpoint was not rejected on resume"; exit 1; }
+  grep -q "resume_ok=0" "${fault_dir}/fallback.log" && {
+    echo "FAIL: resume did not fall back to the previous rotation"; exit 1; }
+
+  echo "=== [faults] crash must still flush the observability artifacts ==="
+  set +e
+  SES_FAULT_SPEC="crash:phase=phase1,epoch=8" \
+    "${quickstart}" "${qs_args[@]}" --trace-out="${fault_dir}/crash-trace.json" \
+    --metrics-out="${fault_dir}/crash-metrics.jsonl"
+  status=$?
+  set -e
+  [[ "${status}" -eq 42 ]] || {
+    echo "FAIL: injected crash exited with ${status}, expected 42"; exit 1; }
+  python3 - "${fault_dir}/crash-trace.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+assert trace["traceEvents"], "crash-flushed trace has no spans"
+PY
+  [[ -s "${fault_dir}/crash-metrics.jsonl" ]] || {
+    echo "FAIL: crash did not flush the metrics snapshot"; exit 1; }
+  echo "crashed run left a parseable trace and a metrics snapshot"
+}
+
+# ---------------------------------------------------------------------------
+stage_bench() {
+  ensure_release
+  # Serving-performance gate: a fresh Release run must stay within the
+  # allowed regression envelope of the committed baseline (see
+  # scripts/bench_check.sh). The pre-bench load average is captured so the
+  # gate can tell "this machine was already busy" apart from a regression.
+  echo "=== [bench] Release bench_serving vs committed BENCH_serving.json ==="
+  SES_BENCH_PRELOAD="$(cut -d' ' -f1 /proc/loadavg 2>/dev/null || echo 0)"
+  export SES_BENCH_PRELOAD
+  ./build/bench/bench_serving --out=ci_artifacts/BENCH_serving_release.json \
+    | tee "ci_artifacts/serving-release.log"
+  scripts/bench_check.sh ci_artifacts/BENCH_serving_release.json
+}
+
+# ---------------------------------------------------------------------------
+STAGES=()
+for arg in "$@"; do
+  case "${arg}" in
+    release|asan|tsan|faults|bench) STAGES+=("${arg}") ;;
+    ''|*[!0-9]*)
+      echo "unknown stage '${arg}' (expected release|asan|tsan|faults|bench)" >&2
+      exit 2 ;;
+    *) JOBS="${arg}" ;;  # back-compat: scripts/ci.sh [JOBS]
+  esac
+done
+[[ ${#STAGES[@]} -gt 0 ]] || STAGES=(release asan tsan faults bench)
+
+for stage in "${STAGES[@]}"; do
+  "stage_${stage}"
+done
+echo "=== stages passed: ${STAGES[*]} ==="

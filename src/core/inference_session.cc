@@ -80,15 +80,13 @@ tensor::Tensor InferenceSession::RunForward() const {
   return out.logits.value();
 }
 
-tensor::Tensor InferenceSession::Logits() {
-  obs::RequestScope request("infer.logits");
-  std::lock_guard<std::mutex> lock(mutex_);
+const tensor::Tensor& InferenceSession::EnsureLogitsLocked(
+    obs::RequestScope* request) {
   EnsureArtifactsLocked();
   if (logits_version_ == artifact_version_) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     obs::MetricsRegistry::Get().GetCounter("ses.infer.cache_hits").Add(1);
-    request.NoteCacheHit(true);
-    request.SetDigest(LogitsDigest(logits_));
+    if (request != nullptr) request->NoteCacheHit(true);
     return logits_;
   }
   SES_TRACE_SPAN("infer/logits_miss");
@@ -96,29 +94,25 @@ tensor::Tensor InferenceSession::Logits() {
   obs::MetricsRegistry::Get().GetCounter("ses.infer.cache_misses").Add(1);
   logits_ = RunForward();
   logits_version_ = artifact_version_;
-  request.SetDigest(LogitsDigest(logits_));
   return logits_;
+}
+
+tensor::Tensor InferenceSession::Logits() {
+  obs::RequestScope request("infer.logits");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const tensor::Tensor& logits = EnsureLogitsLocked(&request);
+  request.SetDigest(LogitsDigest(logits));
+  return logits;
 }
 
 int64_t InferenceSession::PredictNode(int64_t node) {
   obs::RequestScope request("infer.predict");
   std::lock_guard<std::mutex> lock(mutex_);
-  EnsureArtifactsLocked();
-  if (logits_version_ != artifact_version_) {
-    SES_TRACE_SPAN("infer/logits_miss");
-    cache_misses_.fetch_add(1, std::memory_order_relaxed);
-    obs::MetricsRegistry::Get().GetCounter("ses.infer.cache_misses").Add(1);
-    logits_ = RunForward();
-    logits_version_ = artifact_version_;
-  } else {
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
-    obs::MetricsRegistry::Get().GetCounter("ses.infer.cache_hits").Add(1);
-    request.NoteCacheHit(true);
-  }
-  SES_CHECK(node >= 0 && node < logits_.rows());
-  const float* row = logits_.RowPtr(node);
+  const tensor::Tensor& logits = EnsureLogitsLocked(&request);
+  SES_CHECK(node >= 0 && node < logits.rows());
+  const float* row = logits.RowPtr(node);
   int64_t best = 0;
-  for (int64_t c = 1; c < logits_.cols(); ++c)
+  for (int64_t c = 1; c < logits.cols(); ++c)
     if (row[c] > row[best]) best = c;
   const int64_t fingerprint[2] = {node, best};
   request.SetDigest(
@@ -126,37 +120,88 @@ int64_t InferenceSession::PredictNode(int64_t node) {
   return best;
 }
 
-InferenceSession::Explanation InferenceSession::ExplainNode(
-    int64_t node, int64_t top_k) const {
-  obs::RequestScope request("infer.explain");
-  Explanation ex;
-  if (model_ == nullptr || model_->structure_mask_khop().size() == 0)
-    return ex;
+std::vector<int64_t> InferenceSession::PredictMany(
+    const std::vector<int64_t>& nodes) {
+  obs::RequestScope request("infer.predict_many");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const tensor::Tensor& logits = EnsureLogitsLocked(&request);
+  // Same argmax kernel as PredictNode (first max wins), batched over rows.
+  std::vector<int64_t> classes = tensor::ArgmaxGatherRows(
+      logits, nodes.data(), static_cast<int64_t>(nodes.size()));
+  // The batch digest walks every node and class byte; only pay for it when
+  // an access-log sink is actually attached.
+  if (obs::AccessLog::Get().active()) {
+    uint64_t h = obs::Fnv1aBegin();
+    h = obs::Fnv1a(h, nodes.data(), nodes.size() * sizeof(int64_t));
+    h = obs::Fnv1a(h, classes.data(), classes.size() * sizeof(int64_t));
+    request.SetDigest(h);
+  }
+  return classes;
+}
+
+tensor::Tensor InferenceSession::GatherLogits(
+    const std::vector<int64_t>& nodes) {
+  obs::RequestScope request("infer.gather_logits");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const tensor::Tensor& logits = EnsureLogitsLocked(&request);
+  tensor::Tensor rows = tensor::GatherRows(
+      logits, nodes.data(), static_cast<int64_t>(nodes.size()));
+  if (obs::AccessLog::Get().active()) request.SetDigest(LogitsDigest(rows));
+  return rows;
+}
+
+void InferenceSession::ExplainInto(int64_t node, int64_t top_k,
+                                   std::vector<int64_t>* scratch,
+                                   std::vector<int64_t>* selected,
+                                   Explanation* out) const {
+  out->neighbors.clear();
+  out->scores.clear();
+  if (model_ == nullptr || model_->structure_mask_khop().size() == 0) return;
   const graph::KHopAdjacency& khop = model_->khop();
   SES_CHECK(node >= 0 && node < khop.num_nodes());
   const auto nbrs = khop.Neighbors(node);
   const int64_t offset = khop.PairOffset(node);
   const tensor::Tensor& mask = model_->structure_mask_khop();
-  const int64_t n = static_cast<int64_t>(nbrs.size());
-  const int64_t k = std::min<int64_t>(top_k, n);
-  if (k <= 0) return ex;
-  std::vector<int64_t> order(static_cast<size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-  std::partial_sort(order.begin(), order.begin() + k, order.end(),
-                    [&mask, offset](int64_t a, int64_t b) {
-                      return mask[offset + a] > mask[offset + b];
-                    });
-  ex.neighbors.reserve(static_cast<size_t>(k));
-  ex.scores.reserve(static_cast<size_t>(k));
+  const int64_t k =
+      graph::TopKByScore(mask.data(), offset, static_cast<int64_t>(nbrs.size()),
+                         top_k, scratch, selected);
+  if (k <= 0) return;
+  out->neighbors.reserve(static_cast<size_t>(k));
+  out->scores.reserve(static_cast<size_t>(k));
   for (int64_t i = 0; i < k; ++i) {
-    ex.neighbors.push_back(nbrs[static_cast<size_t>(order[static_cast<size_t>(i)])]);
-    ex.scores.push_back(mask[offset + order[static_cast<size_t>(i)]]);
+    const int64_t local = (*selected)[static_cast<size_t>(i)];
+    out->neighbors.push_back(nbrs[static_cast<size_t>(local)]);
+    out->scores.push_back(mask[offset + local]);
   }
+}
+
+InferenceSession::Explanation InferenceSession::ExplainNode(
+    int64_t node, int64_t top_k) const {
+  obs::RequestScope request("infer.explain");
+  Explanation ex;
+  std::vector<int64_t> scratch, selected;
+  ExplainInto(node, top_k, &scratch, &selected, &ex);
   uint64_t h = obs::Fnv1a(obs::Fnv1aBegin(), &node, sizeof(node));
   h = obs::Fnv1a(h, ex.neighbors.data(),
                  ex.neighbors.size() * sizeof(int64_t));
   request.SetDigest(h);
   return ex;
+}
+
+std::vector<InferenceSession::Explanation> InferenceSession::ExplainMany(
+    const std::vector<int64_t>& nodes, int64_t top_k) const {
+  obs::RequestScope request("infer.explain_many");
+  std::vector<Explanation> out(nodes.size());
+  std::vector<int64_t> scratch, selected;
+  uint64_t h = obs::Fnv1aBegin();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    ExplainInto(nodes[i], top_k, &scratch, &selected, &out[i]);
+    h = obs::Fnv1a(h, &nodes[i], sizeof(nodes[i]));
+    h = obs::Fnv1a(h, out[i].neighbors.data(),
+                   out[i].neighbors.size() * sizeof(int64_t));
+  }
+  request.SetDigest(h);
+  return out;
 }
 
 tensor::Tensor InferenceSession::ForwardLogits() {

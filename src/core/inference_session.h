@@ -8,6 +8,10 @@
 
 #include "core/ses_model.h"
 
+namespace ses::obs {
+class RequestScope;
+}
+
 namespace ses::core {
 
 /// Serving-side view of one trained model over one graph.
@@ -53,6 +57,17 @@ class InferenceSession {
   /// Argmax class of `node`, served from the memoized logits.
   int64_t PredictNode(int64_t node);
 
+  /// Argmax classes for a batch of target nodes: one lock acquisition and one
+  /// (memoized) forward for the whole batch, then a single gathered argmax
+  /// pass — the readout the batch scheduler amortizes B requests onto.
+  /// Element i is bitwise-equal to PredictNode(nodes[i]).
+  std::vector<int64_t> PredictMany(const std::vector<int64_t>& nodes);
+
+  /// Logit-slice API: rows `nodes` of the memoized full-graph logits as a
+  /// B x C tensor (row i = logits of nodes[i], bitwise-equal to the same row
+  /// of Logits()). Like PredictMany, costs one lock + one forward per batch.
+  tensor::Tensor GatherLogits(const std::vector<int64_t>& nodes);
+
   /// Top-k most important k-hop neighbors of `node` under the frozen
   /// structure mask, most important first. Empty for bare-encoder sessions
   /// (no mask to read).
@@ -61,6 +76,12 @@ class InferenceSession {
     std::vector<float> scores;
   };
   Explanation ExplainNode(int64_t node, int64_t top_k) const;
+
+  /// Batched ExplainNode: one request scope for the batch, and the top-k
+  /// selection scratch is reused across nodes so a warm explain batch does
+  /// not allocate per request. Element i equals ExplainNode(nodes[i], top_k).
+  std::vector<Explanation> ExplainMany(const std::vector<int64_t>& nodes,
+                                       int64_t top_k) const;
 
   /// Un-memoized tape-free forward through the cached per-graph artifacts —
   /// what a serving benchmark times as the steady-state fast path.
@@ -80,6 +101,13 @@ class InferenceSession {
   /// Rebuilds the per-graph artifacts if the version moved. Caller holds
   /// `mutex_`.
   void EnsureArtifactsLocked();
+  /// Ensures the memoized logits match the current artifacts, recording one
+  /// cache hit or miss against `request` (null ok). Caller holds `mutex_`.
+  /// Returns the memoized logits.
+  const tensor::Tensor& EnsureLogitsLocked(obs::RequestScope* request);
+  /// ExplainNode body with caller-owned top-k scratch (batch reuse).
+  void ExplainInto(int64_t node, int64_t top_k, std::vector<int64_t>* scratch,
+                   std::vector<int64_t>* selected, Explanation* out) const;
   /// Tape-free forward over the cached artifacts. Caller holds `mutex_` or
   /// otherwise guarantees the artifacts are built and stable.
   tensor::Tensor RunForward() const;

@@ -1,6 +1,7 @@
 #include "graph/khop.h"
 
 #include <algorithm>
+#include <numeric>
 #include <queue>
 
 #include "util/logging.h"
@@ -78,6 +79,24 @@ std::span<const int64_t> KHopAdjacency::Neighbors(int64_t i) const {
 bool KHopAdjacency::Contains(int64_t i, int64_t j) const {
   auto nbrs = Neighbors(i);
   return std::binary_search(nbrs.begin(), nbrs.end(), j);
+}
+
+int64_t TopKByScore(const float* scores, int64_t offset, int64_t n, int64_t k,
+                    std::vector<int64_t>* scratch, std::vector<int64_t>* out) {
+  SES_CHECK(scratch != nullptr && out != nullptr);
+  const int64_t take = std::min<int64_t>(k, n);
+  out->clear();
+  if (take <= 0) return 0;
+  if (static_cast<int64_t>(scratch->size()) < n)
+    scratch->resize(static_cast<size_t>(n));
+  std::iota(scratch->begin(), scratch->begin() + n, int64_t{0});
+  std::partial_sort(scratch->begin(), scratch->begin() + take,
+                    scratch->begin() + n,
+                    [scores, offset](int64_t a, int64_t b) {
+                      return scores[offset + a] > scores[offset + b];
+                    });
+  out->assign(scratch->begin(), scratch->begin() + take);
+  return take;
 }
 
 }  // namespace ses::graph

@@ -49,6 +49,15 @@ class KHopAdjacency {
   autograd::EdgeListPtr pair_edges_;
 };
 
+/// Indices 0..n-1 ordered so the k highest `scores[offset + i]` come first
+/// (descending), written into `out`. `scratch` is the full-length index
+/// buffer the partial sort runs over; batched callers (ExplainMany, the
+/// serving scheduler) pass the same scratch for every node in an index batch
+/// so per-request selection does no allocation after the largest node.
+/// Returns the number of selected entries, min(k, n).
+int64_t TopKByScore(const float* scores, int64_t offset, int64_t n, int64_t k,
+                    std::vector<int64_t>* scratch, std::vector<int64_t>* out);
+
 }  // namespace ses::graph
 
 #endif  // SES_GRAPH_KHOP_H_

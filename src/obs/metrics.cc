@@ -59,6 +59,39 @@ void Histogram::Observe(double v) {
   AtomicAdd(&sum_, v);
 }
 
+void Histogram::ObserveMany(const double* values, int64_t n) {
+  if (n <= 0) return;
+  constexpr size_t kMaxStackBuckets = 64;
+  const size_t buckets = counts_.size();
+  if (buckets > kMaxStackBuckets) {  // unusual edge count: plain loop
+    for (int64_t i = 0; i < n; ++i) Observe(values[i]);
+    return;
+  }
+  int64_t local[kMaxStackBuckets] = {};
+  double sum = 0.0;
+  // Batched observations cluster (e.g. queue waits of one micro-batch), so
+  // re-testing the previous value's bucket usually beats re-running the
+  // binary search's data-dependent branches.
+  const size_t num_edges = edges_.size();
+  size_t last = 0;
+  bool have_last = false;
+  for (int64_t i = 0; i < n; ++i) {
+    const double v = values[i];
+    if (!(have_last && (last == 0 || edges_[last - 1] < v) &&
+          (last == num_edges || v <= edges_[last]))) {
+      last = static_cast<size_t>(
+          std::lower_bound(edges_.begin(), edges_.end(), v) - edges_.begin());
+      have_last = true;
+    }
+    ++local[last];
+    sum += v;
+  }
+  for (size_t b = 0; b < buckets; ++b)
+    if (local[b] != 0) counts_[b].fetch_add(local[b], std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  AtomicAdd(&sum_, sum);
+}
+
 double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
 
 double Histogram::Quantile(double q) const {

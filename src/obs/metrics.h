@@ -43,6 +43,11 @@ class Histogram {
   explicit Histogram(std::vector<double> edges);
 
   void Observe(double v);
+  /// Batched Observe: accumulates the n values into local bucket tallies and
+  /// flushes each touched bucket (plus count/sum) with one atomic op, so a
+  /// micro-batch of B observations costs O(distinct buckets) contended ops
+  /// instead of O(B).
+  void ObserveMany(const double* values, int64_t n);
 
   const std::vector<double>& edges() const { return edges_; }
   /// i in [0, edges().size()]; the last index is the overflow bucket.

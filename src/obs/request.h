@@ -121,6 +121,31 @@ class RequestScope {
 /// Total requests started (test support; also the source of trace-ids).
 uint64_t RequestsStarted();
 
+/// Draws a fresh trace-id from the same monotonic source RequestScope uses,
+/// WITHOUT publishing it on the calling thread. For producers that hand work
+/// to another thread (the batch scheduler): allocate at enqueue, carry the id
+/// with the request, and adopt it on the worker with ScopedTraceId so the
+/// worker's spans join the same request.
+uint64_t AllocateTraceId();
+
+/// RAII adoption of an existing trace-id on the current thread. Spans opened
+/// (and RequestScopes entered) inside the scope inherit `trace_id` exactly as
+/// if the request had originated here; the previous id is restored on exit.
+/// Adopting 0 is a no-op scope (useful when the producer had no id).
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(uint64_t trace_id)
+      : prev_(internal::t_current_trace_id) {
+    if (trace_id != 0) internal::t_current_trace_id = trace_id;
+  }
+  ~ScopedTraceId() { internal::t_current_trace_id = prev_; }
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+ private:
+  uint64_t prev_;
+};
+
 }  // namespace ses::obs
 
 #endif  // SES_OBS_REQUEST_H_

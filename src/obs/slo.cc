@@ -81,6 +81,39 @@ void SloTracker::RecordSlow(const std::string& op, double latency_us,
   state->burn_rate_metric->Set(state->BurnRate());
 }
 
+void SloTracker::RecordManySlow(const std::string& op,
+                                const double* latency_us, int64_t n) {
+  OpState* state = nullptr;
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = ops_.find(op);
+    if (it == ops_.end()) return;
+    state = it->second.get();
+  }
+  const double budget = state->budget.latency_budget_us;
+  const int64_t ring_size = static_cast<int64_t>(state->ring.size());
+  const int64_t start = state->ring_pos.fetch_add(n, std::memory_order_relaxed);
+  int64_t breaches = 0;
+  int64_t burned_delta = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const uint8_t burned = latency_us[i] > budget ? 1 : 0;
+    breaches += burned;
+    const size_t slot = static_cast<size_t>((start + i) % ring_size);
+    const uint8_t previous =
+        state->ring[slot].exchange(burned, std::memory_order_relaxed);
+    if (previous != burned) burned_delta += burned ? 1 : -1;
+  }
+  state->requests.fetch_add(n, std::memory_order_relaxed);
+  state->requests_metric->Add(n);
+  if (breaches != 0) {
+    state->breaches.fetch_add(breaches, std::memory_order_relaxed);
+    state->breaches_metric->Add(breaches);
+  }
+  if (burned_delta != 0)
+    state->ring_burned.fetch_add(burned_delta, std::memory_order_relaxed);
+  state->burn_rate_metric->Set(state->BurnRate());
+}
+
 SloTracker::OpSnapshot SloTracker::Snapshot(const std::string& op) const {
   std::shared_lock lock(mutex_);
   OpSnapshot snap;

@@ -58,6 +58,16 @@ class SloTracker {
     if (enabled_.load(std::memory_order_relaxed)) RecordSlow(op, latency_us, error);
   }
 
+  /// Records n completed requests of the same op in one pass: one budget
+  /// lookup, one add per cumulative counter, and one burn-rate publish for
+  /// the whole batch (the per-request work shrinks to the rolling-ring
+  /// update). This is the batch-serving analogue of Record — a micro-batch
+  /// of B requests costs O(1) + B ring slots instead of B full Records.
+  void RecordMany(const std::string& op, const double* latency_us, int64_t n) {
+    if (n > 0 && enabled_.load(std::memory_order_relaxed))
+      RecordManySlow(op, latency_us, n);
+  }
+
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Live view of one op; requests == 0 when the op has no budget.
@@ -90,6 +100,8 @@ class SloTracker {
 
   SloTracker() = default;
   void RecordSlow(const std::string& op, double latency_us, bool error);
+  void RecordManySlow(const std::string& op, const double* latency_us,
+                      int64_t n);
 
   std::atomic<bool> enabled_{false};
   mutable std::shared_mutex mutex_;  ///< guards ops_ map shape

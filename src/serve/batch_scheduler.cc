@@ -1,0 +1,396 @@
+#include "serve/batch_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/request.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+#include "tensor/ops.h"
+#include "tensor/workspace.h"
+#include "util/logging.h"
+
+namespace ses::serve {
+
+namespace {
+
+double MicrosBetween(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+                 .count()) *
+         1e-3;
+}
+
+const std::string& E2eSloOp() {
+  static const std::string op("sched.e2e");
+  return op;
+}
+
+}  // namespace
+
+namespace internal {
+
+int64_t TakePredict(Request& r) { return r.predicted; }
+
+std::vector<float> TakeLogitsRow(Request& r) {
+  return std::move(r.logits_row);
+}
+
+core::InferenceSession::Explanation TakeExplain(Request& r) {
+  return std::move(r.explanation);
+}
+
+}  // namespace internal
+
+BatchScheduler::BatchScheduler(core::InferenceSession* session,
+                               SchedulerOptions options)
+    : session_(session),
+      options_(options),
+      requests_counter_(
+          obs::MetricsRegistry::Get().GetCounter("ses.sched.requests")),
+      batches_counter_(
+          obs::MetricsRegistry::Get().GetCounter("ses.sched.batches")),
+      queue_depth_gauge_(
+          obs::MetricsRegistry::Get().GetGauge("ses.sched.queue_depth")),
+      batch_size_hist_(obs::MetricsRegistry::Get().GetHistogram(
+          "ses.sched.batch_size",
+          obs::Histogram::ExponentialEdges(1.0, 2.0, 12))),
+      queue_wait_hist_(obs::MetricsRegistry::Get().GetHistogram(
+          "ses.sched.queue_wait_us", obs::Histogram::DefaultLatencyEdgesUs())),
+      e2e_hist_(obs::MetricsRegistry::Get().GetHistogram(
+          "ses.sched.e2e_us", obs::Histogram::DefaultLatencyEdgesUs())) {
+  SES_CHECK(session_ != nullptr);
+  SES_CHECK(options_.max_batch_size >= 1);
+  SES_CHECK(options_.flush_deadline_us >= 0);
+  SES_CHECK(options_.num_workers >= 1);
+  SES_CHECK(options_.max_queue_batches >= 1);
+  if (options_.e2e_budget_us > 0.0)
+    obs::SloTracker::Get().SetBudget(E2eSloOp(), options_.e2e_budget_us);
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int64_t i = 0; i < options_.num_workers; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+BatchScheduler::~BatchScheduler() { Stop(); }
+
+std::shared_ptr<internal::BatchState> BatchScheduler::Append(
+    internal::Request req, size_t* index) {
+  const uint64_t caller_id = obs::CurrentTraceId();
+  req.trace_id = caller_id != 0 ? caller_id : obs::AllocateTraceId();
+  req.enqueue_time = std::chrono::steady_clock::now();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_cv_.wait(lock, [&] {
+    return stopping_ ||
+           static_cast<int64_t>(ready_.size()) < options_.max_queue_batches;
+  });
+  if (stopping_) {
+    ++stats_.rejected;
+    return nullptr;
+  }
+  if (!forming_) {
+    forming_ = std::make_shared<internal::BatchState>();
+    forming_->requests.reserve(static_cast<size_t>(options_.max_batch_size));
+  }
+  internal::BatchState& batch = *forming_;
+  if (batch.requests.empty()) {
+    batch.opened_at = req.enqueue_time;
+    // First request of a fresh batch: wake a worker so one arms the
+    // flush-deadline timer for it.
+    work_cv_.notify_one();
+  }
+  batch.ops_mask |= static_cast<uint8_t>(1u << static_cast<unsigned>(req.op));
+  batch.requests.push_back(std::move(req));
+  *index = batch.requests.size() - 1;
+  ++stats_.requests;
+  std::shared_ptr<internal::BatchState> state = forming_;
+  if (static_cast<int64_t>(batch.requests.size()) >= options_.max_batch_size)
+    SealFormingLocked(&stats_.full_flushes);
+  return state;
+}
+
+PredictFuture BatchScheduler::SubmitPredict(int64_t node) {
+  internal::Request req;
+  req.op = internal::Op::kPredict;
+  req.node = node;
+  size_t index = 0;
+  auto state = Append(std::move(req), &index);
+  return state == nullptr ? PredictFuture()
+                          : PredictFuture(std::move(state), index);
+}
+
+LogitsRowFuture BatchScheduler::SubmitLogitsRow(int64_t node) {
+  internal::Request req;
+  req.op = internal::Op::kLogitsRow;
+  req.node = node;
+  size_t index = 0;
+  auto state = Append(std::move(req), &index);
+  return state == nullptr ? LogitsRowFuture()
+                          : LogitsRowFuture(std::move(state), index);
+}
+
+int64_t BatchScheduler::SubmitPredictStream(const int64_t* nodes, int64_t n,
+                                            PredictFuture* out) {
+  if (n <= 0) return 0;
+  const uint64_t caller_id = obs::CurrentTraceId();
+  const auto arrival = std::chrono::steady_clock::now();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  int64_t accepted = 0;
+  for (; accepted < n; ++accepted) {
+    space_cv_.wait(lock, [&] {
+      return stopping_ ||
+             static_cast<int64_t>(ready_.size()) < options_.max_queue_batches;
+    });
+    if (stopping_) {
+      stats_.rejected += n - accepted;
+      break;
+    }
+    if (!forming_) {
+      forming_ = std::make_shared<internal::BatchState>();
+      forming_->requests.reserve(static_cast<size_t>(options_.max_batch_size));
+    }
+    internal::BatchState& batch = *forming_;
+    if (batch.requests.empty()) {
+      batch.opened_at = arrival;
+      work_cv_.notify_one();
+    }
+    internal::Request req;
+    req.op = internal::Op::kPredict;
+    req.node = nodes[accepted];
+    req.trace_id = caller_id != 0 ? caller_id : obs::AllocateTraceId();
+    req.enqueue_time = arrival;
+    batch.ops_mask |=
+        static_cast<uint8_t>(1u << static_cast<unsigned>(req.op));
+    batch.requests.push_back(std::move(req));
+    out[accepted] = PredictFuture(forming_, batch.requests.size() - 1);
+    ++stats_.requests;
+    if (static_cast<int64_t>(batch.requests.size()) >= options_.max_batch_size)
+      SealFormingLocked(&stats_.full_flushes);
+  }
+  return accepted;
+}
+
+ExplainFuture BatchScheduler::SubmitExplain(int64_t node, int64_t top_k) {
+  internal::Request req;
+  req.op = internal::Op::kExplain;
+  req.node = node;
+  req.top_k = top_k;
+  size_t index = 0;
+  auto state = Append(std::move(req), &index);
+  return state == nullptr ? ExplainFuture()
+                          : ExplainFuture(std::move(state), index);
+}
+
+void BatchScheduler::SealFormingLocked(int64_t* reason_counter) {
+  ++(*reason_counter);
+  // The registry counter advances once per seal (covering the whole batch)
+  // to keep the per-submit fast path down to one clock read + one push.
+  requests_counter_.Add(static_cast<int64_t>(forming_->requests.size()));
+  ready_.push_back(std::move(forming_));
+  forming_.reset();
+  queue_depth_gauge_.Set(static_cast<double>(ready_.size()));
+  work_cv_.notify_one();
+}
+
+void BatchScheduler::WorkerLoop() {
+  // Workers live as long as the scheduler: one workspace scope per worker
+  // keeps every batched forward drawing tensors from the thread's pool.
+  tensor::workspace::Scope pool;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (!ready_.empty()) {
+      std::shared_ptr<internal::BatchState> batch = std::move(ready_.front());
+      ready_.pop_front();
+      queue_depth_gauge_.Set(static_cast<double>(ready_.size()));
+      space_cv_.notify_one();
+      lock.unlock();
+      ExecuteBatch(batch.get());
+      lock.lock();
+      ++stats_.batches;
+      stats_.max_batch =
+          std::max(stats_.max_batch,
+                   static_cast<int64_t>(batch->requests.size()));
+      batches_counter_.Add(1);
+      // Publish only after the aggregate stats above: a caller whose Get()
+      // returned must never observe stats() missing its own batch.
+      {
+        std::lock_guard<std::mutex> result_lock(batch->mutex);
+        batch->done.store(true, std::memory_order_release);
+      }
+      batch->cv.notify_all();
+      continue;
+    }
+    if (forming_ && !forming_->requests.empty()) {
+      const auto deadline =
+          forming_->opened_at +
+          std::chrono::microseconds(options_.flush_deadline_us);
+      if (std::chrono::steady_clock::now() >= deadline) {
+        SealFormingLocked(&stats_.deadline_flushes);
+        continue;
+      }
+      work_cv_.wait_until(lock, deadline);
+      continue;
+    }
+    if (stopping_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+void BatchScheduler::ExecuteBatch(internal::BatchState* batch) {
+  SES_TRACE_SPAN("sched/batch");
+  const auto exec_start = std::chrono::steady_clock::now();
+  std::vector<internal::Request>& reqs = batch->requests;
+  batch_size_hist_.Observe(static_cast<double>(reqs.size()));
+  // Latency scratch, reused across batches and for the end-to-end pass
+  // below: the batched Observe/Record calls are what amortize per-request
+  // bookkeeping to O(1) contended ops per batch.
+  thread_local std::vector<double> latencies_us;
+  thread_local std::vector<int64_t> node_scratch;
+  latencies_us.resize(reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i)
+    latencies_us[i] = MicrosBetween(reqs[i].enqueue_time, exec_start);
+  queue_wait_hist_.ObserveMany(latencies_us.data(),
+                               static_cast<int64_t>(latencies_us.size()));
+
+  constexpr uint8_t kPredictBit =
+      1u << static_cast<unsigned>(internal::Op::kPredict);
+  if (batch->ops_mask == kPredictBit) {
+    // Homogeneous predict batch (the steady-state serving shape): no
+    // partitioning, identity scatter.
+    node_scratch.resize(reqs.size());
+    for (size_t i = 0; i < reqs.size(); ++i) node_scratch[i] = reqs[i].node;
+    const std::vector<int64_t> classes = session_->PredictMany(node_scratch);
+    for (size_t i = 0; i < reqs.size(); ++i) reqs[i].predicted = classes[i];
+  } else {
+    // Partition the batch by op. Predicts and logit slices each become ONE
+    // batched session call (one lock, one memoized forward, one gathered
+    // readout); explains group by top_k so each group shares a selection
+    // scratch.
+    std::vector<int64_t> predict_nodes, predict_idx;
+    std::vector<int64_t> slice_nodes, slice_idx;
+    std::vector<std::pair<int64_t, std::vector<int64_t>>> explain_groups;
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      switch (reqs[i].op) {
+        case internal::Op::kPredict:
+          predict_nodes.push_back(reqs[i].node);
+          predict_idx.push_back(static_cast<int64_t>(i));
+          break;
+        case internal::Op::kLogitsRow:
+          slice_nodes.push_back(reqs[i].node);
+          slice_idx.push_back(static_cast<int64_t>(i));
+          break;
+        case internal::Op::kExplain: {
+          auto group = std::find_if(
+              explain_groups.begin(), explain_groups.end(),
+              [&](const auto& g) { return g.first == reqs[i].top_k; });
+          if (group == explain_groups.end()) {
+            explain_groups.push_back({reqs[i].top_k, {}});
+            group = explain_groups.end() - 1;
+          }
+          group->second.push_back(static_cast<int64_t>(i));
+          break;
+        }
+      }
+    }
+
+    if (!predict_nodes.empty()) {
+      const std::vector<int64_t> classes =
+          session_->PredictMany(predict_nodes);
+      for (size_t i = 0; i < predict_idx.size(); ++i)
+        reqs[static_cast<size_t>(predict_idx[i])].predicted = classes[i];
+    }
+    if (!slice_nodes.empty()) {
+      const tensor::Tensor rows = session_->GatherLogits(slice_nodes);
+      for (size_t i = 0; i < slice_idx.size(); ++i) {
+        internal::Request& r = reqs[static_cast<size_t>(slice_idx[i])];
+        const float* row = rows.RowPtr(static_cast<int64_t>(i));
+        r.logits_row.assign(row, row + rows.cols());
+      }
+    }
+    for (const auto& [top_k, idx] : explain_groups) {
+      std::vector<int64_t> nodes;
+      nodes.reserve(idx.size());
+      for (int64_t i : idx) nodes.push_back(reqs[static_cast<size_t>(i)].node);
+      std::vector<core::InferenceSession::Explanation> exs =
+          session_->ExplainMany(nodes, top_k);
+      for (size_t i = 0; i < idx.size(); ++i)
+        reqs[static_cast<size_t>(idx[i])].explanation = std::move(exs[i]);
+    }
+  }
+
+  // End-to-end latency (enqueue -> results ready) for every request, fed to
+  // the histogram and the SLO tracker as one batched pass each. e2e is the
+  // queue wait plus the batch's execution time, which is shared by every
+  // request in the batch.
+  const auto exec_end = std::chrono::steady_clock::now();
+  const double exec_us = MicrosBetween(exec_start, exec_end);
+  for (double& l : latencies_us) l += exec_us;
+  e2e_hist_.ObserveMany(latencies_us.data(),
+                        static_cast<int64_t>(latencies_us.size()));
+  obs::SloTracker::Get().RecordMany(E2eSloOp(), latencies_us.data(),
+                                    static_cast<int64_t>(latencies_us.size()));
+
+  // Per-request completion records under the request's own trace-id, so the
+  // worker-side span and access-log line join the id the producer got at
+  // enqueue time. Skipped entirely when neither sink is live — the batched
+  // histograms above already carry the aggregate story.
+  const bool log_active = obs::AccessLog::Get().active();
+  if (log_active || obs::TracingEnabled()) {
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      internal::Request& r = reqs[i];
+      obs::ScopedTraceId adopt(r.trace_id);
+      SES_TRACE_SPAN("sched/complete");
+      if (!log_active) continue;
+      obs::AccessEntry entry;
+      entry.trace_id = r.trace_id;
+      entry.latency_us = latencies_us[i];
+      uint64_t h = obs::Fnv1aBegin();
+      switch (r.op) {
+        case internal::Op::kPredict: {
+          entry.op = "sched.predict";
+          const int64_t fingerprint[2] = {r.node, r.predicted};
+          h = obs::Fnv1a(h, fingerprint, sizeof(fingerprint));
+          break;
+        }
+        case internal::Op::kLogitsRow:
+          entry.op = "sched.logits_row";
+          h = obs::Fnv1a(h, r.logits_row.data(),
+                         r.logits_row.size() * sizeof(float));
+          break;
+        case internal::Op::kExplain:
+          entry.op = "sched.explain";
+          h = obs::Fnv1a(h, &r.node, sizeof(r.node));
+          h = obs::Fnv1a(h, r.explanation.neighbors.data(),
+                         r.explanation.neighbors.size() * sizeof(int64_t));
+          break;
+      }
+      entry.digest = h;
+      obs::AccessLog::Get().Record(entry);
+    }
+  }
+  // Completion (`done` + notify) is published by WorkerLoop after it has
+  // folded this batch into the aggregate stats under the scheduler mutex.
+}
+
+void BatchScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    if (forming_ && !forming_->requests.empty())
+      SealFormingLocked(&stats_.shutdown_flushes);
+    forming_.reset();
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+BatchScheduler::Stats BatchScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ses::serve

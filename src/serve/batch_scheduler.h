@@ -1,0 +1,224 @@
+#ifndef SES_SERVE_BATCH_SCHEDULER_H_
+#define SES_SERVE_BATCH_SCHEDULER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/inference_session.h"
+#include "obs/metrics.h"
+
+namespace ses::serve {
+
+/// Micro-batching policy and pool shape of a BatchScheduler.
+struct SchedulerOptions {
+  /// A forming batch is sealed and dispatched as soon as it holds this many
+  /// requests (the "full" flush).
+  int64_t max_batch_size = 64;
+  /// A forming batch older than this is sealed even if not full (the
+  /// "deadline" flush) — bounds the latency a lone request can pay for
+  /// batching. Measured from the batch's first enqueue.
+  int64_t flush_deadline_us = 200;
+  /// Fixed worker pool size. One worker is optimal on a single core; more
+  /// overlap batch execution with enqueue on larger machines.
+  int64_t num_workers = 1;
+  /// Sealed batches allowed to queue before Submit* blocks (backpressure).
+  int64_t max_queue_batches = 256;
+  /// When > 0, declares an SloTracker budget on the scheduler's end-to-end
+  /// (enqueue -> result published) latency under op "sched.e2e".
+  double e2e_budget_us = 0.0;
+};
+
+namespace internal {
+
+enum class Op : uint8_t { kPredict, kLogitsRow, kExplain };
+
+/// One queued request plus its in-place result slot. Which result field is
+/// live is determined by `op`.
+struct Request {
+  Op op = Op::kPredict;
+  int64_t node = 0;
+  int64_t top_k = 0;
+  uint64_t trace_id = 0;
+  std::chrono::steady_clock::time_point enqueue_time;
+  int64_t predicted = -1;
+  std::vector<float> logits_row;
+  core::InferenceSession::Explanation explanation;
+};
+
+/// One micro-batch: the unit of queueing, dispatch, and completion. All
+/// requests in a batch share a single mutex/cv, so fulfilling B requests
+/// costs one lock + one notify_all instead of B promise round-trips.
+/// Producers append under the scheduler queue lock until the batch is
+/// sealed; a worker fills every result slot and then publishes `done`.
+struct BatchState {
+  std::vector<Request> requests;
+  std::chrono::steady_clock::time_point opened_at;
+  /// Bitwise-or of (1 << op) over the requests — lets a worker take the
+  /// no-partitioning fast path for single-op batches.
+  uint8_t ops_mask = 0;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::atomic<bool> done{false};
+};
+
+int64_t TakePredict(Request& r);
+std::vector<float> TakeLogitsRow(Request& r);
+core::InferenceSession::Explanation TakeExplain(Request& r);
+
+}  // namespace internal
+
+/// Lightweight future bound to one slot of a micro-batch. Default-constructed
+/// (or rejected-submit) futures are invalid; Get() on an invalid future is a
+/// checked error. Get() blocks until the owning batch completes and moves the
+/// result out, so it may be called once per future.
+template <typename T, T (*Take)(internal::Request&)>
+class BatchFuture {
+ public:
+  BatchFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Non-blocking completion probe.
+  bool Ready() const {
+    return state_ != nullptr && state_->done.load(std::memory_order_acquire);
+  }
+
+  /// Trace-id the request carries from enqueue into the worker's spans.
+  uint64_t trace_id() const {
+    return state_ == nullptr ? 0 : state_->requests[index_].trace_id;
+  }
+
+  /// Blocks until the batch is executed, then moves this slot's result out.
+  /// Lock-free when the batch already completed (the acquire load on `done`
+  /// pairs with the worker's release store, which publishes every result
+  /// slot); the mutex/cv only comes into play for an actual wait.
+  T Get() {
+    auto state = std::move(state_);
+    if (!state->done.load(std::memory_order_acquire)) {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      state->cv.wait(lock, [&] {
+        return state->done.load(std::memory_order_acquire);
+      });
+    }
+    return Take(state->requests[index_]);
+  }
+
+ private:
+  friend class BatchScheduler;
+  BatchFuture(std::shared_ptr<internal::BatchState> state, size_t index)
+      : state_(std::move(state)), index_(index) {}
+
+  std::shared_ptr<internal::BatchState> state_;
+  size_t index_ = 0;
+};
+
+using PredictFuture = BatchFuture<int64_t, internal::TakePredict>;
+using LogitsRowFuture =
+    BatchFuture<std::vector<float>, internal::TakeLogitsRow>;
+using ExplainFuture = BatchFuture<core::InferenceSession::Explanation,
+                                  internal::TakeExplain>;
+
+/// Micro-batching front end for one InferenceSession.
+///
+/// Concurrent callers enqueue Predict / logit-slice / Explain requests and
+/// get futures back; the scheduler coalesces them into micro-batches (sealed
+/// on max_batch_size or flush_deadline_us, whichever comes first) and a fixed
+/// worker pool executes each batch against the session's cached per-graph
+/// artifacts: all predicts and logit slices in a batch share ONE session lock
+/// acquisition and one (memoized, SpMM-backed) forward via PredictMany /
+/// GatherLogits, and explains share one top-k scratch via ExplainMany. A
+/// batch of B requests therefore costs one gathered readout instead of B
+/// locked calls — results are bitwise-identical to the direct path by
+/// construction (same kernels over the same memoized logits).
+///
+/// Observability: each request captures the caller's trace-id at enqueue
+/// (allocating one if the caller has none); workers adopt it so their spans
+/// and access-log entries join the same request. The scheduler feeds
+/// `ses.sched.*` metrics — queue-depth gauge, batch-size and queue-wait and
+/// end-to-end latency histograms, flush-reason counters — and, when
+/// configured, an SloTracker budget on end-to-end latency.
+///
+/// Shutdown: Stop() (or the destructor) stops admission, seals the forming
+/// batch, and joins the workers only after every queued batch has executed —
+/// every future handed out before Stop() is fulfilled. Submissions racing or
+/// following Stop() return invalid futures.
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(core::InferenceSession* session,
+                          SchedulerOptions options = {});
+  ~BatchScheduler();
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  PredictFuture SubmitPredict(int64_t node);
+  LogitsRowFuture SubmitLogitsRow(int64_t node);
+  ExplainFuture SubmitExplain(int64_t node, int64_t top_k);
+
+  /// Streamed submission for pipelined clients: enqueues n predict requests
+  /// under ONE queue-lock acquisition and one arrival timestamp (the stream
+  /// arrived together), writing one future per request into out[0..n).
+  /// Micro-batch formation is unchanged — the stream spills across forming
+  /// batches and max_batch_size seals apply as usual, so requests from
+  /// concurrent streams still coalesce. Returns the number accepted; fewer
+  /// than n (with the tail futures left invalid) only when stopping.
+  int64_t SubmitPredictStream(const int64_t* nodes, int64_t n,
+                              PredictFuture* out);
+
+  /// Drains the queue and joins the worker pool. Idempotent.
+  void Stop();
+
+  const SchedulerOptions& options() const { return options_; }
+
+  struct Stats {
+    int64_t requests = 0;          ///< accepted submissions
+    int64_t rejected = 0;          ///< submissions after/racing Stop()
+    int64_t batches = 0;           ///< batches executed
+    int64_t full_flushes = 0;      ///< seals due to max_batch_size
+    int64_t deadline_flushes = 0;  ///< seals due to flush_deadline_us
+    int64_t shutdown_flushes = 0;  ///< seals due to Stop()
+    int64_t max_batch = 0;         ///< largest executed batch
+  };
+  Stats stats() const;
+
+ private:
+  std::shared_ptr<internal::BatchState> Append(internal::Request req,
+                                               size_t* index);
+  /// Moves the forming batch onto the ready queue. Caller holds mutex_;
+  /// `reason_counter` is one of the flush counters below.
+  void SealFormingLocked(int64_t* reason_counter);
+  void WorkerLoop();
+  /// Executes one sealed batch (no scheduler locks held).
+  void ExecuteBatch(internal::BatchState* batch);
+
+  core::InferenceSession* session_;
+  const SchedulerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< workers wait for batches
+  std::condition_variable space_cv_;  ///< producers wait for queue room
+  std::shared_ptr<internal::BatchState> forming_;
+  std::deque<std::shared_ptr<internal::BatchState>> ready_;
+  bool stopping_ = false;
+  Stats stats_;
+
+  std::vector<std::thread> workers_;
+
+  // Registry instruments, resolved once (registration is the cold path).
+  obs::Counter& requests_counter_;
+  obs::Counter& batches_counter_;
+  obs::Gauge& queue_depth_gauge_;
+  obs::Histogram& batch_size_hist_;
+  obs::Histogram& queue_wait_hist_;
+  obs::Histogram& e2e_hist_;
+};
+
+}  // namespace ses::serve
+
+#endif  // SES_SERVE_BATCH_SCHEDULER_H_

@@ -253,11 +253,29 @@ std::vector<int64_t> ArgmaxRows(const Tensor& a) {
 }
 
 Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& index) {
-  Tensor out(static_cast<int64_t>(index.size()), a.cols());
-  for (size_t i = 0; i < index.size(); ++i) {
+  return GatherRows(a, index.data(), static_cast<int64_t>(index.size()));
+}
+
+Tensor GatherRows(const Tensor& a, const int64_t* index, int64_t n) {
+  Tensor out(n, a.cols());
+  for (int64_t i = 0; i < n; ++i) {
     SES_CHECK(index[i] >= 0 && index[i] < a.rows());
     std::copy(a.RowPtr(index[i]), a.RowPtr(index[i]) + a.cols(),
-              out.RowPtr(static_cast<int64_t>(i)));
+              out.RowPtr(i));
+  }
+  return out;
+}
+
+std::vector<int64_t> ArgmaxGatherRows(const Tensor& a, const int64_t* index,
+                                      int64_t n) {
+  std::vector<int64_t> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    SES_CHECK(index[i] >= 0 && index[i] < a.rows());
+    const float* row = a.RowPtr(index[i]);
+    int64_t best = 0;
+    for (int64_t c = 1; c < a.cols(); ++c)
+      if (row[c] > row[best]) best = c;
+    out[static_cast<size_t>(i)] = best;
   }
   return out;
 }

@@ -69,6 +69,16 @@ std::vector<int64_t> ArgmaxRows(const Tensor& a);
 /// out[i, :] = a[index[i], :].
 Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& index);
 
+/// Pointer-span variant for callers that batch indices without materializing
+/// a vector (the serving scheduler gathers logit slices for whole request
+/// batches this way). Duplicate indices are allowed.
+Tensor GatherRows(const Tensor& a, const int64_t* index, int64_t n);
+
+/// argmax over row `index[i]` of `a` for each i — the batched form of the
+/// serving predict readout (one pass over B rows instead of B locked calls).
+std::vector<int64_t> ArgmaxGatherRows(const Tensor& a, const int64_t* index,
+                                      int64_t n);
+
 /// out[index[i], :] += a[i, :]; `out` must be pre-sized to rows x a.cols().
 void ScatterAddRows(const Tensor& a, const std::vector<int64_t>& index,
                     Tensor* out);

@@ -365,6 +365,53 @@ TEST(SloTrackerTest, PartialWindowUsesSeenRequestsNotCapacity) {
   EXPECT_DOUBLE_EQ(slo.Snapshot("op.partial").burn_rate, 1.0);
 }
 
+TEST(SloTrackerTest, RecordManyMatchesNRecordsExactly) {
+  ResetObsState();
+  auto& slo = obs::SloTracker::Get();
+  slo.SetBudget("op.one", 100.0, /*target=*/0.9, /*window=*/10);
+  slo.SetBudget("op.many", 100.0, /*target=*/0.9, /*window=*/10);
+  const std::vector<double> batch = {50.0, 500.0, 99.0, 101.0, 1.0,
+                                     1.0,  1.0,   1.0,  300.0, 2.0};
+  for (double v : batch) slo.Record("op.one", v);
+  slo.RecordMany("op.many", batch.data(), static_cast<int64_t>(batch.size()));
+
+  const auto one = slo.Snapshot("op.one");
+  const auto many = slo.Snapshot("op.many");
+  EXPECT_EQ(many.requests, one.requests);
+  EXPECT_EQ(many.breaches, one.breaches);
+  EXPECT_DOUBLE_EQ(many.burn_rate, one.burn_rate);
+
+  // A second batch wraps the ring and must flush old breaches identically.
+  const std::vector<double> healthy(10, 1.0);
+  slo.RecordMany("op.many", healthy.data(), 10);
+  for (double v : healthy) slo.Record("op.one", v);
+  EXPECT_DOUBLE_EQ(slo.Snapshot("op.many").burn_rate,
+                   slo.Snapshot("op.one").burn_rate);
+  EXPECT_DOUBLE_EQ(slo.Snapshot("op.many").burn_rate, 0.0);
+
+  // Unbudgeted and empty batches are ignored.
+  slo.RecordMany("op.unknown", batch.data(), 3);
+  EXPECT_EQ(slo.Snapshot("op.unknown").requests, 0);
+  slo.RecordMany("op.many", batch.data(), 0);
+  EXPECT_EQ(slo.Snapshot("op.many").requests, 20);
+}
+
+TEST(HistogramTest, ObserveManyMatchesNObserves) {
+  obs::Histogram one(obs::Histogram::ExponentialEdges(1.0, 2.0, 8));
+  obs::Histogram many(obs::Histogram::ExponentialEdges(1.0, 2.0, 8));
+  std::vector<double> values;
+  util::Rng rng(7);
+  for (int i = 0; i < 257; ++i)
+    values.push_back(rng.Uniform() * 300.0);  // spills into overflow too
+  for (double v : values) one.Observe(v);
+  many.ObserveMany(values.data(), static_cast<int64_t>(values.size()));
+  ASSERT_EQ(many.Count(), one.Count());
+  EXPECT_DOUBLE_EQ(many.Sum(), one.Sum());
+  for (size_t b = 0; b <= many.edges().size(); ++b)
+    EXPECT_EQ(many.BucketCount(b), one.BucketCount(b)) << "bucket " << b;
+  EXPECT_DOUBLE_EQ(many.P99(), one.P99());
+}
+
 // ---------------------------------------------------------------------------
 // Model health.
 

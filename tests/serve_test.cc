@@ -1,0 +1,314 @@
+// Tests for the batched inference scheduler: micro-batch flush policies
+// (deadline / max-batch / shutdown), bitwise parity of the scheduled path
+// against direct InferenceSession calls under concurrent enqueue, trace-id
+// propagation from enqueue to the worker's spans, and the ses.sched.*
+// instrument surface.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/inference_session.h"
+#include "core/ses_model.h"
+#include "data/synthetic.h"
+#include "graph/khop.h"
+#include "obs/metrics.h"
+#include "obs/request.h"
+#include "obs/trace.h"
+#include "serve/batch_scheduler.h"
+#include "tensor/ops.h"
+
+namespace c = ses::core;
+namespace t = ses::tensor;
+namespace obs = ses::obs;
+namespace serve = ses::serve;
+
+namespace {
+
+/// One tiny trained model shared by every scheduler test (training dominates
+/// the binary's runtime; the scheduler itself is microseconds per test).
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ses::data::SyntheticOptions opt;
+    opt.scale = 0.25;
+    ds_ = new ses::data::Dataset(ses::data::MakeSyntheticByName("BAShapes", opt));
+    c::SesOptions sopt;
+    sopt.backbone = "GCN";
+    model_ = new c::SesModel(sopt);
+    ses::models::TrainConfig cfg;
+    cfg.epochs = 4;
+    cfg.hidden = 16;
+    cfg.seed = 1;
+    model_->Fit(*ds_, cfg);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+    delete ds_;
+    ds_ = nullptr;
+  }
+
+  int64_t num_nodes() const { return ds_->graph.num_nodes(); }
+
+  static ses::data::Dataset* ds_;
+  static c::SesModel* model_;
+};
+
+ses::data::Dataset* ServeTest::ds_ = nullptr;
+c::SesModel* ServeTest::model_ = nullptr;
+
+TEST_F(ServeTest, DeadlineFlushWithSingleRequest) {
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.max_batch_size = 64;     // never reached
+  opt.flush_deadline_us = 500; // the deadline must fire instead
+  serve::BatchScheduler scheduler(&session, opt);
+
+  const int64_t node = 3;
+  serve::PredictFuture fut = scheduler.SubmitPredict(node);
+  ASSERT_TRUE(fut.valid());
+  EXPECT_EQ(fut.Get(), session.PredictNode(node));
+
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.requests, 1);
+  EXPECT_EQ(stats.batches, 1);
+  EXPECT_EQ(stats.deadline_flushes, 1);
+  EXPECT_EQ(stats.full_flushes, 0);
+}
+
+TEST_F(ServeTest, MaxBatchFlushDoesNotWaitForDeadline) {
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.max_batch_size = 4;
+  opt.flush_deadline_us = 60'000'000;  // a deadline flush would time the test out
+  serve::BatchScheduler scheduler(&session, opt);
+
+  std::vector<serve::PredictFuture> futs;
+  for (int64_t n = 0; n < 4; ++n) futs.push_back(scheduler.SubmitPredict(n));
+  for (int64_t n = 0; n < 4; ++n)
+    EXPECT_EQ(futs[static_cast<size_t>(n)].Get(), session.PredictNode(n));
+
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.full_flushes, 1);
+  EXPECT_EQ(stats.batches, 1);
+  EXPECT_EQ(stats.max_batch, 4);
+}
+
+TEST_F(ServeTest, ShutdownDrainsQueuedRequests) {
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.max_batch_size = 1024;
+  opt.flush_deadline_us = 60'000'000;  // requests can only leave via Stop()
+  serve::BatchScheduler scheduler(&session, opt);
+
+  std::vector<serve::PredictFuture> futs;
+  for (int64_t n = 0; n < 32; ++n) futs.push_back(scheduler.SubmitPredict(n));
+  scheduler.Stop();
+
+  for (int64_t n = 0; n < 32; ++n) {
+    ASSERT_TRUE(futs[static_cast<size_t>(n)].Ready());
+    EXPECT_EQ(futs[static_cast<size_t>(n)].Get(), session.PredictNode(n));
+  }
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.shutdown_flushes, 1);
+  EXPECT_EQ(stats.requests, 32);
+}
+
+TEST_F(ServeTest, SubmitAfterStopReturnsInvalidFuture) {
+  c::InferenceSession session(model_, ds_);
+  serve::BatchScheduler scheduler(&session);
+  scheduler.Stop();
+  serve::PredictFuture fut = scheduler.SubmitPredict(0);
+  EXPECT_FALSE(fut.valid());
+  EXPECT_EQ(scheduler.stats().rejected, 1);
+}
+
+TEST_F(ServeTest, ConcurrentEnqueueMatchesDirectPathBitwise) {
+  c::InferenceSession session(model_, ds_);
+  const t::Tensor direct = session.Logits();
+
+  serve::SchedulerOptions opt;
+  opt.max_batch_size = 16;
+  opt.flush_deadline_us = 200;
+  serve::BatchScheduler scheduler(&session, opt);
+
+  constexpr int kThreads = 4;
+  constexpr int64_t kPerThread = 64;
+  std::atomic<int64_t> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    clients.emplace_back([&, tid] {
+      std::vector<serve::LogitsRowFuture> rows;
+      std::vector<serve::PredictFuture> classes;
+      std::vector<int64_t> nodes;
+      for (int64_t q = 0; q < kPerThread; ++q) {
+        const int64_t node = (tid * 131 + q * 17) % num_nodes();
+        nodes.push_back(node);
+        rows.push_back(scheduler.SubmitLogitsRow(node));
+        classes.push_back(scheduler.SubmitPredict(node));
+      }
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        const std::vector<float> row = rows[i].Get();
+        const float* want = direct.RowPtr(nodes[i]);
+        bool ok = static_cast<int64_t>(row.size()) == direct.cols();
+        for (int64_t col = 0; ok && col < direct.cols(); ++col)
+          ok = row[static_cast<size_t>(col)] == want[col];  // bitwise
+        if (!ok) mismatches.fetch_add(1);
+        if (classes[i].Get() != session.PredictNode(nodes[i]))
+          mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(scheduler.stats().requests, kThreads * kPerThread * 2);
+}
+
+TEST_F(ServeTest, ScheduledExplainMatchesDirectExplain) {
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.flush_deadline_us = 100;
+  serve::BatchScheduler scheduler(&session, opt);
+
+  for (int64_t node = 0; node < 8; ++node) {
+    serve::ExplainFuture fut = scheduler.SubmitExplain(node, /*top_k=*/5);
+    const auto direct = session.ExplainNode(node, /*top_k=*/5);
+    const auto scheduled = fut.Get();
+    EXPECT_EQ(scheduled.neighbors, direct.neighbors);
+    EXPECT_EQ(scheduled.scores, direct.scores);
+  }
+}
+
+TEST_F(ServeTest, QueueWaitAndBatchSizeHistogramsPopulate) {
+  auto& registry = obs::MetricsRegistry::Get();
+  obs::Histogram& wait_hist = registry.GetHistogram(
+      "ses.sched.queue_wait_us", obs::Histogram::DefaultLatencyEdgesUs());
+  obs::Histogram& size_hist = registry.GetHistogram(
+      "ses.sched.batch_size", obs::Histogram::ExponentialEdges(1.0, 2.0, 12));
+  const int64_t wait_before = wait_hist.Count();
+  const int64_t size_before = size_hist.Count();
+
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.max_batch_size = 8;
+  // Only the full flush may seal: under sanitizers the 8 submits can take
+  // longer than the default deadline, which would split the batch in two.
+  opt.flush_deadline_us = 60'000'000;
+  serve::BatchScheduler scheduler(&session, opt);
+  std::vector<serve::PredictFuture> futs;
+  for (int64_t n = 0; n < 8; ++n) futs.push_back(scheduler.SubmitPredict(n));
+  for (auto& fut : futs) fut.Get();
+
+  EXPECT_EQ(wait_hist.Count() - wait_before, 8);   // one wait per request
+  EXPECT_EQ(size_hist.Count() - size_before, 1);   // one size per batch
+}
+
+TEST_F(ServeTest, TraceIdPropagatesFromEnqueueToWorkerSpan) {
+  obs::EnableTracing(true);
+  obs::ResetTracing();
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.flush_deadline_us = 100;
+  serve::BatchScheduler scheduler(&session, opt);
+
+  uint64_t client_id = 0;
+  {
+    obs::RequestScope rs("client.predict");
+    client_id = rs.trace_id();
+    serve::PredictFuture fut = scheduler.SubmitPredict(1);
+    EXPECT_EQ(fut.trace_id(), client_id);  // enqueue captured the caller's id
+    fut.Get();
+  }
+  scheduler.Stop();
+  obs::EnableTracing(false);
+
+  bool worker_span_joined = false;
+  for (const auto& ev : obs::SnapshotEvents())
+    if (std::string(ev.label) == "sched/complete" && ev.trace_id == client_id)
+      worker_span_joined = true;
+  EXPECT_TRUE(worker_span_joined);
+  obs::ResetTracing();
+}
+
+TEST_F(ServeTest, SubmitWithoutRequestScopeAllocatesFreshTraceIds) {
+  c::InferenceSession session(model_, ds_);
+  serve::BatchScheduler scheduler(&session);
+  serve::PredictFuture a = scheduler.SubmitPredict(0);
+  serve::PredictFuture b = scheduler.SubmitPredict(1);
+  EXPECT_NE(a.trace_id(), 0u);
+  EXPECT_NE(b.trace_id(), 0u);
+  EXPECT_NE(a.trace_id(), b.trace_id());
+  a.Get();
+  b.Get();
+}
+
+// --- batched session APIs the scheduler dispatches to -----------------------
+
+TEST_F(ServeTest, PredictManyMatchesPredictNode) {
+  c::InferenceSession session(model_, ds_);
+  std::vector<int64_t> nodes = {0, 5, 3, 5, 1};  // duplicates allowed
+  const std::vector<int64_t> batched = session.PredictMany(nodes);
+  ASSERT_EQ(batched.size(), nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i)
+    EXPECT_EQ(batched[i], session.PredictNode(nodes[i]));
+}
+
+TEST_F(ServeTest, GatherLogitsSlicesMemoizedLogitsBitwise) {
+  c::InferenceSession session(model_, ds_);
+  const t::Tensor all = session.Logits();
+  std::vector<int64_t> nodes = {2, 0, num_nodes() - 1};
+  const t::Tensor rows = session.GatherLogits(nodes);
+  ASSERT_EQ(rows.rows(), static_cast<int64_t>(nodes.size()));
+  ASSERT_EQ(rows.cols(), all.cols());
+  for (size_t i = 0; i < nodes.size(); ++i)
+    for (int64_t col = 0; col < all.cols(); ++col)
+      EXPECT_EQ(rows.At(static_cast<int64_t>(i), col), all.At(nodes[i], col));
+}
+
+TEST_F(ServeTest, ExplainManyMatchesExplainNode) {
+  c::InferenceSession session(model_, ds_);
+  std::vector<int64_t> nodes = {0, 7, 4};
+  const auto batched = session.ExplainMany(nodes, /*top_k=*/3);
+  ASSERT_EQ(batched.size(), nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const auto direct = session.ExplainNode(nodes[i], /*top_k=*/3);
+    EXPECT_EQ(batched[i].neighbors, direct.neighbors);
+    EXPECT_EQ(batched[i].scores, direct.scores);
+  }
+}
+
+// --- kernel-level helpers ----------------------------------------------------
+
+TEST(ArgmaxGatherRowsTest, MatchesPerRowArgmaxWithFirstMaxWinning) {
+  t::Tensor a = {{1.0f, 3.0f, 3.0f}, {5.0f, 2.0f, 0.0f}, {0.0f, 0.0f, 7.0f}};
+  const int64_t idx[4] = {2, 0, 1, 0};
+  const std::vector<int64_t> out = t::ArgmaxGatherRows(a, idx, 4);
+  EXPECT_EQ(out, (std::vector<int64_t>{2, 1, 0, 1}));  // ties: first max wins
+}
+
+TEST(GatherRowsSpanTest, MatchesVectorOverload) {
+  t::Tensor a = {{1.0f, 2.0f}, {3.0f, 4.0f}, {5.0f, 6.0f}};
+  const std::vector<int64_t> idx = {2, 2, 0};
+  const t::Tensor from_vec = t::GatherRows(a, idx);
+  const t::Tensor from_span =
+      t::GatherRows(a, idx.data(), static_cast<int64_t>(idx.size()));
+  EXPECT_EQ(from_vec.MaxAbsDiff(from_span), 0.0f);
+  EXPECT_EQ(from_span.At(0, 0), 5.0f);
+  EXPECT_EQ(from_span.At(2, 1), 2.0f);
+}
+
+TEST(TopKByScoreTest, SelectsDescendingAndReusesScratch) {
+  const float scores[] = {0.1f, 0.9f, 0.5f, 0.7f};
+  std::vector<int64_t> scratch, out;
+  EXPECT_EQ(ses::graph::TopKByScore(scores, 0, 4, 2, &scratch, &out), 2);
+  EXPECT_EQ(out, (std::vector<int64_t>{1, 3}));
+  // Same scratch, shorter range with an offset, k larger than n.
+  EXPECT_EQ(ses::graph::TopKByScore(scores, 2, 2, 5, &scratch, &out), 2);
+  EXPECT_EQ(out, (std::vector<int64_t>{1, 0}));  // 0.7 at local 1, 0.5 at 0
+  EXPECT_EQ(ses::graph::TopKByScore(scores, 0, 0, 3, &scratch, &out), 0);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
