@@ -33,23 +33,34 @@ namespace ses::bench {
 ///   --access-log=PATH     one JSONL line per inference request, trace-id
 ///                         joinable against the Chrome trace (implies
 ///                         tracing)
+///   --flame-out=PATH      write the span buffers as folded stacks for
+///                         flamegraph.pl / speedscope (implies tracing)
 ///   --metrics-port=N      serve live /metrics (Prometheus), /healthz and
 ///                         /spans on localhost:N for the whole run (0 picks
 ///                         an ephemeral port)
 /// With none of the flags given, tracing stays disabled and the instrumented
-/// code paths cost nothing. Any artifact flag also installs crash handlers,
-/// so a fault-injection kill or fatal signal still writes the artifacts.
+/// code paths cost nothing. Any artifact flag also enables kernel profiling
+/// (KernelScope -> ses.kernel.* series) and installs crash handlers, so a
+/// fault-injection kill or fatal signal still writes the artifacts.
 class ObsSession {
  public:
   explicit ObsSession(const util::FlagParser& flags)
       : trace_path_(flags.GetString("trace-out", "")),
-        metrics_path_(flags.GetString("metrics-out", "")) {
+        metrics_path_(flags.GetString("metrics-out", "")),
+        flame_path_(flags.GetString("flame-out", "")) {
     const std::string telemetry_path = flags.GetString("telemetry-out", "");
     const std::string access_log_path = flags.GetString("access-log", "");
     const int64_t metrics_port = flags.GetInt("metrics-port", -1);
-    if (!trace_path_.empty() || !metrics_path_.empty() ||
-        !access_log_path.empty())
+    const bool any_artifact = !trace_path_.empty() || !metrics_path_.empty() ||
+                              !access_log_path.empty() || !flame_path_.empty();
+    if (any_artifact) {
       obs::EnableTracing(true);
+      obs::EnableKernelProfiling(true);
+    } else if (metrics_port >= 0) {
+      // A live /metrics endpoint without span artifacts still wants the
+      // ses.kernel.* series populated.
+      obs::EnableKernelProfiling(true);
+    }
     if (!telemetry_path.empty()) {
       obs::Telemetry::Get().OpenJsonl(telemetry_path);
       obs::ModelHealthMonitor::Get().SetEnabled(true);
@@ -67,8 +78,7 @@ class ObsSession {
         server_.reset();
       }
     }
-    if (!trace_path_.empty() || !metrics_path_.empty() ||
-        !access_log_path.empty()) {
+    if (any_artifact) {
       obs::SetCrashArtifacts(trace_path_, metrics_path_);
       obs::InstallCrashHandlers();
     }
@@ -93,6 +103,9 @@ class ObsSession {
     if (!trace_path_.empty() && obs::WriteChromeTrace(trace_path_))
       std::printf("trace written to %s (open in chrome://tracing)\n",
                   trace_path_.c_str());
+    if (!flame_path_.empty() && obs::WriteFoldedStacks(flame_path_))
+      std::printf("folded stacks written to %s (flamegraph.pl --countname ns)\n",
+                  flame_path_.c_str());
     if (!metrics_path_.empty()) {
       PrintSpanAggregates();
       WriteSpanAggregates(metrics_path_);
@@ -154,6 +167,7 @@ class ObsSession {
 
   std::string trace_path_;
   std::string metrics_path_;
+  std::string flame_path_;
   std::unique_ptr<obs::MetricsServer> server_;
   bool finished_ = false;
 };

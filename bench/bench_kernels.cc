@@ -1,0 +1,195 @@
+// Kernel observatory benchmark: per-kernel GFLOP/s, arithmetic intensity,
+// IPC / LLC behaviour (when hardware counters are available) and roofline
+// placement for every hot kernel family.
+//
+// The benchmark first calibrates the machine's roofline (peak dense FLOP/s
+// from an L1-resident FMA chain, peak DRAM bandwidth from a streaming
+// triad), then drives each annotated kernel through a sized workload with
+// kernel profiling enabled. The per-(kernel, variant) aggregates collected
+// by KernelScope — the same ses.kernel.* data a live /metrics scrape shows —
+// are written as JSON to --out (default BENCH_kernels.json).
+//
+// scripts/bench_check.sh gates per-kernel GFLOP/s regressions (>20% drop)
+// against the committed baseline whenever both JSONs carry the "kernels"
+// block; scripts/ci.sh runs the --smoke variant in the `kernels` stage and
+// re-runs it under SES_PERF_DISABLE=1 to exercise the clock-only fallback.
+//
+// Flags: --out=PATH, --reps=N (per-kernel repetitions), --smoke (tiny
+// shapes + short calibration for CI), plus the usual ObsSession flags
+// (--trace-out, --flame-out, --metrics-port, ...).
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/sparse_ops.h"
+#include "autograd/variable.h"
+#include "bench_common.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "util/rng.h"
+
+using namespace ses;
+namespace ag = ses::autograd;
+namespace t = ses::tensor;
+
+namespace {
+
+t::Tensor RandomTensor(int64_t rows, int64_t cols, util::Rng* rng) {
+  t::Tensor x(rows, cols);
+  for (int64_t i = 0; i < x.size(); ++i)
+    x[i] = static_cast<float>(rng->Uniform()) - 0.5f;
+  return x;
+}
+
+/// Random CSR matrix with ~`per_row` nonzeros per row.
+t::SparseMatrix RandomSparse(int64_t rows, int64_t cols, int64_t per_row,
+                             util::Rng* rng) {
+  t::SparseMatrix sm;
+  sm.rows = rows;
+  sm.cols = cols;
+  sm.row_ptr.assign(static_cast<size_t>(rows) + 1, 0);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t k = 0; k < per_row; ++k) {
+      sm.col_idx.push_back(
+          static_cast<int64_t>(rng->Uniform() * static_cast<double>(cols)) %
+          cols);
+      sm.values.push_back(static_cast<float>(rng->Uniform()) + 0.1f);
+    }
+    sm.row_ptr[static_cast<size_t>(r) + 1] = sm.nnz();
+  }
+  return sm;
+}
+
+/// Random edge list: `per_node` incoming edges per destination node.
+ag::EdgeListPtr RandomEdges(int64_t num_nodes, int64_t per_node,
+                            util::Rng* rng) {
+  auto edges = std::make_shared<ag::EdgeList>();
+  edges->num_nodes = num_nodes;
+  for (int64_t d = 0; d < num_nodes; ++d) {
+    for (int64_t k = 0; k < per_node; ++k) {
+      edges->src.push_back(
+          static_cast<int64_t>(rng->Uniform() * static_cast<double>(num_nodes)) %
+          num_nodes);
+      edges->dst.push_back(d);
+    }
+  }
+  return edges;
+}
+
+void WriteJson(const std::string& path, const std::vector<obs::KernelStats>& stats,
+               const obs::RooflineModel& roof) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  const bool perf = obs::PerfCountersAvailable();
+  out << "{\n  \"schema_version\": 1,\n";
+  out << "  \"perf_available\": " << (perf ? "true" : "false") << ",\n";
+  out << "  \"perf_unavailable_reason\": \"" << obs::PerfUnavailableReason()
+      << "\",\n";
+  out << "  \"roofline\": {\"peak_gflops\": " << roof.peak_gflops
+      << ", \"peak_bw_gbs\": " << roof.peak_bw_gbs
+      << ", \"ridge_intensity\": " << roof.RidgeIntensity() << "},\n";
+  out << "  \"kernels\": {";
+  bool first = true;
+  for (const obs::KernelStats& s : stats) {
+    if (!first) out << ",";
+    first = false;
+    const obs::RooflinePoint p =
+        obs::PlaceOnRoofline(s.flops, s.bytes, s.inclusive_ns / 1e9, roof);
+    out << "\n    \"" << s.kernel << "|" << s.variant << "\": {"
+        << "\"kernel\": \"" << s.kernel << "\", \"variant\": \"" << s.variant
+        << "\", \"calls\": " << s.calls
+        << ", \"time_ms\": " << s.inclusive_ns / 1e6
+        << ", \"gflops\": " << s.Gflops() << ", \"gbps\": " << s.GBps()
+        << ", \"intensity\": " << s.Intensity()
+        << ", \"counters_valid\": " << (s.counters.valid ? "true" : "false")
+        << ", \"ipc\": " << s.counters.Ipc()
+        << ", \"llc_miss_rate\": " << s.counters.LlcMissRate()
+        << ", \"roofline_efficiency\": " << p.efficiency << ", \"bound\": \""
+        << (p.bound == nullptr ? "" : p.bound) << "\"}";
+  }
+  out << "\n  }\n}\n";
+  std::printf("kernel benchmark written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagParser flags(argc, argv);
+  bench::ObsSession obs_session(flags);
+  const bool smoke = flags.GetBool("smoke", false);
+  const int64_t reps = flags.GetInt("reps", smoke ? 2 : 12);
+  const std::string out_path =
+      flags.GetString("out", "BENCH_kernels.json");
+
+  const obs::RooflineModel roof =
+      obs::CalibrateRoofline(smoke ? 0.02 : 0.15);
+  obs::EnableKernelProfiling(true);
+
+  // Workload shapes. The fast profile fits the 1-2 core CI box; --smoke
+  // shrinks further so the ASan/fallback runs finish in seconds.
+  const int64_t mm = smoke ? 96 : 320;          // dense matmul side
+  const int64_t sp_rows = smoke ? 1024 : 8192;  // sparse rows/cols
+  const int64_t sp_per_row = 10;                // avg degree (Cora-like)
+  const int64_t feat = smoke ? 32 : 64;         // feature width
+  const int64_t ew = smoke ? 1 << 16 : 1 << 21; // element-wise length
+
+  util::Rng rng(42);
+  const t::Tensor a = RandomTensor(mm, mm, &rng);
+  const t::Tensor b = RandomTensor(mm, mm, &rng);
+  const t::SparseMatrix sm = RandomSparse(sp_rows, sp_rows, sp_per_row, &rng);
+  const t::Tensor dense = RandomTensor(sp_rows, feat, &rng);
+  const ag::EdgeListPtr edges = RandomEdges(sp_rows, sp_per_row, &rng);
+  const ag::Variable edge_w = ag::Variable::Constant(
+      RandomTensor(edges->size(), 1, &rng));
+  const ag::Variable xvar = ag::Variable::Constant(dense);
+  const t::Tensor ew_a = RandomTensor(ew, 1, &rng);
+  const t::Tensor ew_b = RandomTensor(ew, 1, &rng);
+  std::vector<int64_t> gather_idx(static_cast<size_t>(sp_rows));
+  for (size_t i = 0; i < gather_idx.size(); ++i)
+    gather_idx[i] = static_cast<int64_t>(
+        rng.Uniform() * static_cast<double>(sp_rows)) % sp_rows;
+
+  // One untimed warmup pass (page faults, lazy perf-group open), then drop
+  // the aggregates so the report covers steady-state calls only.
+  (void)t::MatMul(a, b);
+  (void)sm.MatMul(dense);
+  obs::ResetKernelStats();
+
+  const ag::InferenceGuard no_grad;  // tape-free: measure the kernels only
+  for (int64_t r = 0; r < reps; ++r) {
+    (void)t::MatMul(a, b);                   // matmul|dense
+    (void)t::MatMulTransposedB(a, b);        // matmul|bt
+    (void)t::MatMulTransposedA(a, b);        // matmul|at
+    (void)sm.MatMul(dense);                  // spmm|csr
+    (void)ag::SpMM(edges, edge_w, xvar);     // spmm|edges
+    (void)t::Add(ew_a, ew_b);                // elementwise|binary
+    (void)t::Relu(ew_a);                     // elementwise|unary
+    (void)t::GatherRows(dense, gather_idx);  // row_gather|copy
+    t::Tensor scatter_out(sp_rows, feat);    // scatter_add|rows
+    t::ScatterAddRows(dense, gather_idx, &scatter_out);
+  }
+
+  const std::vector<obs::KernelStats> stats = obs::SnapshotKernelStats();
+  std::printf("%-24s %10s %12s %10s %8s %10s\n", "kernel", "calls",
+              "time_ms", "GFLOP/s", "IPC", "intensity");
+  for (const obs::KernelStats& s : stats) {
+    std::printf("%-24s %10llu %12.3f %10.3f %8.2f %10.3f\n",
+                (s.kernel + "|" + s.variant).c_str(),
+                static_cast<unsigned long long>(s.calls),
+                s.inclusive_ns / 1e6, s.Gflops(), s.counters.Ipc(),
+                s.Intensity());
+  }
+  std::printf("perf counters: %s%s\n",
+              obs::PerfCountersAvailable() ? "available" : "unavailable",
+              obs::PerfCountersAvailable()
+                  ? ""
+                  : (" (" + obs::PerfUnavailableReason() + ")").c_str());
+
+  WriteJson(out_path, stats, roof);
+  return 0;
+}

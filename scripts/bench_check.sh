@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
-# Serving-performance regression gate.
+# Benchmark regression gate (serving + kernels).
 #
-# Compares a freshly produced bench_serving JSON artifact against the
-# committed baseline (BENCH_serving.json at the repo root) and fails when
+# The artifact kind is auto-detected: a JSON carrying a top-level "kernels"
+# block (produced by bench_kernels) is gated per kernel — each
+# (kernel, variant) present in BOTH baseline and candidate must not lose
+# more than SES_BENCH_MAX_REGRESSION of its GFLOP/s (pure data-movement
+# kernels, declared GFLOP/s 0, are gated on GB/s instead). Kernels present
+# on only one side are reported but never fail the gate, so adding or
+# renaming a kernel does not require a lockstep baseline update.
+#
+# Everything else is treated as a bench_serving artifact and compared
+# against the committed baseline (BENCH_serving.json at the repo root),
+# failing when
 #   - warm-predict throughput (1000 / single_thread.warm_predict_ms, i.e.
 #     QPS of the memoized fast path) drops by more than the allowed fraction,
 #   - or the multi-threaded serving p99 latency rises by more than it,
@@ -29,7 +38,13 @@
 set -euo pipefail
 
 CANDIDATE="${1:?usage: scripts/bench_check.sh CANDIDATE.json [BASELINE.json]}"
-BASELINE="${2:-$(dirname "$0")/../BENCH_serving.json}"
+# Default baseline matches the candidate kind: kernel artifacts gate against
+# BENCH_kernels.json, anything else against BENCH_serving.json.
+if [[ -z "${2:-}" ]] && grep -q '"kernels"' "${CANDIDATE}" 2>/dev/null; then
+  BASELINE="$(dirname "$0")/../BENCH_kernels.json"
+else
+  BASELINE="${2:-$(dirname "$0")/../BENCH_serving.json}"
+fi
 MAX_REGRESSION="${SES_BENCH_MAX_REGRESSION:-0.20}"
 MIN_SCHED_SPEEDUP="${SES_BENCH_MIN_SCHED_SPEEDUP:-2.0}"
 MAX_LOAD="${SES_BENCH_MAX_LOAD:-0.8}"
@@ -96,6 +111,44 @@ base = load(baseline_path, "baseline")
 cand = load(candidate_path, "candidate")
 
 failures = []
+
+# ---------------------------------------------------------------------------
+# Kernel-observatory gate: per-(kernel, variant) GFLOP/s floor. Engaged only
+# when BOTH documents carry the "kernels" block, so the gate stays inert
+# against serving artifacts and pre-observatory baselines during bisection.
+if "kernels" in cand or "kernels" in base:
+    if "kernels" not in base or "kernels" not in cand:
+        print("kernels block absent from baseline or candidate; kernel gate "
+              "skipped")
+        sys.exit(0)
+    shared = sorted(set(base["kernels"]) & set(cand["kernels"]))
+    only_base = sorted(set(base["kernels"]) - set(cand["kernels"]))
+    only_cand = sorted(set(cand["kernels"]) - set(base["kernels"]))
+    if only_base:
+        print(f"kernels only in baseline (not gated): {', '.join(only_base)}")
+    if only_cand:
+        print(f"kernels only in candidate (not gated): {', '.join(only_cand)}")
+    for name in shared:
+        # Pure data movement declares 0 FLOPs; gate its bandwidth instead.
+        metric = "gflops"
+        if lookup(base, f"kernels.{name}.gflops", "baseline",
+                  baseline_path) == 0:
+            metric = "gbps"
+        b = lookup(base, f"kernels.{name}.{metric}", "baseline", baseline_path)
+        c = lookup(cand, f"kernels.{name}.{metric}", "candidate",
+                   candidate_path)
+        drop = 0.0 if b <= 0 else (b - c) / b
+        print(f"kernel {name}: baseline {b:.3f} candidate {c:.3f} {metric}  "
+              f"drop {drop:+.1%} (allowed {allowed:.0%})")
+        if drop > allowed:
+            failures.append(
+                f"kernel {name} {metric} dropped {drop:.1%} (> {allowed:.0%})")
+    if failures:
+        for f in failures:
+            print(f"BENCH GATE FAIL: {f}", file=sys.stderr)
+        sys.exit(1)
+    print("kernel bench gate passed")
+    sys.exit(0)
 
 
 def warm_qps(doc, role, src):

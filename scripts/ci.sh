@@ -12,6 +12,10 @@
 #                           # checkpoint corruption, artifact flush) on ASan
 #   scripts/ci.sh bench     # Release bench_serving gated against the
 #                           # committed BENCH_serving.json baseline
+#   scripts/ci.sh kernels   # Release bench_kernels gated against the
+#                           # committed BENCH_kernels.json baseline, JSON
+#                           # schema validation, and a SES_PERF_DISABLE=1
+#                           # run proving the clock-only fallback
 #
 # No arguments runs every stage in the order above. A numeric first argument
 # is accepted as a job count for backward compatibility; JOBS=<n> works too.
@@ -107,7 +111,7 @@ stage_asan() {
 import os, sys, time, urllib.request
 
 port, pid = sys.argv[1], int(sys.argv[2])
-need = ["ses_pool_", "ses_infer_", "ses_slo_", "ses_sched_"]
+need = ["ses_pool_", "ses_infer_", "ses_slo_", "ses_sched_", "ses_kernel_"]
 body = ""
 deadline = time.monotonic() + 120
 while time.monotonic() < deadline:
@@ -276,17 +280,82 @@ stage_bench() {
 }
 
 # ---------------------------------------------------------------------------
+stage_kernels() {
+  ensure_release
+  # Kernel observatory gate: a fresh Release bench_kernels run must hold its
+  # per-kernel GFLOP/s within the regression envelope of the committed
+  # BENCH_kernels.json (see scripts/bench_check.sh — both JSONs carry the
+  # "kernels" block, which engages the per-kernel gate).
+  echo "=== [kernels] Release bench_kernels vs committed BENCH_kernels.json ==="
+  SES_BENCH_PRELOAD="$(cut -d' ' -f1 /proc/loadavg 2>/dev/null || echo 0)"
+  export SES_BENCH_PRELOAD
+  ./build/bench/bench_kernels --out=ci_artifacts/BENCH_kernels_release.json \
+    | tee "ci_artifacts/kernels-release.log"
+  scripts/bench_check.sh ci_artifacts/BENCH_kernels_release.json
+
+  echo "=== [kernels] JSON schema validation ==="
+  python3 - ci_artifacts/BENCH_kernels_release.json <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert isinstance(doc["perf_available"], bool)
+roof = doc["roofline"]
+for key in ("peak_gflops", "peak_bw_gbs", "ridge_intensity"):
+    assert roof[key] > 0, f"roofline.{key} = {roof[key]}"
+kernels = doc["kernels"]
+assert len(kernels) >= 5, f"expected >=5 kernels, got {len(kernels)}"
+for name, k in kernels.items():
+    assert k["calls"] > 0, name
+    assert k["time_ms"] > 0, name
+    for key in ("gflops", "gbps", "intensity", "ipc", "llc_miss_rate",
+                "roofline_efficiency"):
+        assert isinstance(k[key], (int, float)) and k[key] >= 0, \
+            f"{name}.{key} = {k[key]}"
+    if doc["perf_available"]:
+        assert k["counters_valid"] and k["ipc"] > 0, \
+            f"{name}: perf available but counters invalid"
+print(f"schema ok: {len(kernels)} kernels, perf_available="
+      f"{doc['perf_available']}")
+PY
+
+  # The clock-only fallback is a supported mode, not an error: with perf
+  # disabled the benchmark must still finish, report perf_available=false,
+  # and compute wall-clock GFLOP/s for every kernel.
+  echo "=== [kernels] SES_PERF_DISABLE=1 fallback run (smoke) ==="
+  SES_PERF_DISABLE=1 ./build/bench/bench_kernels --smoke \
+    --out=ci_artifacts/BENCH_kernels_fallback.json \
+    | tee "ci_artifacts/kernels-fallback.log"
+  python3 - ci_artifacts/BENCH_kernels_fallback.json <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["perf_available"] is False, "SES_PERF_DISABLE=1 was ignored"
+for name, k in doc["kernels"].items():
+    assert not k["counters_valid"], f"{name} has counters without perf"
+    assert k["ipc"] == 0 and k["llc_miss_rate"] == 0, name
+flop_kernels = [k for k in doc["kernels"].values() if k["intensity"] > 0]
+assert flop_kernels and all(k["gflops"] > 0 for k in flop_kernels), \
+    "clock-only GFLOP/s missing"
+print(f"fallback ok: {len(doc['kernels'])} kernels clock-only, "
+      f"reason: {doc['perf_unavailable_reason']!r}")
+PY
+}
+
+# ---------------------------------------------------------------------------
 STAGES=()
 for arg in "$@"; do
   case "${arg}" in
-    release|asan|tsan|faults|bench) STAGES+=("${arg}") ;;
+    release|asan|tsan|faults|bench|kernels) STAGES+=("${arg}") ;;
     ''|*[!0-9]*)
-      echo "unknown stage '${arg}' (expected release|asan|tsan|faults|bench)" >&2
+      echo "unknown stage '${arg}' (expected release|asan|tsan|faults|bench|kernels)" >&2
       exit 2 ;;
     *) JOBS="${arg}" ;;  # back-compat: scripts/ci.sh [JOBS]
   esac
 done
-[[ ${#STAGES[@]} -gt 0 ]] || STAGES=(release asan tsan faults bench)
+[[ ${#STAGES[@]} -gt 0 ]] || STAGES=(release asan tsan faults bench kernels)
 
 for stage in "${STAGES[@]}"; do
   "stage_${stage}"

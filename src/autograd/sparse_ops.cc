@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/perfcount.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -20,6 +21,12 @@ Variable SpMM(const EdgeListPtr& edges, const Variable& edge_weight,
   const int64_t f = px->value.cols();
   t::Tensor out(edges->num_nodes, f);
   {
+    // Edge-list SpMM: one FMA per edge element; per edge — weight + two
+    // indices, the source row read and the destination row read-modify-
+    // written.
+    obs::KernelScope kscope(
+        "spmm", "edges", 2.0 * static_cast<double>(e_count) * f,
+        static_cast<double>(e_count) * (20.0 + 12.0 * f));
     const t::Tensor& w = pw->value;
     const t::Tensor& xv = px->value;
     for (int64_t e = 0; e < e_count; ++e) {
@@ -125,6 +132,14 @@ Variable SparseMaskedLinear(const std::shared_ptr<const tensor::SparseMatrix>& x
 
   t::Tensor out(x->rows, h);
   {
+    // Masked CSR x dense-weight product: 2·nnz·h FLOPs (+1 mask multiply per
+    // entry); traffic = CSR entry + mask + one W row per nonzero, output
+    // written once.
+    obs::KernelScope kscope(
+        "spmm", "masked_linear",
+        static_cast<double>(x->nnz()) * (2.0 * h + 1.0),
+        static_cast<double>(x->nnz()) * (16.0 + 4.0 * h) +
+            4.0 * static_cast<double>(x->rows) * h);
     const t::Tensor& wv = pw->value;
 #pragma omp parallel for schedule(dynamic, 64)
     for (int64_t r = 0; r < x->rows; ++r) {
@@ -203,6 +218,11 @@ Variable FeatureMaskAtNnz(const Variable& h, const Variable& w2,
 
   t::Tensor y(nnz, 1);
   {
+    // Per-nonzero sigmoid(h[i]·W2[:,j] + b[j]): a length-hd dot product per
+    // entry; W2 column access is strided, billed once per entry.
+    obs::KernelScope kscope(
+        "spmm", "feature_mask", 2.0 * static_cast<double>(nnz) * hd,
+        static_cast<double>(nnz) * (16.0 + 8.0 * hd));
     const t::Tensor& hv = ph->value;
     const t::Tensor& wv = pw->value;
     const t::Tensor& bv = pb->value;

@@ -1,6 +1,7 @@
 #include "models/encoders.h"
 
 #include "autograd/ops.h"
+#include "obs/perfcount.h"
 #include "util/logging.h"
 
 namespace ses::models {
@@ -19,6 +20,13 @@ namespace {
 /// the mask.
 ag::Variable WeightedGcnNorm(const ag::EdgeListPtr& edges,
                              const ag::Variable& mask) {
+  // Composite normalize+aggregate chain: degree SpMM (2E), rsqrt (2N
+  // nominal), two gathers and two per-edge products (2E). Nested kernel
+  // scopes keep exclusive counter deltas.
+  const double e = static_cast<double>(edges->size());
+  const double n = static_cast<double>(edges->num_nodes);
+  obs::KernelScope kscope("aggregate_norm", "weighted_gcn", 4.0 * e + 2.0 * n,
+                          40.0 * e + 16.0 * n);
   ag::Variable ones = ag::Variable::Constant(
       t::Tensor::Ones(edges->num_nodes, 1));
   ag::Variable deg = ag::SpMM(edges, mask, ones);  // N x 1 weighted degree
@@ -31,6 +39,10 @@ ag::Variable WeightedGcnNorm(const ag::EdgeListPtr& edges,
 /// destination.
 ag::Variable RenormalizeAttention(const ag::EdgeListPtr& edges,
                                   const ag::Variable& masked_alpha) {
+  const double e = static_cast<double>(edges->size());
+  const double n = static_cast<double>(edges->num_nodes);
+  obs::KernelScope kscope("aggregate_norm", "attention_renorm",
+                          3.0 * e + 2.0 * n, 32.0 * e + 16.0 * n);
   ag::Variable ones = ag::Variable::Constant(
       t::Tensor::Ones(edges->num_nodes, 1));
   ag::Variable sums = ag::SpMM(edges, masked_alpha, ones);
@@ -113,6 +125,13 @@ namespace {
 ag::Variable AggregationWeights(const ag::EdgeListPtr& edges,
                                 const ag::Variable& edge_mask, bool mean,
                                 bool renormalize) {
+  const bool normalizes = mean || (edge_mask.defined() && renormalize);
+  const double e = static_cast<double>(edges->size());
+  const double n = static_cast<double>(edges->num_nodes);
+  obs::KernelScope kscope("aggregate_norm",
+                          normalizes ? "degree_mean" : "passthrough",
+                          normalizes ? 3.0 * e + 2.0 * n : 0.0,
+                          normalizes ? 32.0 * e + 16.0 * n : 4.0 * e);
   ag::Variable w = edge_mask.defined()
                        ? edge_mask
                        : ag::Variable::Constant(

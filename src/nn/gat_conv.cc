@@ -2,6 +2,7 @@
 
 #include "autograd/ops.h"
 
+#include "obs/perfcount.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -32,6 +33,20 @@ ag::Variable GatConv::Forward(const FeatureInput& x,
                               bool renormalize) const {
   SES_TRACE_SPAN("nn/GatConv");
   const int64_t e_count = edges->size();
+  // Composite scope over all heads: projections (2·N·in·out each), two
+  // attention products (2·N·out), edge scoring/softmax (~10·E) and the
+  // per-head SpMM (2·E·out). Nested kernel scopes keep exclusive counters.
+  const double heads = static_cast<double>(w_.size());
+  const double n = static_cast<double>(x.rows());
+  const double in = static_cast<double>(w_.empty() ? 0 : w_[0].rows());
+  const double out_f = static_cast<double>(w_.empty() ? 0 : w_[0].cols());
+  const double e = static_cast<double>(e_count);
+  obs::KernelScope kscope(
+      "gat_conv", "forward",
+      heads * (2.0 * n * in * out_f + 4.0 * n * out_f + 10.0 * e +
+               2.0 * e * out_f),
+      heads * (4.0 * (n * in + in * out_f + 2.0 * n * out_f) + 48.0 * e +
+               12.0 * e * out_f));
   last_attention_ = t::Tensor(e_count, 1);
   ag::Variable out;
   for (size_t h = 0; h < w_.size(); ++h) {

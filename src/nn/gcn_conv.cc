@@ -1,6 +1,7 @@
 #include "nn/gcn_conv.h"
 
 #include "graph/graph.h"
+#include "obs/perfcount.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -21,6 +22,17 @@ ag::Variable GcnConv::Forward(const FeatureInput& x,
                               const ag::EdgeListPtr& edges,
                               const ag::Variable& edge_weight) const {
   SES_TRACE_SPAN("nn/GcnConv");
+  // Composite scope: declares the whole layer's chain work (projection +
+  // aggregation); the nested matmul/spmm scopes keep their own exclusive
+  // counter deltas.
+  const double n = static_cast<double>(x.rows());
+  const double in = static_cast<double>(weight_.rows());
+  const double out_f = static_cast<double>(weight_.cols());
+  const double e = static_cast<double>(edges->size());
+  obs::KernelScope kscope("gcn_conv", "forward",
+                          2.0 * n * in * out_f + 2.0 * e * out_f,
+                          4.0 * (n * in + in * out_f + 2.0 * n * out_f) +
+                              12.0 * e * out_f);
   ag::Variable h = x.Project(weight_);
   ag::Variable out = ag::SpMM(edges, edge_weight, h);
   if (bias_.defined()) out = ag::AddRowVector(out, bias_);

@@ -53,7 +53,39 @@ void WriteChromeTrace(std::ostream& out) {
         << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3;
     // Spans recorded inside a RequestScope carry the request's trace-id, so
     // an access-log line can be joined to its spans in the trace viewer.
-    if (ev.trace_id != 0) out << ",\"args\":{\"trace_id\":" << ev.trace_id << "}";
+    // Kernel spans additionally carry their declared work and (when perf was
+    // live) this span's inclusive hardware-counter deltas.
+    const bool has_args = ev.trace_id != 0 || ev.IsKernel();
+    if (has_args) {
+      out << ",\"args\":{";
+      bool first_arg = true;
+      const auto arg = [&out, &first_arg](const char* key, auto value) {
+        if (!first_arg) out << ",";
+        first_arg = false;
+        out << "\"" << key << "\":" << value;
+      };
+      if (ev.trace_id != 0) arg("trace_id", ev.trace_id);
+      if (ev.IsKernel()) {
+        if (ev.variant != nullptr && ev.variant[0] != '\0') {
+          if (!first_arg) out << ",";
+          first_arg = false;
+          out << "\"variant\":";
+          WriteJsonString(out, ev.variant);
+        }
+        arg("flops", ev.flops);
+        arg("bytes", ev.bytes);
+        if (ev.dur_ns > 0)
+          arg("gflops", ev.flops / static_cast<double>(ev.dur_ns));
+        if (ev.counters_valid) {
+          arg("cycles", ev.cycles);
+          arg("instructions", ev.instructions);
+          arg("cache_refs", ev.cache_refs);
+          arg("cache_misses", ev.cache_misses);
+          arg("branch_misses", ev.branch_misses);
+        }
+      }
+      out << "}";
+    }
     out << "}";
   }
   out << "\n]}\n";

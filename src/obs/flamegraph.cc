@@ -1,0 +1,91 @@
+#include "obs/flamegraph.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace ses::obs {
+
+namespace {
+
+/// Frame name for one span: the label, plus `:variant` for kernel spans.
+std::string FrameName(const TraceEvent& ev) {
+  std::string name = ev.label;
+  if (ev.IsKernel() && ev.variant != nullptr && ev.variant[0] != '\0') {
+    name += ':';
+    name += ev.variant;
+  }
+  return name;
+}
+
+struct OpenFrame {
+  uint64_t end_ns;
+  std::string stack;  ///< full folded path up to and including this frame
+};
+
+}  // namespace
+
+void WriteFoldedStacks(std::ostream& out) {
+  std::vector<TraceEvent> events = SnapshotEvents();
+
+  // Bucket by thread: containment only holds within one thread's stream.
+  std::unordered_map<uint32_t, std::vector<const TraceEvent*>> by_tid;
+  for (const TraceEvent& ev : events) by_tid[ev.tid].push_back(&ev);
+
+  // folded stack -> total self ns, ordered for deterministic output.
+  std::map<std::string, uint64_t> self_ns;
+
+  for (auto& [tid, stream] : by_tid) {
+    // Parents start no later than their children and outlast them; on equal
+    // start the longer span is the ancestor. `depth` breaks exact ties
+    // (zero-length spans at the same timestamp).
+    std::sort(stream.begin(), stream.end(),
+              [](const TraceEvent* a, const TraceEvent* b) {
+                if (a->start_ns != b->start_ns) return a->start_ns < b->start_ns;
+                if (a->dur_ns != b->dur_ns) return a->dur_ns > b->dur_ns;
+                return a->depth < b->depth;
+              });
+    std::vector<OpenFrame> stack;
+    for (const TraceEvent* ev : stream) {
+      const uint64_t start = ev->start_ns;
+      const uint64_t end = ev->start_ns + ev->dur_ns;
+      // Close every open frame that ended before this span starts.
+      while (!stack.empty() && stack.back().end_ns <= start) {
+        stack.pop_back();
+      }
+      std::string path =
+          stack.empty() ? FrameName(*ev)
+                        : stack.back().stack + ";" + FrameName(*ev);
+      // Credit this span's duration as self time, then let children deduct.
+      self_ns[path] += ev->dur_ns;
+      if (!stack.empty()) {
+        // Deduct from the parent's self time (it was credited in full).
+        uint64_t& parent_self = self_ns[stack.back().stack];
+        parent_self -= std::min(parent_self, ev->dur_ns);
+      }
+      stack.push_back(OpenFrame{end, std::move(path)});
+    }
+  }
+
+  for (const auto& [path, ns] : self_ns) {
+    if (ns == 0) continue;  // fully covered by children
+    out << path << ' ' << ns << '\n';
+  }
+}
+
+bool WriteFoldedStacks(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    SES_LOG_ERROR << "cannot open flamegraph output file " << path;
+    return false;
+  }
+  WriteFoldedStacks(out);
+  return true;
+}
+
+}  // namespace ses::obs

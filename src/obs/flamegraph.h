@@ -1,0 +1,29 @@
+#ifndef SES_OBS_FLAMEGRAPH_H_
+#define SES_OBS_FLAMEGRAPH_H_
+
+#include <ostream>
+#include <string>
+
+namespace ses::obs {
+
+/// Serializes the recorded span buffers as folded stacks — the input format
+/// of flamegraph.pl / speedscope / inferno:
+///
+///   root;child;leaf 12345
+///
+/// one line per unique stack, weighted by SELF time in nanoseconds (a
+/// frame's duration minus its direct children's durations), aggregated
+/// across threads. Span nesting is reconstructed from start/duration
+/// containment per thread, so the export works on any snapshot of the
+/// existing buffers — no extra recording mode. Kernel spans recorded by
+/// KernelScope appear as `kernel:variant` frames.
+///
+/// Render with e.g.:  flamegraph.pl --countname ns ses.folded > ses.svg
+void WriteFoldedStacks(std::ostream& out);
+
+/// File convenience wrapper; returns false (and logs) on open failure.
+bool WriteFoldedStacks(const std::string& path);
+
+}  // namespace ses::obs
+
+#endif  // SES_OBS_FLAMEGRAPH_H_

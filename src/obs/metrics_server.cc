@@ -31,13 +31,18 @@ std::string JsonEscapeString(const std::string& s) {
   return out;
 }
 
-/// Writes all of `data`, retrying on partial writes. MSG_NOSIGNAL keeps a
-/// disconnecting scraper from killing the process with SIGPIPE.
+/// Writes all of `data`, retrying on partial writes and EINTR. A multi-MB
+/// /metrics body (thousands of labeled series) does not fit one send() on a
+/// default socket buffer, and a signal (profiling timers, crash-handler
+/// tests) can interrupt a blocked send mid-body — neither may truncate a
+/// scrape. MSG_NOSIGNAL keeps a disconnecting scraper from killing the
+/// process with SIGPIPE.
 bool SendAll(int fd, const char* data, size_t len) {
   size_t sent = 0;
   while (sent < len) {
     const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
-    if (n <= 0) return false;
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;  // peer closed or hard error: give up
     sent += static_cast<size_t>(n);
   }
   return true;
@@ -158,7 +163,10 @@ void MetricsServer::Serve() {
 void MetricsServer::HandleConnection(int client_fd) {
   // Only the request line matters; read one chunk and parse "GET <path> ...".
   char buf[2048];
-  const ssize_t n = ::recv(client_fd, buf, sizeof(buf) - 1, 0);
+  ssize_t n;
+  do {
+    n = ::recv(client_fd, buf, sizeof(buf) - 1, 0);
+  } while (n < 0 && errno == EINTR);
   if (n <= 0) return;
   buf[n] = '\0';
   std::string method, path;

@@ -20,14 +20,24 @@
 ///  - Telemetry: per-epoch training records to JSONL or a callback
 ///    (telemetry.h);
 ///  - FlushObservability / InstallCrashHandlers: artifacts survive crashes
-///    and fault-injection kills (crash_flush.h).
+///    and fault-injection kills (crash_flush.h);
+///  - KernelScope / perf counters: per-kernel GFLOP/s, IPC and cache
+///    behaviour as ses.kernel.*, hardware counters with clock-only fallback
+///    (perfcount.h);
+///  - CalibrateRoofline / PlaceOnRoofline: measured machine ceilings and
+///    per-kernel roofline efficiency (roofline.h);
+///  - WriteFoldedStacks: flamegraph export of the span buffers
+///    (flamegraph.h).
 
 #include "obs/chrome_trace.h"
 #include "obs/crash_flush.h"
+#include "obs/flamegraph.h"
 #include "obs/metrics.h"
 #include "obs/metrics_server.h"
 #include "obs/model_health.h"
+#include "obs/perfcount.h"
 #include "obs/request.h"
+#include "obs/roofline.h"
 #include "obs/slo.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"

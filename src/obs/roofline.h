@@ -1,0 +1,58 @@
+#ifndef SES_OBS_ROOFLINE_H_
+#define SES_OBS_ROOFLINE_H_
+
+namespace ses::obs {
+
+/// ---------------------------------------------------------------------------
+/// Roofline model (Williams et al., CACM'09): a kernel with arithmetic
+/// intensity I (FLOPs/byte) can at best reach
+///
+///   attainable GFLOP/s = min(peak_gflops, I * peak_bw_gbs)
+///
+/// The two machine ceilings are measured once per process by short
+/// microbenchmarks (CalibrateRoofline); every annotated kernel is then placed
+/// on the roofline and reports its efficiency as
+/// `ses.kernel.roofline_efficiency`.
+
+struct RooflineModel {
+  double peak_gflops = 0;  ///< dense FMA ceiling (measured, single thread)
+  double peak_bw_gbs = 0;  ///< streaming DRAM bandwidth ceiling (measured)
+  bool calibrated = false;
+
+  /// Intensity at which the machine turns compute-bound.
+  double RidgeIntensity() const {
+    return peak_bw_gbs <= 0 ? 0.0 : peak_gflops / peak_bw_gbs;
+  }
+};
+
+struct RooflinePoint {
+  double achieved_gflops = 0;
+  double intensity = 0;           ///< FLOPs per byte
+  double attainable_gflops = 0;   ///< roofline ceiling at this intensity
+  double efficiency = 0;          ///< achieved / attainable, in [0, ~1]
+  const char* bound = "unknown";  ///< "memory" or "compute"
+};
+
+/// Runs the two calibration microbenchmarks (~`seconds_budget` wall time
+/// each), stores the model process-wide, and publishes
+/// `ses.roofline.peak_gflops` / `ses.roofline.peak_bw_gbs` gauges. Safe to
+/// call again (re-measures and overwrites). The FLOP bench is a dependent-
+/// free FMA chain over an L1-resident buffer; the bandwidth bench is a
+/// schoolbook triad over buffers far larger than any LLC.
+RooflineModel CalibrateRoofline(double seconds_budget = 0.15);
+
+/// The last calibrated model ({0, 0, false} before any calibration).
+RooflineModel CurrentRoofline();
+
+/// Injects a model without measuring (test support).
+void SetRooflineForTest(const RooflineModel& model);
+
+/// Places `flops` of work over `bytes` of traffic done in `seconds` on the
+/// roofline. Degenerate inputs (zero time/bytes, uncalibrated model) yield
+/// zero efficiency and bound "unknown".
+RooflinePoint PlaceOnRoofline(double flops, double bytes, double seconds,
+                              const RooflineModel& model);
+
+}  // namespace ses::obs
+
+#endif  // SES_OBS_ROOFLINE_H_

@@ -172,4 +172,24 @@ std::vector<LabelStats> AggregateSpanStats() {
 
 int CurrentSpanDepth() { return LocalBuffer()->depth; }
 
+namespace internal {
+
+uint64_t PushSpanFrame() {
+  ++LocalBuffer()->depth;
+  return CurrentTraceId();
+}
+
+void PopSpanFrameAndRecord(uint64_t trace_id, TraceEvent* ev) {
+  ThreadBuffer* buffer = LocalBuffer();
+  --buffer->depth;
+  ev->trace_id = trace_id;
+  ev->tid = util::ThreadId();
+  ev->depth = static_cast<uint16_t>(buffer->depth);
+  buffer->Record(*ev);
+}
+
+uint64_t TraceNowNs() { return NowNs(); }
+
+}  // namespace internal
+
 }  // namespace ses::obs

@@ -3,17 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/perfcount.h"
 #include "util/logging.h"
 
 namespace ses::tensor {
 namespace {
 
+using obs::KernelScope;
+
 template <typename F>
 Tensor UnaryOp(const Tensor& a, F f) {
+  const int64_t n = a.size();
+  // 1 FLOP/element is nominal (transcendentals cost more); 8 B = load+store.
+  KernelScope scope("elementwise", "unary", static_cast<double>(n),
+                    8.0 * static_cast<double>(n));
   Tensor out(a.rows(), a.cols());
   const float* src = a.data();
   float* dst = out.data();
-  const int64_t n = a.size();
 #pragma omp parallel for schedule(static) if (n > kOmpWorkThreshold)
   for (int64_t i = 0; i < n; ++i) dst[i] = f(src[i]);
   return out;
@@ -22,14 +28,22 @@ Tensor UnaryOp(const Tensor& a, F f) {
 template <typename F>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
   SES_CHECK(a.SameShape(b));
+  const int64_t n = a.size();
+  KernelScope scope("elementwise", "binary", static_cast<double>(n),
+                    12.0 * static_cast<double>(n));
   Tensor out(a.rows(), a.cols());
   const float* pa = a.data();
   const float* pb = b.data();
   float* dst = out.data();
-  const int64_t n = a.size();
 #pragma omp parallel for schedule(static) if (n > kOmpWorkThreshold)
   for (int64_t i = 0; i < n; ++i) dst[i] = f(pa[i], pb[i]);
   return out;
+}
+
+/// Declared traffic of an m×k · k×n matmul: each operand streamed once.
+inline double MatMulBytes(int64_t m, int64_t k, int64_t n) {
+  return 4.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n +
+                static_cast<double>(m) * n);
 }
 
 }  // namespace
@@ -37,6 +51,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   SES_CHECK(a.cols() == b.rows());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  KernelScope scope("matmul", "dense", 2.0 * m * k * n, MatMulBytes(m, k, n));
   Tensor out(m, n);
   // i-k-j loop order: unit-stride access on B and C; OpenMP over rows.
 #pragma omp parallel for schedule(static) if (m * k * n > kOmpWorkThreshold)
@@ -56,6 +71,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
   SES_CHECK(a.rows() == b.rows());
   const int64_t m = a.cols(), k = a.rows(), n = b.cols();
+  KernelScope scope("matmul", "at", 2.0 * m * k * n, MatMulBytes(k, m, n));
   Tensor out(m, n);
 #pragma omp parallel for schedule(static) if (m * k * n > kOmpWorkThreshold)
   for (int64_t i = 0; i < m; ++i) {
@@ -73,6 +89,7 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
 Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   SES_CHECK(a.cols() == b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  KernelScope scope("matmul", "bt", 2.0 * m * k * n, MatMulBytes(m, k, n));
   Tensor out(m, n);
 #pragma omp parallel for schedule(static) if (m * k * n > kOmpWorkThreshold)
   for (int64_t i = 0; i < m; ++i) {
@@ -257,6 +274,9 @@ Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& index) {
 }
 
 Tensor GatherRows(const Tensor& a, const int64_t* index, int64_t n) {
+  // Pure data movement: 0 FLOPs, each gathered row read once + written once.
+  KernelScope scope("row_gather", "copy", 0.0,
+                    8.0 * static_cast<double>(n) * a.cols());
   Tensor out(n, a.cols());
   for (int64_t i = 0; i < n; ++i) {
     SES_CHECK(index[i] >= 0 && index[i] < a.rows());
@@ -268,6 +288,10 @@ Tensor GatherRows(const Tensor& a, const int64_t* index, int64_t n) {
 
 std::vector<int64_t> ArgmaxGatherRows(const Tensor& a, const int64_t* index,
                                       int64_t n) {
+  // One compare per element; each gathered row is read once.
+  KernelScope scope("row_gather", "argmax",
+                    static_cast<double>(n) * a.cols(),
+                    4.0 * static_cast<double>(n) * a.cols());
   std::vector<int64_t> out(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
     SES_CHECK(index[i] >= 0 && index[i] < a.rows());
@@ -284,6 +308,10 @@ void ScatterAddRows(const Tensor& a, const std::vector<int64_t>& index,
                     Tensor* out) {
   SES_CHECK(out != nullptr && out->cols() == a.cols());
   SES_CHECK(static_cast<int64_t>(index.size()) == a.rows());
+  // One add per element; source read + destination read-modify-write.
+  KernelScope scope("scatter_add", "rows",
+                    static_cast<double>(a.rows()) * a.cols(),
+                    12.0 * static_cast<double>(a.rows()) * a.cols());
   for (size_t i = 0; i < index.size(); ++i) {
     SES_CHECK(index[i] >= 0 && index[i] < out->rows());
     const float* src = a.RowPtr(static_cast<int64_t>(i));

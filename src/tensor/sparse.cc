@@ -1,5 +1,6 @@
 #include "tensor/sparse.h"
 
+#include "obs/perfcount.h"
 #include "util/logging.h"
 
 namespace ses::tensor {
@@ -33,8 +34,14 @@ Tensor SparseMatrix::ToDense() const {
 
 Tensor SparseMatrix::MatMul(const Tensor& dense) const {
   SES_CHECK(cols == dense.rows());
-  Tensor out(rows, dense.cols());
   const int64_t f = dense.cols();
+  // 2·nnz·f FLOPs; traffic = CSR stream (value + col index per entry, one
+  // dense row gathered per entry) + the output written once.
+  obs::KernelScope scope(
+      "spmm", "csr", 2.0 * static_cast<double>(nnz()) * f,
+      static_cast<double>(nnz()) * (12.0 + 4.0 * f) +
+          4.0 * static_cast<double>(rows) * f);
+  Tensor out(rows, dense.cols());
 #pragma omp parallel for schedule(dynamic, 64)
   for (int64_t r = 0; r < rows; ++r) {
     float* dst = out.RowPtr(r);

@@ -228,6 +228,43 @@ TEST(MetricsServerTest, ServesMetricsHealthzAndSpansOnEphemeralPort) {
 
   EXPECT_GE(server.requests_served(), 5);
   server.Stop();
+}
+
+TEST(MetricsServerTest, LargeScrapeBodySurvivesPartialSends) {
+  ResetObsState();
+  // Thousands of labeled series push the /metrics body well past any socket
+  // buffer, forcing SendAll through multiple partial send() calls. The body
+  // must arrive complete and match its Content-Length exactly — a truncated
+  // scrape silently drops whole metric families.
+  auto& registry = MetricsRegistry::Get();
+  for (int i = 0; i < 4000; ++i)
+    registry
+        .GetCounter("ses.test.big",
+                    {{"kernel", "k" + std::to_string(i)},
+                     {"variant", "a_rather_long_variant_label_value_" +
+                                     std::to_string(i)}})
+        .Add(i);
+
+  obs::MetricsServer server;
+  ASSERT_TRUE(server.Start(0));
+  const std::string response =
+      HttpGet(server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  server.Stop();
+
+  const size_t header_end = response.find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  const std::string headers = response.substr(0, header_end);
+  const std::string body = response.substr(header_end + 4);
+  EXPECT_GT(body.size(), 256u * 1024) << "test body too small to be probative";
+
+  const size_t cl = headers.find("Content-Length: ");
+  ASSERT_NE(cl, std::string::npos);
+  const size_t declared =
+      std::stoul(headers.substr(cl + std::strlen("Content-Length: ")));
+  EXPECT_EQ(body.size(), declared)
+      << "scrape body truncated: partial send() handling is broken";
+  // The last series written must have made it through intact.
+  EXPECT_NE(body.find("kernel=\"k3999\""), std::string::npos);
   EXPECT_EQ(server.port(), 0);
   // A stopped server can be restarted.
   ASSERT_TRUE(server.Start(0));

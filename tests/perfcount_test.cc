@@ -1,0 +1,297 @@
+// Tests for the kernel observatory: KernelScope work accounting (exact
+// declared FLOP counts for the annotated tensor kernels), inclusive /
+// exclusive attribution across nested and cross-thread scopes, the
+// clock-only perf fallback (SES_PERF_DISABLE), roofline placement math, and
+// the folded-stack flamegraph export.
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+
+namespace {
+
+using namespace ses;
+namespace t = ses::tensor;
+
+/// Finds one (kernel, variant) aggregate; calls==0 stats count as absent.
+const obs::KernelStats* Find(const std::vector<obs::KernelStats>& stats,
+                             const std::string& kernel,
+                             const std::string& variant) {
+  for (const obs::KernelStats& s : stats)
+    if (s.kernel == kernel && s.variant == variant && s.calls > 0) return &s;
+  return nullptr;
+}
+
+class KernelScopeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::ResetKernelStats();
+    obs::EnableKernelProfiling(true);
+  }
+  void TearDown() override {
+    obs::EnableKernelProfiling(false);
+    obs::ResetKernelStats();
+    obs::ResetTracing();
+    obs::EnableTracing(false);
+  }
+};
+
+TEST_F(KernelScopeTest, DisabledScopeRecordsNothing) {
+  obs::EnableKernelProfiling(false);
+  obs::ResetKernelStats();
+  { obs::KernelScope scope("test_kernel", "off", 100.0, 200.0); }
+  EXPECT_EQ(Find(obs::SnapshotKernelStats(), "test_kernel", "off"), nullptr);
+}
+
+TEST_F(KernelScopeTest, MatMulDeclaresExactFlops) {
+  // 2x3 * 3x4: 2*m*k*n = 48 FLOPs, bytes = 4*(6 + 12 + 8) = 104.
+  t::Tensor a(2, 3), b(3, 4);
+  for (int64_t i = 0; i < a.size(); ++i) a[i] = 1.0f;
+  for (int64_t i = 0; i < b.size(); ++i) b[i] = 1.0f;
+  (void)t::MatMul(a, b);
+  const auto stats = obs::SnapshotKernelStats();
+  const obs::KernelStats* s = Find(stats, "matmul", "dense");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->calls, 1u);
+  EXPECT_DOUBLE_EQ(s->flops, 48.0);
+  EXPECT_DOUBLE_EQ(s->bytes, 104.0);
+  EXPECT_GT(s->inclusive_ns, 0.0);
+  EXPECT_DOUBLE_EQ(s->Intensity(), 48.0 / 104.0);
+}
+
+TEST_F(KernelScopeTest, SpmmDeclaresTwoFlopsPerNnzPerFeature) {
+  // Dense 3x3 with 4 nonzeros, features = 5: flops = 2 * 4 * 5 = 40.
+  t::Tensor dense_src(3, 3);
+  dense_src.At(0, 1) = 1.0f;
+  dense_src.At(1, 0) = 2.0f;
+  dense_src.At(1, 2) = 3.0f;
+  dense_src.At(2, 2) = 4.0f;
+  const t::SparseMatrix sm = t::SparseMatrix::FromDense(dense_src);
+  ASSERT_EQ(sm.nnz(), 4);
+  t::Tensor x(3, 5);
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = 1.0f;
+  (void)sm.MatMul(x);
+  const auto stats = obs::SnapshotKernelStats();
+  const obs::KernelStats* s = Find(stats, "spmm", "csr");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->flops, 40.0);
+}
+
+TEST_F(KernelScopeTest, AggregatesAccumulateAcrossCalls) {
+  t::Tensor a(2, 2), b(2, 2);
+  for (int i = 0; i < 3; ++i) (void)t::MatMul(a, b);
+  const auto stats = obs::SnapshotKernelStats();
+  const obs::KernelStats* s = Find(stats, "matmul", "dense");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->calls, 3u);
+  EXPECT_DOUBLE_EQ(s->flops, 3 * 2.0 * 2 * 2 * 2);
+}
+
+TEST_F(KernelScopeTest, NestedScopesSplitInclusiveAndExclusiveTime) {
+  {
+    obs::KernelScope outer("nest_outer", "v", 1000.0, 0.0);
+    {
+      obs::KernelScope inner("nest_inner", "v", 100.0, 0.0);
+      // Some measurable work so the inner span has nonzero width.
+      volatile double sink = 0;
+      for (int i = 0; i < 50000; ++i) sink += i;
+    }
+  }
+  const auto stats = obs::SnapshotKernelStats();
+  const obs::KernelStats* outer = Find(stats, "nest_outer", "v");
+  const obs::KernelStats* inner = Find(stats, "nest_inner", "v");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // Exact same-thread attribution: the parent's exclusive time is its
+  // inclusive time minus the child's inclusive time — summing exclusive
+  // times across scopes never double-counts the nested work.
+  EXPECT_DOUBLE_EQ(outer->exclusive_ns,
+                   outer->inclusive_ns - inner->inclusive_ns);
+  EXPECT_DOUBLE_EQ(inner->exclusive_ns, inner->inclusive_ns);
+  EXPECT_GT(inner->inclusive_ns, 0.0);
+  // Declared work stays inclusive — the outer scope keeps its full estimate.
+  EXPECT_DOUBLE_EQ(outer->flops, 1000.0);
+}
+
+TEST_F(KernelScopeTest, ScopeOnAnotherThreadDoesNotDebitTheParent) {
+  // Counters and child attribution are per-thread: a scope opened by a
+  // worker (an OpenMP team member, a serving thread) must not subtract from
+  // a scope that happens to be open on this thread.
+  {
+    obs::KernelScope outer("xthread_outer", "v", 10.0, 0.0);
+    std::thread worker([] {
+      obs::KernelScope inner("xthread_inner", "v", 5.0, 0.0);
+      volatile double sink = 0;
+      for (int i = 0; i < 10000; ++i) sink += i;
+    });
+    worker.join();
+  }
+  const auto stats = obs::SnapshotKernelStats();
+  const obs::KernelStats* outer = Find(stats, "xthread_outer", "v");
+  const obs::KernelStats* inner = Find(stats, "xthread_inner", "v");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // No same-thread children: the parent's exclusive time equals its
+  // inclusive time even though the worker's scope ran entirely inside it.
+  EXPECT_DOUBLE_EQ(outer->exclusive_ns, outer->inclusive_ns);
+  EXPECT_EQ(inner->calls, 1u);
+}
+
+TEST_F(KernelScopeTest, CounterValidityMatchesPerfAvailability) {
+  t::Tensor a(4, 4), b(4, 4);
+  (void)t::MatMul(a, b);
+  const auto stats = obs::SnapshotKernelStats();
+  const obs::KernelStats* s = Find(stats, "matmul", "dense");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->counters.valid, obs::PerfCountersAvailable());
+  if (obs::PerfCountersAvailable()) {
+    EXPECT_GT(s->counters.instructions, 0u);
+    EXPECT_GT(s->counters.Ipc(), 0.0);
+  } else {
+    // Clock-only fallback: rates report 0 instead of garbage.
+    EXPECT_EQ(s->counters.Ipc(), 0.0);
+    EXPECT_EQ(s->counters.LlcMissRate(), 0.0);
+  }
+}
+
+TEST(PerfFallbackTest, SesPerfDisableForcesCleanFallback) {
+  // The probe runs once per thread; a fresh thread re-probes after the
+  // process-wide latch reset and must hit the SES_PERF_DISABLE branch.
+  ::setenv("SES_PERF_DISABLE", "1", 1);
+  obs::PerfResetForTest();
+  bool available = true;
+  bool valid = true;
+  std::string reason;
+  std::thread probe([&] {
+    const obs::PerfCounts counts = obs::ReadPerfCounts();
+    valid = counts.valid;
+    available = obs::PerfCountersAvailable();
+    reason = obs::PerfUnavailableReason();
+  });
+  probe.join();
+  ::unsetenv("SES_PERF_DISABLE");
+  obs::PerfResetForTest();
+  EXPECT_FALSE(available);
+  EXPECT_FALSE(valid);
+  EXPECT_NE(reason.find("SES_PERF_DISABLE"), std::string::npos) << reason;
+}
+
+TEST(PerfCountsTest, SubtractionSaturatesInsteadOfWrapping) {
+  obs::PerfCounts a, b;
+  a.cycles = 10;
+  a.instructions = 5;
+  a.valid = true;
+  b.cycles = 3;
+  b.instructions = 50;  // multiplex scaling can overshoot the parent
+  b.valid = true;
+  a -= b;
+  EXPECT_EQ(a.cycles, 7u);
+  EXPECT_EQ(a.instructions, 0u) << "must saturate, not wrap to ~2^64";
+  EXPECT_TRUE(a.valid);
+}
+
+// ---------------------------------------------------------------------------
+// Roofline model math (calibration-free, via SetRooflineForTest).
+
+TEST(RooflineTest, MemoryBoundPointSitsUnderTheBandwidthCeiling) {
+  obs::RooflineModel model;
+  model.peak_gflops = 100.0;
+  model.peak_bw_gbs = 10.0;
+  model.calibrated = true;
+  EXPECT_DOUBLE_EQ(model.RidgeIntensity(), 10.0);
+  // intensity 1 FLOP/byte -> attainable = min(100, 1 * 10) = 10 GFLOP/s.
+  const obs::RooflinePoint p =
+      obs::PlaceOnRoofline(/*flops=*/1e9, /*bytes=*/1e9, /*seconds=*/1.0,
+                           model);
+  EXPECT_DOUBLE_EQ(p.achieved_gflops, 1.0);
+  EXPECT_DOUBLE_EQ(p.intensity, 1.0);
+  EXPECT_DOUBLE_EQ(p.attainable_gflops, 10.0);
+  EXPECT_DOUBLE_EQ(p.efficiency, 0.1);
+  EXPECT_STREQ(p.bound, "memory");
+}
+
+TEST(RooflineTest, ComputeBoundPointSitsUnderTheFlopCeiling) {
+  obs::RooflineModel model;
+  model.peak_gflops = 100.0;
+  model.peak_bw_gbs = 10.0;
+  model.calibrated = true;
+  // intensity 50 -> memory ceiling 500 > peak 100: compute bound.
+  const obs::RooflinePoint p =
+      obs::PlaceOnRoofline(/*flops=*/50e9, /*bytes=*/1e9, /*seconds=*/1.0,
+                           model);
+  EXPECT_DOUBLE_EQ(p.attainable_gflops, 100.0);
+  EXPECT_DOUBLE_EQ(p.efficiency, 0.5);
+  EXPECT_STREQ(p.bound, "compute");
+}
+
+TEST(RooflineTest, UncalibratedModelYieldsAchievedRateOnly) {
+  const obs::RooflinePoint p =
+      obs::PlaceOnRoofline(1e9, 1e9, 1.0, obs::RooflineModel{});
+  EXPECT_DOUBLE_EQ(p.achieved_gflops, 1.0);
+  EXPECT_DOUBLE_EQ(p.efficiency, 0.0);
+  EXPECT_STREQ(p.bound, "unknown");
+}
+
+// ---------------------------------------------------------------------------
+// Flamegraph export.
+
+TEST(FlamegraphTest, NestedSpansFoldIntoStacksWithSelfTimeWeights) {
+  obs::ResetTracing();
+  obs::EnableTracing(true);
+  obs::EnableKernelProfiling(true);
+  {
+    SES_TRACE_SPAN("fg_root");
+    {
+      obs::KernelScope inner("fg_kernel", "fast", 10.0, 0.0);
+      volatile double sink = 0;
+      for (int i = 0; i < 20000; ++i) sink += i;
+    }
+  }
+  std::ostringstream out;
+  obs::WriteFoldedStacks(out);
+  obs::EnableKernelProfiling(false);
+  obs::EnableTracing(false);
+  obs::ResetTracing();
+
+  const std::string folded = out.str();
+  // Kernel spans appear as kernel:variant frames under their parent span.
+  EXPECT_NE(folded.find("fg_root;fg_kernel:fast "), std::string::npos)
+      << folded;
+  // Every line is "stack space weight" with a positive integer weight.
+  std::istringstream lines(folded);
+  int checked = 0;
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("fg_", 0) != 0) continue;  // other tests' spans
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    EXPECT_GT(std::stoll(line.substr(space + 1)), 0) << line;
+    ++checked;
+  }
+  EXPECT_GE(checked, 1);
+}
+
+TEST(FlamegraphTest, SiblingSpansShareTheParentFrame) {
+  obs::ResetTracing();
+  obs::EnableTracing(true);
+  {
+    SES_TRACE_SPAN("sib_root");
+    { SES_TRACE_SPAN("sib_a"); }
+    { SES_TRACE_SPAN("sib_b"); }
+  }
+  std::ostringstream out;
+  obs::WriteFoldedStacks(out);
+  obs::EnableTracing(false);
+  obs::ResetTracing();
+  const std::string folded = out.str();
+  EXPECT_NE(folded.find("sib_root;sib_a "), std::string::npos) << folded;
+  EXPECT_NE(folded.find("sib_root;sib_b "), std::string::npos) << folded;
+}
+
+}  // namespace
