@@ -9,6 +9,17 @@
 # on only one side are reported but never fail the gate, so adding or
 # renaming a kernel does not require a lockstep baseline update.
 #
+# A JSON carrying "goodput_retention_10x" (produced by bench_overload) is
+# gated on its own invariants, no baseline needed:
+#   - unresolved_futures must be 0, overall and per sweep point — every
+#     submitted request resolved with a typed status (no hung futures);
+#   - every point's status tallies must sum to its submitted count;
+#   - goodput_retention_10x (goodput at the deepest overload point over
+#     goodput at 1x) must be at least SES_BENCH_MIN_OVERLOAD_RETENTION
+#     (default 0.70). The retention check respects the load-average noise
+#     guard below; the resolution invariants are enforced unconditionally
+#     (a lost future is a bug at any load).
+#
 # Everything else is treated as a bench_serving artifact and compared
 # against the committed baseline (BENCH_serving.json at the repo root),
 # failing when
@@ -29,6 +40,7 @@
 # Usage: scripts/bench_check.sh CANDIDATE.json [BASELINE.json]
 #   SES_BENCH_MAX_REGRESSION      allowed fractional regression (default 0.20)
 #   SES_BENCH_MIN_SCHED_SPEEDUP   open-loop sched/direct floor (default 2.0)
+#   SES_BENCH_MIN_OVERLOAD_RETENTION  10x/1x goodput floor (default 0.70)
 #   SES_BENCH_MAX_LOAD            per-core pre-bench load ceiling (default 0.8)
 #   SES_BENCH_PRELOAD             pre-bench 1-min loadavg (set by ci.sh)
 #
@@ -38,6 +50,73 @@
 set -euo pipefail
 
 CANDIDATE="${1:?usage: scripts/bench_check.sh CANDIDATE.json [BASELINE.json]}"
+
+# Overload artifacts (bench_overload) gate on their own invariants — the
+# retention ratio is measured within one run on one machine, so no committed
+# baseline is involved. Handled before the baseline logic entirely.
+if [[ -f "${CANDIDATE}" ]] && grep -q '"goodput_retention_10x"' "${CANDIDATE}" 2>/dev/null; then
+  MIN_RETENTION="${SES_BENCH_MIN_OVERLOAD_RETENTION:-0.70}"
+  MAX_LOAD="${SES_BENCH_MAX_LOAD:-0.8}"
+  PRELOAD="${SES_BENCH_PRELOAD:-}"
+  SKIP_RETENTION=0
+  if [[ -n "${PRELOAD}" ]]; then
+    NCPU="$(nproc 2>/dev/null || echo 1)"
+    if python3 -c "import sys; sys.exit(0 if float('${PRELOAD}') > float('${MAX_LOAD}') * ${NCPU} else 1)"; then
+      echo "OVERLOAD RETENTION CHECK SKIPPED: pre-bench load average" \
+           "${PRELOAD} exceeds ${MAX_LOAD} x ${NCPU} cores (resolution" \
+           "invariants still enforced)."
+      SKIP_RETENTION=1
+    fi
+  fi
+  python3 - "${CANDIDATE}" "${MIN_RETENTION}" "${SKIP_RETENTION}" <<'PY'
+import json
+import sys
+
+path, min_retention, skip_retention = \
+    sys.argv[1], float(sys.argv[2]), sys.argv[3] == "1"
+
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except json.JSONDecodeError as e:
+    sys.exit(f"BENCH GATE FAIL: {path} is not valid JSON "
+             f"(line {e.lineno}: {e.msg}). Was the benchmark interrupted?")
+
+failures = []
+points = doc.get("points")
+if not isinstance(points, list) or not points:
+    sys.exit(f"BENCH GATE FAIL: {path} has no sweep points.")
+for p in points:
+    resolved = (p["ok"] + p["shed"] + p["expired"] + p["shutdown"]
+                + p["internal"])
+    print(f"  {p['offered_x']:>5}x offered: submitted {p['submitted']} "
+          f"ok {p['ok']} shed {p['shed']} expired {p['expired']} "
+          f"internal {p['internal']} unresolved {p['unresolved_futures']} "
+          f"goodput {p['goodput_qps']:,.0f} qps p99 {p['p99_ms']:.2f} ms")
+    if p["unresolved_futures"] != 0:
+        failures.append(f"{p['offered_x']}x point left "
+                        f"{p['unresolved_futures']} futures unresolved")
+    if resolved != p["submitted"]:
+        failures.append(f"{p['offered_x']}x point: {resolved} typed "
+                        f"resolutions for {p['submitted']} submissions")
+if doc["unresolved_futures"] != 0:
+    failures.append(f"{doc['unresolved_futures']} unresolved futures overall")
+retention = doc["goodput_retention_10x"]
+print(f"goodput retention at {doc.get('max_offered_x', 10)}x: "
+      f"{retention:.1%} (floor {min_retention:.0%})")
+if retention < min_retention and not skip_retention:
+    failures.append(f"goodput retention {retention:.1%} fell below the "
+                    f"{min_retention:.0%} floor")
+
+if failures:
+    for f in failures:
+        print(f"BENCH GATE FAIL: {f}", file=sys.stderr)
+    sys.exit(1)
+print("overload bench gate passed")
+PY
+  exit $?
+fi
+
 # Default baseline matches the candidate kind: kernel artifacts gate against
 # BENCH_kernels.json, anything else against BENCH_serving.json.
 if [[ -z "${2:-}" ]] && grep -q '"kernels"' "${CANDIDATE}" 2>/dev/null; then

@@ -10,6 +10,11 @@
 #                           # scheduler smoke under contention
 #   scripts/ci.sh faults    # fault-injection matrix (NaN skip, crash/resume,
 #                           # checkpoint corruption, artifact flush) on ASan
+#   scripts/ci.sh overload  # overload-resilience matrix: ASan overload sweep
+#                           # (admission, deadlines, degraded mode) with the
+#                           # no-hung-futures gate, serving fault injection
+#                           # via $SES_FAULT_SPEC, and the shed/deadline/
+#                           # fault paths race-checked under TSan
 #   scripts/ci.sh bench     # Release bench_serving gated against the
 #                           # committed BENCH_serving.json baseline
 #   scripts/ci.sh kernels   # Release bench_kernels gated against the
@@ -265,6 +270,48 @@ PY
 }
 
 # ---------------------------------------------------------------------------
+stage_overload() {
+  ensure_asan
+  # Short overload sweep under ASan: admission control, deadline expiry, the
+  # degraded-mode transitions, and the retry/backoff client loop must all be
+  # memory-clean. Only the structural invariants are gated (unresolved
+  # futures, typed resolution counts) — retention measured on a sanitizer
+  # build is noise, so the floor is disabled.
+  echo "=== [overload] ASan overload sweep (smoke, structural gates) ==="
+  ./build-asan/bench/bench_overload --smoke \
+    --out=ci_artifacts/BENCH_overload_asan.json \
+    | tee "ci_artifacts/overload-asan.log"
+  SES_BENCH_MIN_OVERLOAD_RETENTION=0 \
+    scripts/bench_check.sh ci_artifacts/BENCH_overload_asan.json
+
+  # Env-driven serving faults: with no explicit plan the scheduler arms
+  # $SES_FAULT_SPEC, so a stall + slow forward injected from the outside must
+  # ride through a full serving benchmark without tripping any check.
+  echo "=== [overload] env-injected worker stall + slow forward under ASan ==="
+  SES_FAULT_SPEC="worker_stall:step=2,ms=30;slow_forward:step=5,ms=10" \
+    ./build-asan/bench/bench_serving --smoke \
+    --out=ci_artifacts/BENCH_serving_stall.json \
+    | tee "ci_artifacts/overload-stall.log"
+
+  # The deterministic serving fault matrix (poisoned request, thrown batch,
+  # worker stall with clean drain, deadline semantics, degraded mode,
+  # post-stop rejection) lives in serve_test; run it under both sanitizers —
+  # ASan proves the failure paths leak nothing, TSan proves the shed /
+  # deadline / degraded paths are race-free under contention.
+  echo "=== [overload] serving fault matrix under ASan ==="
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -R '^ServeTest\.'
+  ensure_tsan
+  echo "=== [overload] shed/deadline/fault paths under TSan ==="
+  ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -R '^ServeTest\.'
+  echo "=== [overload] TSan overload sweep (smoke) ==="
+  ./build-tsan/bench/bench_overload --smoke --point-seconds=0.25 \
+    --out=ci_artifacts/BENCH_overload_tsan.json \
+    | tee "ci_artifacts/overload-tsan.log"
+  SES_BENCH_MIN_OVERLOAD_RETENTION=0 \
+    scripts/bench_check.sh ci_artifacts/BENCH_overload_tsan.json
+}
+
+# ---------------------------------------------------------------------------
 stage_bench() {
   ensure_release
   # Serving-performance gate: a fresh Release run must stay within the
@@ -277,6 +324,14 @@ stage_bench() {
   ./build/bench/bench_serving --out=ci_artifacts/BENCH_serving_release.json \
     | tee "ci_artifacts/serving-release.log"
   scripts/bench_check.sh ci_artifacts/BENCH_serving_release.json
+
+  # Overload-resilience gate: a fresh Release sweep must keep >= 70% of its
+  # 1x goodput at 10x offered load and resolve every future typed (see
+  # scripts/bench_check.sh; the committed reference is BENCH_overload.json).
+  echo "=== [bench] Release bench_overload (goodput retention gate) ==="
+  ./build/bench/bench_overload --out=ci_artifacts/BENCH_overload_release.json \
+    | tee "ci_artifacts/overload-release.log"
+  scripts/bench_check.sh ci_artifacts/BENCH_overload_release.json
 }
 
 # ---------------------------------------------------------------------------
@@ -348,14 +403,14 @@ PY
 STAGES=()
 for arg in "$@"; do
   case "${arg}" in
-    release|asan|tsan|faults|bench|kernels) STAGES+=("${arg}") ;;
+    release|asan|tsan|faults|overload|bench|kernels) STAGES+=("${arg}") ;;
     ''|*[!0-9]*)
-      echo "unknown stage '${arg}' (expected release|asan|tsan|faults|bench|kernels)" >&2
+      echo "unknown stage '${arg}' (expected release|asan|tsan|faults|overload|bench|kernels)" >&2
       exit 2 ;;
     *) JOBS="${arg}" ;;  # back-compat: scripts/ci.sh [JOBS]
   esac
 done
-[[ ${#STAGES[@]} -gt 0 ]] || STAGES=(release asan tsan faults bench kernels)
+[[ ${#STAGES[@]} -gt 0 ]] || STAGES=(release asan tsan faults overload bench kernels)
 
 for stage in "${STAGES[@]}"; do
   "stage_${stage}"

@@ -120,6 +120,24 @@ int64_t InferenceSession::PredictNode(int64_t node) {
   return best;
 }
 
+bool InferenceSession::TryPredictCached(int64_t node, int64_t* cls) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (logits_version_ < 0 || logits_version_ != graph_version_.load()) {
+    return false;  // cold or stale: the caller decides whether to queue
+  }
+  SES_CHECK(node >= 0 && node < logits_.rows());
+  // Same first-max-wins argmax as PredictNode over the same memoized rows,
+  // so degraded-mode answers are bitwise-equal to the full path.
+  const float* row = logits_.RowPtr(node);
+  int64_t best = 0;
+  for (int64_t c = 1; c < logits_.cols(); ++c)
+    if (row[c] > row[best]) best = c;
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::Get().GetCounter("ses.infer.cache_hits").Add(1);
+  *cls = best;
+  return true;
+}
+
 std::vector<int64_t> InferenceSession::PredictMany(
     const std::vector<int64_t>& nodes) {
   obs::RequestScope request("infer.predict_many");

@@ -57,6 +57,14 @@ class InferenceSession {
   /// Argmax class of `node`, served from the memoized logits.
   int64_t PredictNode(int64_t node);
 
+  /// Cache-only PredictNode: answers from the memoized logits when they are
+  /// warm for the CURRENT graph version, and returns false (without running
+  /// any forward) otherwise. This is the degraded-mode serving path — under
+  /// overload the scheduler answers warm predicts from here instead of
+  /// queueing them. When it returns true, `*cls` is bitwise-equal to
+  /// PredictNode(node).
+  bool TryPredictCached(int64_t node, int64_t* cls);
+
   /// Argmax classes for a batch of target nodes: one lock acquisition and one
   /// (memoized) forward for the whole batch, then a single gathered argmax
   /// pass — the readout the batch scheduler amortizes B requests onto.

@@ -1,0 +1,50 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace ses::obs {
+
+namespace {
+
+struct HealthRegistry {
+  std::mutex mutex;
+  std::map<std::string, HealthProvider> providers;
+};
+
+HealthRegistry& Registry() {
+  static HealthRegistry* registry = new HealthRegistry();
+  return *registry;
+}
+
+}  // namespace
+
+void RegisterHealthProvider(const std::string& name, HealthProvider provider) {
+  HealthRegistry& registry = Registry();
+  std::lock_guard lock(registry.mutex);
+  registry.providers[name] = std::move(provider);
+}
+
+void UnregisterHealthProvider(const std::string& name) {
+  HealthRegistry& registry = Registry();
+  std::lock_guard lock(registry.mutex);
+  registry.providers.erase(name);
+}
+
+std::vector<std::pair<std::string, std::string>> CollectHealthComponents() {
+  // Providers are invoked UNDER the registry lock: that makes
+  // UnregisterHealthProvider a barrier — once it returns, the provider can
+  // no longer be running, so its owner is free to destroy itself. The cost
+  // is a rule for providers: they must not (un)register providers and must
+  // not block on anything that itself waits on a /healthz scrape.
+  HealthRegistry& registry = Registry();
+  std::lock_guard lock(registry.mutex);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(registry.providers.size());
+  for (const auto& [name, provider] : registry.providers)
+    out.emplace_back(name, provider());
+  return out;
+}
+
+}  // namespace ses::obs

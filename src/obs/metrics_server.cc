@@ -7,6 +7,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/request.h"
 #include "obs/slo.h"
@@ -77,7 +78,16 @@ bool MetricsServer::RenderEndpoint(const std::string& path, std::string* body,
           << ",\"errors\":" << snap.errors
           << ",\"burn_rate\":" << snap.burn_rate << "}";
     }
-    out << "]}\n";
+    out << "],\"components\":{";
+    first = true;
+    for (const auto& [name, json] : CollectHealthComponents()) {
+      if (!first) out << ",";
+      first = false;
+      // Component JSON comes pre-rendered from the provider; only the name
+      // needs escaping.
+      out << "\"" << JsonEscapeString(name) << "\":" << json;
+    }
+    out << "}}\n";
     *body = out.str();
     *content_type = "application/json";
     return true;

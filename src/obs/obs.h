@@ -32,6 +32,7 @@
 #include "obs/chrome_trace.h"
 #include "obs/crash_flush.h"
 #include "obs/flamegraph.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/metrics_server.h"
 #include "obs/model_health.h"

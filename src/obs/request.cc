@@ -79,8 +79,11 @@ std::string AccessLog::EntryToJson(const AccessEntry& entry) {
   out << "{\"trace_id\":" << entry.trace_id << ",\"op\":\"" << entry.op
       << "\",\"latency_us\":" << entry.latency_us
       << ",\"cache_hit\":" << (entry.cache_hit ? "true" : "false")
-      << ",\"error\":" << (entry.error ? "true" : "false")
-      << ",\"digest\":\"";
+      << ",\"error\":" << (entry.error ? "true" : "false");
+  // Reason only when set, so the common (successful) line stays compact.
+  if (entry.reason != nullptr && entry.reason[0] != '\0')
+    out << ",\"reason\":\"" << entry.reason << "\"";
+  out << ",\"digest\":\"";
   // Digest as fixed-width hex: JSON numbers lose precision past 2^53.
   char hex[17];
   std::snprintf(hex, sizeof(hex), "%016llx",

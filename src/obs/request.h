@@ -28,6 +28,7 @@ struct AccessEntry {
   double latency_us = 0.0;
   bool cache_hit = false;
   bool error = false;
+  const char* reason = "";   ///< static-storage error/shed reason ("" = none)
   uint64_t digest = 0;       ///< FNV-1a digest of the result (0 = unset)
 };
 

@@ -1,12 +1,23 @@
 #include "obs/slo.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 
 #include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace ses::obs {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 SloTracker& SloTracker::Get() {
   static SloTracker* tracker = new SloTracker();
@@ -27,9 +38,18 @@ SloTracker::OpState::OpState(const std::string& op, Budget b)
 }
 
 double SloTracker::OpState::BurnRate() const {
-  const int64_t seen = std::min(requests.load(std::memory_order_relaxed),
+  const int64_t seen = std::min(ring_filled.load(std::memory_order_relaxed),
                                 static_cast<int64_t>(ring.size()));
   if (seen == 0) return 0.0;
+  // A window with no samples for longer than the idle threshold is stale:
+  // report 0 rather than replaying the last spike's rate into dashboards and
+  // admission controllers.
+  if (budget.idle_reset_us > 0.0) {
+    const int64_t last = last_record_ns.load(std::memory_order_relaxed);
+    if (last != 0 && static_cast<double>(SteadyNowNs() - last) >
+                         budget.idle_reset_us * 1e3)
+      return 0.0;
+  }
   const double burned_fraction =
       static_cast<double>(ring_burned.load(std::memory_order_relaxed)) /
       static_cast<double>(seen);
@@ -37,11 +57,32 @@ double SloTracker::OpState::BurnRate() const {
   return burned_fraction / error_budget;
 }
 
+void SloTracker::OpState::MaybeIdleReset(int64_t now_ns) {
+  if (budget.idle_reset_us <= 0.0) {
+    last_record_ns.store(now_ns, std::memory_order_relaxed);
+    return;
+  }
+  const int64_t previous =
+      last_record_ns.exchange(now_ns, std::memory_order_relaxed);
+  if (previous == 0 ||
+      static_cast<double>(now_ns - previous) <= budget.idle_reset_us * 1e3)
+    return;
+  // Only the thread that observed the stale timestamp gets here (exchange
+  // hands the old value to exactly one caller), so the reset runs once per
+  // gap. Slots must be zeroed, not just the count: a leftover 1 would make a
+  // later exchange drive ring_burned negative.
+  for (auto& slot : ring) slot.store(0, std::memory_order_relaxed);
+  ring_burned.store(0, std::memory_order_relaxed);
+  ring_pos.store(0, std::memory_order_relaxed);
+  ring_filled.store(0, std::memory_order_relaxed);
+}
+
 void SloTracker::SetBudget(const std::string& op, double latency_budget_us,
-                           double target, int64_t window) {
+                           double target, int64_t window,
+                           double idle_reset_us) {
   SES_CHECK(latency_budget_us > 0.0 && target > 0.0 && target < 1.0 &&
             window > 0);
-  Budget budget{latency_budget_us, target, window};
+  Budget budget{latency_budget_us, target, window, idle_reset_us};
   std::unique_lock lock(mutex_);
   ops_[op] = std::make_unique<OpState>(op, budget);
   enabled_.store(true, std::memory_order_relaxed);
@@ -59,6 +100,7 @@ void SloTracker::RecordSlow(const std::string& op, double latency_us,
   // The map only grows and OpStates are never replaced mid-run (SetBudget on
   // an existing op installs a fresh state, which racing Records may miss for
   // one observation — acceptable for monitoring).
+  state->MaybeIdleReset(SteadyNowNs());
   state->requests.fetch_add(1, std::memory_order_relaxed);
   state->requests_metric->Add(1);
   const bool breached = latency_us > state->budget.latency_budget_us;
@@ -78,6 +120,9 @@ void SloTracker::RecordSlow(const std::string& op, double latency_us,
       state->ring[slot].exchange(burned, std::memory_order_relaxed);
   if (previous != burned)
     state->ring_burned.fetch_add(burned ? 1 : -1, std::memory_order_relaxed);
+  if (state->ring_filled.load(std::memory_order_relaxed) <
+      static_cast<int64_t>(state->ring.size()))
+    state->ring_filled.fetch_add(1, std::memory_order_relaxed);
   state->burn_rate_metric->Set(state->BurnRate());
 }
 
@@ -90,6 +135,7 @@ void SloTracker::RecordManySlow(const std::string& op,
     if (it == ops_.end()) return;
     state = it->second.get();
   }
+  state->MaybeIdleReset(SteadyNowNs());
   const double budget = state->budget.latency_budget_us;
   const int64_t ring_size = static_cast<int64_t>(state->ring.size());
   const int64_t start = state->ring_pos.fetch_add(n, std::memory_order_relaxed);
@@ -111,6 +157,9 @@ void SloTracker::RecordManySlow(const std::string& op,
   }
   if (burned_delta != 0)
     state->ring_burned.fetch_add(burned_delta, std::memory_order_relaxed);
+  if (state->ring_filled.load(std::memory_order_relaxed) < ring_size)
+    state->ring_filled.fetch_add(std::min(n, ring_size),
+                                 std::memory_order_relaxed);
   state->burn_rate_metric->Set(state->BurnRate());
 }
 

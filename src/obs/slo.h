@@ -35,6 +35,12 @@ class SloTracker {
     double latency_budget_us = 0.0;  ///< per-request latency budget
     double target = 0.999;           ///< success-fraction objective
     int64_t window = 512;            ///< rolling-window size (requests)
+    /// Wall-clock idle gap after which the rolling window is stale and is
+    /// reset before the next sample (and BurnRate reads as 0 until then).
+    /// Without this, the last pre-idle window keeps reporting its old burn
+    /// rate forever — an admission controller would shed traffic at 9am
+    /// because of last night's spike. <= 0 disables the reset.
+    double idle_reset_us = 30e6;
   };
 
   struct OpSnapshot {
@@ -50,7 +56,8 @@ class SloTracker {
   /// Declares (or replaces) the budget for `op`. Until the first SetBudget
   /// call the tracker is disabled and Record costs one relaxed load.
   void SetBudget(const std::string& op, double latency_budget_us,
-                 double target = 0.999, int64_t window = 512);
+                 double target = 0.999, int64_t window = 512,
+                 double idle_reset_us = 30e6);
 
   /// Records one completed request. Ops without a declared budget are
   /// ignored.
@@ -89,6 +96,11 @@ class SloTracker {
     std::vector<std::atomic<uint8_t>> ring;  ///< 1 = burned error budget
     std::atomic<int64_t> ring_pos{0};
     std::atomic<int64_t> ring_burned{0};
+    /// Samples currently in the ring (saturates at ring.size()); the burn
+    /// rate denominator. Reset together with the ring after an idle gap so
+    /// the rate rebuilds from fresh samples instead of diluting stale ones.
+    std::atomic<int64_t> ring_filled{0};
+    std::atomic<int64_t> last_record_ns{0};  ///< steady-clock ns of last sample
     Counter* requests_metric = nullptr;
     Counter* breaches_metric = nullptr;
     Counter* errors_metric = nullptr;
@@ -96,6 +108,11 @@ class SloTracker {
 
     explicit OpState(const std::string& op, Budget b);
     double BurnRate() const;
+    /// Resets the rolling window if more than idle_reset_us elapsed since the
+    /// last sample; called at the top of every Record path. Racing recorders
+    /// may interleave with the reset — at worst a handful of fresh samples
+    /// are dropped from the window, which is fine for monitoring.
+    void MaybeIdleReset(int64_t now_ns);
   };
 
   SloTracker() = default;

@@ -38,8 +38,14 @@ FaultPlan FaultPlan::Parse(const std::string& spec) {
     Fault fault;
     const size_t colon = piece.find(':');
     fault.kind = piece.substr(0, colon);
-    if (fault.kind != "nan_grad" && fault.kind != "nan_loss" &&
-        fault.kind != "crash" && fault.kind != "corrupt_ckpt")
+    const bool is_training_kind =
+        fault.kind == "nan_grad" || fault.kind == "nan_loss" ||
+        fault.kind == "crash" || fault.kind == "corrupt_ckpt";
+    const bool is_serving_kind =
+        fault.kind == "worker_stall" || fault.kind == "slow_forward" ||
+        fault.kind == "poison_request" || fault.kind == "serve_throw" ||
+        fault.kind == "serve_delay";
+    if (!is_training_kind && !is_serving_kind)
       BadSpec(spec, "unknown fault kind '" + fault.kind + "'");
     if (colon != std::string::npos) {
       for (const std::string& kv : util::Split(piece.substr(colon + 1), ',')) {
@@ -56,6 +62,10 @@ FaultPlan FaultPlan::Parse(const std::string& spec) {
           fault.step = ParseInt(spec, value);
         } else if (key == "mode") {
           fault.mode = value;
+        } else if (key == "ms") {
+          fault.ms = ParseInt(spec, value);
+        } else if (key == "us") {
+          fault.us = ParseInt(spec, value);
         } else {
           BadSpec(spec, "unknown key '" + key + "'");
         }
@@ -65,8 +75,13 @@ FaultPlan FaultPlan::Parse(const std::string& spec) {
         fault.kind == "crash" || fault.kind == "corrupt_ckpt";
     if (wants_epoch && fault.epoch < 0)
       BadSpec(spec, fault.kind + " needs epoch=<n>");
-    if (!wants_epoch && fault.step < 0)
+    if (fault.kind == "serve_delay") {
+      if (fault.us <= 0) BadSpec(spec, "serve_delay needs us=<n> (positive)");
+      if (fault.step >= 0)
+        BadSpec(spec, "serve_delay is persistent and takes no step=");
+    } else if (!wants_epoch && fault.step < 0) {
       BadSpec(spec, fault.kind + " needs step=<n>");
+    }
     if (fault.kind == "crash" && !fault.mode.empty() &&
         fault.mode != "exit" && fault.mode != "throw")
       BadSpec(spec, "crash mode must be exit or throw");
@@ -123,6 +138,48 @@ bool FaultPlan::TakeNanLoss(const std::string& phase, int64_t step) {
   if (Find("nan_loss", phase, -1, step) == nullptr) return false;
   SES_LOG_WARN << "fault injection: NaN loss at " << phase << " step " << step;
   return true;
+}
+
+namespace {
+/// Stall faults default to 10 ms when the spec omits `ms=` — long enough to
+/// observe, short enough to keep fault-matrix tests fast.
+constexpr int64_t kDefaultStallMs = 10;
+}  // namespace
+
+bool FaultPlan::TakeWorkerStall(int64_t batch_seq, int64_t* ms) {
+  Fault* f = Find("worker_stall", "", -1, batch_seq);
+  if (f == nullptr) return false;
+  *ms = f->ms > 0 ? f->ms : kDefaultStallMs;
+  SES_LOG_WARN << "fault injection: worker stall " << *ms << " ms before batch "
+               << batch_seq;
+  return true;
+}
+
+bool FaultPlan::TakeSlowForward(int64_t batch_seq, int64_t* ms) {
+  Fault* f = Find("slow_forward", "", -1, batch_seq);
+  if (f == nullptr) return false;
+  *ms = f->ms > 0 ? f->ms : kDefaultStallMs;
+  SES_LOG_WARN << "fault injection: slow forward " << *ms << " ms in batch "
+               << batch_seq;
+  return true;
+}
+
+bool FaultPlan::TakePoisonRequest(int64_t request_seq) {
+  if (Find("poison_request", "", -1, request_seq) == nullptr) return false;
+  SES_LOG_WARN << "fault injection: poisoned request " << request_seq;
+  return true;
+}
+
+bool FaultPlan::TakeServeThrow(int64_t batch_seq) {
+  if (Find("serve_throw", "", -1, batch_seq) == nullptr) return false;
+  SES_LOG_WARN << "fault injection: throwing in batch " << batch_seq;
+  return true;
+}
+
+int64_t FaultPlan::ServeDelayUs() const {
+  for (const Fault& f : faults_)
+    if (f.kind == "serve_delay") return f.us;
+  return 0;
 }
 
 void FaultPlan::MaybeCorruptCheckpoint(const std::string& phase, int64_t epoch,

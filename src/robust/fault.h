@@ -21,12 +21,17 @@ struct SimulatedCrash : std::runtime_error {
 constexpr int kCrashExitCode = 42;
 
 /// One parsed fault directive. Matching is exact on (phase, epoch/step);
-/// each fault fires at most once.
+/// each fault fires at most once (except the persistent `serve_delay`).
 struct Fault {
-  std::string kind;   ///< nan_grad | nan_loss | crash | corrupt_ckpt
+  std::string kind;   ///< nan_grad | nan_loss | crash | corrupt_ckpt |
+                      ///< worker_stall | slow_forward | poison_request |
+                      ///< serve_throw | serve_delay
   std::string phase;  ///< "phase1" / "phase2"; empty matches any phase
   int64_t epoch = -1; ///< for crash / corrupt_ckpt
-  int64_t step = -1;  ///< for nan_grad / nan_loss (optimizer step in phase)
+  int64_t step = -1;  ///< training: optimizer step; serving: batch seal /
+                      ///< request accept sequence number
+  int64_t ms = -1;    ///< worker_stall / slow_forward: stall length
+  int64_t us = -1;    ///< serve_delay: per-request synthetic service cost
   std::string mode;   ///< crash: exit(default)|throw; corrupt_ckpt: flip(default)|truncate
   bool fired = false;
 };
@@ -36,7 +41,7 @@ struct Fault {
 ///
 ///   spec  := fault (';' fault)*
 ///   fault := kind (':' kv (',' kv)*)?
-///   kv    := key '=' value        keys: phase, epoch, step, mode
+///   kv    := key '=' value        keys: phase, epoch, step, mode, ms, us
 ///
 /// Examples:
 ///   nan_grad:phase=phase1,step=7       poison one gradient to NaN
@@ -47,8 +52,28 @@ struct Fault {
 ///                                      damage the newest checkpoint file
 ///                                      right after the epoch's write
 ///
+/// Serving faults target the batch scheduler's own sequence numbers (step =
+/// batch seal order for worker_stall / slow_forward / serve_throw, request
+/// accept order for poison_request):
+///   worker_stall:step=3,ms=40          worker sleeps 40 ms before batch 3
+///   slow_forward:step=0,ms=20          batch 0's forward takes 20 ms extra,
+///                                      AFTER doomed-work elimination — live
+///                                      requests can expire mid-flight
+///   poison_request:step=17             request 17 resolves kInternal without
+///                                      executing; its batch is unharmed
+///   serve_throw:step=5                 throw inside batch 5's execution; the
+///                                      worker must fail the batch typed and
+///                                      keep serving
+///   serve_delay:us=20                  persistent (never consumed): every
+///                                      executed batch busy-waits 20 us per
+///                                      live request — service-time emulation
+///                                      so an overload bench can drive offered
+///                                      load past capacity with few clients
+///
 /// Every injection point is a no-op when the plan is empty, so instrumented
-/// loops cost nothing in normal runs.
+/// loops cost nothing in normal runs. FaultPlan is NOT internally
+/// synchronized: concurrent callers (the scheduler's producers and workers)
+/// must serialize access themselves.
 class FaultPlan {
  public:
   FaultPlan() = default;
@@ -76,6 +101,19 @@ class FaultPlan {
   /// byte at a deterministic offset. No-op on empty path.
   void MaybeCorruptCheckpoint(const std::string& phase, int64_t epoch,
                               const std::string& path);
+
+  /// Serving faults (step-matched one-shots, except ServeDelayUs). Each
+  /// Take* returns true exactly once for a matching armed fault; the stall
+  /// kinds also report their duration via `*ms` (default 10 when the spec
+  /// omitted `ms=`).
+  bool TakeWorkerStall(int64_t batch_seq, int64_t* ms);
+  bool TakeSlowForward(int64_t batch_seq, int64_t* ms);
+  bool TakePoisonRequest(int64_t request_seq);
+  bool TakeServeThrow(int64_t batch_seq);
+
+  /// Persistent per-request synthetic service cost from a `serve_delay`
+  /// fault; 0 when none is armed. Never consumes the fault.
+  int64_t ServeDelayUs() const;
 
   const std::vector<Fault>& faults() const { return faults_; }
 

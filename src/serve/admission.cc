@@ -1,0 +1,80 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ses::serve {
+
+AdmissionDecision BoundedQueueAdmission::Admit(OpKind op,
+                                               int64_t queued_requests) {
+  (void)op;
+  if (queued_requests < max_queued_) return AdmissionDecision::Admit();
+  return AdmissionDecision::Shed("queue_depth", retry_after_us_);
+}
+
+std::string BoundedQueueAdmission::DebugState() const {
+  std::ostringstream out;
+  out << "{\"policy\":\"bounded_queue\",\"max_queued\":" << max_queued_ << "}";
+  return out.str();
+}
+
+AdmissionDecision BurnRateAdmission::Admit(OpKind op,
+                                           int64_t queued_requests) {
+  if (queued_requests >= options_.max_queued_requests)
+    return AdmissionDecision::Shed("queue_depth",
+                                   options_.base_retry_after_us);
+  const double burn = burn_.load(std::memory_order_relaxed);
+  if (burn < options_.shed_explain_burn_rate) return AdmissionDecision::Admit();
+  // Scale the backoff hint with overload depth: a client rejected at 8x the
+  // shed threshold should stay away ~8x longer than one rejected at the
+  // margin. Capped so the hint never exceeds a reasonable retry horizon.
+  const auto hint = [&](double threshold) {
+    const double factor = std::min(64.0, burn / std::max(1e-9, threshold));
+    return static_cast<int64_t>(
+        static_cast<double>(options_.base_retry_after_us) *
+        std::max(1.0, factor));
+  };
+  if (burn >= options_.shed_all_burn_rate)
+    return AdmissionDecision::Shed("burn_rate",
+                                   hint(options_.shed_all_burn_rate));
+  // Between the thresholds: shed recomputable work first, keep Predict.
+  if (op != OpKind::kPredict)
+    return AdmissionDecision::Shed("burn_rate_explain",
+                                   hint(options_.shed_explain_burn_rate));
+  return AdmissionDecision::Admit();
+}
+
+std::string BurnRateAdmission::DebugState() const {
+  std::ostringstream out;
+  out << "{\"policy\":\"burn_rate\",\"burn_rate\":" << burn_rate()
+      << ",\"shed_explain_at\":" << options_.shed_explain_burn_rate
+      << ",\"shed_all_at\":" << options_.shed_all_burn_rate
+      << ",\"max_queued\":" << options_.max_queued_requests << "}";
+  return out.str();
+}
+
+bool DegradedState::Update(double burn_rate) {
+  if (burn_rate >= options_.enter_burn_rate) {
+    cool_streak_ = 0;
+    if (!degraded_ && ++hot_streak_ >= options_.enter_consecutive) {
+      degraded_ = true;
+      hot_streak_ = 0;
+      ++entries_;
+    }
+  } else if (burn_rate <= options_.exit_burn_rate) {
+    hot_streak_ = 0;
+    if (degraded_ && ++cool_streak_ >= options_.exit_consecutive) {
+      degraded_ = false;
+      cool_streak_ = 0;
+    }
+  } else {
+    // Mid-band: hold the current state, restart both streaks — a transition
+    // needs `*_consecutive` observations past its own threshold, not merely
+    // near it.
+    hot_streak_ = 0;
+    cool_streak_ = 0;
+  }
+  return degraded_;
+}
+
+}  // namespace ses::serve

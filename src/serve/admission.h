@@ -1,0 +1,138 @@
+#ifndef SES_SERVE_ADMISSION_H_
+#define SES_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serve/status.h"
+
+namespace ses::serve {
+
+/// Outcome of one admission decision. `reason` must point at static storage
+/// — it flows into metric labels and access-log lines without copies.
+struct AdmissionDecision {
+  bool admit = true;
+  int64_t retry_after_us = 0;   ///< client backoff floor when !admit
+  const char* reason = "";      ///< shed reason when !admit
+
+  static AdmissionDecision Admit() { return {}; }
+  static AdmissionDecision Shed(const char* reason, int64_t retry_after_us) {
+    return {false, retry_after_us, reason};
+  }
+};
+
+/// Policy hook in front of the forming batch. `Admit` runs under the
+/// scheduler's queue lock on every Submit — it must be O(1) and must not
+/// block or re-enter the scheduler. `ObserveBurnRate` is pushed by scheduler
+/// workers after each batch completes (the queue-wait SLO burn rate), off
+/// the submit path, so adaptive policies never add a clock read or map
+/// lookup to admission.
+class AdmissionController {
+ public:
+  virtual ~AdmissionController() = default;
+
+  /// Decide whether to accept one request of kind `op` given
+  /// `queued_requests` already waiting (forming batch + ready queue).
+  virtual AdmissionDecision Admit(OpKind op, int64_t queued_requests) = 0;
+
+  /// Latest queue-wait SLO burn rate (1.0 = burning error budget exactly at
+  /// the objective's rate). Default: ignore.
+  virtual void ObserveBurnRate(double burn_rate) { (void)burn_rate; }
+
+  /// One-line JSON object describing live policy state, for /healthz.
+  virtual std::string DebugState() const { return "{}"; }
+};
+
+/// Fixed bound on total queued requests; sheds everything above it. The
+/// baseline policy — also the backstop inside BurnRateAdmission.
+class BoundedQueueAdmission : public AdmissionController {
+ public:
+  explicit BoundedQueueAdmission(int64_t max_queued_requests,
+                                 int64_t retry_after_us = 200)
+      : max_queued_(max_queued_requests), retry_after_us_(retry_after_us) {}
+
+  AdmissionDecision Admit(OpKind op, int64_t queued_requests) override;
+  std::string DebugState() const override;
+
+ private:
+  const int64_t max_queued_;
+  const int64_t retry_after_us_;
+};
+
+/// Adaptive shedding driven by the queue-wait burn rate, lowest-priority ops
+/// first: above `shed_explain_burn_rate` Explain (then LogitsRow) is shed;
+/// above `shed_all_burn_rate` everything is. The RetryAfter hint scales with
+/// how far past the threshold the burn rate is, so clients back off harder
+/// the deeper the overload. A hard queue bound backstops the adaptive part
+/// (burn rate lags by one batch; the bound cannot).
+class BurnRateAdmission : public AdmissionController {
+ public:
+  struct Options {
+    double shed_explain_burn_rate = 1.0;
+    double shed_all_burn_rate = 6.0;
+    int64_t max_queued_requests = 4096;
+    int64_t base_retry_after_us = 200;
+  };
+
+  BurnRateAdmission() : BurnRateAdmission(Options()) {}
+  explicit BurnRateAdmission(Options options) : options_(options) {}
+
+  AdmissionDecision Admit(OpKind op, int64_t queued_requests) override;
+  void ObserveBurnRate(double burn_rate) override {
+    burn_.store(burn_rate, std::memory_order_relaxed);
+  }
+  std::string DebugState() const override;
+
+  double burn_rate() const { return burn_.load(std::memory_order_relaxed); }
+
+ private:
+  const Options options_;
+  std::atomic<double> burn_{0.0};
+};
+
+/// Degraded-mode configuration: the scheduler enters degraded serving after
+/// `enter_consecutive` batches whose queue-wait burn rate is at or above
+/// `enter_burn_rate`, and leaves after `exit_consecutive` at or below
+/// `exit_burn_rate` (hysteresis: between the thresholds the current state
+/// holds). While degraded, Predict is answered from InferenceSession's
+/// memoized-logits cache when warm and Explain is shed with `retry_after_us`;
+/// every `probe_every`-th degraded Predict is enqueued normally as a canary
+/// so the burn-rate signal keeps flowing and recovery can be observed.
+struct DegradedModeOptions {
+  bool enabled = false;
+  double enter_burn_rate = 2.0;
+  double exit_burn_rate = 0.5;
+  int enter_consecutive = 3;
+  int exit_consecutive = 16;
+  int probe_every = 32;
+  int64_t retry_after_us = 1000;
+};
+
+/// The hysteresis state machine behind degraded mode, separated from the
+/// scheduler so the transition logic is unit-testable without serving
+/// traffic. Not thread-safe: the scheduler calls Update from worker context
+/// under its own lock.
+class DegradedState {
+ public:
+  explicit DegradedState(const DegradedModeOptions& options)
+      : options_(options) {}
+
+  /// Feeds one burn-rate observation; returns the (possibly new) degraded
+  /// flag.
+  bool Update(double burn_rate);
+
+  bool degraded() const { return degraded_; }
+  int64_t entries() const { return entries_; }
+
+ private:
+  const DegradedModeOptions options_;
+  bool degraded_ = false;
+  int hot_streak_ = 0;
+  int cool_streak_ = 0;
+  int64_t entries_ = 0;  ///< cumulative enter transitions
+};
+
+}  // namespace ses::serve
+
+#endif  // SES_SERVE_ADMISSION_H_

@@ -1,8 +1,11 @@
 #include "serve/batch_scheduler.h"
 
 #include <algorithm>
+#include <exception>
+#include <sstream>
 #include <utility>
 
+#include "obs/health.h"
 #include "obs/request.h"
 #include "obs/slo.h"
 #include "obs/trace.h"
@@ -27,6 +30,55 @@ const std::string& E2eSloOp() {
   return op;
 }
 
+const std::string& QueueWaitSloOp() {
+  static const std::string op("sched.queue_wait");
+  return op;
+}
+
+const char* SchedOpName(OpKind op) {
+  switch (op) {
+    case OpKind::kPredict: return "sched.predict";
+    case OpKind::kLogitsRow: return "sched.logits_row";
+    case OpKind::kExplain: return "sched.explain";
+  }
+  return "sched.unknown";
+}
+
+robust::FaultPlan ResolveFaultPlan(const robust::FaultPlan& plan) {
+  return plan.empty() ? robust::FaultPlan::FromEnv() : plan;
+}
+
+std::string HealthNameForInstance() {
+  static std::atomic<int> counter{0};
+  const int instance = counter.fetch_add(1, std::memory_order_relaxed);
+  return instance == 0 ? "scheduler" : "scheduler-" + std::to_string(instance);
+}
+
+/// Synthetic per-request service cost (serve_delay fault): a busy-wait, not
+/// a sleep, so the emulated work consumes CPU the way a real forward would
+/// and overload saturates compute instead of timers.
+void BusyWaitUs(int64_t us) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+obs::Counter& ShedCounter(const char* reason) {
+  return obs::MetricsRegistry::Get().GetCounter("ses.sched.shed",
+                                                {{"reason", reason}});
+}
+
+void LogRejection(OpKind op, uint64_t trace_id, const char* reason) {
+  if (!obs::AccessLog::Get().active()) return;
+  obs::AccessEntry entry;
+  entry.trace_id = trace_id;
+  entry.op = SchedOpName(op);
+  entry.error = true;
+  entry.reason = reason;
+  obs::AccessLog::Get().Record(entry);
+}
+
 }  // namespace
 
 namespace internal {
@@ -46,7 +98,12 @@ core::InferenceSession::Explanation TakeExplain(Request& r) {
 BatchScheduler::BatchScheduler(core::InferenceSession* session,
                                SchedulerOptions options)
     : session_(session),
-      options_(options),
+      options_(std::move(options)),
+      fault_plan_(ResolveFaultPlan(options_.fault_plan)),
+      has_faults_(!fault_plan_.empty()),
+      serve_delay_us_(fault_plan_.ServeDelayUs()),
+      health_name_(HealthNameForInstance()),
+      degraded_state_(options_.degraded),
       requests_counter_(
           obs::MetricsRegistry::Get().GetCounter("ses.sched.requests")),
       batches_counter_(
@@ -59,14 +116,40 @@ BatchScheduler::BatchScheduler(core::InferenceSession* session,
       queue_wait_hist_(obs::MetricsRegistry::Get().GetHistogram(
           "ses.sched.queue_wait_us", obs::Histogram::DefaultLatencyEdgesUs())),
       e2e_hist_(obs::MetricsRegistry::Get().GetHistogram(
-          "ses.sched.e2e_us", obs::Histogram::DefaultLatencyEdgesUs())) {
+          "ses.sched.e2e_us", obs::Histogram::DefaultLatencyEdgesUs())),
+      rejected_shutdown_counter_(obs::MetricsRegistry::Get().GetCounter(
+          "ses.sched.rejected", {{"reason", "shutting_down"}})),
+      expired_queue_counter_(obs::MetricsRegistry::Get().GetCounter(
+          "ses.sched.expired", {{"stage", "queue"}})),
+      expired_inflight_counter_(obs::MetricsRegistry::Get().GetCounter(
+          "ses.sched.expired", {{"stage", "inflight"}})),
+      internal_error_counter_(obs::MetricsRegistry::Get().GetCounter(
+          "ses.sched.internal_errors")),
+      degraded_served_counter_(obs::MetricsRegistry::Get().GetCounter(
+          "ses.sched.degraded_served")),
+      degraded_mode_gauge_(
+          obs::MetricsRegistry::Get().GetGauge("ses.sched.degraded_mode")) {
   SES_CHECK(session_ != nullptr);
   SES_CHECK(options_.max_batch_size >= 1);
   SES_CHECK(options_.flush_deadline_us >= 0);
   SES_CHECK(options_.num_workers >= 1);
   SES_CHECK(options_.max_queue_batches >= 1);
+  // Degraded mode is driven by the queue-wait burn rate; without that budget
+  // there is no signal and the mode could never engage or recover.
+  SES_CHECK(!options_.degraded.enabled || options_.queue_wait_budget_us > 0.0);
+  if (options_.degraded.enabled) {
+    SES_CHECK(options_.degraded.enter_burn_rate >
+              options_.degraded.exit_burn_rate);
+    SES_CHECK(options_.degraded.enter_consecutive >= 1);
+    SES_CHECK(options_.degraded.exit_consecutive >= 1);
+  }
   if (options_.e2e_budget_us > 0.0)
     obs::SloTracker::Get().SetBudget(E2eSloOp(), options_.e2e_budget_us);
+  if (options_.queue_wait_budget_us > 0.0)
+    obs::SloTracker::Get().SetBudget(
+        QueueWaitSloOp(), options_.queue_wait_budget_us,
+        options_.queue_wait_target, options_.queue_wait_window);
+  obs::RegisterHealthProvider(health_name_, [this] { return HealthJson(); });
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int64_t i = 0; i < options_.num_workers; ++i)
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -75,77 +158,185 @@ BatchScheduler::BatchScheduler(core::InferenceSession* session,
 BatchScheduler::~BatchScheduler() { Stop(); }
 
 std::shared_ptr<internal::BatchState> BatchScheduler::Append(
-    internal::Request req, size_t* index) {
+    internal::Request req, double deadline_us, size_t* index,
+    Status* rejection, uint64_t* trace_id) {
   const uint64_t caller_id = obs::CurrentTraceId();
   req.trace_id = caller_id != 0 ? caller_id : obs::AllocateTraceId();
+  *trace_id = req.trace_id;
   req.enqueue_time = std::chrono::steady_clock::now();
-
-  std::unique_lock<std::mutex> lock(mutex_);
-  space_cv_.wait(lock, [&] {
-    return stopping_ ||
-           static_cast<int64_t>(ready_.size()) < options_.max_queue_batches;
-  });
-  if (stopping_) {
-    ++stats_.rejected;
-    return nullptr;
+  const double effective_deadline =
+      deadline_us != 0.0 ? deadline_us : options_.default_deadline_us;
+  if (effective_deadline != 0.0) {
+    req.has_deadline = true;
+    req.deadline =
+        req.enqueue_time +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::micro>(effective_deadline));
   }
-  if (!forming_) {
-    forming_ = std::make_shared<internal::BatchState>();
-    forming_->requests.reserve(static_cast<size_t>(options_.max_batch_size));
-  }
-  internal::BatchState& batch = *forming_;
-  if (batch.requests.empty()) {
-    batch.opened_at = req.enqueue_time;
-    // First request of a fresh batch: wake a worker so one arms the
-    // flush-deadline timer for it.
-    work_cv_.notify_one();
-  }
-  batch.ops_mask |= static_cast<uint8_t>(1u << static_cast<unsigned>(req.op));
-  batch.requests.push_back(std::move(req));
-  *index = batch.requests.size() - 1;
-  ++stats_.requests;
-  std::shared_ptr<internal::BatchState> state = forming_;
-  if (static_cast<int64_t>(batch.requests.size()) >= options_.max_batch_size)
-    SealFormingLocked(&stats_.full_flushes);
-  return state;
-}
 
-PredictFuture BatchScheduler::SubmitPredict(int64_t node) {
-  internal::Request req;
-  req.op = internal::Op::kPredict;
-  req.node = node;
-  size_t index = 0;
-  auto state = Append(std::move(req), &index);
-  return state == nullptr ? PredictFuture()
-                          : PredictFuture(std::move(state), index);
-}
-
-LogitsRowFuture BatchScheduler::SubmitLogitsRow(int64_t node) {
-  internal::Request req;
-  req.op = internal::Op::kLogitsRow;
-  req.node = node;
-  size_t index = 0;
-  auto state = Append(std::move(req), &index);
-  return state == nullptr ? LogitsRowFuture()
-                          : LogitsRowFuture(std::move(state), index);
-}
-
-int64_t BatchScheduler::SubmitPredictStream(const int64_t* nodes, int64_t n,
-                                            PredictFuture* out) {
-  if (n <= 0) return 0;
-  const uint64_t caller_id = obs::CurrentTraceId();
-  const auto arrival = std::chrono::steady_clock::now();
-
-  std::unique_lock<std::mutex> lock(mutex_);
-  int64_t accepted = 0;
-  for (; accepted < n; ++accepted) {
+  const char* shed_reason = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
     space_cv_.wait(lock, [&] {
       return stopping_ ||
              static_cast<int64_t>(ready_.size()) < options_.max_queue_batches;
     });
     if (stopping_) {
-      stats_.rejected += n - accepted;
-      break;
+      ++stats_.rejected;
+      lock.unlock();
+      rejected_shutdown_counter_.Add(1);
+      LogRejection(req.op, req.trace_id, "shutting_down");
+      *rejection = Status::ShuttingDown();
+      return nullptr;
+    }
+    if (options_.admission != nullptr) {
+      const AdmissionDecision decision =
+          options_.admission->Admit(req.op, queued_requests_);
+      if (!decision.admit) {
+        ++stats_.shed;
+        shed_reason = decision.reason;
+        *rejection = Status::Overloaded(decision.retry_after_us);
+        lock.unlock();
+        ShedCounter(shed_reason).Add(1);
+        LogRejection(req.op, req.trace_id, shed_reason);
+        return nullptr;
+      }
+    }
+    if (!forming_) {
+      forming_ = std::make_shared<internal::BatchState>();
+      forming_->requests.reserve(static_cast<size_t>(options_.max_batch_size));
+    }
+    internal::BatchState& batch = *forming_;
+    if (batch.requests.empty()) {
+      batch.opened_at = req.enqueue_time;
+      // First request of a fresh batch: wake a worker so one arms the
+      // flush-deadline timer for it.
+      work_cv_.notify_one();
+    }
+    batch.ops_mask |=
+        static_cast<uint8_t>(1u << static_cast<unsigned>(req.op));
+    batch.has_deadlines |= req.has_deadline;
+    req.seq = stats_.requests;
+    batch.requests.push_back(std::move(req));
+    *index = batch.requests.size() - 1;
+    ++stats_.requests;
+    ++queued_requests_;
+    queue_depth_gauge_.Set(static_cast<double>(queued_requests_));
+    std::shared_ptr<internal::BatchState> state = forming_;
+    if (static_cast<int64_t>(batch.requests.size()) >= options_.max_batch_size)
+      SealFormingLocked(&stats_.full_flushes);
+    return state;
+  }
+}
+
+PredictFuture BatchScheduler::SubmitPredict(int64_t node,
+                                            SubmitOptions submit) {
+  if (degraded_mode_.load(std::memory_order_relaxed)) {
+    PredictFuture fut;
+    if (TryDegradedPredict(node, &fut)) return fut;
+  }
+  internal::Request req;
+  req.op = OpKind::kPredict;
+  req.node = node;
+  size_t index = 0;
+  Status rejection;
+  uint64_t trace_id = 0;
+  auto state = Append(std::move(req), submit.deadline_us, &index, &rejection,
+                      &trace_id);
+  return state == nullptr ? PredictFuture(rejection, trace_id)
+                          : PredictFuture(std::move(state), index);
+}
+
+LogitsRowFuture BatchScheduler::SubmitLogitsRow(int64_t node,
+                                                SubmitOptions submit) {
+  internal::Request req;
+  req.op = OpKind::kLogitsRow;
+  req.node = node;
+  size_t index = 0;
+  Status rejection;
+  uint64_t trace_id = 0;
+  auto state = Append(std::move(req), submit.deadline_us, &index, &rejection,
+                      &trace_id);
+  return state == nullptr ? LogitsRowFuture(rejection, trace_id)
+                          : LogitsRowFuture(std::move(state), index);
+}
+
+ExplainFuture BatchScheduler::SubmitExplain(int64_t node, int64_t top_k,
+                                            SubmitOptions submit) {
+  if (degraded_mode_.load(std::memory_order_relaxed)) {
+    // Degraded mode sheds Explain outright: it is the recomputable,
+    // lowest-priority op, and the cache cannot answer it.
+    const uint64_t caller_id = obs::CurrentTraceId();
+    const uint64_t trace_id =
+        caller_id != 0 ? caller_id : obs::AllocateTraceId();
+    if (stopping_flag_.load(std::memory_order_relaxed))
+      return ExplainFuture(RejectShutdown(OpKind::kExplain, trace_id),
+                           trace_id);
+    return ExplainFuture(
+        ShedRequest(OpKind::kExplain, trace_id, "degraded",
+                    options_.degraded.retry_after_us),
+        trace_id);
+  }
+  internal::Request req;
+  req.op = OpKind::kExplain;
+  req.node = node;
+  req.top_k = top_k;
+  size_t index = 0;
+  Status rejection;
+  uint64_t trace_id = 0;
+  auto state = Append(std::move(req), submit.deadline_us, &index, &rejection,
+                      &trace_id);
+  return state == nullptr ? ExplainFuture(rejection, trace_id)
+                          : ExplainFuture(std::move(state), index);
+}
+
+int64_t BatchScheduler::SubmitPredictStream(const int64_t* nodes, int64_t n,
+                                            PredictFuture* out,
+                                            SubmitOptions submit) {
+  if (n <= 0) return 0;
+  const uint64_t caller_id = obs::CurrentTraceId();
+  const auto arrival = std::chrono::steady_clock::now();
+  const double effective_deadline =
+      submit.deadline_us != 0.0 ? submit.deadline_us
+                                : options_.default_deadline_us;
+  std::chrono::steady_clock::time_point deadline;
+  const bool has_deadline = effective_deadline != 0.0;
+  if (has_deadline)
+    deadline = arrival +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double, std::micro>(
+                       effective_deadline));
+
+  int64_t enqueued = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (int64_t i = 0; i < n; ++i) {
+    space_cv_.wait(lock, [&] {
+      return stopping_ ||
+             static_cast<int64_t>(ready_.size()) < options_.max_queue_batches;
+    });
+    if (stopping_) {
+      // Typed rejection for the whole tail; nothing in it was enqueued.
+      stats_.rejected += n - i;
+      lock.unlock();
+      rejected_shutdown_counter_.Add(n - i);
+      for (; i < n; ++i)
+        out[i] = PredictFuture(Status::ShuttingDown(),
+                               caller_id != 0 ? caller_id
+                                              : obs::AllocateTraceId());
+      return enqueued;
+    }
+    const uint64_t trace_id =
+        caller_id != 0 ? caller_id : obs::AllocateTraceId();
+    if (options_.admission != nullptr) {
+      const AdmissionDecision decision =
+          options_.admission->Admit(OpKind::kPredict, queued_requests_);
+      if (!decision.admit) {
+        ++stats_.shed;
+        out[i] = PredictFuture(Status::Overloaded(decision.retry_after_us),
+                               trace_id);
+        ShedCounter(decision.reason).Add(1);
+        continue;
+      }
     }
     if (!forming_) {
       forming_ = std::make_shared<internal::BatchState>();
@@ -157,30 +348,87 @@ int64_t BatchScheduler::SubmitPredictStream(const int64_t* nodes, int64_t n,
       work_cv_.notify_one();
     }
     internal::Request req;
-    req.op = internal::Op::kPredict;
-    req.node = nodes[accepted];
-    req.trace_id = caller_id != 0 ? caller_id : obs::AllocateTraceId();
+    req.op = OpKind::kPredict;
+    req.node = nodes[i];
+    req.trace_id = trace_id;
     req.enqueue_time = arrival;
+    req.has_deadline = has_deadline;
+    req.deadline = deadline;
+    req.seq = stats_.requests;
     batch.ops_mask |=
         static_cast<uint8_t>(1u << static_cast<unsigned>(req.op));
+    batch.has_deadlines |= has_deadline;
     batch.requests.push_back(std::move(req));
-    out[accepted] = PredictFuture(forming_, batch.requests.size() - 1);
+    out[i] = PredictFuture(forming_, batch.requests.size() - 1);
     ++stats_.requests;
+    ++queued_requests_;
+    ++enqueued;
     if (static_cast<int64_t>(batch.requests.size()) >= options_.max_batch_size)
       SealFormingLocked(&stats_.full_flushes);
   }
-  return accepted;
+  queue_depth_gauge_.Set(static_cast<double>(queued_requests_));
+  return enqueued;
 }
 
-ExplainFuture BatchScheduler::SubmitExplain(int64_t node, int64_t top_k) {
-  internal::Request req;
-  req.op = internal::Op::kExplain;
-  req.node = node;
-  req.top_k = top_k;
-  size_t index = 0;
-  auto state = Append(std::move(req), &index);
-  return state == nullptr ? ExplainFuture()
-                          : ExplainFuture(std::move(state), index);
+bool BatchScheduler::TryDegradedPredict(int64_t node, PredictFuture* out) {
+  const uint64_t caller_id = obs::CurrentTraceId();
+  if (stopping_flag_.load(std::memory_order_relaxed)) {
+    // Shutdown outranks degraded serving: a post-Stop Submit must never be
+    // answered from the cache.
+    const uint64_t trace_id =
+        caller_id != 0 ? caller_id : obs::AllocateTraceId();
+    *out = PredictFuture(RejectShutdown(OpKind::kPredict, trace_id), trace_id);
+    return true;
+  }
+  // Every probe_every-th degraded predict goes through the queue as a canary
+  // so queue-wait samples keep flowing — without them the burn rate would
+  // freeze at its overload value and the mode could never observe recovery.
+  const int64_t probe_every = options_.degraded.probe_every;
+  const int64_t seq = degraded_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (probe_every > 0 && seq % probe_every == 0) return false;
+  int64_t cls = 0;
+  if (!session_->TryPredictCached(node, &cls)) return false;  // cold: queue it
+  const uint64_t trace_id = caller_id != 0 ? caller_id : obs::AllocateTraceId();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.degraded_served;
+  }
+  degraded_served_counter_.Add(1);
+  if (obs::AccessLog::Get().active()) {
+    obs::AccessEntry entry;
+    entry.trace_id = trace_id;
+    entry.op = SchedOpName(OpKind::kPredict);
+    entry.cache_hit = true;
+    entry.reason = "degraded_cache";
+    const int64_t fingerprint[2] = {node, cls};
+    entry.digest =
+        obs::Fnv1a(obs::Fnv1aBegin(), fingerprint, sizeof(fingerprint));
+    obs::AccessLog::Get().Record(entry);
+  }
+  *out = PredictFuture(cls, trace_id);
+  return true;
+}
+
+Status BatchScheduler::ShedRequest(OpKind op, uint64_t trace_id,
+                                   const char* reason,
+                                   int64_t retry_after_us) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.shed;
+  }
+  ShedCounter(reason).Add(1);
+  LogRejection(op, trace_id, reason);
+  return Status::Overloaded(retry_after_us);
+}
+
+Status BatchScheduler::RejectShutdown(OpKind op, uint64_t trace_id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.rejected;
+  }
+  rejected_shutdown_counter_.Add(1);
+  LogRejection(op, trace_id, "shutting_down");
+  return Status::ShuttingDown();
 }
 
 void BatchScheduler::SealFormingLocked(int64_t* reason_counter) {
@@ -188,9 +436,9 @@ void BatchScheduler::SealFormingLocked(int64_t* reason_counter) {
   // The registry counter advances once per seal (covering the whole batch)
   // to keep the per-submit fast path down to one clock read + one push.
   requests_counter_.Add(static_cast<int64_t>(forming_->requests.size()));
+  forming_->seq = next_batch_seq_++;
   ready_.push_back(std::move(forming_));
   forming_.reset();
-  queue_depth_gauge_.Set(static_cast<double>(ready_.size()));
   work_cv_.notify_one();
 }
 
@@ -203,16 +451,39 @@ void BatchScheduler::WorkerLoop() {
     if (!ready_.empty()) {
       std::shared_ptr<internal::BatchState> batch = std::move(ready_.front());
       ready_.pop_front();
-      queue_depth_gauge_.Set(static_cast<double>(ready_.size()));
+      queued_requests_ -= static_cast<int64_t>(batch->requests.size());
+      queue_depth_gauge_.Set(static_cast<double>(queued_requests_));
       space_cv_.notify_one();
       lock.unlock();
-      ExecuteBatch(batch.get());
+      if (has_faults_) {
+        int64_t stall_ms = 0;
+        bool stall = false;
+        {
+          std::lock_guard<std::mutex> fault_lock(fault_mutex_);
+          stall = fault_plan_.TakeWorkerStall(batch->seq, &stall_ms);
+        }
+        if (stall)
+          std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+      }
+      const double burn = ExecuteBatch(batch.get());
       lock.lock();
       ++stats_.batches;
       stats_.max_batch =
           std::max(stats_.max_batch,
                    static_cast<int64_t>(batch->requests.size()));
       batches_counter_.Add(1);
+      if (options_.degraded.enabled && burn >= 0.0 &&
+          !forced_degraded_.load(std::memory_order_relaxed)) {
+        const bool was = degraded_state_.degraded();
+        const bool now_degraded = degraded_state_.Update(burn);
+        if (now_degraded != was) {
+          degraded_mode_.store(now_degraded, std::memory_order_relaxed);
+          degraded_mode_gauge_.Set(now_degraded ? 1.0 : 0.0);
+          SES_LOG_WARN << "scheduler " << (now_degraded ? "entered" : "left")
+                       << " degraded mode (queue-wait burn rate " << burn
+                       << ")";
+        }
+      }
       // Publish only after the aggregate stats above: a caller whose Get()
       // returned must never observe stats() missing its own batch.
       {
@@ -238,7 +509,7 @@ void BatchScheduler::WorkerLoop() {
   }
 }
 
-void BatchScheduler::ExecuteBatch(internal::BatchState* batch) {
+double BatchScheduler::ExecuteBatch(internal::BatchState* batch) {
   SES_TRACE_SPAN("sched/batch");
   const auto exec_start = std::chrono::steady_clock::now();
   std::vector<internal::Request>& reqs = batch->requests;
@@ -253,84 +524,189 @@ void BatchScheduler::ExecuteBatch(internal::BatchState* batch) {
     latencies_us[i] = MicrosBetween(reqs[i].enqueue_time, exec_start);
   queue_wait_hist_.ObserveMany(latencies_us.data(),
                                static_cast<int64_t>(latencies_us.size()));
+  // Queue wait is recorded for EVERY request — including ones about to be
+  // dropped as expired, whose wait is precisely the overload evidence the
+  // admission burn-rate signal needs.
+  if (options_.queue_wait_budget_us > 0.0)
+    obs::SloTracker::Get().RecordMany(
+        QueueWaitSloOp(), latencies_us.data(),
+        static_cast<int64_t>(latencies_us.size()));
+
+  // Injected serving faults (one fault-plan lock per batch when armed).
+  bool throw_fault = false;
+  bool slow_forward = false;
+  int64_t slow_ms = 0;
+  int64_t poisoned = 0;
+  if (has_faults_) {
+    std::lock_guard<std::mutex> fault_lock(fault_mutex_);
+    slow_forward = fault_plan_.TakeSlowForward(batch->seq, &slow_ms);
+    throw_fault = fault_plan_.TakeServeThrow(batch->seq);
+    for (internal::Request& r : reqs) {
+      if (fault_plan_.TakePoisonRequest(r.seq)) {
+        r.status = Status::Internal();
+        r.reason = "poisoned";
+        ++poisoned;
+      }
+    }
+  }
+
+  // Doomed-work elimination: a request already past its deadline is dropped
+  // BEFORE the forward — executing it would burn capacity on an answer the
+  // client has stopped waiting for, which is how overload collapses.
+  int64_t doomed = 0;
+  if (batch->has_deadlines) {
+    for (internal::Request& r : reqs) {
+      if (r.status.ok() && r.has_deadline && r.deadline <= exec_start) {
+        r.status = Status::DeadlineExceeded();
+        r.reason = "expired_queue";
+        ++doomed;
+      }
+    }
+  }
+  // Slow-forward fault runs AFTER elimination, so it models a forward that
+  // became slow — live requests can still expire mid-flight below.
+  if (slow_forward)
+    std::this_thread::sleep_for(std::chrono::milliseconds(slow_ms));
+
+  const int64_t dead = poisoned + doomed;
+  const int64_t live =
+      static_cast<int64_t>(reqs.size()) - dead;
+  if (serve_delay_us_ > 0 && live > 0) BusyWaitUs(serve_delay_us_ * live);
 
   constexpr uint8_t kPredictBit =
-      1u << static_cast<unsigned>(internal::Op::kPredict);
-  if (batch->ops_mask == kPredictBit) {
-    // Homogeneous predict batch (the steady-state serving shape): no
-    // partitioning, identity scatter.
-    node_scratch.resize(reqs.size());
-    for (size_t i = 0; i < reqs.size(); ++i) node_scratch[i] = reqs[i].node;
-    const std::vector<int64_t> classes = session_->PredictMany(node_scratch);
-    for (size_t i = 0; i < reqs.size(); ++i) reqs[i].predicted = classes[i];
-  } else {
-    // Partition the batch by op. Predicts and logit slices each become ONE
-    // batched session call (one lock, one memoized forward, one gathered
-    // readout); explains group by top_k so each group shares a selection
-    // scratch.
-    std::vector<int64_t> predict_nodes, predict_idx;
-    std::vector<int64_t> slice_nodes, slice_idx;
-    std::vector<std::pair<int64_t, std::vector<int64_t>>> explain_groups;
-    for (size_t i = 0; i < reqs.size(); ++i) {
-      switch (reqs[i].op) {
-        case internal::Op::kPredict:
-          predict_nodes.push_back(reqs[i].node);
-          predict_idx.push_back(static_cast<int64_t>(i));
-          break;
-        case internal::Op::kLogitsRow:
-          slice_nodes.push_back(reqs[i].node);
-          slice_idx.push_back(static_cast<int64_t>(i));
-          break;
-        case internal::Op::kExplain: {
-          auto group = std::find_if(
-              explain_groups.begin(), explain_groups.end(),
-              [&](const auto& g) { return g.first == reqs[i].top_k; });
-          if (group == explain_groups.end()) {
-            explain_groups.push_back({reqs[i].top_k, {}});
-            group = explain_groups.end() - 1;
+      1u << static_cast<unsigned>(OpKind::kPredict);
+  try {
+    if (throw_fault)
+      throw std::runtime_error("injected serve_throw fault");
+    if (batch->ops_mask == kPredictBit && dead == 0) {
+      // Homogeneous predict batch (the steady-state serving shape): no
+      // partitioning, identity scatter.
+      node_scratch.resize(reqs.size());
+      for (size_t i = 0; i < reqs.size(); ++i) node_scratch[i] = reqs[i].node;
+      const std::vector<int64_t> classes = session_->PredictMany(node_scratch);
+      for (size_t i = 0; i < reqs.size(); ++i) reqs[i].predicted = classes[i];
+    } else if (live > 0) {
+      // Partition the live requests by op. Predicts and logit slices each
+      // become ONE batched session call (one lock, one memoized forward, one
+      // gathered readout); explains group by top_k so each group shares a
+      // selection scratch. Dead slots (expired / poisoned) are skipped.
+      std::vector<int64_t> predict_nodes, predict_idx;
+      std::vector<int64_t> slice_nodes, slice_idx;
+      std::vector<std::pair<int64_t, std::vector<int64_t>>> explain_groups;
+      for (size_t i = 0; i < reqs.size(); ++i) {
+        if (!reqs[i].status.ok()) continue;
+        switch (reqs[i].op) {
+          case OpKind::kPredict:
+            predict_nodes.push_back(reqs[i].node);
+            predict_idx.push_back(static_cast<int64_t>(i));
+            break;
+          case OpKind::kLogitsRow:
+            slice_nodes.push_back(reqs[i].node);
+            slice_idx.push_back(static_cast<int64_t>(i));
+            break;
+          case OpKind::kExplain: {
+            auto group = std::find_if(
+                explain_groups.begin(), explain_groups.end(),
+                [&](const auto& g) { return g.first == reqs[i].top_k; });
+            if (group == explain_groups.end()) {
+              explain_groups.push_back({reqs[i].top_k, {}});
+              group = explain_groups.end() - 1;
+            }
+            group->second.push_back(static_cast<int64_t>(i));
+            break;
           }
-          group->second.push_back(static_cast<int64_t>(i));
-          break;
         }
       }
-    }
 
-    if (!predict_nodes.empty()) {
-      const std::vector<int64_t> classes =
-          session_->PredictMany(predict_nodes);
-      for (size_t i = 0; i < predict_idx.size(); ++i)
-        reqs[static_cast<size_t>(predict_idx[i])].predicted = classes[i];
-    }
-    if (!slice_nodes.empty()) {
-      const tensor::Tensor rows = session_->GatherLogits(slice_nodes);
-      for (size_t i = 0; i < slice_idx.size(); ++i) {
-        internal::Request& r = reqs[static_cast<size_t>(slice_idx[i])];
-        const float* row = rows.RowPtr(static_cast<int64_t>(i));
-        r.logits_row.assign(row, row + rows.cols());
+      if (!predict_nodes.empty()) {
+        const std::vector<int64_t> classes =
+            session_->PredictMany(predict_nodes);
+        for (size_t i = 0; i < predict_idx.size(); ++i)
+          reqs[static_cast<size_t>(predict_idx[i])].predicted = classes[i];
+      }
+      if (!slice_nodes.empty()) {
+        const tensor::Tensor rows = session_->GatherLogits(slice_nodes);
+        for (size_t i = 0; i < slice_idx.size(); ++i) {
+          internal::Request& r = reqs[static_cast<size_t>(slice_idx[i])];
+          const float* row = rows.RowPtr(static_cast<int64_t>(i));
+          r.logits_row.assign(row, row + rows.cols());
+        }
+      }
+      for (const auto& [top_k, idx] : explain_groups) {
+        std::vector<int64_t> nodes;
+        nodes.reserve(idx.size());
+        for (int64_t i : idx)
+          nodes.push_back(reqs[static_cast<size_t>(i)].node);
+        std::vector<core::InferenceSession::Explanation> exs =
+            session_->ExplainMany(nodes, top_k);
+        for (size_t i = 0; i < idx.size(); ++i)
+          reqs[static_cast<size_t>(idx[i])].explanation = std::move(exs[i]);
       }
     }
-    for (const auto& [top_k, idx] : explain_groups) {
-      std::vector<int64_t> nodes;
-      nodes.reserve(idx.size());
-      for (int64_t i : idx) nodes.push_back(reqs[static_cast<size_t>(i)].node);
-      std::vector<core::InferenceSession::Explanation> exs =
-          session_->ExplainMany(nodes, top_k);
-      for (size_t i = 0; i < idx.size(); ++i)
-        reqs[static_cast<size_t>(idx[i])].explanation = std::move(exs[i]);
+  } catch (const std::exception& e) {
+    // The worker must survive anything a batch throws: every still-pending
+    // request resolves kInternal, the batch completes, the loop continues.
+    int64_t failed = 0;
+    for (internal::Request& r : reqs) {
+      if (!r.status.ok()) continue;
+      r.status = Status::Internal();
+      r.reason = "exception";
+      ++failed;
     }
+    internal_errors_total_.fetch_add(failed, std::memory_order_relaxed);
+    internal_error_counter_.Add(failed);
+    SES_LOG_WARN << "batch " << batch->seq << " failed (" << failed
+                 << " requests resolve kInternal): " << e.what();
+  }
+
+  // Completion-time deadline check: the result may exist, but the contract
+  // is "within the deadline" — a mid-flight expiry (slow forward, stalled
+  // worker) still resolves kDeadlineExceeded.
+  const auto exec_end = std::chrono::steady_clock::now();
+  int64_t expired_inflight = 0;
+  if (batch->has_deadlines) {
+    for (internal::Request& r : reqs) {
+      if (r.status.ok() && r.has_deadline && r.deadline < exec_end) {
+        r.status = Status::DeadlineExceeded();
+        r.reason = "expired_inflight";
+        ++expired_inflight;
+      }
+    }
+  }
+  if (doomed > 0) {
+    expired_queue_total_.fetch_add(doomed, std::memory_order_relaxed);
+    expired_queue_counter_.Add(doomed);
+  }
+  if (expired_inflight > 0) {
+    expired_inflight_total_.fetch_add(expired_inflight,
+                                      std::memory_order_relaxed);
+    expired_inflight_counter_.Add(expired_inflight);
+  }
+  if (poisoned > 0) {
+    internal_errors_total_.fetch_add(poisoned, std::memory_order_relaxed);
+    internal_error_counter_.Add(poisoned);
   }
 
   // End-to-end latency (enqueue -> results ready) for every request, fed to
   // the histogram and the SLO tracker as one batched pass each. e2e is the
   // queue wait plus the batch's execution time, which is shared by every
-  // request in the batch.
-  const auto exec_end = std::chrono::steady_clock::now();
+  // request in the batch. Failed requests count as SLO errors individually;
+  // the common all-ok batch keeps the single batched Record.
   const double exec_us = MicrosBetween(exec_start, exec_end);
   for (double& l : latencies_us) l += exec_us;
   e2e_hist_.ObserveMany(latencies_us.data(),
                         static_cast<int64_t>(latencies_us.size()));
-  obs::SloTracker::Get().RecordMany(E2eSloOp(), latencies_us.data(),
-                                    static_cast<int64_t>(latencies_us.size()));
+  const bool any_failed = dead > 0 || expired_inflight > 0 ||
+                          (!reqs.empty() && !reqs.front().status.ok());
+  if (!any_failed) {
+    obs::SloTracker::Get().RecordMany(
+        E2eSloOp(), latencies_us.data(),
+        static_cast<int64_t>(latencies_us.size()));
+  } else {
+    for (size_t i = 0; i < reqs.size(); ++i)
+      obs::SloTracker::Get().Record(E2eSloOp(), latencies_us[i],
+                                    !reqs[i].status.ok());
+  }
 
   // Per-request completion records under the request's own trace-id, so the
   // worker-side span and access-log line join the id the producer got at
@@ -345,36 +721,58 @@ void BatchScheduler::ExecuteBatch(internal::BatchState* batch) {
       if (!log_active) continue;
       obs::AccessEntry entry;
       entry.trace_id = r.trace_id;
+      entry.op = SchedOpName(r.op);
       entry.latency_us = latencies_us[i];
-      uint64_t h = obs::Fnv1aBegin();
-      switch (r.op) {
-        case internal::Op::kPredict: {
-          entry.op = "sched.predict";
-          const int64_t fingerprint[2] = {r.node, r.predicted};
-          h = obs::Fnv1a(h, fingerprint, sizeof(fingerprint));
-          break;
+      entry.error = !r.status.ok();
+      entry.reason = r.reason;
+      if (r.status.ok()) {
+        uint64_t h = obs::Fnv1aBegin();
+        switch (r.op) {
+          case OpKind::kPredict: {
+            const int64_t fingerprint[2] = {r.node, r.predicted};
+            h = obs::Fnv1a(h, fingerprint, sizeof(fingerprint));
+            break;
+          }
+          case OpKind::kLogitsRow:
+            h = obs::Fnv1a(h, r.logits_row.data(),
+                           r.logits_row.size() * sizeof(float));
+            break;
+          case OpKind::kExplain:
+            h = obs::Fnv1a(h, &r.node, sizeof(r.node));
+            h = obs::Fnv1a(h, r.explanation.neighbors.data(),
+                           r.explanation.neighbors.size() * sizeof(int64_t));
+            break;
         }
-        case internal::Op::kLogitsRow:
-          entry.op = "sched.logits_row";
-          h = obs::Fnv1a(h, r.logits_row.data(),
-                         r.logits_row.size() * sizeof(float));
-          break;
-        case internal::Op::kExplain:
-          entry.op = "sched.explain";
-          h = obs::Fnv1a(h, &r.node, sizeof(r.node));
-          h = obs::Fnv1a(h, r.explanation.neighbors.data(),
-                         r.explanation.neighbors.size() * sizeof(int64_t));
-          break;
+        entry.digest = h;
       }
-      entry.digest = h;
       obs::AccessLog::Get().Record(entry);
     }
   }
   // Completion (`done` + notify) is published by WorkerLoop after it has
   // folded this batch into the aggregate stats under the scheduler mutex.
+
+  double burn = -1.0;
+  if (options_.queue_wait_budget_us > 0.0) {
+    burn = obs::SloTracker::Get().Snapshot(QueueWaitSloOp()).burn_rate;
+    if (options_.admission != nullptr)
+      options_.admission->ObserveBurnRate(burn);
+  }
+  return burn;
+}
+
+void BatchScheduler::ForceDegradedForTest(bool on) {
+  forced_degraded_.store(on, std::memory_order_relaxed);
+  degraded_mode_.store(on, std::memory_order_relaxed);
+  degraded_mode_gauge_.Set(on ? 1.0 : 0.0);
 }
 
 void BatchScheduler::Stop() {
+  // Unregister first (it is a barrier — see health.h): after this no
+  // /healthz scrape can be inside HealthJson when the members go away.
+  obs::UnregisterHealthProvider(health_name_);
+  // The lock-free flag goes up before the queue flag so the degraded fast
+  // path can never cache-serve a Submit that raced past a completed Stop().
+  stopping_flag_.store(true, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
@@ -390,7 +788,37 @@ void BatchScheduler::Stop() {
 
 BatchScheduler::Stats BatchScheduler::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats s = stats_;
+  s.expired = expired_queue_total_.load(std::memory_order_relaxed);
+  s.expired_inflight =
+      expired_inflight_total_.load(std::memory_order_relaxed);
+  s.internal_errors = internal_errors_total_.load(std::memory_order_relaxed);
+  s.degraded_entries = degraded_state_.entries();
+  return s;
+}
+
+std::string BatchScheduler::HealthJson() const {
+  const Stats s = stats();
+  bool stopping;
+  int64_t queued;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping = stopping_;
+    queued = queued_requests_;
+  }
+  std::ostringstream out;
+  out << "{\"stopping\":" << (stopping ? "true" : "false")
+      << ",\"degraded\":" << (degraded() ? "true" : "false")
+      << ",\"queued_requests\":" << queued << ",\"requests\":" << s.requests
+      << ",\"shed\":" << s.shed << ",\"rejected\":" << s.rejected
+      << ",\"expired\":" << (s.expired + s.expired_inflight)
+      << ",\"internal_errors\":" << s.internal_errors
+      << ",\"degraded_served\":" << s.degraded_served
+      << ",\"degraded_entries\":" << s.degraded_entries << ",\"admission\":"
+      << (options_.admission != nullptr ? options_.admission->DebugState()
+                                        : std::string("null"))
+      << "}";
+  return out.str();
 }
 
 }  // namespace ses::serve

@@ -8,11 +8,17 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/inference_session.h"
 #include "obs/metrics.h"
+#include "robust/fault.h"
+#include "serve/admission.h"
+#include "serve/status.h"
+#include "util/logging.h"
 
 namespace ses::serve {
 
@@ -33,20 +39,43 @@ struct SchedulerOptions {
   /// When > 0, declares an SloTracker budget on the scheduler's end-to-end
   /// (enqueue -> result published) latency under op "sched.e2e".
   double e2e_budget_us = 0.0;
+  /// When > 0, declares an SloTracker budget on queue wait (enqueue ->
+  /// dequeue) under op "sched.queue_wait". Its burn rate is the overload
+  /// signal: workers push it to the admission controller and the degraded-
+  /// mode state machine after every batch.
+  double queue_wait_budget_us = 0.0;
+  double queue_wait_target = 0.9;   ///< loose target: burn rate must move
+  int64_t queue_wait_window = 256;  ///< small window: react within ~4 batches
+  /// Deadline applied to requests submitted without one (0 = none).
+  double default_deadline_us = 0.0;
+  /// Admission policy consulted on every Submit (null = admit everything up
+  /// to the queue-batch bound). Shared so callers can keep a handle for
+  /// ObserveBurnRate-driven inspection.
+  std::shared_ptr<AdmissionController> admission;
+  /// Degraded-mode policy (requires queue_wait_budget_us > 0 when enabled).
+  DegradedModeOptions degraded;
+  /// Serving fault plan; when empty the scheduler loads $SES_FAULT_SPEC.
+  /// Matching is by the scheduler's own sequence numbers: batch seal order
+  /// for worker_stall / slow_forward / serve_throw, request accept order for
+  /// poison_request.
+  robust::FaultPlan fault_plan;
 };
 
 namespace internal {
 
-enum class Op : uint8_t { kPredict, kLogitsRow, kExplain };
-
 /// One queued request plus its in-place result slot. Which result field is
 /// live is determined by `op`.
 struct Request {
-  Op op = Op::kPredict;
+  OpKind op = OpKind::kPredict;
   int64_t node = 0;
   int64_t top_k = 0;
   uint64_t trace_id = 0;
+  int64_t seq = 0;  ///< accept order (fault matching)
   std::chrono::steady_clock::time_point enqueue_time;
+  std::chrono::steady_clock::time_point deadline;
+  bool has_deadline = false;
+  Status status;              ///< final per-request outcome
+  const char* reason = "";    ///< static-storage failure/shed detail
   int64_t predicted = -1;
   std::vector<float> logits_row;
   core::InferenceSession::Explanation explanation;
@@ -63,6 +92,8 @@ struct BatchState {
   /// Bitwise-or of (1 << op) over the requests — lets a worker take the
   /// no-partitioning fast path for single-op batches.
   uint8_t ops_mask = 0;
+  bool has_deadlines = false;  ///< any request carries a deadline
+  int64_t seq = 0;             ///< seal order (fault matching)
   std::mutex mutex;
   std::condition_variable cv;
   std::atomic<bool> done{false};
@@ -74,49 +105,98 @@ core::InferenceSession::Explanation TakeExplain(Request& r);
 
 }  // namespace internal
 
-/// Lightweight future bound to one slot of a micro-batch. Default-constructed
-/// (or rejected-submit) futures are invalid; Get() on an invalid future is a
-/// checked error. Get() blocks until the owning batch completes and moves the
-/// result out, so it may be called once per future.
+/// Lightweight future bound to one slot of a micro-batch, or carrying an
+/// immediate result (degraded-mode cache answer / typed rejection) that
+/// never touched the queue. Default-constructed futures are invalid; every
+/// future a Submit* returns is valid and resolves with a typed Status —
+/// rejected, expired, and faulted requests get their code, never a hang.
+///
+/// Consumption: Wait() blocks for the status without consuming the result;
+/// Get(&out) blocks, moves the result out on kOk, and returns the status;
+/// Get() is the checked sugar for callers that treat non-kOk as a bug.
 template <typename T, T (*Take)(internal::Request&)>
 class BatchFuture {
  public:
   BatchFuture() = default;
 
-  bool valid() const { return state_ != nullptr; }
+  bool valid() const { return immediate_ || state_ != nullptr; }
 
   /// Non-blocking completion probe.
   bool Ready() const {
-    return state_ != nullptr && state_->done.load(std::memory_order_acquire);
+    return immediate_ ||
+           (state_ != nullptr && state_->done.load(std::memory_order_acquire));
   }
 
   /// Trace-id the request carries from enqueue into the worker's spans.
   uint64_t trace_id() const {
-    return state_ == nullptr ? 0 : state_->requests[index_].trace_id;
+    if (state_ == nullptr) return trace_id_;
+    return state_->requests[index_].trace_id;
   }
 
-  /// Blocks until the batch is executed, then moves this slot's result out.
-  /// Lock-free when the batch already completed (the acquire load on `done`
-  /// pairs with the worker's release store, which publishes every result
-  /// slot); the mutex/cv only comes into play for an actual wait.
-  T Get() {
-    auto state = std::move(state_);
-    if (!state->done.load(std::memory_order_acquire)) {
-      std::unique_lock<std::mutex> lock(state->mutex);
-      state->cv.wait(lock, [&] {
-        return state->done.load(std::memory_order_acquire);
-      });
+  /// Blocks until the result is resolved; returns the status WITHOUT
+  /// consuming the result, so callers can branch on the code before moving
+  /// the value out with Get.
+  Status Wait() {
+    SES_CHECK(valid());
+    if (immediate_) return status_;
+    WaitDone();
+    return state_->requests[index_].status;
+  }
+
+  /// Blocks until resolved, moves the result into *out when the status is
+  /// kOk, and returns the status. Consumes the future (one call per future;
+  /// `out` may be null to discard the result).
+  Status Get(T* out) {
+    SES_CHECK(valid());
+    if (immediate_) {
+      immediate_ = false;
+      if (status_.ok() && out != nullptr) *out = std::move(value_);
+      return status_;
     }
-    return Take(state->requests[index_]);
+    WaitDone();
+    auto state = std::move(state_);
+    internal::Request& r = state->requests[index_];
+    if (r.status.ok() && out != nullptr) *out = Take(r);
+    return r.status;
+  }
+
+  /// Blocks until resolved and returns the value; a non-kOk status is a
+  /// checked error. The call sites that predate typed statuses (and any
+  /// caller submitting without deadlines against a non-shedding scheduler)
+  /// keep this contract.
+  T Get() {
+    T out{};
+    const Status status = Get(&out);
+    SES_CHECK(status.ok());
+    return out;
   }
 
  private:
   friend class BatchScheduler;
   BatchFuture(std::shared_ptr<internal::BatchState> state, size_t index)
       : state_(std::move(state)), index_(index) {}
+  /// Immediate typed rejection (never queued).
+  BatchFuture(Status status, uint64_t trace_id)
+      : immediate_(true), status_(status), trace_id_(trace_id) {}
+  /// Immediate value (degraded-mode cache answer).
+  BatchFuture(T value, uint64_t trace_id)
+      : immediate_(true), value_(std::move(value)), trace_id_(trace_id) {}
+
+  void WaitDone() {
+    if (!state_->done.load(std::memory_order_acquire)) {
+      std::unique_lock<std::mutex> lock(state_->mutex);
+      state_->cv.wait(lock, [&] {
+        return state_->done.load(std::memory_order_acquire);
+      });
+    }
+  }
 
   std::shared_ptr<internal::BatchState> state_;
   size_t index_ = 0;
+  bool immediate_ = false;
+  Status status_;
+  T value_{};
+  uint64_t trace_id_ = 0;
 };
 
 using PredictFuture = BatchFuture<int64_t, internal::TakePredict>;
@@ -124,6 +204,18 @@ using LogitsRowFuture =
     BatchFuture<std::vector<float>, internal::TakeLogitsRow>;
 using ExplainFuture = BatchFuture<core::InferenceSession::Explanation,
                                   internal::TakeExplain>;
+
+/// Per-submit knobs.
+struct SubmitOptions {
+  /// Relative deadline: the request must complete within this many
+  /// microseconds of submission or it resolves kDeadlineExceeded — dropped
+  /// before the forward when it expires in queue ("doomed-work
+  /// elimination"), after it when it expires mid-flight. 0 means "use
+  /// SchedulerOptions::default_deadline_us" (which may be none); a negative
+  /// value is already expired and deterministically resolves
+  /// kDeadlineExceeded without executing.
+  double deadline_us = 0.0;
+};
 
 /// Micro-batching front end for one InferenceSession.
 ///
@@ -138,17 +230,31 @@ using ExplainFuture = BatchFuture<core::InferenceSession::Explanation,
 /// locked calls — results are bitwise-identical to the direct path by
 /// construction (same kernels over the same memoized logits).
 ///
+/// Overload behavior: an AdmissionController sees every submission before it
+/// joins the forming batch and can shed it as an immediate kOverloaded
+/// rejection with a RetryAfter hint (lowest-priority ops first — see
+/// OpKind). Per-request deadlines bound how long a request may wait: work
+/// that is already dead at dequeue is never executed. Under sustained
+/// queue-wait SLO burn the scheduler enters degraded mode (hysteresis on
+/// both edges): warm Predicts are answered straight from the session's
+/// memoized-logits cache without queueing, Explains are shed, and every
+/// probe_every-th Predict still goes through the queue as a canary so
+/// recovery is observable. All of it is typed — no future ever hangs.
+///
 /// Observability: each request captures the caller's trace-id at enqueue
 /// (allocating one if the caller has none); workers adopt it so their spans
 /// and access-log entries join the same request. The scheduler feeds
-/// `ses.sched.*` metrics — queue-depth gauge, batch-size and queue-wait and
-/// end-to-end latency histograms, flush-reason counters — and, when
-/// configured, an SloTracker budget on end-to-end latency.
+/// `ses.sched.*` metrics — live request-level queue-depth gauge, batch-size
+/// / queue-wait / end-to-end histograms, flush-reason counters, shed /
+/// rejected / expired counters (by reason and stage), the degraded_mode
+/// gauge — SloTracker budgets on e2e and queue wait, shed/expiry reasons in
+/// the access log, and a /healthz component ("scheduler") with admission and
+/// degradation state.
 ///
 /// Shutdown: Stop() (or the destructor) stops admission, seals the forming
 /// batch, and joins the workers only after every queued batch has executed —
 /// every future handed out before Stop() is fulfilled. Submissions racing or
-/// following Stop() return invalid futures.
+/// following Stop() resolve as typed kShuttingDown rejections.
 class BatchScheduler {
  public:
   explicit BatchScheduler(core::InferenceSession* session,
@@ -157,28 +263,46 @@ class BatchScheduler {
   BatchScheduler(const BatchScheduler&) = delete;
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
-  PredictFuture SubmitPredict(int64_t node);
-  LogitsRowFuture SubmitLogitsRow(int64_t node);
-  ExplainFuture SubmitExplain(int64_t node, int64_t top_k);
+  PredictFuture SubmitPredict(int64_t node, SubmitOptions submit = {});
+  LogitsRowFuture SubmitLogitsRow(int64_t node, SubmitOptions submit = {});
+  ExplainFuture SubmitExplain(int64_t node, int64_t top_k,
+                              SubmitOptions submit = {});
 
   /// Streamed submission for pipelined clients: enqueues n predict requests
   /// under ONE queue-lock acquisition and one arrival timestamp (the stream
   /// arrived together), writing one future per request into out[0..n).
   /// Micro-batch formation is unchanged — the stream spills across forming
   /// batches and max_batch_size seals apply as usual, so requests from
-  /// concurrent streams still coalesce. Returns the number accepted; fewer
-  /// than n (with the tail futures left invalid) only when stopping.
+  /// concurrent streams still coalesce. Returns the number enqueued; slots
+  /// shed by admission or racing Stop() get immediate typed rejection
+  /// futures instead (every out[i] is valid either way).
   int64_t SubmitPredictStream(const int64_t* nodes, int64_t n,
-                              PredictFuture* out);
+                              PredictFuture* out, SubmitOptions submit = {});
 
   /// Drains the queue and joins the worker pool. Idempotent.
   void Stop();
 
   const SchedulerOptions& options() const { return options_; }
 
+  /// True while the degraded-mode state machine (or the test override) has
+  /// degraded serving switched on.
+  bool degraded() const {
+    return degraded_mode_.load(std::memory_order_relaxed);
+  }
+
+  /// Pins degraded mode on/off regardless of burn rate (test support for the
+  /// cache-serve / shed paths without generating real overload).
+  void ForceDegradedForTest(bool on);
+
   struct Stats {
     int64_t requests = 0;          ///< accepted submissions
-    int64_t rejected = 0;          ///< submissions after/racing Stop()
+    int64_t rejected = 0;          ///< typed kShuttingDown rejections
+    int64_t shed = 0;              ///< typed kOverloaded rejections
+    int64_t expired = 0;           ///< kDeadlineExceeded in queue (pre-exec)
+    int64_t expired_inflight = 0;  ///< kDeadlineExceeded mid-flight
+    int64_t internal_errors = 0;   ///< kInternal (poison / thrown fault)
+    int64_t degraded_served = 0;   ///< predicts answered from cache
+    int64_t degraded_entries = 0;  ///< degraded-mode enter transitions
     int64_t batches = 0;           ///< batches executed
     int64_t full_flushes = 0;      ///< seals due to max_batch_size
     int64_t deadline_flushes = 0;  ///< seals due to flush_deadline_us
@@ -188,17 +312,40 @@ class BatchScheduler {
   Stats stats() const;
 
  private:
+  /// Appends one request to the forming batch, or rejects it: returns the
+  /// owning batch on admission, else null with *rejection set to the typed
+  /// status (kShuttingDown / kOverloaded). `*trace_id` always receives the
+  /// request's id so rejection futures stay traceable.
   std::shared_ptr<internal::BatchState> Append(internal::Request req,
-                                               size_t* index);
+                                               double deadline_us,
+                                               size_t* index, Status* rejection,
+                                               uint64_t* trace_id);
   /// Moves the forming batch onto the ready queue. Caller holds mutex_;
   /// `reason_counter` is one of the flush counters below.
   void SealFormingLocked(int64_t* reason_counter);
   void WorkerLoop();
-  /// Executes one sealed batch (no scheduler locks held).
-  void ExecuteBatch(internal::BatchState* batch);
+  /// Executes one sealed batch (no scheduler locks held). Returns the
+  /// queue-wait burn rate after recording the batch (-1 when no queue-wait
+  /// budget is configured).
+  double ExecuteBatch(internal::BatchState* batch);
+  /// Degraded-mode fast path for SubmitPredict. True when it produced a
+  /// future (cache answer or shutdown rejection); false to fall through to
+  /// the normal queue (cold cache or canary probe).
+  bool TryDegradedPredict(int64_t node, PredictFuture* out);
+  /// Immediate kOverloaded rejection bookkeeping: stats, labeled shed
+  /// counter, access-log line. Takes mutex_ internally.
+  Status ShedRequest(OpKind op, uint64_t trace_id, const char* reason,
+                     int64_t retry_after_us);
+  /// Immediate kShuttingDown rejection bookkeeping. Takes mutex_ internally.
+  Status RejectShutdown(OpKind op, uint64_t trace_id);
+  std::string HealthJson() const;
 
   core::InferenceSession* session_;
   const SchedulerOptions options_;
+  robust::FaultPlan fault_plan_;  ///< guarded by fault_mutex_ after ctor
+  const bool has_faults_;
+  const int64_t serve_delay_us_;  ///< persistent synthetic service cost
+  const std::string health_name_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   ///< workers wait for batches
@@ -206,7 +353,21 @@ class BatchScheduler {
   std::shared_ptr<internal::BatchState> forming_;
   std::deque<std::shared_ptr<internal::BatchState>> ready_;
   bool stopping_ = false;
+  int64_t queued_requests_ = 0;  ///< forming + ready, request-level
+  int64_t next_batch_seq_ = 0;
   Stats stats_;
+  DegradedState degraded_state_;
+
+  std::mutex fault_mutex_;  ///< FaultPlan is not internally synchronized
+
+  std::atomic<bool> stopping_flag_{false};  ///< lock-free fast-path probe
+  std::atomic<bool> degraded_mode_{false};
+  std::atomic<bool> forced_degraded_{false};
+  std::atomic<int64_t> degraded_seq_{0};  ///< canary-probe cadence
+  // Worker-side failure tallies (no scheduler lock held during execution).
+  std::atomic<int64_t> expired_queue_total_{0};
+  std::atomic<int64_t> expired_inflight_total_{0};
+  std::atomic<int64_t> internal_errors_total_{0};
 
   std::vector<std::thread> workers_;
 
@@ -217,6 +378,12 @@ class BatchScheduler {
   obs::Histogram& batch_size_hist_;
   obs::Histogram& queue_wait_hist_;
   obs::Histogram& e2e_hist_;
+  obs::Counter& rejected_shutdown_counter_;
+  obs::Counter& expired_queue_counter_;
+  obs::Counter& expired_inflight_counter_;
+  obs::Counter& internal_error_counter_;
+  obs::Counter& degraded_served_counter_;
+  obs::Gauge& degraded_mode_gauge_;
 };
 
 }  // namespace ses::serve

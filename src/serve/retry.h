@@ -1,0 +1,43 @@
+#ifndef SES_SERVE_RETRY_H_
+#define SES_SERVE_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ses::serve {
+
+/// Client-side backoff policy for kOverloaded rejections. The schedule is
+/// jittered exponential: attempt k waits
+///
+///   base_k = initial_backoff_us * multiplier^k   (capped at max_backoff_us)
+///   floor  = max(base_k, server retry_after hint)
+///   delay  = floor * (1 - jitter + 2 * jitter * u),  u ~ U[0,1)
+///
+/// Full-spread jitter decorrelates a thundering herd: without it, every
+/// client rejected by the same overloaded batch retries in the same
+/// microsecond and re-creates the spike it is backing off from.
+struct RetryPolicy {
+  int max_attempts = 4;             ///< total tries including the first
+  int64_t initial_backoff_us = 200;
+  double multiplier = 2.0;
+  int64_t max_backoff_us = 50000;
+  double jitter = 0.5;              ///< 0 = deterministic, 0.5 = ±50%
+};
+
+/// Delay before retry number `attempt` (0 = first retry). `retry_after_us`
+/// is the server hint from Status (a floor, never shortened by backoff);
+/// `unit_random` is a caller-supplied draw in [0,1) so benches can seed
+/// deterministically.
+inline int64_t RetryDelayUs(const RetryPolicy& policy, int attempt,
+                            int64_t retry_after_us, double unit_random) {
+  double base = static_cast<double>(policy.initial_backoff_us);
+  for (int k = 0; k < attempt; ++k) base *= policy.multiplier;
+  base = std::min(base, static_cast<double>(policy.max_backoff_us));
+  base = std::max(base, static_cast<double>(retry_after_us));
+  const double spread = 1.0 - policy.jitter + 2.0 * policy.jitter * unit_random;
+  return static_cast<int64_t>(base * std::max(0.0, spread));
+}
+
+}  // namespace ses::serve
+
+#endif  // SES_SERVE_RETRY_H_

@@ -433,6 +433,83 @@ TEST(SloTrackerTest, RecordManyMatchesNRecordsExactly) {
   EXPECT_EQ(slo.Snapshot("op.many").requests, 20);
 }
 
+TEST(SloTrackerTest, IdleGapResetsTheRollingWindow) {
+  ResetObsState();
+  auto& slo = obs::SloTracker::Get();
+  slo.SetBudget("op.idle", /*latency_budget_us=*/100.0, /*target=*/0.5,
+                /*window=*/8, /*idle_reset_us=*/20'000.0);
+  for (int i = 0; i < 4; ++i) slo.Record("op.idle", 500.0);
+  EXPECT_DOUBLE_EQ(slo.Snapshot("op.idle").burn_rate, 2.0);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  // A stale window reads as 0 even before the next sample arrives — an
+  // admission controller must not shed morning traffic over last night's
+  // spike.
+  EXPECT_DOUBLE_EQ(slo.Snapshot("op.idle").burn_rate, 0.0);
+
+  // The first sample after the gap starts a fresh window: one healthy
+  // request out of one seen, not one out of five.
+  slo.Record("op.idle", 1.0);
+  EXPECT_DOUBLE_EQ(slo.Snapshot("op.idle").burn_rate, 0.0);
+  slo.Record("op.idle", 500.0);
+  // 1 breach / 2 seen over error budget 0.5 — the pre-idle spike is gone.
+  EXPECT_DOUBLE_EQ(slo.Snapshot("op.idle").burn_rate, 1.0);
+
+  // Cumulative counters survive the window reset.
+  const auto snap = slo.Snapshot("op.idle");
+  EXPECT_EQ(snap.requests, 6);
+  EXPECT_EQ(snap.breaches, 5);
+
+  // idle_reset_us <= 0 disables the decay entirely.
+  slo.SetBudget("op.sticky", 100.0, /*target=*/0.5, /*window=*/8,
+                /*idle_reset_us=*/0.0);
+  slo.Record("op.sticky", 500.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_DOUBLE_EQ(slo.Snapshot("op.sticky").burn_rate, 2.0);
+}
+
+TEST(HealthRegistryTest, ProvidersRegisterReplaceAndUnregister) {
+  obs::RegisterHealthProvider("t.zeta", [] { return std::string("{\"z\":1}"); });
+  obs::RegisterHealthProvider("t.alpha",
+                              [] { return std::string("{\"a\":1}"); });
+
+  auto find = [](const std::string& name)
+      -> std::pair<int, std::string> {  // (sorted index, json) or (-1, "")
+    const auto components = obs::CollectHealthComponents();
+    for (size_t i = 0; i < components.size(); ++i)
+      if (components[i].first == name)
+        return {static_cast<int>(i), components[i].second};
+    return {-1, ""};
+  };
+
+  // Both visible, sorted by name regardless of registration order.
+  const auto alpha = find("t.alpha");
+  const auto zeta = find("t.zeta");
+  ASSERT_NE(alpha.first, -1);
+  ASSERT_NE(zeta.first, -1);
+  EXPECT_LT(alpha.first, zeta.first);
+  EXPECT_EQ(alpha.second, "{\"a\":1}");
+
+  // Re-registering a name replaces the provider in place.
+  obs::RegisterHealthProvider("t.alpha",
+                              [] { return std::string("{\"a\":2}"); });
+  EXPECT_EQ(find("t.alpha").second, "{\"a\":2}");
+
+  // Registered components render into /healthz under "components".
+  obs::MetricsServer server;
+  ASSERT_TRUE(server.Start(0));
+  const std::string health = HttpGet(server.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(health.find("\"t.alpha\":{\"a\":2}"), std::string::npos);
+  server.Stop();
+
+  obs::UnregisterHealthProvider("t.zeta");
+  obs::UnregisterHealthProvider("t.alpha");
+  EXPECT_EQ(find("t.zeta").first, -1);
+  EXPECT_EQ(find("t.alpha").first, -1);
+  // Unregistering a never-registered name is a no-op.
+  obs::UnregisterHealthProvider("t.never");
+}
+
 TEST(HistogramTest, ObserveManyMatchesNObserves) {
   obs::Histogram one(obs::Histogram::ExponentialEdges(1.0, 2.0, 8));
   obs::Histogram many(obs::Histogram::ExponentialEdges(1.0, 2.0, 8));

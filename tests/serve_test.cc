@@ -2,10 +2,16 @@
 // (deadline / max-batch / shutdown), bitwise parity of the scheduled path
 // against direct InferenceSession calls under concurrent enqueue, trace-id
 // propagation from enqueue to the worker's spans, and the ses.sched.*
-// instrument surface.
+// instrument surface — plus the overload-resilience contract: typed
+// statuses for every rejected/expired/faulted request (no future ever
+// hangs), deadline semantics at both expiry stages, admission-control
+// shedding, degraded-mode cache serving, injected serving faults, and
+// clean drain with submissions racing Stop().
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -16,13 +22,17 @@
 #include "obs/metrics.h"
 #include "obs/request.h"
 #include "obs/trace.h"
+#include "robust/fault.h"
+#include "serve/admission.h"
 #include "serve/batch_scheduler.h"
+#include "serve/retry.h"
 #include "tensor/ops.h"
 
 namespace c = ses::core;
 namespace t = ses::tensor;
 namespace obs = ses::obs;
 namespace serve = ses::serve;
+namespace robust = ses::robust;
 
 namespace {
 
@@ -116,13 +126,38 @@ TEST_F(ServeTest, ShutdownDrainsQueuedRequests) {
   EXPECT_EQ(stats.requests, 32);
 }
 
-TEST_F(ServeTest, SubmitAfterStopReturnsInvalidFuture) {
+TEST_F(ServeTest, SubmitAfterStopResolvesTypedShutdownRejection) {
   c::InferenceSession session(model_, ds_);
   serve::BatchScheduler scheduler(&session);
   scheduler.Stop();
-  serve::PredictFuture fut = scheduler.SubmitPredict(0);
-  EXPECT_FALSE(fut.valid());
-  EXPECT_EQ(scheduler.stats().rejected, 1);
+
+  // Every post-stop Submit must hand back a VALID future that resolves
+  // immediately with kShuttingDown — an invalid future (or a hang) would
+  // force every caller to special-case shutdown.
+  serve::PredictFuture p = scheduler.SubmitPredict(0);
+  ASSERT_TRUE(p.valid());
+  ASSERT_TRUE(p.Ready());
+  EXPECT_EQ(p.Wait().code, serve::StatusCode::kShuttingDown);
+  int64_t cls = -7;
+  EXPECT_EQ(p.Get(&cls).code, serve::StatusCode::kShuttingDown);
+  EXPECT_EQ(cls, -7) << "result slot must stay untouched on failure";
+
+  serve::LogitsRowFuture row = scheduler.SubmitLogitsRow(1);
+  ASSERT_TRUE(row.valid());
+  EXPECT_EQ(row.Wait().code, serve::StatusCode::kShuttingDown);
+
+  serve::ExplainFuture ex = scheduler.SubmitExplain(2, /*top_k=*/3);
+  ASSERT_TRUE(ex.valid());
+  EXPECT_EQ(ex.Wait().code, serve::StatusCode::kShuttingDown);
+
+  const int64_t nodes[2] = {3, 4};
+  std::vector<serve::PredictFuture> outs(2);
+  EXPECT_EQ(scheduler.SubmitPredictStream(nodes, 2, outs.data()), 0);
+  for (auto& fut : outs) {
+    ASSERT_TRUE(fut.valid());
+    EXPECT_EQ(fut.Wait().code, serve::StatusCode::kShuttingDown);
+  }
+  EXPECT_EQ(scheduler.stats().rejected, 5);
 }
 
 TEST_F(ServeTest, ConcurrentEnqueueMatchesDirectPathBitwise) {
@@ -242,6 +277,477 @@ TEST_F(ServeTest, SubmitWithoutRequestScopeAllocatesFreshTraceIds) {
   EXPECT_NE(a.trace_id(), b.trace_id());
   a.Get();
   b.Get();
+}
+
+// --- deadlines ---------------------------------------------------------------
+
+TEST_F(ServeTest, NegativeDeadlineResolvesExpiredWithoutExecuting) {
+  c::InferenceSession session(model_, ds_);
+  serve::BatchScheduler scheduler(&session);
+  serve::SubmitOptions submit;
+  submit.deadline_us = -1.0;  // already expired at submission
+  serve::PredictFuture fut = scheduler.SubmitPredict(0, submit);
+  ASSERT_TRUE(fut.valid());
+  EXPECT_EQ(fut.Wait().code, serve::StatusCode::kDeadlineExceeded);
+  int64_t cls = -7;
+  EXPECT_EQ(fut.Get(&cls).code, serve::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(cls, -7);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.expired, 1) << "must expire in queue, pre-execution";
+  EXPECT_EQ(stats.expired_inflight, 0);
+  EXPECT_EQ(stats.internal_errors, 0);
+}
+
+TEST_F(ServeTest, DefaultDeadlineAppliesAndExplicitDeadlineOverrides) {
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.max_batch_size = 2;
+  opt.flush_deadline_us = 60'000'000;  // only the full flush may seal
+  opt.default_deadline_us = 50'000;    // 50ms for requests without one
+  opt.fault_plan = robust::FaultPlan::Parse("worker_stall:step=0,ms=250");
+  serve::BatchScheduler scheduler(&session, opt);
+
+  serve::PredictFuture defaulted = scheduler.SubmitPredict(2);
+  serve::SubmitOptions generous;
+  generous.deadline_us = 60'000'000.0;  // overrides the 50ms default
+  serve::PredictFuture overridden = scheduler.SubmitPredict(3, generous);
+
+  // The stalled worker dequeues the batch well past the 50ms default: the
+  // defaulted request is doomed work and must be dropped before the forward,
+  // while its batchmate (same batch, same stall) survives on its own longer
+  // deadline.
+  EXPECT_EQ(defaulted.Wait().code, serve::StatusCode::kDeadlineExceeded);
+  int64_t cls = -1;
+  ASSERT_EQ(overridden.Get(&cls).code, serve::StatusCode::kOk);
+  EXPECT_EQ(cls, session.PredictNode(3));
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.expired, 1);
+  EXPECT_EQ(stats.expired_inflight, 0);
+}
+
+TEST_F(ServeTest, QueueExpiredRequestIsDroppedBeforeForward) {
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.max_batch_size = 2;
+  opt.flush_deadline_us = 60'000'000;
+  opt.fault_plan = robust::FaultPlan::Parse("worker_stall:step=0,ms=250");
+  serve::BatchScheduler scheduler(&session, opt);
+
+  serve::SubmitOptions tight;
+  tight.deadline_us = 50'000.0;
+  serve::PredictFuture doomed = scheduler.SubmitPredict(1, tight);
+  serve::PredictFuture safe = scheduler.SubmitPredict(4);  // no deadline
+
+  EXPECT_EQ(doomed.Wait().code, serve::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(safe.Get(), session.PredictNode(4));
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.expired, 1);
+  EXPECT_EQ(stats.expired_inflight, 0);
+}
+
+TEST_F(ServeTest, MidFlightExpiryResolvesDeadlineExceeded) {
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.max_batch_size = 1;  // seals and dispatches immediately
+  opt.fault_plan = robust::FaultPlan::Parse("slow_forward:step=0,ms=250");
+  serve::BatchScheduler scheduler(&session, opt);
+
+  // The request is live at dequeue (deadline 100ms ahead) but the forward
+  // takes 250ms: the contract is "within the deadline", so the completion
+  // check must still expire it — as inflight, not queue, expiry.
+  serve::SubmitOptions submit;
+  submit.deadline_us = 100'000.0;
+  serve::PredictFuture fut = scheduler.SubmitPredict(0, submit);
+  EXPECT_EQ(fut.Wait().code, serve::StatusCode::kDeadlineExceeded);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.expired_inflight, 1);
+  EXPECT_EQ(stats.expired, 0);
+}
+
+// --- injected serving faults -------------------------------------------------
+
+TEST_F(ServeTest, PoisonedRequestFailsAloneWhileBatchmatesSucceed) {
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.max_batch_size = 4;
+  opt.flush_deadline_us = 60'000'000;
+  opt.fault_plan = robust::FaultPlan::Parse("poison_request:step=2");
+  serve::BatchScheduler scheduler(&session, opt);
+
+  std::vector<serve::PredictFuture> futs;
+  for (int64_t n = 0; n < 4; ++n) futs.push_back(scheduler.SubmitPredict(n));
+
+  // Accept-order request 2 is poisoned: it alone resolves kInternal; its
+  // batchmates still go through the (partitioned) batched forward and match
+  // the direct path bitwise.
+  int64_t cls = -7;
+  EXPECT_EQ(futs[2].Get(&cls).code, serve::StatusCode::kInternal);
+  EXPECT_EQ(cls, -7);
+  for (int64_t n : {0, 1, 3})
+    EXPECT_EQ(futs[static_cast<size_t>(n)].Get(), session.PredictNode(n));
+  EXPECT_EQ(scheduler.stats().internal_errors, 1);
+}
+
+TEST_F(ServeTest, ThrowingBatchResolvesInternalAndWorkerSurvives) {
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.max_batch_size = 2;
+  opt.flush_deadline_us = 60'000'000;
+  opt.fault_plan = robust::FaultPlan::Parse("serve_throw:step=0");
+  serve::BatchScheduler scheduler(&session, opt);
+
+  serve::PredictFuture a = scheduler.SubmitPredict(0);
+  serve::PredictFuture b = scheduler.SubmitPredict(1);
+  EXPECT_EQ(a.Wait().code, serve::StatusCode::kInternal);
+  EXPECT_EQ(b.Wait().code, serve::StatusCode::kInternal);
+
+  // The worker must survive the throw: the next batch executes normally.
+  serve::PredictFuture c1 = scheduler.SubmitPredict(2);
+  serve::PredictFuture d = scheduler.SubmitPredict(3);
+  EXPECT_EQ(c1.Get(), session.PredictNode(2));
+  EXPECT_EQ(d.Get(), session.PredictNode(3));
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.internal_errors, 2);
+  EXPECT_EQ(stats.batches, 2);
+}
+
+TEST_F(ServeTest, StalledWorkerStillDrainsCleanlyOnStop) {
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.max_batch_size = 1024;
+  opt.flush_deadline_us = 60'000'000;  // requests can only leave via Stop()
+  opt.fault_plan = robust::FaultPlan::Parse("worker_stall:step=0,ms=100");
+  serve::BatchScheduler scheduler(&session, opt);
+
+  std::vector<serve::PredictFuture> futs;
+  for (int64_t n = 0; n < 8; ++n) futs.push_back(scheduler.SubmitPredict(n));
+  scheduler.Stop();  // must wait out the stall, not abandon the batch
+
+  for (int64_t n = 0; n < 8; ++n) {
+    ASSERT_TRUE(futs[static_cast<size_t>(n)].Ready());
+    EXPECT_EQ(futs[static_cast<size_t>(n)].Get(), session.PredictNode(n));
+  }
+  EXPECT_EQ(scheduler.stats().shutdown_flushes, 1);
+}
+
+// --- admission control -------------------------------------------------------
+
+/// Spins until the worker has popped every queued request (the live
+/// queue-depth gauge reads 0), so a test can line up admission decisions
+/// against a known queue state while the worker is held in a stall fault.
+void WaitForEmptyQueue() {
+  auto& gauge = obs::MetricsRegistry::Get().GetGauge("ses.sched.queue_depth");
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (gauge.Value() != 0.0 && std::chrono::steady_clock::now() < give_up)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(gauge.Value(), 0.0) << "worker never drained the queue";
+}
+
+TEST_F(ServeTest, AdmissionShedResolvesTypedOverloadedWithRetryHint) {
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.max_batch_size = 1;  // every submit seals its own batch
+  opt.admission = std::make_shared<serve::BoundedQueueAdmission>(
+      /*max_queued_requests=*/2, /*retry_after_us=*/750);
+  opt.fault_plan = robust::FaultPlan::Parse("worker_stall:step=0,ms=400");
+  serve::BatchScheduler scheduler(&session, opt);
+
+  // Prime one request and wait until the worker holds it in the stall: the
+  // queue is now empty and the worker is busy for 400ms.
+  serve::PredictFuture primed = scheduler.SubmitPredict(0);
+  WaitForEmptyQueue();
+
+  serve::PredictFuture first = scheduler.SubmitPredict(1);    // queued: 1
+  serve::PredictFuture second = scheduler.SubmitPredict(2);   // queued: 2
+  serve::PredictFuture shed = scheduler.SubmitPredict(3);     // at the bound
+  ASSERT_TRUE(shed.valid());
+  ASSERT_TRUE(shed.Ready()) << "shed must be an immediate rejection";
+  const serve::Status status = shed.Wait();
+  EXPECT_EQ(status.code, serve::StatusCode::kOverloaded);
+  EXPECT_EQ(status.retry_after_us, 750);
+
+  // Admitted work is unaffected once the stall clears.
+  EXPECT_EQ(primed.Get(), session.PredictNode(0));
+  EXPECT_EQ(first.Get(), session.PredictNode(1));
+  EXPECT_EQ(second.Get(), session.PredictNode(2));
+  EXPECT_EQ(scheduler.stats().shed, 1);
+}
+
+TEST_F(ServeTest, StreamShedSlotsGetTypedRejectionFutures) {
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.max_batch_size = 1;
+  opt.admission = std::make_shared<serve::BoundedQueueAdmission>(
+      /*max_queued_requests=*/1, /*retry_after_us=*/333);
+  opt.fault_plan = robust::FaultPlan::Parse("worker_stall:step=0,ms=400");
+  serve::BatchScheduler scheduler(&session, opt);
+
+  serve::PredictFuture primed = scheduler.SubmitPredict(0);
+  WaitForEmptyQueue();
+
+  // One slot fits under the bound; the rest of the stream must come back as
+  // immediate typed rejections in their slots, not silently dropped.
+  const int64_t nodes[6] = {1, 2, 3, 4, 5, 6};
+  std::vector<serve::PredictFuture> outs(6);
+  EXPECT_EQ(scheduler.SubmitPredictStream(nodes, 6, outs.data()), 1);
+  EXPECT_EQ(outs[0].Get(), session.PredictNode(1));
+  for (size_t i = 1; i < 6; ++i) {
+    ASSERT_TRUE(outs[i].valid());
+    const serve::Status status = outs[i].Wait();
+    EXPECT_EQ(status.code, serve::StatusCode::kOverloaded);
+    EXPECT_EQ(status.retry_after_us, 333);
+  }
+  EXPECT_EQ(primed.Get(), session.PredictNode(0));
+  EXPECT_EQ(scheduler.stats().shed, 5);
+}
+
+// --- degraded mode -----------------------------------------------------------
+
+TEST_F(ServeTest, ForcedDegradedServesWarmPredictsFromCacheAndShedsExplain) {
+  c::InferenceSession session(model_, ds_);
+  session.Logits();  // warm the memoized-logits cache
+  serve::SchedulerOptions opt;
+  opt.degraded.probe_every = 0;  // no canaries: every predict may cache-serve
+  opt.degraded.retry_after_us = 777;
+  serve::BatchScheduler scheduler(&session, opt);
+  scheduler.ForceDegradedForTest(true);
+
+  serve::PredictFuture fut = scheduler.SubmitPredict(5);
+  ASSERT_TRUE(fut.Ready()) << "warm degraded predict must never queue";
+  EXPECT_EQ(fut.Get(), session.PredictNode(5));
+  EXPECT_EQ(scheduler.stats().degraded_served, 1);
+
+  serve::ExplainFuture ex = scheduler.SubmitExplain(5, /*top_k=*/3);
+  ASSERT_TRUE(ex.Ready());
+  const serve::Status status = ex.Wait();
+  EXPECT_EQ(status.code, serve::StatusCode::kOverloaded);
+  EXPECT_EQ(status.retry_after_us, 777);
+
+  // Leaving degraded mode restores normal explain service.
+  scheduler.ForceDegradedForTest(false);
+  serve::ExplainFuture ok = scheduler.SubmitExplain(5, /*top_k=*/3);
+  const auto direct = session.ExplainNode(5, /*top_k=*/3);
+  EXPECT_EQ(ok.Get().neighbors, direct.neighbors);
+}
+
+TEST_F(ServeTest, ColdCacheDegradedPredictFallsThroughToTheQueue) {
+  c::InferenceSession session(model_, ds_);  // cache deliberately cold
+  serve::SchedulerOptions opt;
+  opt.degraded.probe_every = 0;
+  serve::BatchScheduler scheduler(&session, opt);
+  scheduler.ForceDegradedForTest(true);
+
+  // Cold cache: the degraded fast path cannot answer, so the request takes
+  // the normal queue (which warms the cache as a side effect of executing).
+  serve::PredictFuture cold = scheduler.SubmitPredict(0);
+  int64_t cls = -1;
+  ASSERT_EQ(cold.Get(&cls).code, serve::StatusCode::kOk);
+  EXPECT_EQ(cls, session.PredictNode(0));
+  EXPECT_EQ(scheduler.stats().degraded_served, 0);
+
+  serve::PredictFuture warm = scheduler.SubmitPredict(1);
+  ASSERT_TRUE(warm.Ready()) << "cache is warm now: must serve immediately";
+  EXPECT_EQ(warm.Get(), session.PredictNode(1));
+  EXPECT_EQ(scheduler.stats().degraded_served, 1);
+}
+
+TEST_F(ServeTest, CanaryProbesKeepFlowingThroughTheQueueWhileDegraded) {
+  c::InferenceSession session(model_, ds_);
+  session.Logits();
+  serve::SchedulerOptions opt;
+  opt.degraded.probe_every = 1;  // every degraded predict is a canary
+  serve::BatchScheduler scheduler(&session, opt);
+  scheduler.ForceDegradedForTest(true);
+
+  for (int64_t n = 0; n < 3; ++n)
+    EXPECT_EQ(scheduler.SubmitPredict(n).Get(), session.PredictNode(n));
+  // All three went through the queue (canaries), none from the cache — the
+  // queue-wait signal keeps flowing, so recovery stays observable.
+  EXPECT_EQ(scheduler.stats().degraded_served, 0);
+  EXPECT_GE(scheduler.stats().batches, 1);
+}
+
+TEST_F(ServeTest, SustainedQueueWaitBurnEntersDegradedMode) {
+  c::InferenceSession session(model_, ds_);
+  session.Logits();
+  serve::SchedulerOptions opt;
+  // A queue-wait budget no real dequeue can meet: the first batch breaches,
+  // burn = (1/1) / (1 - 0.5) = 2.0 >= enter threshold, and with
+  // enter_consecutive = 1 the scheduler is degraded by the time the first
+  // future resolves (completion publishes after the state update).
+  opt.queue_wait_budget_us = 0.5;
+  opt.queue_wait_target = 0.5;
+  opt.queue_wait_window = 4;
+  opt.degraded.enabled = true;
+  opt.degraded.enter_burn_rate = 1.0;
+  opt.degraded.exit_burn_rate = 0.5;
+  opt.degraded.enter_consecutive = 1;
+  opt.degraded.exit_consecutive = 1'000'000;  // never leave during the test
+  opt.degraded.probe_every = 0;
+  opt.degraded.retry_after_us = 555;
+  serve::BatchScheduler scheduler(&session, opt);
+
+  EXPECT_EQ(scheduler.SubmitPredict(0).Get(), session.PredictNode(0));
+  EXPECT_TRUE(scheduler.degraded());
+  EXPECT_EQ(scheduler.stats().degraded_entries, 1);
+
+  // Degraded behavior is live: warm predict from cache, explain shed.
+  serve::PredictFuture cached = scheduler.SubmitPredict(1);
+  ASSERT_TRUE(cached.Ready());
+  EXPECT_EQ(cached.Get(), session.PredictNode(1));
+  EXPECT_EQ(scheduler.stats().degraded_served, 1);
+  const serve::Status shed = scheduler.SubmitExplain(1, 3).Wait();
+  EXPECT_EQ(shed.code, serve::StatusCode::kOverloaded);
+  EXPECT_EQ(shed.retry_after_us, 555);
+}
+
+// --- shutdown races ----------------------------------------------------------
+
+TEST_F(ServeTest, SubmitsRacingStopAllResolveTyped) {
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.max_batch_size = 8;
+  serve::BatchScheduler scheduler(&session, opt);
+
+  constexpr int kThreads = 4;
+  constexpr int64_t kPerThread = 64;
+  std::atomic<int64_t> ok{0}, shutdown{0}, other{0};
+  std::vector<std::thread> clients;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    clients.emplace_back([&, tid] {
+      for (int64_t q = 0; q < kPerThread; ++q) {
+        serve::PredictFuture fut =
+            scheduler.SubmitPredict((tid * 131 + q * 17) % num_nodes());
+        if (!fut.valid()) {
+          other.fetch_add(1);
+          continue;
+        }
+        switch (fut.Wait().code) {
+          case serve::StatusCode::kOk: ok.fetch_add(1); break;
+          case serve::StatusCode::kShuttingDown: shutdown.fetch_add(1); break;
+          default: other.fetch_add(1); break;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  scheduler.Stop();  // races the submitting threads
+  for (auto& th : clients) th.join();
+
+  // Every single submission resolved, with exactly one of the two legal
+  // codes, and the scheduler's books agree with the clients'.
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_EQ(ok.load() + shutdown.load(), kThreads * kPerThread);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.requests, ok.load());
+  EXPECT_EQ(stats.rejected, shutdown.load());
+}
+
+// --- admission / retry policy units ------------------------------------------
+
+TEST(AdmissionTest, BoundedQueueShedsAtTheBound) {
+  serve::BoundedQueueAdmission admission(/*max_queued_requests=*/4,
+                                         /*retry_after_us=*/999);
+  EXPECT_TRUE(admission.Admit(serve::OpKind::kPredict, 3).admit);
+  const serve::AdmissionDecision shed =
+      admission.Admit(serve::OpKind::kExplain, 4);
+  EXPECT_FALSE(shed.admit);
+  EXPECT_STREQ(shed.reason, "queue_depth");
+  EXPECT_EQ(shed.retry_after_us, 999);
+  EXPECT_NE(admission.DebugState().find("bounded_queue"), std::string::npos);
+}
+
+TEST(AdmissionTest, BurnRateShedsLowestPriorityOpsFirst) {
+  serve::BurnRateAdmission::Options opt;
+  opt.shed_explain_burn_rate = 1.0;
+  opt.shed_all_burn_rate = 6.0;
+  opt.max_queued_requests = 10;
+  opt.base_retry_after_us = 100;
+  serve::BurnRateAdmission admission(opt);
+
+  // No burn: everything is admitted.
+  EXPECT_TRUE(admission.Admit(serve::OpKind::kExplain, 0).admit);
+
+  // Between the thresholds: recomputable ops shed, Predict survives, and the
+  // hint scales with how far past the threshold the burn is (2x -> 200us).
+  admission.ObserveBurnRate(2.0);
+  EXPECT_TRUE(admission.Admit(serve::OpKind::kPredict, 0).admit);
+  const serve::AdmissionDecision explain_shed =
+      admission.Admit(serve::OpKind::kExplain, 0);
+  EXPECT_FALSE(explain_shed.admit);
+  EXPECT_STREQ(explain_shed.reason, "burn_rate_explain");
+  EXPECT_EQ(explain_shed.retry_after_us, 200);
+  EXPECT_FALSE(admission.Admit(serve::OpKind::kLogitsRow, 0).admit);
+
+  // Above shed_all: even Predict sheds, hinted at 8/6 of the base.
+  admission.ObserveBurnRate(8.0);
+  const serve::AdmissionDecision all_shed =
+      admission.Admit(serve::OpKind::kPredict, 0);
+  EXPECT_FALSE(all_shed.admit);
+  EXPECT_STREQ(all_shed.reason, "burn_rate");
+  EXPECT_EQ(all_shed.retry_after_us, 133);
+
+  // The scaling factor is capped so the hint stays a retry, not a goodbye.
+  admission.ObserveBurnRate(1000.0);
+  EXPECT_EQ(admission.Admit(serve::OpKind::kPredict, 0).retry_after_us, 6400);
+
+  // The hard queue bound backstops the adaptive part even at zero burn.
+  admission.ObserveBurnRate(0.0);
+  const serve::AdmissionDecision backstop =
+      admission.Admit(serve::OpKind::kPredict, 10);
+  EXPECT_FALSE(backstop.admit);
+  EXPECT_STREQ(backstop.reason, "queue_depth");
+}
+
+TEST(AdmissionTest, DegradedStateHysteresisOnBothEdges) {
+  serve::DegradedModeOptions opt;
+  opt.enter_burn_rate = 2.0;
+  opt.exit_burn_rate = 0.5;
+  opt.enter_consecutive = 2;
+  opt.exit_consecutive = 3;
+  serve::DegradedState state(opt);
+
+  // One hot observation is not enough, and a mid-band one resets the streak.
+  EXPECT_FALSE(state.Update(3.0));
+  EXPECT_FALSE(state.Update(1.0));  // mid-band: streak lost
+  EXPECT_FALSE(state.Update(3.0));
+  EXPECT_TRUE(state.Update(2.0));  // >= enter counts; streak of 2 -> enter
+  EXPECT_EQ(state.entries(), 1);
+
+  // Mid-band holds the current state; a hot blip resets the cool streak.
+  EXPECT_TRUE(state.Update(1.0));
+  EXPECT_TRUE(state.Update(0.4));
+  EXPECT_TRUE(state.Update(0.4));
+  EXPECT_TRUE(state.Update(3.0));  // cool streak lost
+  EXPECT_TRUE(state.Update(0.4));
+  EXPECT_TRUE(state.Update(0.4));
+  EXPECT_FALSE(state.Update(0.4));  // third consecutive cool -> exit
+
+  // Re-entry counts a second transition.
+  EXPECT_FALSE(state.Update(5.0));
+  EXPECT_TRUE(state.Update(5.0));
+  EXPECT_EQ(state.entries(), 2);
+}
+
+TEST(RetryTest, BackoffGrowsCapsFloorsOnHintAndJitters) {
+  serve::RetryPolicy policy;
+  policy.initial_backoff_us = 100;
+  policy.multiplier = 2.0;
+  policy.max_backoff_us = 1000;
+  policy.jitter = 0.5;
+
+  // u = 0.5 makes the spread exactly 1.0: pure exponential readings.
+  EXPECT_EQ(serve::RetryDelayUs(policy, 0, 0, 0.5), 100);
+  EXPECT_EQ(serve::RetryDelayUs(policy, 2, 0, 0.5), 400);
+  EXPECT_EQ(serve::RetryDelayUs(policy, 5, 0, 0.5), 1000);  // capped
+
+  // The server hint is a floor backoff can never undercut.
+  EXPECT_EQ(serve::RetryDelayUs(policy, 0, 5000, 0.5), 5000);
+
+  // Full jitter spread: +-50% around the base.
+  EXPECT_EQ(serve::RetryDelayUs(policy, 0, 0, 0.0), 50);
+  EXPECT_EQ(serve::RetryDelayUs(policy, 0, 0, 0.999), 149);
 }
 
 // --- batched session APIs the scheduler dispatches to -----------------------
