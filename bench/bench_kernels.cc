@@ -17,6 +17,7 @@
 // Flags: --out=PATH, --reps=N (per-kernel repetitions), --smoke (tiny
 // shapes + short calibration for CI), plus the usual ObsSession flags
 // (--trace-out, --flame-out, --metrics-port, ...).
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -26,6 +27,8 @@
 #include "autograd/sparse_ops.h"
 #include "autograd/variable.h"
 #include "bench_common.h"
+#include "kernels/dispatch.h"
+#include "kernels/spmm.h"
 #include "tensor/ops.h"
 #include "tensor/sparse.h"
 #include "util/rng.h"
@@ -78,6 +81,27 @@ ag::EdgeListPtr RandomEdges(int64_t num_nodes, int64_t per_node,
   return edges;
 }
 
+/// Best GFLOP/s among spmm entries whose variant passes `pred`.
+template <typename Pred>
+double BestSpmmGflops(const std::vector<obs::KernelStats>& stats, Pred pred) {
+  double best = 0.0;
+  for (const obs::KernelStats& s : stats)
+    if (s.kernel == "spmm" && pred(s.variant)) best = std::max(best, s.Gflops());
+  return best;
+}
+
+/// SIMD-vs-scalar SpMM speedup from the per-variant sweep: best SIMD-tier
+/// GFLOP/s over best scalar-tier GFLOP/s (0 when either side is missing).
+double SpmmSimdSpeedup(const std::vector<obs::KernelStats>& stats) {
+  const double scalar = BestSpmmGflops(stats, [](const std::string& v) {
+    return v.size() > 7 && v.rfind("_scalar") == v.size() - 7;
+  });
+  const double simd = BestSpmmGflops(stats, [](const std::string& v) {
+    return v.find("_avx") != std::string::npos;
+  });
+  return scalar > 0.0 && simd > 0.0 ? simd / scalar : 0.0;
+}
+
 void WriteJson(const std::string& path, const std::vector<obs::KernelStats>& stats,
                const obs::RooflineModel& roof) {
   std::ofstream out(path);
@@ -86,7 +110,15 @@ void WriteJson(const std::string& path, const std::vector<obs::KernelStats>& sta
     std::exit(1);
   }
   const bool perf = obs::PerfCountersAvailable();
-  out << "{\n  \"schema_version\": 1,\n";
+  // schema_version 2: variant labels carry the dispatched SIMD tier
+  // ("csr_avx2", "dense_scalar", ...), spmm has one entry per swept
+  // (algo, tier) variant, and the file records the active tier plus the
+  // measured SIMD speedup. bench_check.sh compares like variant to like
+  // variant and falls back to best-of when the baseline predates variants.
+  out << "{\n  \"schema_version\": 2,\n";
+  out << "  \"active_tier\": \"" << kernels::TierName(kernels::ActiveTier())
+      << "\",\n";
+  out << "  \"spmm_simd_speedup\": " << SpmmSimdSpeedup(stats) << ",\n";
   out << "  \"perf_available\": " << (perf ? "true" : "false") << ",\n";
   out << "  \"perf_unavailable_reason\": \"" << obs::PerfUnavailableReason()
       << "\",\n";
@@ -162,33 +194,72 @@ int main(int argc, char** argv) {
 
   const ag::InferenceGuard no_grad;  // tape-free: measure the kernels only
   for (int64_t r = 0; r < reps; ++r) {
-    (void)t::MatMul(a, b);                   // matmul|dense
+    (void)t::MatMul(a, b);                   // matmul|dense_<tier>
     (void)t::MatMulTransposedB(a, b);        // matmul|bt
     (void)t::MatMulTransposedA(a, b);        // matmul|at
-    (void)sm.MatMul(dense);                  // spmm|csr
-    (void)ag::SpMM(edges, edge_w, xvar);     // spmm|edges
-    (void)t::Add(ew_a, ew_b);                // elementwise|binary
-    (void)t::Relu(ew_a);                     // elementwise|unary
+    (void)sm.MatMul(dense);                  // spmm|csr_<tier>
+    (void)ag::SpMM(edges, edge_w, xvar);     // spmm|<plan-selected variant>
+    (void)t::Add(ew_a, ew_b);                // elementwise|binary_<tier>
+    (void)t::Relu(ew_a);                     // elementwise|unary_<tier>
     (void)t::GatherRows(dense, gather_idx);  // row_gather|copy
-    t::Tensor scatter_out(sp_rows, feat);    // scatter_add|rows
+    t::Tensor scatter_out(sp_rows, feat);    // scatter_add|rows_<tier>
     t::ScatterAddRows(dense, gather_idx, &scatter_out);
   }
 
+  // Per-variant SpMM sweep: every (algo, tier) pair the dispatch layer can
+  // select, like-for-like over the same graph and operands. This is what
+  // feeds the schema-2 per-variant entries, the spmm_simd_speedup field,
+  // and bench_check.sh's like-variant-to-like-variant gating. Unsupported
+  // tiers are logged, not silently skipped.
+  {
+    const auto plan = edges->plan();
+    const int64_t e_count = edges->size();
+    const double sweep_flops = 2.0 * static_cast<double>(e_count) * feat;
+    const double sweep_bytes =
+        static_cast<double>(e_count) * (20.0 + 12.0 * feat);
+    for (int tier_i = 0; tier_i < kernels::kNumSimdTiers; ++tier_i) {
+      const auto tier = static_cast<kernels::SimdTier>(tier_i);
+      if (!kernels::TierSupported(tier)) {
+        std::printf("spmm sweep: tier %s unsupported on this host, skipped\n",
+                    kernels::TierName(tier));
+        continue;
+      }
+      for (int algo_i = 0; algo_i < kernels::kNumSpmmAlgos; ++algo_i) {
+        const kernels::SpmmChoice choice{
+            static_cast<kernels::SpmmAlgo>(algo_i), tier};
+        for (int64_t r = 0; r < reps; ++r) {
+          t::Tensor out_t = t::Tensor::Zeros(sp_rows, feat);
+          obs::KernelScope kscope("spmm", kernels::SpmmVariantName(choice),
+                                  sweep_flops, sweep_bytes);
+          plan->Run(choice, edge_w.value().data(), dense.data(), feat,
+                    out_t.data(), /*bias=*/nullptr, /*relu=*/false);
+        }
+      }
+    }
+  }
+
   const std::vector<obs::KernelStats> stats = obs::SnapshotKernelStats();
+  // Perf status once in the header; the rows drop the IPC column when the
+  // counters are unavailable instead of printing a 0.00 per line.
+  const bool perf_ok = obs::PerfCountersAvailable();
+  std::printf("active tier: %s; perf counters: %s%s\n",
+              kernels::TierName(kernels::ActiveTier()),
+              perf_ok ? "available" : "unavailable",
+              perf_ok ? "" : (" (" + obs::PerfUnavailableReason() + ")").c_str());
   std::printf("%-24s %10s %12s %10s %8s %10s\n", "kernel", "calls",
               "time_ms", "GFLOP/s", "IPC", "intensity");
   for (const obs::KernelStats& s : stats) {
-    std::printf("%-24s %10llu %12.3f %10.3f %8.2f %10.3f\n",
+    char ipc[16];
+    if (perf_ok)
+      std::snprintf(ipc, sizeof(ipc), "%8.2f", s.counters.Ipc());
+    else
+      std::snprintf(ipc, sizeof(ipc), "%8s", "-");
+    std::printf("%-24s %10llu %12.3f %10.3f %s %10.3f\n",
                 (s.kernel + "|" + s.variant).c_str(),
                 static_cast<unsigned long long>(s.calls),
-                s.inclusive_ns / 1e6, s.Gflops(), s.counters.Ipc(),
-                s.Intensity());
+                s.inclusive_ns / 1e6, s.Gflops(), ipc, s.Intensity());
   }
-  std::printf("perf counters: %s%s\n",
-              obs::PerfCountersAvailable() ? "available" : "unavailable",
-              obs::PerfCountersAvailable()
-                  ? ""
-                  : (" (" + obs::PerfUnavailableReason() + ")").c_str());
+  std::printf("spmm simd speedup: %.2fx\n", SpmmSimdSpeedup(stats));
 
   WriteJson(out_path, stats, roof);
   return 0;

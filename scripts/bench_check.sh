@@ -40,6 +40,7 @@
 # Usage: scripts/bench_check.sh CANDIDATE.json [BASELINE.json]
 #   SES_BENCH_MAX_REGRESSION      allowed fractional regression (default 0.20)
 #   SES_BENCH_MIN_SCHED_SPEEDUP   open-loop sched/direct floor (default 2.0)
+#   SES_BENCH_MIN_SPMM_SPEEDUP    SIMD-vs-scalar SpMM GFLOP/s floor (1.5)
 #   SES_BENCH_MIN_OVERLOAD_RETENTION  10x/1x goodput floor (default 0.70)
 #   SES_BENCH_MAX_LOAD            per-core pre-bench load ceiling (default 0.8)
 #   SES_BENCH_PRELOAD             pre-bench 1-min loadavg (set by ci.sh)
@@ -126,6 +127,7 @@ else
 fi
 MAX_REGRESSION="${SES_BENCH_MAX_REGRESSION:-0.20}"
 MIN_SCHED_SPEEDUP="${SES_BENCH_MIN_SCHED_SPEEDUP:-2.0}"
+MIN_SPMM_SPEEDUP="${SES_BENCH_MIN_SPMM_SPEEDUP:-1.5}"
 MAX_LOAD="${SES_BENCH_MAX_LOAD:-0.8}"
 PRELOAD="${SES_BENCH_PRELOAD:-}"
 
@@ -154,12 +156,13 @@ if [[ -n "${PRELOAD}" ]]; then
   fi
 fi
 
-python3 - "$BASELINE" "$CANDIDATE" "$MAX_REGRESSION" "$MIN_SCHED_SPEEDUP" <<'PY'
+python3 - "$BASELINE" "$CANDIDATE" "$MAX_REGRESSION" "$MIN_SCHED_SPEEDUP" "$MIN_SPMM_SPEEDUP" <<'PY'
 import json
 import sys
 
 baseline_path, candidate_path = sys.argv[1], sys.argv[2]
 allowed, min_sched = float(sys.argv[3]), float(sys.argv[4])
+min_spmm_speedup = float(sys.argv[5])
 
 
 def load(path, role):
@@ -195,33 +198,101 @@ failures = []
 # Kernel-observatory gate: per-(kernel, variant) GFLOP/s floor. Engaged only
 # when BOTH documents carry the "kernels" block, so the gate stays inert
 # against serving artifacts and pre-observatory baselines during bisection.
+#
+# Schema 2 variant labels carry the dispatched SIMD tier ("spmm|csr_avx2");
+# comparison is like variant to like variant when both sides speak schema 2.
+# Against a schema-1 baseline (pre-variant labels like "spmm|csr") each old
+# entry is compared to the BEST candidate entry in its family — the candidate
+# may legitimately have sped the kernel up by dispatching a wider tier, and a
+# scalar-vs-scalar comparison is impossible when the baseline never recorded
+# which tier it ran.
+TIER_SUFFIXES = ("_scalar", "_avx2", "_avx512")
+
+
+def family(name):
+    """Strips the tier suffix: 'spmm|csr_avx2' -> 'spmm|csr'."""
+    for suffix in TIER_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
 if "kernels" in cand or "kernels" in base:
     if "kernels" not in base or "kernels" not in cand:
         print("kernels block absent from baseline or candidate; kernel gate "
               "skipped")
         sys.exit(0)
-    shared = sorted(set(base["kernels"]) & set(cand["kernels"]))
-    only_base = sorted(set(base["kernels"]) - set(cand["kernels"]))
-    only_cand = sorted(set(cand["kernels"]) - set(base["kernels"]))
-    if only_base:
-        print(f"kernels only in baseline (not gated): {', '.join(only_base)}")
-    if only_cand:
-        print(f"kernels only in candidate (not gated): {', '.join(only_cand)}")
-    for name in shared:
+    base_schema = int(base.get("schema_version", 1))
+    cand_schema = int(cand.get("schema_version", 1))
+
+    def metric_of(doc, name, role, src):
         # Pure data movement declares 0 FLOPs; gate its bandwidth instead.
-        metric = "gflops"
-        if lookup(base, f"kernels.{name}.gflops", "baseline",
-                  baseline_path) == 0:
-            metric = "gbps"
-        b = lookup(base, f"kernels.{name}.{metric}", "baseline", baseline_path)
-        c = lookup(cand, f"kernels.{name}.{metric}", "candidate",
+        if lookup(doc, f"kernels.{name}.gflops", role, src) == 0:
+            return "gbps"
+        return "gflops"
+
+    if base_schema >= 2 and cand_schema >= 2:
+        pairs = [(n, n) for n in sorted(set(base["kernels"])
+                                        & set(cand["kernels"]))]
+        only_base = sorted(set(base["kernels"]) - set(cand["kernels"]))
+        only_cand = sorted(set(cand["kernels"]) - set(base["kernels"]))
+        if only_base:
+            print("kernels only in baseline (not gated): "
+                  + ", ".join(only_base))
+        if only_cand:
+            print("kernels only in candidate (not gated): "
+                  + ", ".join(only_cand))
+    else:
+        # Best-of fallback for pre-variant baselines: old "spmm|csr" gates
+        # against the best of "spmm|csr_{scalar,avx2,avx512}".
+        print(f"baseline schema {base_schema} predates kernel variants; "
+              f"comparing each baseline kernel to the candidate's best "
+              f"variant in its family")
+        by_family = {}
+        for name in cand["kernels"]:
+            by_family.setdefault(family(name), []).append(name)
+        pairs = []
+        for bname in sorted(base["kernels"]):
+            members = by_family.get(family(bname), [])
+            if not members:
+                print(f"kernel {bname}: no candidate variant in its family "
+                      f"(not gated)")
+                continue
+            metric = metric_of(base, bname, "baseline", baseline_path)
+            best = max(members,
+                       key=lambda n: lookup(cand, f"kernels.{n}.{metric}",
+                                            "candidate", candidate_path))
+            pairs.append((bname, best))
+
+    for bname, cname in pairs:
+        metric = metric_of(base, bname, "baseline", baseline_path)
+        b = lookup(base, f"kernels.{bname}.{metric}", "baseline",
+                   baseline_path)
+        c = lookup(cand, f"kernels.{cname}.{metric}", "candidate",
                    candidate_path)
         drop = 0.0 if b <= 0 else (b - c) / b
-        print(f"kernel {name}: baseline {b:.3f} candidate {c:.3f} {metric}  "
+        label = bname if bname == cname else f"{bname} -> {cname}"
+        print(f"kernel {label}: baseline {b:.3f} candidate {c:.3f} {metric}  "
               f"drop {drop:+.1%} (allowed {allowed:.0%})")
         if drop > allowed:
             failures.append(
-                f"kernel {name} {metric} dropped {drop:.1%} (> {allowed:.0%})")
+                f"kernel {label} {metric} dropped {drop:.1%} (> {allowed:.0%})")
+
+    # SpMM SIMD speedup floor (schema 2 candidates): the per-variant sweep
+    # must show the dispatched SIMD tiers actually beating the scalar
+    # reference. Skipped with a log line when the host has no SIMD tier.
+    if "spmm_simd_speedup" in cand:
+        speedup = float(cand["spmm_simd_speedup"])
+        if speedup <= 0.0:
+            print("spmm SIMD speedup: no SIMD tier on this host; floor "
+                  "skipped")
+        else:
+            print(f"spmm SIMD speedup: {speedup:.2f}x "
+                  f"(floor {min_spmm_speedup:.1f}x)")
+            if speedup < min_spmm_speedup:
+                failures.append(
+                    f"spmm SIMD speedup {speedup:.2f}x fell below the "
+                    f"{min_spmm_speedup:.1f}x floor")
     if failures:
         for f in failures:
             print(f"BENCH GATE FAIL: {f}", file=sys.stderr)

@@ -21,6 +21,11 @@
 #                           # committed BENCH_kernels.json baseline, JSON
 #                           # schema validation, and a SES_PERF_DISABLE=1
 #                           # run proving the clock-only fallback
+#   scripts/ci.sh kernels-dispatch
+#                           # SIMD dispatch gate: kernel parity suite with
+#                           # SES_KERNEL_VARIANT pinned per CPU-supported
+#                           # tier (skips logged), autotuner determinism
+#                           # double-run, and the parity suite under UBSan
 #
 # No arguments runs every stage in the order above. A numeric first argument
 # is accepted as a job count for backward compatibility; JOBS=<n> works too.
@@ -69,6 +74,14 @@ ensure_tsan() {
   [[ -f build-tsan/CMakeCache.txt ]] || build_variant "tsan" build-tsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSES_SANITIZE=thread
   cmake --build build-tsan -j "${JOBS}"
+}
+
+ensure_ubsan() {
+  [[ -f build-ubsan/CMakeCache.txt ]] || \
+    cmake -B build-ubsan -S . "${CMAKE_EXTRA[@]}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSES_SANITIZE=undefined
+  # Only the kernel parity suite runs under UBSan; skip the full build.
+  cmake --build build-ubsan -j "${JOBS}" --target kernels_test
 }
 
 # ---------------------------------------------------------------------------
@@ -354,13 +367,22 @@ import json, sys
 
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-assert doc["schema_version"] == 1, doc.get("schema_version")
+assert doc["schema_version"] == 2, doc.get("schema_version")
+assert doc["active_tier"] in ("scalar", "avx2", "avx512"), doc["active_tier"]
+assert isinstance(doc["spmm_simd_speedup"], (int, float)) \
+    and doc["spmm_simd_speedup"] >= 0, doc["spmm_simd_speedup"]
 assert isinstance(doc["perf_available"], bool)
 roof = doc["roofline"]
 for key in ("peak_gflops", "peak_bw_gbs", "ridge_intensity"):
     assert roof[key] > 0, f"roofline.{key} = {roof[key]}"
 kernels = doc["kernels"]
 assert len(kernels) >= 5, f"expected >=5 kernels, got {len(kernels)}"
+tiered = [n for n in kernels
+          if n.endswith(("_scalar", "_avx2", "_avx512"))]
+assert tiered, "schema 2 requires tier-suffixed variant labels"
+spmm_variants = [n for n in kernels if n.startswith("spmm|")]
+assert len(spmm_variants) >= 3, \
+    f"expected a per-variant spmm sweep, got {spmm_variants}"
 for name, k in kernels.items():
     assert k["calls"] > 0, name
     assert k["time_ms"] > 0, name
@@ -371,8 +393,10 @@ for name, k in kernels.items():
     if doc["perf_available"]:
         assert k["counters_valid"] and k["ipc"] > 0, \
             f"{name}: perf available but counters invalid"
-print(f"schema ok: {len(kernels)} kernels, perf_available="
-      f"{doc['perf_available']}")
+print(f"schema ok: {len(kernels)} kernels ({len(spmm_variants)} spmm "
+      f"variants), active_tier={doc['active_tier']}, "
+      f"spmm_simd_speedup={doc['spmm_simd_speedup']:.2f}, "
+      f"perf_available={doc['perf_available']}")
 PY
 
   # The clock-only fallback is a supported mode, not an error: with perf
@@ -400,19 +424,72 @@ PY
 }
 
 # ---------------------------------------------------------------------------
+stage_kernels_dispatch() {
+  ensure_release
+  # SIMD dispatch gate: the full kernel parity suite (SIMD-vs-scalar parity
+  # sweeps, NaN masking, fused epilogue, fused-op gradients) re-runs with
+  # SES_KERNEL_VARIANT pinned to each tier the host CPU supports. Tiers the
+  # host lacks are LOGGED as skipped, never silently dropped — a CI box
+  # without AVX-512 must say so in the log.
+  local parity_filter='DispatchTest.*:KernelParityTest.*:SpmmParityTest.*'
+  parity_filter+=':SpmmNanTest.*:SpmmBiasActTest.*'
+  local variant
+  for variant in scalar avx2 avx512; do
+    local supported=1
+    case "${variant}" in
+      avx2)
+        grep -qw avx2 /proc/cpuinfo && grep -qw fma /proc/cpuinfo \
+          || supported=0 ;;
+      avx512)
+        grep -qw avx512f /proc/cpuinfo && grep -qw fma /proc/cpuinfo \
+          || supported=0 ;;
+    esac
+    if [[ "${supported}" -eq 0 ]]; then
+      echo "=== [kernels-dispatch] SES_KERNEL_VARIANT=${variant} SKIPPED:" \
+           "host CPU lacks ${variant} (parity for this tier not verified" \
+           "on this box) ==="
+      continue
+    fi
+    echo "=== [kernels-dispatch] parity suite with SES_KERNEL_VARIANT=${variant} ==="
+    SES_KERNEL_VARIANT="${variant}" ./build/tests/kernels_test \
+      --gtest_filter="${parity_filter}" \
+      | tee "ci_artifacts/kernels-dispatch-${variant}.log"
+  done
+
+  # Autotuner determinism: the variant decision must be a pure function of
+  # the graph statistics — two back-to-back runs of the autotune suite (and
+  # the in-test two-plans-same-choice assertions) must agree.
+  echo "=== [kernels-dispatch] autotuner determinism (two runs) ==="
+  ./build/tests/kernels_test --gtest_filter='AutotuneTest.*:BackboneParityTest.*' \
+    | tee "ci_artifacts/kernels-dispatch-autotune-1.log"
+  ./build/tests/kernels_test --gtest_filter='AutotuneTest.*' \
+    | tee "ci_artifacts/kernels-dispatch-autotune-2.log"
+
+  # The parity sweeps double as sanitizer fodder: masked AVX-512 tails and
+  # the blocked-CSR cursor walk are exactly where an out-of-bounds lane read
+  # or a signed overflow would hide. ASan covers them via the tier1 suite in
+  # stage_asan; UBSan gets a dedicated build here (kernels_test only).
+  ensure_ubsan
+  echo "=== [kernels-dispatch] parity suite under UBSan ==="
+  ./build-ubsan/tests/kernels_test \
+    | tee "ci_artifacts/kernels-dispatch-ubsan.log"
+}
+
+# ---------------------------------------------------------------------------
 STAGES=()
 for arg in "$@"; do
   case "${arg}" in
-    release|asan|tsan|faults|overload|bench|kernels) STAGES+=("${arg}") ;;
+    release|asan|tsan|faults|overload|bench|kernels|kernels-dispatch) STAGES+=("${arg}") ;;
     ''|*[!0-9]*)
-      echo "unknown stage '${arg}' (expected release|asan|tsan|faults|overload|bench|kernels)" >&2
+      echo "unknown stage '${arg}' (expected release|asan|tsan|faults|overload|bench|kernels|kernels-dispatch)" >&2
       exit 2 ;;
     *) JOBS="${arg}" ;;  # back-compat: scripts/ci.sh [JOBS]
   esac
 done
-[[ ${#STAGES[@]} -gt 0 ]] || STAGES=(release asan tsan faults overload bench kernels)
+[[ ${#STAGES[@]} -gt 0 ]] || \
+  STAGES=(release asan tsan faults overload bench kernels kernels-dispatch)
 
 for stage in "${STAGES[@]}"; do
-  "stage_${stage}"
+  "stage_${stage//-/_}"  # dashes in stage names map to underscores
 done
 echo "=== stages passed: ${STAGES[*]} ==="

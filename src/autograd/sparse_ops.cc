@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/dispatch.h"
 #include "obs/perfcount.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
@@ -10,6 +11,41 @@
 namespace ses::autograd {
 
 namespace t = ses::tensor;
+
+namespace {
+
+/// Shared SpMM backward: dw[e] += x[src[e]]·g[dst[e]], dx[src[e]] += w[e] *
+/// g[dst[e]]. Used by both SpMM and the fused SpMMBiasAct (whose epilogue
+/// gradient is folded into `g` by the caller).
+void AccumulateSpmmGrads(const EdgeList& edges, const NodePtr& pw,
+                         const NodePtr& px, int64_t f, const t::Tensor& g) {
+  const int64_t e_count = edges.size();
+  if (pw->requires_grad) {
+    t::Tensor& dw = pw->EnsureGrad();
+    const t::Tensor& xv = px->value;
+#pragma omp parallel for schedule(static)
+    for (int64_t e = 0; e < e_count; ++e) {
+      const float* xrow = xv.RowPtr(edges.src[static_cast<size_t>(e)]);
+      const float* grow = g.RowPtr(edges.dst[static_cast<size_t>(e)]);
+      double acc = 0.0;
+      for (int64_t c = 0; c < f; ++c) acc += xrow[c] * grow[c];
+      dw[e] += static_cast<float>(acc);
+    }
+  }
+  if (px->requires_grad) {
+    t::Tensor& dx = px->EnsureGrad();
+    const t::Tensor& w = pw->value;
+    for (int64_t e = 0; e < e_count; ++e) {
+      const float we = w[e];
+      if (we == 0.0f) continue;
+      const float* grow = g.RowPtr(edges.dst[static_cast<size_t>(e)]);
+      float* drow = dx.RowPtr(edges.src[static_cast<size_t>(e)]);
+      for (int64_t c = 0; c < f; ++c) drow[c] += we * grow[c];
+    }
+  }
+}
+
+}  // namespace
 
 Variable SpMM(const EdgeListPtr& edges, const Variable& edge_weight,
               const Variable& x) {
@@ -20,52 +56,89 @@ Variable SpMM(const EdgeListPtr& edges, const Variable& edge_weight,
   SES_CHECK(pw->value.rows() == e_count && pw->value.cols() == 1);
   const int64_t f = px->value.cols();
   t::Tensor out(edges->num_nodes, f);
+  const auto plan = edges->plan();
+  const kernels::SpmmChoice choice =
+      plan->Choose(f, pw->value.data(), px->value.data());
   {
-    // Edge-list SpMM: one FMA per edge element; per edge — weight + two
-    // indices, the source row read and the destination row read-modify-
-    // written.
+    // One multiply-add per edge element; per edge — weight + two indices,
+    // the source row read and the destination row read-modify-written. The
+    // plan-selected variant (edge-order / CSR / blocked CSR at the active
+    // SIMD tier) is the KernelScope variant label.
     obs::KernelScope kscope(
-        "spmm", "edges", 2.0 * static_cast<double>(e_count) * f,
+        "spmm", kernels::SpmmVariantName(choice),
+        2.0 * static_cast<double>(e_count) * f,
         static_cast<double>(e_count) * (20.0 + 12.0 * f));
-    const t::Tensor& w = pw->value;
-    const t::Tensor& xv = px->value;
-    for (int64_t e = 0; e < e_count; ++e) {
-      const float we = w[e];
-      if (we == 0.0f) continue;
-      const float* src = xv.RowPtr(edges->src[static_cast<size_t>(e)]);
-      float* dst = out.RowPtr(edges->dst[static_cast<size_t>(e)]);
-      for (int64_t c = 0; c < f; ++c) dst[c] += we * src[c];
-    }
+    plan->Run(choice, pw->value.data(), px->value.data(), f, out.data(),
+              /*bias=*/nullptr, /*relu=*/false);
   }
   auto node = MakeOpNode(
       std::move(out), {pw, px},
       [edges, pw, px, f](const t::Tensor& g) {
-        const int64_t e_count = edges->size();
-        if (pw->requires_grad) {
-          t::Tensor& dw = pw->EnsureGrad();
-          const t::Tensor& xv = px->value;
-#pragma omp parallel for schedule(static)
-          for (int64_t e = 0; e < e_count; ++e) {
-            const float* xrow = xv.RowPtr(edges->src[static_cast<size_t>(e)]);
-            const float* grow = g.RowPtr(edges->dst[static_cast<size_t>(e)]);
-            double acc = 0.0;
-            for (int64_t c = 0; c < f; ++c) acc += xrow[c] * grow[c];
-            dw[e] += static_cast<float>(acc);
-          }
-        }
-        if (px->requires_grad) {
-          t::Tensor& dx = px->EnsureGrad();
-          const t::Tensor& w = pw->value;
-          for (int64_t e = 0; e < e_count; ++e) {
-            const float we = w[e];
-            if (we == 0.0f) continue;
-            const float* grow = g.RowPtr(edges->dst[static_cast<size_t>(e)]);
-            float* drow = dx.RowPtr(edges->src[static_cast<size_t>(e)]);
-            for (int64_t c = 0; c < f; ++c) drow[c] += we * grow[c];
-          }
-        }
+        AccumulateSpmmGrads(*edges, pw, px, f, g);
       },
       "bwd:SpMM");
+  return Variable(node);
+}
+
+Variable SpMMBiasAct(const EdgeListPtr& edges, const Variable& edge_weight,
+                     const Variable& x, const Variable& bias, bool relu) {
+  SES_TRACE_SPAN("fwd:SpMMBiasAct");
+  SES_CHECK(edges != nullptr);
+  NodePtr pw = edge_weight.node(), px = x.node();
+  NodePtr pb = bias.defined() ? bias.node() : nullptr;
+  const int64_t e_count = edges->size();
+  SES_CHECK(pw->value.rows() == e_count && pw->value.cols() == 1);
+  const int64_t f = px->value.cols();
+  if (pb != nullptr) SES_CHECK(pb->value.size() == f);
+  const bool fused = pb != nullptr || relu;
+  const double n_out = static_cast<double>(edges->num_nodes);
+  t::Tensor out(edges->num_nodes, f);
+  const auto plan = edges->plan();
+  const kernels::SpmmChoice choice =
+      plan->Choose(f, pw->value.data(), px->value.data());
+  {
+    // Aggregation plus the fused epilogue (bias add + activation applied
+    // per CSR row while it is cache-hot): epilogue adds ~2 ops/element but
+    // no extra output traffic.
+    obs::KernelScope kscope(
+        fused ? "spmm_fused" : "spmm", kernels::SpmmVariantName(choice),
+        2.0 * static_cast<double>(e_count) * f + (fused ? 2.0 * n_out * f : 0.0),
+        static_cast<double>(e_count) * (20.0 + 12.0 * f) + 4.0 * f);
+    plan->Run(choice, pw->value.data(), px->value.data(), f, out.data(),
+              pb != nullptr ? pb->value.data() : nullptr, relu);
+  }
+  if (!GradEnabled()) return Variable(MakeTapeFreeNode(std::move(out)));
+  t::Tensor out_copy;
+  if (relu) out_copy = out;  // ReLU mask: out > 0 ⟺ pre-activation > 0
+  std::vector<NodePtr> parents{pw, px};
+  if (pb != nullptr) parents.push_back(pb);
+  auto node = MakeOpNode(
+      std::move(out), std::move(parents),
+      [edges, pw, px, pb, f, relu,
+       y = std::move(out_copy)](const t::Tensor& g) {
+        // d(pre) = g ⊙ 1[out > 0] when the ReLU was fused; then the bias
+        // gradient is the column sum and the aggregation gradient is the
+        // plain SpMM backward — identical to the unfused chain's composition.
+        const t::Tensor* gp = &g;
+        t::Tensor dpre;
+        if (relu) {
+          dpre = t::Tensor(g.rows(), g.cols());
+          const int64_t n = g.size();
+          const float* pg = g.data();
+          const float* py = y.data();
+          float* pd = dpre.data();
+          for (int64_t i = 0; i < n; ++i)
+            pd[i] = py[i] > 0.0f ? pg[i] : 0.0f;
+          gp = &dpre;
+        }
+        if (pb != nullptr && pb->requires_grad) {
+          const t::Tensor db = t::SumCols(*gp);  // 1 x F
+          t::Tensor& acc = pb->EnsureGrad();
+          for (int64_t c = 0; c < f; ++c) acc[c] += db[c];
+        }
+        AccumulateSpmmGrads(*edges, pw, px, f, *gp);
+      },
+      "bwd:SpMMBiasAct");
   return Variable(node);
 }
 

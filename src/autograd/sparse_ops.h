@@ -6,18 +6,32 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "kernels/spmm.h"
 #include "tensor/sparse.h"
 
 namespace ses::autograd {
 
 /// Shared immutable edge list (src -> dst). Ops capture it by shared_ptr so
 /// per-epoch graph rebuilds never copy the index arrays.
+///
+/// Fill `src`/`dst`/`num_nodes` once after construction and treat the list
+/// as frozen: `plan()` memoizes per-graph kernel state (CSR-by-destination
+/// view, graph statistics, the autotuned SpMM variant decision) against the
+/// current arrays, and every SpMM over this list replays that plan — which
+/// is what keeps taped and InferenceGuard forwards on identical kernels.
 struct EdgeList {
   std::vector<int64_t> src;
   std::vector<int64_t> dst;
   int64_t num_nodes = 0;
+  /// Lazily-built memoized kernel plan (copying an EdgeList resets it).
+  kernels::SpmmPlanCell plan_cell;
 
   int64_t size() const { return static_cast<int64_t>(src.size()); }
+
+  /// The memoized per-graph SpMM plan; built on first use, thread-safe.
+  std::shared_ptr<const kernels::SpmmPlan> plan() const {
+    return plan_cell.Get(src.data(), dst.data(), size(), num_nodes);
+  }
 };
 
 using EdgeListPtr = std::shared_ptr<const EdgeList>;
@@ -27,8 +41,21 @@ using EdgeListPtr = std::shared_ptr<const EdgeList>;
 /// Gradients flow to both `w` (E x 1) and `x` (N x F). This is the op that
 /// lets SES co-train the structure mask with the encoder (Eq. 8): the mask
 /// enters the aggregation as `w` and receives d(loss)/d(w_e) directly.
+/// The forward runs the plan-selected kernel variant (edge-order, CSR, or
+/// blocked CSR at the active SIMD tier); see kernels/spmm.h for the
+/// equivalence contract.
 Variable SpMM(const EdgeListPtr& edges, const Variable& edge_weight,
               const Variable& x);
+
+/// SpMM with the GCN epilogue fused into the aggregation pass:
+///   out = act(SpMM(edges, w, x) + bias),  act = ReLU when `relu`
+/// `bias` (1 x F) may be undefined. One pass over CSR rows applies
+/// normalize-weighted aggregation, bias add, and activation while the row is
+/// hot — equivalent to the SpMM → AddRowVector → Relu chain bitwise at
+/// scalar tier and per-tier deterministically at SIMD tiers. Used by both
+/// taped and InferenceGuard paths; gradients flow to `w`, `x`, and `bias`.
+Variable SpMMBiasAct(const EdgeListPtr& edges, const Variable& edge_weight,
+                     const Variable& x, const Variable& bias, bool relu);
 
 /// Numerically-stable softmax over incoming edges grouped by destination:
 ///   y_e = exp(s_e) / sum_{e': dst[e'] == dst[e]} exp(s_{e'})

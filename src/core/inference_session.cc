@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "kernels/spmm.h"
 #include "obs/metrics.h"
 #include "obs/request.h"
 #include "obs/trace.h"
@@ -67,6 +68,27 @@ void InferenceSession::EnsureArtifactsLocked() {
   cached_aggregation_ =
       encoder_->PrecomputeAggregation(adj_edges_, adj_mask_,
                                       /*renormalize_mask=*/true);
+  // Autotune the SpMM variant for this graph version. Choose() is a pure
+  // function of the graph statistics, the hidden feature width, and the
+  // active SIMD tier, memoized on the edge list — so every forward over
+  // adj_edges_ (warm query or benchmark) replays exactly this decision, and
+  // a fresh-but-identical edge list (the taped eval path) lands on the same
+  // variant. Exported as a labeled gauge so /metrics shows which kernel is
+  // serving; the previous version's label is zeroed on change.
+  const auto plan = adj_edges_->plan();
+  const kernels::SpmmChoice choice =
+      plan->Choose(encoder_->hidden_dim(), /*w=*/nullptr, /*x=*/nullptr);
+  const char* variant = kernels::SpmmVariantName(choice);
+  if (spmm_variant_ != nullptr && spmm_variant_ != variant) {
+    obs::MetricsRegistry::Get()
+        .GetGauge("ses.kernel.autotune",
+                  {{"op", "spmm"}, {"variant", spmm_variant_}})
+        .Set(0);
+  }
+  spmm_variant_ = variant;
+  obs::MetricsRegistry::Get()
+      .GetGauge("ses.kernel.autotune", {{"op", "spmm"}, {"variant", variant}})
+      .Set(1);
   artifact_version_ = version;
   logits_version_ = -1;  // stale memo belongs to the previous graph
 }

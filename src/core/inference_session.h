@@ -105,6 +105,17 @@ class InferenceSession {
     return {cache_hits_.load(), cache_misses_.load()};
   }
 
+  /// The autotuned SpMM kernel variant serving the current graph version
+  /// (e.g. "csr_avx2"), decided once per version inside the artifact rebuild
+  /// and exported as `ses.kernel.autotune{op="spmm",variant=...}`. Empty
+  /// until the first query builds the artifacts. Deterministic given
+  /// identical graph statistics (the decision is a pure function of the
+  /// graph stats, the encoder's hidden width, and the active SIMD tier).
+  std::string spmm_variant() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spmm_variant_ == nullptr ? std::string() : spmm_variant_;
+  }
+
  private:
   /// Rebuilds the per-graph artifacts if the version moved. Caller holds
   /// `mutex_`.
@@ -136,6 +147,9 @@ class InferenceSession {
   autograd::Variable cached_aggregation_;
   int64_t logits_version_ = -1;  ///< version the memoized logits match
   tensor::Tensor logits_;
+  /// Static-storage variant name from kernels::SpmmVariantName (null before
+  /// the first artifact build).
+  const char* spmm_variant_ = nullptr;
 };
 
 }  // namespace ses::core

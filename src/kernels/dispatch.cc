@@ -1,0 +1,100 @@
+#include "kernels/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "kernels/kernel_impl.h"
+#include "util/logging.h"
+
+namespace ses::kernels {
+
+namespace {
+
+const Dispatch* kTables[kNumSimdTiers] = {
+    &detail::kDispatchScalar,
+    &detail::kDispatchAvx2,
+    &detail::kDispatchAvx512,
+};
+
+/// -1 while unresolved; otherwise the SimdTier value. Resolution is
+/// idempotent, so a racing first call at worst resolves twice to the same
+/// answer.
+std::atomic<int> g_active_tier{-1};
+
+SimdTier ResolveActiveTier() {
+  const SimdTier best = BestSupportedTier();
+  const char* force = std::getenv("SES_KERNEL_VARIANT");
+  if (force == nullptr || force[0] == '\0') return best;
+  SimdTier asked = best;
+  bool known = true;
+  if (std::strcmp(force, "scalar") == 0) {
+    asked = SimdTier::kScalar;
+  } else if (std::strcmp(force, "avx2") == 0) {
+    asked = SimdTier::kAvx2;
+  } else if (std::strcmp(force, "avx512") == 0) {
+    asked = SimdTier::kAvx512;
+  } else {
+    known = false;
+  }
+  if (!known) {
+    SES_LOG_WARN << "SES_KERNEL_VARIANT='" << force
+                 << "' is not scalar|avx2|avx512; using " << TierName(best);
+    return best;
+  }
+  if (!TierSupported(asked)) {
+    SES_LOG_WARN << "SES_KERNEL_VARIANT=" << force
+                 << " not supported on this CPU; falling back to "
+                 << TierName(best);
+    return best;
+  }
+  return asked;
+}
+
+}  // namespace
+
+const char* TierName(SimdTier tier) {
+  return kTables[static_cast<int>(tier)]->tier_name;
+}
+
+bool TierSupported(SimdTier tier) {
+  if (!kTables[static_cast<int>(tier)]->compiled) return false;
+  switch (tier) {
+    case SimdTier::kScalar:
+      return true;
+    case SimdTier::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case SimdTier::kAvx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("fma");
+  }
+  return false;
+}
+
+SimdTier BestSupportedTier() {
+  if (TierSupported(SimdTier::kAvx512)) return SimdTier::kAvx512;
+  if (TierSupported(SimdTier::kAvx2)) return SimdTier::kAvx2;
+  return SimdTier::kScalar;
+}
+
+SimdTier ActiveTier() {
+  int tier = g_active_tier.load(std::memory_order_acquire);
+  if (tier < 0) {
+    tier = static_cast<int>(ResolveActiveTier());
+    g_active_tier.store(tier, std::memory_order_release);
+  }
+  return static_cast<SimdTier>(tier);
+}
+
+void ResetActiveTierForTest() {
+  g_active_tier.store(-1, std::memory_order_release);
+}
+
+const Dispatch& DispatchFor(SimdTier tier) {
+  return *kTables[static_cast<int>(tier)];
+}
+
+const Dispatch& GetDispatch() { return DispatchFor(ActiveTier()); }
+
+}  // namespace ses::kernels

@@ -1,0 +1,199 @@
+/// AVX2 + FMA tier. This TU (alone) is compiled with -mavx2 -mfma; runtime
+/// CPUID dispatch guarantees its code only executes on CPUs that support
+/// both. FMA changes rounding versus the scalar mul+add reference, so this
+/// tier is tolerance-gated, never bitwise, against scalar.
+
+#include "kernels/kernel_impl.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define SES_KERNELS_AVX2_COMPILED 1
+#endif
+
+namespace ses::kernels::detail {
+namespace {
+
+#ifdef SES_KERNELS_AVX2_COMPILED
+
+struct OpsAvx2 {
+  static inline void Axpy(float* dst, const float* src, int64_t n, float a) {
+    const __m256 va = _mm256_set1_ps(a);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const __m256 d = _mm256_fmadd_ps(va, _mm256_loadu_ps(src + i),
+                                       _mm256_loadu_ps(dst + i));
+      _mm256_storeu_ps(dst + i, d);
+    }
+    for (; i < n; ++i) dst[i] += a * src[i];
+  }
+  static inline void Add(float* dst, const float* src, int64_t n) {
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8)
+      _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                              _mm256_loadu_ps(src + i)));
+    for (; i < n; ++i) dst[i] += src[i];
+  }
+  static inline void BinAdd(const float* a, const float* b, float* out,
+                            int64_t n) {
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8)
+      _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                              _mm256_loadu_ps(b + i)));
+    for (; i < n; ++i) out[i] = a[i] + b[i];
+  }
+  static inline void BinSub(const float* a, const float* b, float* out,
+                            int64_t n) {
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8)
+      _mm256_storeu_ps(out + i, _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                              _mm256_loadu_ps(b + i)));
+    for (; i < n; ++i) out[i] = a[i] - b[i];
+  }
+  static inline void BinMul(const float* a, const float* b, float* out,
+                            int64_t n) {
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8)
+      _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                              _mm256_loadu_ps(b + i)));
+    for (; i < n; ++i) out[i] = a[i] * b[i];
+  }
+  static inline void Relu(const float* a, float* out, int64_t n) {
+    // max(x, +0) with x in the FIRST operand: NaN and -0 lanes both come out
+    // +0, exactly like the scalar `x > 0 ? x : 0` reference.
+    const __m256 zero = _mm256_setzero_ps();
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8)
+      _mm256_storeu_ps(out + i, _mm256_max_ps(_mm256_loadu_ps(a + i), zero));
+    for (; i < n; ++i) out[i] = a[i] > 0.0f ? a[i] : 0.0f;
+  }
+  static inline void BiasAct(float* row, const float* bias, int64_t n,
+                             bool relu) {
+    const __m256 zero = _mm256_setzero_ps();
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      __m256 v = _mm256_loadu_ps(row + i);
+      if (bias != nullptr) v = _mm256_add_ps(v, _mm256_loadu_ps(bias + i));
+      if (relu) v = _mm256_max_ps(v, zero);
+      _mm256_storeu_ps(row + i, v);
+    }
+    for (; i < n; ++i) {
+      float v = row[i];
+      if (bias != nullptr) v += bias[i];
+      if (relu) v = v > 0.0f ? v : 0.0f;
+      row[i] = v;
+    }
+  }
+};
+
+using Ops = OpsAvx2;
+constexpr bool kCompiled = true;
+
+#else  // !SES_KERNELS_AVX2_COMPILED
+
+/// Compiler lacked AVX2/FMA flags: alias scalar arithmetic so the table
+/// stays well-formed; TierSupported(kAvx2) reports false via `compiled`.
+struct OpsFallback {
+  static inline void Axpy(float* dst, const float* src, int64_t n, float a) {
+    for (int64_t i = 0; i < n; ++i) dst[i] += a * src[i];
+  }
+  static inline void Add(float* dst, const float* src, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+  }
+  static inline void BinAdd(const float* a, const float* b, float* out,
+                            int64_t n) {
+    for (int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+  }
+  static inline void BinSub(const float* a, const float* b, float* out,
+                            int64_t n) {
+    for (int64_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+  }
+  static inline void BinMul(const float* a, const float* b, float* out,
+                            int64_t n) {
+    for (int64_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+  }
+  static inline void Relu(const float* a, float* out, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) out[i] = a[i] > 0.0f ? a[i] : 0.0f;
+  }
+  static inline void BiasAct(float* row, const float* bias, int64_t n,
+                             bool relu) {
+    if (bias != nullptr)
+      for (int64_t i = 0; i < n; ++i) row[i] += bias[i];
+    if (relu)
+      for (int64_t i = 0; i < n; ++i) row[i] = row[i] > 0.0f ? row[i] : 0.0f;
+  }
+};
+
+using Ops = OpsFallback;
+constexpr bool kCompiled = false;
+
+#endif  // SES_KERNELS_AVX2_COMPILED
+
+void AxpyRow(float* dst, const float* src, int64_t n, float a) {
+  Ops::Axpy(dst, src, n, a);
+}
+void AddRow(float* dst, const float* src, int64_t n) { Ops::Add(dst, src, n); }
+void BiasActRow(float* row, const float* bias, int64_t n, bool relu) {
+  Ops::BiasAct(row, bias, n, relu);
+}
+void VecAdd(const float* a, const float* b, float* out, int64_t n) {
+  VecAddImpl<Ops>(a, b, out, n);
+}
+void VecSub(const float* a, const float* b, float* out, int64_t n) {
+  VecSubImpl<Ops>(a, b, out, n);
+}
+void VecMul(const float* a, const float* b, float* out, int64_t n) {
+  VecMulImpl<Ops>(a, b, out, n);
+}
+void VecRelu(const float* a, float* out, int64_t n) {
+  VecReluImpl<Ops>(a, out, n);
+}
+void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  MatMulImpl<Ops>(a, b, c, m, k, n);
+}
+void GatherRows(const float* a, int64_t cols, const int64_t* index, int64_t n,
+                float* out) {
+  GatherRowsImpl(a, cols, index, n, out);
+}
+void SpmmEdges(const int64_t* esrc, const int64_t* edst, const float* w,
+               int64_t e, const float* x, int64_t f, float* out) {
+  SpmmEdgesImpl<Ops>(esrc, edst, w, e, x, f, out);
+}
+void SpmmCsr(int64_t rows, const int64_t* row_ptr, const int64_t* col,
+             const int64_t* perm, const float* w, const float* x, int64_t f,
+             float* out, const float* bias, bool relu) {
+  SpmmCsrImpl<Ops>(rows, row_ptr, col, perm, w, x, f, out, bias, relu);
+}
+void SpmmCsrBlocked(int64_t rows, int64_t cols, const int64_t* row_ptr,
+                    const int64_t* col, const int64_t* perm, const float* w,
+                    const float* x, int64_t f, float* out, const float* bias,
+                    bool relu, int64_t block_cols) {
+  SpmmCsrBlockedImpl<Ops>(rows, cols, row_ptr, col, perm, w, x, f, out, bias,
+                          relu, block_cols);
+}
+
+}  // namespace
+
+const Dispatch kDispatchAvx2 = {
+    SimdTier::kAvx2,
+    "avx2",
+    kCompiled,
+    "dense_avx2",
+    "unary_avx2",
+    "binary_avx2",
+    "rows_avx2",
+    &AxpyRow,
+    &AddRow,
+    &VecAdd,
+    &VecSub,
+    &VecMul,
+    &VecRelu,
+    &BiasActRow,
+    &MatMul,
+    &GatherRows,
+    &SpmmEdges,
+    &SpmmCsr,
+    &SpmmCsrBlocked,
+};
+
+}  // namespace ses::kernels::detail

@@ -1,0 +1,234 @@
+/// AVX-512 tier. This TU (alone) is compiled with -mavx512f -mfma; runtime
+/// CPUID dispatch keeps it off CPUs without AVX-512F. 16-lane FMA bodies
+/// with masked tails — no scalar remainder loop, so ragged feature widths
+/// (f = 17, 333, ...) stay on the vector unit end to end. Tolerance-gated
+/// against scalar like AVX2.
+
+#include "kernels/kernel_impl.h"
+
+#if defined(__AVX512F__) && defined(__FMA__)
+#include <immintrin.h>
+#define SES_KERNELS_AVX512_COMPILED 1
+#endif
+
+namespace ses::kernels::detail {
+namespace {
+
+#ifdef SES_KERNELS_AVX512_COMPILED
+
+inline __mmask16 TailMask(int64_t rem) {
+  return static_cast<__mmask16>((1u << rem) - 1u);
+}
+
+struct OpsAvx512 {
+  static inline void Axpy(float* dst, const float* src, int64_t n, float a) {
+    const __m512 va = _mm512_set1_ps(a);
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      const __m512 d = _mm512_fmadd_ps(va, _mm512_loadu_ps(src + i),
+                                       _mm512_loadu_ps(dst + i));
+      _mm512_storeu_ps(dst + i, d);
+    }
+    if (i < n) {
+      const __mmask16 m = TailMask(n - i);
+      const __m512 d = _mm512_fmadd_ps(va, _mm512_maskz_loadu_ps(m, src + i),
+                                       _mm512_maskz_loadu_ps(m, dst + i));
+      _mm512_mask_storeu_ps(dst + i, m, d);
+    }
+  }
+  static inline void Add(float* dst, const float* src, int64_t n) {
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16)
+      _mm512_storeu_ps(dst + i, _mm512_add_ps(_mm512_loadu_ps(dst + i),
+                                              _mm512_loadu_ps(src + i)));
+    if (i < n) {
+      const __mmask16 m = TailMask(n - i);
+      _mm512_mask_storeu_ps(
+          dst + i, m,
+          _mm512_add_ps(_mm512_maskz_loadu_ps(m, dst + i),
+                        _mm512_maskz_loadu_ps(m, src + i)));
+    }
+  }
+  static inline void BinAdd(const float* a, const float* b, float* out,
+                            int64_t n) {
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16)
+      _mm512_storeu_ps(out + i, _mm512_add_ps(_mm512_loadu_ps(a + i),
+                                              _mm512_loadu_ps(b + i)));
+    if (i < n) {
+      const __mmask16 m = TailMask(n - i);
+      _mm512_mask_storeu_ps(out + i, m,
+                            _mm512_add_ps(_mm512_maskz_loadu_ps(m, a + i),
+                                          _mm512_maskz_loadu_ps(m, b + i)));
+    }
+  }
+  static inline void BinSub(const float* a, const float* b, float* out,
+                            int64_t n) {
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16)
+      _mm512_storeu_ps(out + i, _mm512_sub_ps(_mm512_loadu_ps(a + i),
+                                              _mm512_loadu_ps(b + i)));
+    if (i < n) {
+      const __mmask16 m = TailMask(n - i);
+      _mm512_mask_storeu_ps(out + i, m,
+                            _mm512_sub_ps(_mm512_maskz_loadu_ps(m, a + i),
+                                          _mm512_maskz_loadu_ps(m, b + i)));
+    }
+  }
+  static inline void BinMul(const float* a, const float* b, float* out,
+                            int64_t n) {
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16)
+      _mm512_storeu_ps(out + i, _mm512_mul_ps(_mm512_loadu_ps(a + i),
+                                              _mm512_loadu_ps(b + i)));
+    if (i < n) {
+      const __mmask16 m = TailMask(n - i);
+      _mm512_mask_storeu_ps(out + i, m,
+                            _mm512_mul_ps(_mm512_maskz_loadu_ps(m, a + i),
+                                          _mm512_maskz_loadu_ps(m, b + i)));
+    }
+  }
+  static inline void Relu(const float* a, float* out, int64_t n) {
+    // max(x, +0) with x first: NaN and -0 lanes come out +0, matching the
+    // scalar `x > 0 ? x : 0` reference.
+    const __m512 zero = _mm512_setzero_ps();
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16)
+      _mm512_storeu_ps(out + i, _mm512_max_ps(_mm512_loadu_ps(a + i), zero));
+    if (i < n) {
+      const __mmask16 m = TailMask(n - i);
+      _mm512_mask_storeu_ps(
+          out + i, m, _mm512_max_ps(_mm512_maskz_loadu_ps(m, a + i), zero));
+    }
+  }
+  static inline void BiasAct(float* row, const float* bias, int64_t n,
+                             bool relu) {
+    const __m512 zero = _mm512_setzero_ps();
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      __m512 v = _mm512_loadu_ps(row + i);
+      if (bias != nullptr) v = _mm512_add_ps(v, _mm512_loadu_ps(bias + i));
+      if (relu) v = _mm512_max_ps(v, zero);
+      _mm512_storeu_ps(row + i, v);
+    }
+    if (i < n) {
+      const __mmask16 m = TailMask(n - i);
+      __m512 v = _mm512_maskz_loadu_ps(m, row + i);
+      if (bias != nullptr)
+        v = _mm512_add_ps(v, _mm512_maskz_loadu_ps(m, bias + i));
+      if (relu) v = _mm512_max_ps(v, zero);
+      _mm512_mask_storeu_ps(row + i, m, v);
+    }
+  }
+};
+
+using Ops = OpsAvx512;
+constexpr bool kCompiled = true;
+
+#else  // !SES_KERNELS_AVX512_COMPILED
+
+struct OpsFallback {
+  static inline void Axpy(float* dst, const float* src, int64_t n, float a) {
+    for (int64_t i = 0; i < n; ++i) dst[i] += a * src[i];
+  }
+  static inline void Add(float* dst, const float* src, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+  }
+  static inline void BinAdd(const float* a, const float* b, float* out,
+                            int64_t n) {
+    for (int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+  }
+  static inline void BinSub(const float* a, const float* b, float* out,
+                            int64_t n) {
+    for (int64_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+  }
+  static inline void BinMul(const float* a, const float* b, float* out,
+                            int64_t n) {
+    for (int64_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+  }
+  static inline void Relu(const float* a, float* out, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) out[i] = a[i] > 0.0f ? a[i] : 0.0f;
+  }
+  static inline void BiasAct(float* row, const float* bias, int64_t n,
+                             bool relu) {
+    if (bias != nullptr)
+      for (int64_t i = 0; i < n; ++i) row[i] += bias[i];
+    if (relu)
+      for (int64_t i = 0; i < n; ++i) row[i] = row[i] > 0.0f ? row[i] : 0.0f;
+  }
+};
+
+using Ops = OpsFallback;
+constexpr bool kCompiled = false;
+
+#endif  // SES_KERNELS_AVX512_COMPILED
+
+void AxpyRow(float* dst, const float* src, int64_t n, float a) {
+  Ops::Axpy(dst, src, n, a);
+}
+void AddRow(float* dst, const float* src, int64_t n) { Ops::Add(dst, src, n); }
+void BiasActRow(float* row, const float* bias, int64_t n, bool relu) {
+  Ops::BiasAct(row, bias, n, relu);
+}
+void VecAdd(const float* a, const float* b, float* out, int64_t n) {
+  VecAddImpl<Ops>(a, b, out, n);
+}
+void VecSub(const float* a, const float* b, float* out, int64_t n) {
+  VecSubImpl<Ops>(a, b, out, n);
+}
+void VecMul(const float* a, const float* b, float* out, int64_t n) {
+  VecMulImpl<Ops>(a, b, out, n);
+}
+void VecRelu(const float* a, float* out, int64_t n) {
+  VecReluImpl<Ops>(a, out, n);
+}
+void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  MatMulImpl<Ops>(a, b, c, m, k, n);
+}
+void GatherRows(const float* a, int64_t cols, const int64_t* index, int64_t n,
+                float* out) {
+  GatherRowsImpl(a, cols, index, n, out);
+}
+void SpmmEdges(const int64_t* esrc, const int64_t* edst, const float* w,
+               int64_t e, const float* x, int64_t f, float* out) {
+  SpmmEdgesImpl<Ops>(esrc, edst, w, e, x, f, out);
+}
+void SpmmCsr(int64_t rows, const int64_t* row_ptr, const int64_t* col,
+             const int64_t* perm, const float* w, const float* x, int64_t f,
+             float* out, const float* bias, bool relu) {
+  SpmmCsrImpl<Ops>(rows, row_ptr, col, perm, w, x, f, out, bias, relu);
+}
+void SpmmCsrBlocked(int64_t rows, int64_t cols, const int64_t* row_ptr,
+                    const int64_t* col, const int64_t* perm, const float* w,
+                    const float* x, int64_t f, float* out, const float* bias,
+                    bool relu, int64_t block_cols) {
+  SpmmCsrBlockedImpl<Ops>(rows, cols, row_ptr, col, perm, w, x, f, out, bias,
+                          relu, block_cols);
+}
+
+}  // namespace
+
+const Dispatch kDispatchAvx512 = {
+    SimdTier::kAvx512,
+    "avx512",
+    kCompiled,
+    "dense_avx512",
+    "unary_avx512",
+    "binary_avx512",
+    "rows_avx512",
+    &AxpyRow,
+    &AddRow,
+    &VecAdd,
+    &VecSub,
+    &VecMul,
+    &VecRelu,
+    &BiasActRow,
+    &MatMul,
+    &GatherRows,
+    &SpmmEdges,
+    &SpmmCsr,
+    &SpmmCsrBlocked,
+};
+
+}  // namespace ses::kernels::detail

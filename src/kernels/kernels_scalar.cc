@@ -1,0 +1,112 @@
+/// Scalar reference tier. This TU is compiled with the project's default
+/// target flags (no -m extensions, no FMA contraction), so its loops are
+/// bit-for-bit the kernels the tensor/autograd layers historically inlined —
+/// the baseline every SIMD tier is parity-tested against.
+
+#include "kernels/kernel_impl.h"
+
+namespace ses::kernels::detail {
+namespace {
+
+struct OpsScalar {
+  static inline void Axpy(float* dst, const float* src, int64_t n, float a) {
+    for (int64_t i = 0; i < n; ++i) dst[i] += a * src[i];
+  }
+  static inline void Add(float* dst, const float* src, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+  }
+  static inline void BinAdd(const float* a, const float* b, float* out,
+                            int64_t n) {
+    for (int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+  }
+  static inline void BinSub(const float* a, const float* b, float* out,
+                            int64_t n) {
+    for (int64_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+  }
+  static inline void BinMul(const float* a, const float* b, float* out,
+                            int64_t n) {
+    for (int64_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+  }
+  static inline void Relu(const float* a, float* out, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) out[i] = a[i] > 0.0f ? a[i] : 0.0f;
+  }
+  static inline void BiasAct(float* row, const float* bias, int64_t n,
+                             bool relu) {
+    if (bias != nullptr)
+      for (int64_t i = 0; i < n; ++i) row[i] += bias[i];
+    if (relu)
+      for (int64_t i = 0; i < n; ++i) row[i] = row[i] > 0.0f ? row[i] : 0.0f;
+  }
+};
+
+void AxpyRow(float* dst, const float* src, int64_t n, float a) {
+  OpsScalar::Axpy(dst, src, n, a);
+}
+void AddRow(float* dst, const float* src, int64_t n) {
+  OpsScalar::Add(dst, src, n);
+}
+void BiasActRow(float* row, const float* bias, int64_t n, bool relu) {
+  OpsScalar::BiasAct(row, bias, n, relu);
+}
+void VecAdd(const float* a, const float* b, float* out, int64_t n) {
+  VecAddImpl<OpsScalar>(a, b, out, n);
+}
+void VecSub(const float* a, const float* b, float* out, int64_t n) {
+  VecSubImpl<OpsScalar>(a, b, out, n);
+}
+void VecMul(const float* a, const float* b, float* out, int64_t n) {
+  VecMulImpl<OpsScalar>(a, b, out, n);
+}
+void VecRelu(const float* a, float* out, int64_t n) {
+  VecReluImpl<OpsScalar>(a, out, n);
+}
+void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  MatMulImpl<OpsScalar>(a, b, c, m, k, n);
+}
+void GatherRows(const float* a, int64_t cols, const int64_t* index, int64_t n,
+                float* out) {
+  GatherRowsImpl(a, cols, index, n, out);
+}
+void SpmmEdges(const int64_t* esrc, const int64_t* edst, const float* w,
+               int64_t e, const float* x, int64_t f, float* out) {
+  SpmmEdgesImpl<OpsScalar>(esrc, edst, w, e, x, f, out);
+}
+void SpmmCsr(int64_t rows, const int64_t* row_ptr, const int64_t* col,
+             const int64_t* perm, const float* w, const float* x, int64_t f,
+             float* out, const float* bias, bool relu) {
+  SpmmCsrImpl<OpsScalar>(rows, row_ptr, col, perm, w, x, f, out, bias, relu);
+}
+void SpmmCsrBlocked(int64_t rows, int64_t cols, const int64_t* row_ptr,
+                    const int64_t* col, const int64_t* perm, const float* w,
+                    const float* x, int64_t f, float* out, const float* bias,
+                    bool relu, int64_t block_cols) {
+  SpmmCsrBlockedImpl<OpsScalar>(rows, cols, row_ptr, col, perm, w, x, f, out,
+                                bias, relu, block_cols);
+}
+
+}  // namespace
+
+const Dispatch kDispatchScalar = {
+    SimdTier::kScalar,
+    "scalar",
+    /*compiled=*/true,
+    "dense_scalar",
+    "unary_scalar",
+    "binary_scalar",
+    "rows_scalar",
+    &AxpyRow,
+    &AddRow,
+    &VecAdd,
+    &VecSub,
+    &VecMul,
+    &VecRelu,
+    &BiasActRow,
+    &MatMul,
+    &GatherRows,
+    &SpmmEdges,
+    &SpmmCsr,
+    &SpmmCsrBlocked,
+};
+
+}  // namespace ses::kernels::detail

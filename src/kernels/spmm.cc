@@ -1,0 +1,265 @@
+#include "kernels/spmm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ses::kernels {
+
+namespace {
+
+/// L2 budget the blocked variant targets for its gathered-x working set.
+/// Fixed (not probed) so the heuristic stays a pure function of its inputs
+/// across machines of the same class.
+constexpr int64_t kL2BudgetBytes = 1 << 20;
+
+/// Below this nnz the CSR build costs more than it saves; explain-path motif
+/// subgraphs are a few dozen edges.
+constexpr int64_t kTinyNnz = 2048;
+
+std::atomic<int> g_autotune_mode{-1};
+
+AutotuneMode ResolveAutotuneMode() {
+  const char* mode = std::getenv("SES_KERNEL_AUTOTUNE");
+  if (mode == nullptr || mode[0] == '\0' ||
+      std::strcmp(mode, "heuristic") == 0)
+    return AutotuneMode::kHeuristic;
+  if (std::strcmp(mode, "timed") == 0) return AutotuneMode::kTimed;
+  SES_LOG_WARN << "SES_KERNEL_AUTOTUNE='" << mode
+               << "' is not heuristic|timed; using heuristic";
+  return AutotuneMode::kHeuristic;
+}
+
+double NowNs() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+AutotuneMode ActiveAutotuneMode() {
+  int mode = g_autotune_mode.load(std::memory_order_acquire);
+  if (mode < 0) {
+    mode = static_cast<int>(ResolveAutotuneMode());
+    g_autotune_mode.store(mode, std::memory_order_release);
+  }
+  return static_cast<AutotuneMode>(mode);
+}
+
+void ResetAutotuneModeForTest() {
+  g_autotune_mode.store(-1, std::memory_order_release);
+}
+
+CsrAdj BuildCsrByDst(const int64_t* src, const int64_t* dst, int64_t e,
+                     int64_t n) {
+  CsrAdj csr;
+  csr.rows = n;
+  csr.cols = n;
+  csr.row_ptr.assign(static_cast<size_t>(n) + 1, 0);
+  for (int64_t i = 0; i < e; ++i) {
+    SES_CHECK(dst[i] >= 0 && dst[i] < n);
+    ++csr.row_ptr[static_cast<size_t>(dst[i]) + 1];
+  }
+  for (int64_t r = 0; r < n; ++r)
+    csr.row_ptr[static_cast<size_t>(r) + 1] +=
+        csr.row_ptr[static_cast<size_t>(r)];
+  csr.col.resize(static_cast<size_t>(e));
+  csr.perm.resize(static_cast<size_t>(e));
+  std::vector<int64_t> cursor(csr.row_ptr.begin(), csr.row_ptr.end() - 1);
+  // Walking edges in order with per-row cursors is a STABLE sort: within a
+  // row, entries appear in ascending edge index, so per-row accumulation
+  // replays the edge-order sequence exactly (the bitwise-parity invariant).
+  for (int64_t i = 0; i < e; ++i) {
+    const int64_t slot = cursor[static_cast<size_t>(dst[i])]++;
+    csr.col[static_cast<size_t>(slot)] = src[i];
+    csr.perm[static_cast<size_t>(slot)] = i;
+  }
+  return csr;
+}
+
+GraphStats ComputeGraphStats(const int64_t* dst, int64_t e, int64_t n) {
+  GraphStats s;
+  s.nodes = n;
+  s.nnz = e;
+  if (n == 0) return s;
+  std::vector<int64_t> deg(static_cast<size_t>(n), 0);
+  for (int64_t i = 0; i < e; ++i) ++deg[static_cast<size_t>(dst[i])];
+  s.max_degree = *std::max_element(deg.begin(), deg.end());
+  s.avg_degree = static_cast<double>(e) / static_cast<double>(n);
+  s.density = static_cast<double>(e) /
+              (static_cast<double>(n) * static_cast<double>(n));
+  double var = 0.0;
+  for (int64_t d : deg) {
+    const double delta = static_cast<double>(d) - s.avg_degree;
+    var += delta * delta;
+  }
+  var /= static_cast<double>(n);
+  s.degree_cv = s.avg_degree > 0.0 ? std::sqrt(var) / s.avg_degree : 0.0;
+  return s;
+}
+
+const char* SpmmVariantName(SpmmChoice choice) {
+  static const char* kNames[kNumSpmmAlgos][kNumSimdTiers] = {
+      {"edges_scalar", "edges_avx2", "edges_avx512"},
+      {"csr_scalar", "csr_avx2", "csr_avx512"},
+      {"csr_blocked_scalar", "csr_blocked_avx2", "csr_blocked_avx512"},
+  };
+  return kNames[static_cast<int>(choice.algo)][static_cast<int>(choice.tier)];
+}
+
+SpmmChoice HeuristicSpmmChoice(const GraphStats& stats, int64_t feat,
+                               SimdTier tier) {
+  SpmmChoice c{SpmmAlgo::kCsr, tier};
+  // Tiny graphs (explain-path motifs): the CSR build is pure overhead and
+  // the whole working set is cache-resident anyway.
+  if (stats.nnz < kTinyNnz) {
+    c.algo = SpmmAlgo::kEdgeOrder;
+    return c;
+  }
+  // Skewed in-degree AND a gathered working set past L2: hot rows thrash the
+  // cache under plain CSR order, so sweep source blocks instead. The reorder
+  // costs bitwise parity, so the bar is deliberately high.
+  const double x_bytes =
+      4.0 * static_cast<double>(stats.nodes) * static_cast<double>(feat);
+  if (stats.degree_cv > 1.5 && stats.avg_degree >= 4.0 &&
+      x_bytes > static_cast<double>(kL2BudgetBytes))
+    c.algo = SpmmAlgo::kCsrBlocked;
+  return c;
+}
+
+int64_t BlockColsFor(int64_t feat) {
+  // Half the L2 budget for the gathered x rows, the rest for out/CSR stream.
+  const int64_t rows_in_budget = (kL2BudgetBytes / 2) / (4 * std::max<int64_t>(feat, 1));
+  return std::max<int64_t>(256, rows_in_budget);
+}
+
+SpmmPlan::SpmmPlan(const int64_t* src, const int64_t* dst, int64_t e,
+                   int64_t n)
+    : src_(src), dst_(dst), edges_(e), stats_(ComputeGraphStats(dst, e, n)) {}
+
+const CsrAdj& SpmmPlan::EnsureCsr() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!csr_built_) {
+    csr_ = BuildCsrByDst(src_, dst_, edges_, stats_.nodes);
+    csr_built_ = true;
+  }
+  return csr_;
+}
+
+const CsrAdj& SpmmPlan::EnsureSortedCsr() const {
+  EnsureCsr();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!sorted_built_) {
+    csr_.sorted_col = csr_.col;
+    csr_.sorted_perm = csr_.perm;
+    std::vector<std::pair<int64_t, int64_t>> row(0);
+    for (int64_t r = 0; r < csr_.rows; ++r) {
+      const int64_t lo = csr_.row_ptr[static_cast<size_t>(r)];
+      const int64_t hi = csr_.row_ptr[static_cast<size_t>(r) + 1];
+      row.clear();
+      for (int64_t i = lo; i < hi; ++i)
+        row.emplace_back(csr_.col[static_cast<size_t>(i)],
+                         csr_.perm[static_cast<size_t>(i)]);
+      std::sort(row.begin(), row.end());
+      for (int64_t i = lo; i < hi; ++i) {
+        csr_.sorted_col[static_cast<size_t>(i)] =
+            row[static_cast<size_t>(i - lo)].first;
+        csr_.sorted_perm[static_cast<size_t>(i)] =
+            row[static_cast<size_t>(i - lo)].second;
+      }
+    }
+    sorted_built_ = true;
+  }
+  return csr_;
+}
+
+SpmmChoice SpmmPlan::TimedChoice(int64_t feat, const float* w,
+                                 const float* x) const {
+  const SimdTier tier = ActiveTier();
+  const SpmmChoice candidates[2] = {{SpmmAlgo::kCsr, tier},
+                                    {SpmmAlgo::kCsrBlocked, tier}};
+  std::vector<float> scratch(
+      static_cast<size_t>(stats_.nodes) * static_cast<size_t>(feat));
+  SpmmChoice best = candidates[0];
+  double best_ns = 0.0;
+  for (const SpmmChoice& cand : candidates) {
+    std::fill(scratch.begin(), scratch.end(), 0.0f);
+    const double t0 = NowNs();
+    Run(cand, w, x, feat, scratch.data(), nullptr, false);
+    const double elapsed = NowNs() - t0;
+    if (cand.algo == candidates[0].algo || elapsed < best_ns) {
+      best = cand;
+      best_ns = elapsed;
+    }
+  }
+  return best;
+}
+
+SpmmChoice SpmmPlan::Choose(int64_t feat, const float* w,
+                            const float* x) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [f, c] : choice_memo_)
+      if (f == feat) return c;
+  }
+  SpmmChoice choice;
+  if (ActiveAutotuneMode() == AutotuneMode::kTimed && w != nullptr &&
+      x != nullptr && stats_.nnz >= kTinyNnz) {
+    choice = TimedChoice(feat, w, x);
+  } else {
+    choice = HeuristicSpmmChoice(stats_, feat, ActiveTier());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [f, c] : choice_memo_)  // lost the race: first call wins
+    if (f == feat) return c;
+  choice_memo_.emplace_back(feat, choice);
+  return choice;
+}
+
+void SpmmPlan::Run(SpmmChoice choice, const float* w, const float* x,
+                   int64_t f, float* out, const float* bias,
+                   bool relu) const {
+  const Dispatch& d = DispatchFor(choice.tier);
+  switch (choice.algo) {
+    case SpmmAlgo::kEdgeOrder: {
+      d.spmm_edges(src_, dst_, w, edges_, x, f, out);
+      if (bias != nullptr || relu)
+        for (int64_t r = 0; r < stats_.nodes; ++r)
+          d.bias_act_row(out + r * f, bias, f, relu);
+      break;
+    }
+    case SpmmAlgo::kCsr: {
+      const CsrAdj& csr = EnsureCsr();
+      d.spmm_csr(csr.rows, csr.row_ptr.data(), csr.col.data(),
+                 csr.perm.data(), w, x, f, out, bias, relu);
+      break;
+    }
+    case SpmmAlgo::kCsrBlocked: {
+      const CsrAdj& csr = EnsureSortedCsr();
+      d.spmm_csr_blocked(csr.rows, csr.cols, csr.row_ptr.data(),
+                         csr.sorted_col.data(), csr.sorted_perm.data(), w, x,
+                         f, out, bias, relu, BlockColsFor(f));
+      break;
+    }
+  }
+}
+
+std::shared_ptr<const SpmmPlan> SpmmPlanCell::Get(const int64_t* src,
+                                                  const int64_t* dst,
+                                                  int64_t e, int64_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan_ == nullptr || plan_->stats().nnz != e ||
+      plan_->stats().nodes != n)
+    plan_ = std::make_shared<const SpmmPlan>(src, dst, e, n);
+  return plan_;
+}
+
+}  // namespace ses::kernels

@@ -79,7 +79,9 @@ Encoder::Output GcnEncoder::Forward(const nn::FeatureInput& x,
   ag::Variable weights =
       use_cached ? *cached_aggregation
                  : PrecomputeAggregation(edges, edge_mask, renormalize_mask);
-  ag::Variable h = ag::Relu(conv1_.Forward(x, edges, weights));
+  // Layer-1 ReLU is fused into the aggregation epilogue (bias + activation
+  // applied per CSR row while it is hot) — equals ag::Relu(conv1.Forward()).
+  ag::Variable h = conv1_.Forward(x, edges, weights, /*fuse_relu=*/true);
   Output out;
   out.hidden = h;
   h = ag::Dropout(h, dropout, training, rng);

@@ -20,7 +20,8 @@ GcnConv::GcnConv(int64_t in_features, int64_t out_features, util::Rng* rng,
 
 ag::Variable GcnConv::Forward(const FeatureInput& x,
                               const ag::EdgeListPtr& edges,
-                              const ag::Variable& edge_weight) const {
+                              const ag::Variable& edge_weight,
+                              bool fuse_relu) const {
   SES_TRACE_SPAN("nn/GcnConv");
   // Composite scope: declares the whole layer's chain work (projection +
   // aggregation); the nested matmul/spmm scopes keep their own exclusive
@@ -34,9 +35,11 @@ ag::Variable GcnConv::Forward(const FeatureInput& x,
                           4.0 * (n * in + in * out_f + 2.0 * n * out_f) +
                               12.0 * e * out_f);
   ag::Variable h = x.Project(weight_);
-  ag::Variable out = ag::SpMM(edges, edge_weight, h);
-  if (bias_.defined()) out = ag::AddRowVector(out, bias_);
-  return out;
+  // Bias (and the optional ReLU) ride the aggregation's epilogue: one pass
+  // over the output rows instead of SpMM -> AddRowVector -> Relu.
+  if (bias_.defined() || fuse_relu)
+    return ag::SpMMBiasAct(edges, edge_weight, h, bias_, fuse_relu);
+  return ag::SpMM(edges, edge_weight, h);
 }
 
 ag::Variable MakeGcnWeights(const ag::EdgeListPtr& edges) {

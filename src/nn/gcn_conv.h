@@ -22,9 +22,15 @@ class GcnConv : public Module {
 
   /// `edge_weight` is an E x 1 Variable over `edges` (normalization and/or
   /// mask already folded in by the caller; see MakeGcnWeights).
+  ///
+  /// `fuse_relu` folds the layer's ReLU into the aggregation epilogue
+  /// (ag::SpMMBiasAct) so bias add + activation happen while each output row
+  /// is cache-hot. The result equals ReLU(Forward(...)) — bitwise at scalar
+  /// tier — so callers enabling it must drop their own activation.
   autograd::Variable Forward(const FeatureInput& x,
                              const autograd::EdgeListPtr& edges,
-                             const autograd::Variable& edge_weight) const;
+                             const autograd::Variable& edge_weight,
+                             bool fuse_relu = false) const;
 
  private:
   autograd::Variable weight_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/dispatch.h"
 #include "obs/perfcount.h"
 #include "util/logging.h"
 
@@ -20,7 +21,8 @@ Tensor UnaryOp(const Tensor& a, F f) {
   Tensor out(a.rows(), a.cols());
   const float* src = a.data();
   float* dst = out.data();
-#pragma omp parallel for schedule(static) if (n > kOmpWorkThreshold)
+#pragma omp parallel for schedule(static) \
+    if (kernels::ShouldParallelize(static_cast<double>(n)))
   for (int64_t i = 0; i < n; ++i) dst[i] = f(src[i]);
   return out;
 }
@@ -35,8 +37,25 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* dst = out.data();
-#pragma omp parallel for schedule(static) if (n > kOmpWorkThreshold)
+#pragma omp parallel for schedule(static) \
+    if (kernels::ShouldParallelize(static_cast<double>(n)))
   for (int64_t i = 0; i < n; ++i) dst[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+/// Dispatched element-wise binary op: one table call over the whole buffer,
+/// chunked+OpenMP inside the kernel. The scope's variant label carries the
+/// active SIMD tier into metrics/bench.
+Tensor DispatchedBinary(const Tensor& a, const Tensor& b,
+                        void (*fn)(const float*, const float*, float*,
+                                   int64_t),
+                        const char* variant) {
+  SES_CHECK(a.SameShape(b));
+  const int64_t n = a.size();
+  KernelScope scope("elementwise", variant, static_cast<double>(n),
+                    12.0 * static_cast<double>(n));
+  Tensor out(a.rows(), a.cols());
+  fn(a.data(), b.data(), out.data(), n);
   return out;
 }
 
@@ -51,20 +70,13 @@ inline double MatMulBytes(int64_t m, int64_t k, int64_t n) {
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   SES_CHECK(a.cols() == b.rows());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  KernelScope scope("matmul", "dense", 2.0 * m * k * n, MatMulBytes(m, k, n));
+  const kernels::Dispatch& d = kernels::GetDispatch();
+  KernelScope scope("matmul", d.matmul_variant, 2.0 * m * k * n,
+                    MatMulBytes(m, k, n));
   Tensor out(m, n);
-  // i-k-j loop order: unit-stride access on B and C; OpenMP over rows.
-#pragma omp parallel for schedule(static) if (m * k * n > kOmpWorkThreshold)
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.RowPtr(i);
-    float* crow = out.RowPtr(i);
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;  // exploits sparse inputs (bag-of-words).
-      const float* brow = b.RowPtr(kk);
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // i-k-j microkernel with a zero-skip on A, row-axpy inner loop on the
+  // dispatched tier; OpenMP over rows inside the kernel.
+  d.matmul(a.data(), b.data(), out.data(), m, k, n);
   return out;
 }
 
@@ -73,7 +85,8 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
   const int64_t m = a.cols(), k = a.rows(), n = b.cols();
   KernelScope scope("matmul", "at", 2.0 * m * k * n, MatMulBytes(k, m, n));
   Tensor out(m, n);
-#pragma omp parallel for schedule(static) if (m * k * n > kOmpWorkThreshold)
+#pragma omp parallel for schedule(static) \
+    if (kernels::ShouldParallelize(2.0 * m * k * n))
   for (int64_t i = 0; i < m; ++i) {
     float* crow = out.RowPtr(i);
     for (int64_t kk = 0; kk < k; ++kk) {
@@ -91,7 +104,8 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
   KernelScope scope("matmul", "bt", 2.0 * m * k * n, MatMulBytes(m, k, n));
   Tensor out(m, n);
-#pragma omp parallel for schedule(static) if (m * k * n > kOmpWorkThreshold)
+#pragma omp parallel for schedule(static) \
+    if (kernels::ShouldParallelize(2.0 * m * k * n))
   for (int64_t i = 0; i < m; ++i) {
     const float* arow = a.RowPtr(i);
     float* crow = out.RowPtr(i);
@@ -113,15 +127,18 @@ Tensor Transpose(const Tensor& a) {
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+  const kernels::Dispatch& d = kernels::GetDispatch();
+  return DispatchedBinary(a, b, d.vec_add, d.binary_variant);
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+  const kernels::Dispatch& d = kernels::GetDispatch();
+  return DispatchedBinary(a, b, d.vec_sub, d.binary_variant);
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+  const kernels::Dispatch& d = kernels::GetDispatch();
+  return DispatchedBinary(a, b, d.vec_mul, d.binary_variant);
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
@@ -184,7 +201,13 @@ Tensor Tanh(const Tensor& a) {
 }
 
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  const kernels::Dispatch& d = kernels::GetDispatch();
+  const int64_t n = a.size();
+  KernelScope scope("elementwise", d.unary_variant, static_cast<double>(n),
+                    8.0 * static_cast<double>(n));
+  Tensor out(a.rows(), a.cols());
+  d.vec_relu(a.data(), out.data(), n);
+  return out;
 }
 
 Tensor LeakyRelu(const Tensor& a, float slope) {
@@ -275,14 +298,14 @@ Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& index) {
 
 Tensor GatherRows(const Tensor& a, const int64_t* index, int64_t n) {
   // Pure data movement: 0 FLOPs, each gathered row read once + written once.
+  // Row memcpy is already the optimal kernel on every tier; the dispatch
+  // entry exists for uniformity, the variant label stays "copy".
   KernelScope scope("row_gather", "copy", 0.0,
                     8.0 * static_cast<double>(n) * a.cols());
   Tensor out(n, a.cols());
-  for (int64_t i = 0; i < n; ++i) {
+  for (int64_t i = 0; i < n; ++i)
     SES_CHECK(index[i] >= 0 && index[i] < a.rows());
-    std::copy(a.RowPtr(index[i]), a.RowPtr(index[i]) + a.cols(),
-              out.RowPtr(i));
-  }
+  kernels::GetDispatch().gather_rows(a.data(), a.cols(), index, n, out.data());
   return out;
 }
 
@@ -309,14 +332,14 @@ void ScatterAddRows(const Tensor& a, const std::vector<int64_t>& index,
   SES_CHECK(out != nullptr && out->cols() == a.cols());
   SES_CHECK(static_cast<int64_t>(index.size()) == a.rows());
   // One add per element; source read + destination read-modify-write.
-  KernelScope scope("scatter_add", "rows",
+  const kernels::Dispatch& d = kernels::GetDispatch();
+  KernelScope scope("scatter_add", d.scatter_variant,
                     static_cast<double>(a.rows()) * a.cols(),
                     12.0 * static_cast<double>(a.rows()) * a.cols());
   for (size_t i = 0; i < index.size(); ++i) {
     SES_CHECK(index[i] >= 0 && index[i] < out->rows());
-    const float* src = a.RowPtr(static_cast<int64_t>(i));
-    float* dst = out->RowPtr(index[i]);
-    for (int64_t c = 0; c < a.cols(); ++c) dst[c] += src[c];
+    d.add_row(out->RowPtr(index[i]), a.RowPtr(static_cast<int64_t>(i)),
+              a.cols());
   }
 }
 
@@ -350,7 +373,8 @@ Tensor PairwiseSquaredDistances(const Tensor& a) {
   Tensor sq = SumRows(Mul(a, a));  // row squared norms
   Tensor dots = MatMulTransposedB(a, a);
   Tensor out(n, n);
-#pragma omp parallel for schedule(static) if (n * n > kOmpWorkThreshold)
+#pragma omp parallel for schedule(static) \
+    if (kernels::ShouldParallelize(static_cast<double>(n) * n))
   for (int64_t i = 0; i < n; ++i) {
     float* row = out.RowPtr(i);
     const float* drow = dots.RowPtr(i);

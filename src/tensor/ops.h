@@ -4,19 +4,21 @@
 #include <cstdint>
 #include <vector>
 
+#include "kernels/dispatch.h"
 #include "tensor/tensor.h"
 
 namespace ses::tensor {
 
-/// Raw (non-differentiable) kernels. The autograd layer composes these into
-/// forward/backward passes; they are also used directly by inference-only
-/// code paths (metrics, explainer scoring, t-SNE).
+/// Raw (non-differentiable) kernels. The hot ops (MatMul, Add/Sub/Mul, Relu,
+/// gather/scatter) route through the runtime-dispatched SIMD tables in
+/// src/kernels; the autograd layer composes these into forward/backward
+/// passes, and inference-only code paths (metrics, explainer scoring, t-SNE)
+/// call them directly.
 
-/// Minimum scalar work (flops for matmuls, elements for elementwise loops)
-/// before a kernel forks an OpenMP team. Below this the fork/join overhead
-/// dominates — per-node motif subgraphs are a few dozen rows — so every
-/// parallel kernel guards its `parallel for` with this one constant.
-inline constexpr int64_t kOmpWorkThreshold = 1 << 16;
+/// The OpenMP cutover now lives with the kernels (kernels::ShouldParallelize
+/// guards every parallel loop, dense and sparse alike); this alias keeps the
+/// historical spelling working for existing callers.
+inline constexpr int64_t kOmpWorkThreshold = kernels::kOmpWorkThreshold;
 
 /// C = A * B. Cache-blocked, OpenMP-parallel over rows.
 Tensor MatMul(const Tensor& a, const Tensor& b);

@@ -1,5 +1,7 @@
 #include "tensor/sparse.h"
 
+#include "kernels/dispatch.h"
+#include "kernels/spmm.h"
 #include "obs/perfcount.h"
 #include "util/logging.h"
 
@@ -35,22 +37,21 @@ Tensor SparseMatrix::ToDense() const {
 Tensor SparseMatrix::MatMul(const Tensor& dense) const {
   SES_CHECK(cols == dense.rows());
   const int64_t f = dense.cols();
+  const kernels::Dispatch& d = kernels::GetDispatch();
   // 2·nnz·f FLOPs; traffic = CSR stream (value + col index per entry, one
-  // dense row gathered per entry) + the output written once.
+  // dense row gathered per entry) + the output written once. Values are
+  // stored inline (perm == null); OpenMP over rows moved inside the kernel
+  // behind kernels::ShouldParallelize — this loop used to fork a team
+  // regardless of nnz.
   obs::KernelScope scope(
-      "spmm", "csr", 2.0 * static_cast<double>(nnz()) * f,
+      "spmm", kernels::SpmmVariantName({kernels::SpmmAlgo::kCsr, d.tier}),
+      2.0 * static_cast<double>(nnz()) * f,
       static_cast<double>(nnz()) * (12.0 + 4.0 * f) +
           4.0 * static_cast<double>(rows) * f);
   Tensor out(rows, dense.cols());
-#pragma omp parallel for schedule(dynamic, 64)
-  for (int64_t r = 0; r < rows; ++r) {
-    float* dst = out.RowPtr(r);
-    for (int64_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
-      const float v = values[static_cast<size_t>(e)];
-      const float* src = dense.RowPtr(col_idx[static_cast<size_t>(e)]);
-      for (int64_t c = 0; c < f; ++c) dst[c] += v * src[c];
-    }
-  }
+  d.spmm_csr(rows, row_ptr.data(), col_idx.data(), /*perm=*/nullptr,
+             values.data(), dense.data(), f, out.data(), /*bias=*/nullptr,
+             /*relu=*/false);
   return out;
 }
 

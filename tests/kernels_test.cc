@@ -1,0 +1,543 @@
+// Tests for the runtime-dispatched SIMD kernel layer (src/kernels):
+//  - tier dispatch + SES_KERNEL_VARIANT forcing semantics,
+//  - SIMD/scalar parity sweeps across every dispatched variant (feature
+//    widths 1..333 including ragged SIMD tails, empty rows, duplicate
+//    edges, denormals, NaN masking/propagation),
+//  - the fused GCN epilogue (aggregate + bias + ReLU) against the unfused
+//    chain — bitwise at scalar tier, tolerance-gated at SIMD tiers,
+//  - SpMMBiasAct gradients (analytic vs the unfused chain, plus numeric),
+//  - autotuner determinism and per-graph plan memoization.
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "autograd/sparse_ops.h"
+#include "data/synthetic.h"
+#include "kernels/dispatch.h"
+#include "kernels/spmm.h"
+#include "models/encoders.h"
+#include "models/node_classifier.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ses;
+namespace ag = ses::autograd;
+namespace t = ses::tensor;
+namespace k = ses::kernels;
+
+/// Feature widths the parity sweeps cover: scalar, sub-lane, one AVX2 lane,
+/// one AVX-512 lane, lane+1 (ragged tail), a typical hidden width, and a
+/// large non-multiple-of-16 width.
+const std::vector<int64_t> kWidths = {1, 3, 8, 16, 17, 64, 333};
+
+std::vector<k::SimdTier> SupportedTiers() {
+  std::vector<k::SimdTier> tiers;
+  for (int i = 0; i < k::kNumSimdTiers; ++i) {
+    const auto tier = static_cast<k::SimdTier>(i);
+    if (k::TierSupported(tier)) tiers.push_back(tier);
+  }
+  return tiers;
+}
+
+/// Max |a - b| with NaN-position agreement: a NaN in one buffer requires a
+/// NaN at the same position in the other.
+double MaxAbsDiff(const float* a, const float* b, int64_t n) {
+  double m = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (std::isnan(a[i]) || std::isnan(b[i])) {
+      if (std::isnan(a[i]) != std::isnan(b[i])) return 1e30;
+      continue;
+    }
+    m = std::max(m, static_cast<double>(std::fabs(a[i] - b[i])));
+  }
+  return m;
+}
+
+bool BitwiseEqual(const float* a, const float* b, int64_t n) {
+  return std::memcmp(a, b, static_cast<size_t>(n) * sizeof(float)) == 0;
+}
+
+/// Relative tolerance for SIMD-vs-scalar parity: FMA contraction and
+/// reassociated adds differ by a few ulps per accumulation step.
+double Tolerance(int64_t reduction_len) {
+  return 1e-5 * std::max<double>(1.0, std::sqrt(static_cast<double>(
+                                     std::max<int64_t>(reduction_len, 1))));
+}
+
+/// A messy test graph: duplicate edges, a self loop, zero in-degree nodes
+/// (empty CSR rows), one high-degree hub (skew), deterministic RNG.
+struct TestGraph {
+  std::vector<int64_t> src, dst;
+  int64_t nodes = 0;
+};
+
+TestGraph MakeMessyGraph(int64_t nodes, int64_t edges, uint64_t seed) {
+  TestGraph g;
+  g.nodes = nodes;
+  util::Rng rng(seed);
+  for (int64_t e = 0; e < edges; ++e) {
+    // Nodes 0 and 1 never receive edges -> empty rows; node 2 is a hub.
+    int64_t d = 2 + static_cast<int64_t>(rng.Uniform() *
+                                         static_cast<double>(nodes - 2));
+    if (rng.Uniform() < 0.3) d = 2;  // hub: skewed in-degree
+    const int64_t s =
+        static_cast<int64_t>(rng.Uniform() * static_cast<double>(nodes));
+    g.src.push_back(std::min(s, nodes - 1));
+    g.dst.push_back(std::min(d, nodes - 1));
+  }
+  // Duplicate edge + self loop, deliberately.
+  g.src.push_back(g.src[0]);
+  g.dst.push_back(g.dst[0]);
+  g.src.push_back(3 % nodes);
+  g.dst.push_back(3 % nodes);
+  return g;
+}
+
+/// Scalar edge-order reference SpMM with optional epilogue — the ground
+/// truth every dispatched variant is compared against.
+void ReferenceSpmm(const TestGraph& g, const float* w, const float* x,
+                   int64_t f, float* out, const float* bias, bool relu) {
+  std::fill(out, out + g.nodes * f, 0.0f);
+  for (size_t e = 0; e < g.src.size(); ++e) {
+    const float we = w[e];
+    if (we == 0.0f) continue;
+    const float* srcp = x + g.src[e] * f;
+    float* dstp = out + g.dst[e] * f;
+    for (int64_t c = 0; c < f; ++c) dstp[c] += we * srcp[c];
+  }
+  for (int64_t r = 0; r < g.nodes; ++r) {
+    float* row = out + r * f;
+    for (int64_t c = 0; c < f; ++c) {
+      if (bias != nullptr) row[c] += bias[c];
+      if (relu) row[c] = row[c] > 0.0f ? row[c] : 0.0f;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch basics.
+
+TEST(DispatchTest, ScalarTierAlwaysSupportedAndActiveTierValid) {
+  EXPECT_TRUE(k::TierSupported(k::SimdTier::kScalar));
+  EXPECT_TRUE(k::DispatchFor(k::SimdTier::kScalar).compiled);
+  const k::SimdTier active = k::ActiveTier();
+  EXPECT_TRUE(k::TierSupported(active));
+  EXPECT_EQ(k::GetDispatch().tier, active);
+  // Best tier dominates: active is never above it.
+  EXPECT_LE(static_cast<int>(active), static_cast<int>(k::BestSupportedTier()));
+}
+
+TEST(DispatchTest, ForcedVariantSelectsTierAndBadValuesFallBack) {
+  // Forcing scalar always works.
+  ::setenv("SES_KERNEL_VARIANT", "scalar", 1);
+  k::ResetActiveTierForTest();
+  EXPECT_EQ(k::ActiveTier(), k::SimdTier::kScalar);
+  // Unknown value falls back to the best supported tier (logged, not fatal).
+  ::setenv("SES_KERNEL_VARIANT", "quantum", 1);
+  k::ResetActiveTierForTest();
+  EXPECT_EQ(k::ActiveTier(), k::BestSupportedTier());
+  // Forcing an unsupported tier falls back likewise.
+  if (!k::TierSupported(k::SimdTier::kAvx512)) {
+    ::setenv("SES_KERNEL_VARIANT", "avx512", 1);
+    k::ResetActiveTierForTest();
+    EXPECT_EQ(k::ActiveTier(), k::BestSupportedTier());
+  }
+  ::unsetenv("SES_KERNEL_VARIANT");
+  k::ResetActiveTierForTest();
+}
+
+TEST(DispatchTest, VariantLabelsCarryTierSuffix) {
+  for (const k::SimdTier tier : SupportedTiers()) {
+    const k::Dispatch& d = k::DispatchFor(tier);
+    const std::string suffix = k::TierName(tier);
+    EXPECT_NE(std::string(d.matmul_variant).find(suffix), std::string::npos);
+    EXPECT_NE(std::string(d.unary_variant).find(suffix), std::string::npos);
+    EXPECT_NE(
+        std::string(k::SpmmVariantName({k::SpmmAlgo::kCsr, tier})).find(suffix),
+        std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Element-wise / matmul parity across tiers.
+
+TEST(KernelParityTest, ElementwiseVariantsMatchScalarAcrossWidths) {
+  const k::Dispatch& ref = k::DispatchFor(k::SimdTier::kScalar);
+  util::Rng rng(11);
+  for (const k::SimdTier tier : SupportedTiers()) {
+    const k::Dispatch& d = k::DispatchFor(tier);
+    for (const int64_t n : kWidths) {
+      t::Tensor a = t::Tensor::Randn(1, n, &rng);
+      t::Tensor b = t::Tensor::Randn(1, n, &rng);
+      a[0] = -0.0f;                       // signed zero through ReLU
+      if (n > 1) a[1] = 1e-39f;           // denormal survives add/mul
+      if (n > 2) b[2] = 0.0f;
+      std::vector<float> got(n), want(n);
+      d.vec_add(a.data(), b.data(), got.data(), n);
+      ref.vec_add(a.data(), b.data(), want.data(), n);
+      EXPECT_TRUE(BitwiseEqual(got.data(), want.data(), n))
+          << k::TierName(tier) << " add width " << n;
+      d.vec_sub(a.data(), b.data(), got.data(), n);
+      ref.vec_sub(a.data(), b.data(), want.data(), n);
+      EXPECT_TRUE(BitwiseEqual(got.data(), want.data(), n))
+          << k::TierName(tier) << " sub width " << n;
+      d.vec_mul(a.data(), b.data(), got.data(), n);
+      ref.vec_mul(a.data(), b.data(), want.data(), n);
+      EXPECT_TRUE(BitwiseEqual(got.data(), want.data(), n))
+          << k::TierName(tier) << " mul width " << n;
+      d.vec_relu(a.data(), got.data(), n);
+      ref.vec_relu(a.data(), want.data(), n);
+      EXPECT_TRUE(BitwiseEqual(got.data(), want.data(), n))
+          << k::TierName(tier) << " relu width " << n;
+    }
+  }
+}
+
+TEST(KernelParityTest, ReluMapsNaNAndNegativeZeroToPositiveZero) {
+  const float in[4] = {std::nanf(""), -0.0f, -1.0f, 2.5f};
+  for (const k::SimdTier tier : SupportedTiers()) {
+    float out[4] = {9, 9, 9, 9};
+    k::DispatchFor(tier).vec_relu(in, out, 4);
+    EXPECT_EQ(out[0], 0.0f) << k::TierName(tier) << ": NaN must map to 0";
+    EXPECT_FALSE(std::signbit(out[0])) << k::TierName(tier);
+    EXPECT_EQ(out[1], 0.0f) << k::TierName(tier);
+    EXPECT_FALSE(std::signbit(out[1])) << k::TierName(tier) << ": -0 -> +0";
+    EXPECT_EQ(out[2], 0.0f) << k::TierName(tier);
+    EXPECT_EQ(out[3], 2.5f) << k::TierName(tier);
+  }
+}
+
+TEST(KernelParityTest, MatMulVariantsMatchScalarWithinTolerance) {
+  const k::Dispatch& ref = k::DispatchFor(k::SimdTier::kScalar);
+  util::Rng rng(12);
+  const int64_t m = 7, kk = 33;
+  for (const k::SimdTier tier : SupportedTiers()) {
+    const k::Dispatch& d = k::DispatchFor(tier);
+    for (const int64_t n : kWidths) {
+      t::Tensor a = t::Tensor::Randn(m, kk, &rng);
+      t::Tensor b = t::Tensor::Randn(kk, n, &rng);
+      a.At(2, 3) = 0.0f;  // exercise the zero-skip
+      t::Tensor got = t::Tensor::Zeros(m, n), want = t::Tensor::Zeros(m, n);
+      d.matmul(a.data(), b.data(), got.data(), m, kk, n);
+      ref.matmul(a.data(), b.data(), want.data(), m, kk, n);
+      const double tol = tier == k::SimdTier::kScalar ? 0.0 : Tolerance(kk);
+      EXPECT_LE(MaxAbsDiff(got.data(), want.data(), m * n), tol)
+          << k::TierName(tier) << " matmul n=" << n;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpMM parity: every (algo, tier) variant against the edge-order scalar
+// reference, across all widths, with empty rows / duplicates / zero weights.
+
+class SpmmParityTest : public ::testing::Test {
+ protected:
+  void RunSweep(bool with_epilogue) {
+    const TestGraph g = MakeMessyGraph(/*nodes=*/53, /*edges=*/400, 7);
+    const int64_t e = static_cast<int64_t>(g.src.size());
+    util::Rng rng(21);
+    t::Tensor w = t::Tensor::Randn(e, 1, &rng);
+    w[0] = 0.0f;  // masked edges
+    w[1] = 0.0f;
+    w[2] = 1e-39f;  // denormal weight
+    const k::SpmmPlan plan(g.src.data(), g.dst.data(), e, g.nodes);
+    for (const int64_t f : kWidths) {
+      t::Tensor x = t::Tensor::Randn(g.nodes, f, &rng);
+      t::Tensor bias;
+      const float* bias_ptr = nullptr;
+      if (with_epilogue) {
+        bias = t::Tensor::Randn(1, f, &rng);
+        bias_ptr = bias.data();
+      }
+      std::vector<float> want(static_cast<size_t>(g.nodes) * f);
+      ReferenceSpmm(g, w.data(), x.data(), f, want.data(), bias_ptr,
+                    with_epilogue);
+      for (const k::SimdTier tier : SupportedTiers()) {
+        for (int a = 0; a < k::kNumSpmmAlgos; ++a) {
+          const k::SpmmChoice choice{static_cast<k::SpmmAlgo>(a), tier};
+          t::Tensor got = t::Tensor::Zeros(g.nodes, f);
+          plan.Run(choice, w.data(), x.data(), f, got.data(), bias_ptr,
+                   with_epilogue);
+          // Scalar edge-order and scalar CSR (stable, edge-order entries)
+          // are bitwise against the reference; everything else (FMA and/or
+          // column-sorted reordering) is tolerance-gated.
+          const bool bitwise = tier == k::SimdTier::kScalar &&
+                               choice.algo != k::SpmmAlgo::kCsrBlocked;
+          const double diff =
+              MaxAbsDiff(got.data(), want.data(), g.nodes * f);
+          if (bitwise) {
+            EXPECT_TRUE(BitwiseEqual(got.data(), want.data(), g.nodes * f))
+                << k::SpmmVariantName(choice) << " f=" << f
+                << " diff=" << diff;
+          } else {
+            EXPECT_LE(diff, Tolerance(plan.stats().max_degree))
+                << k::SpmmVariantName(choice) << " f=" << f;
+          }
+          // Empty rows stay exactly zero (or epilogue-only).
+          for (int64_t c = 0; c < f; ++c) {
+            float expect_empty = bias_ptr != nullptr ? bias[c] : 0.0f;
+            if (with_epilogue && expect_empty < 0.0f) expect_empty = 0.0f;
+            EXPECT_EQ(got.At(0, c), expect_empty)
+                << k::SpmmVariantName(choice) << " empty row, f=" << f;
+          }
+        }
+      }
+    }
+  }
+};
+
+TEST_F(SpmmParityTest, AllVariantsMatchReferenceAcrossWidths) {
+  RunSweep(/*with_epilogue=*/false);
+}
+
+TEST_F(SpmmParityTest, FusedEpilogueMatchesReferenceAcrossWidths) {
+  RunSweep(/*with_epilogue=*/true);
+}
+
+TEST(SpmmNanTest, ZeroWeightMasksNaNRowInEveryVariant) {
+  // Node 4's features are NaN, but every edge sourced at node 4 has weight
+  // zero — the zero-skip must keep NaN out of all outputs in all variants.
+  TestGraph g;
+  g.nodes = 6;
+  g.src = {4, 4, 3, 5, 3};
+  g.dst = {2, 3, 2, 5, 4};
+  const int64_t e = static_cast<int64_t>(g.src.size());
+  const int64_t f = 17;
+  t::Tensor w = t::Tensor::Ones(e, 1);
+  w[0] = 0.0f;
+  w[1] = 0.0f;
+  util::Rng rng(5);
+  t::Tensor x = t::Tensor::Randn(g.nodes, f, &rng);
+  for (int64_t c = 0; c < f; ++c) x.At(4, c) = std::nanf("");
+  const k::SpmmPlan plan(g.src.data(), g.dst.data(), e, g.nodes);
+  for (const k::SimdTier tier : SupportedTiers()) {
+    for (int a = 0; a < k::kNumSpmmAlgos; ++a) {
+      const k::SpmmChoice choice{static_cast<k::SpmmAlgo>(a), tier};
+      t::Tensor out = t::Tensor::Zeros(g.nodes, f);
+      plan.Run(choice, w.data(), x.data(), f, out.data(), nullptr, false);
+      for (int64_t i = 0; i < out.size(); ++i)
+        EXPECT_FALSE(std::isnan(out[i]))
+            << k::SpmmVariantName(choice) << " leaked NaN at " << i;
+    }
+  }
+}
+
+TEST(SpmmNanTest, NonzeroWeightPropagatesNaNInEveryVariant) {
+  TestGraph g;
+  g.nodes = 4;
+  g.src = {1, 2};
+  g.dst = {0, 3};
+  const int64_t f = 8;
+  t::Tensor w = t::Tensor::Ones(2, 1);
+  t::Tensor x = t::Tensor::Ones(g.nodes, f);
+  x.At(1, 3) = std::nanf("");
+  const k::SpmmPlan plan(g.src.data(), g.dst.data(), 2, g.nodes);
+  for (const k::SimdTier tier : SupportedTiers()) {
+    for (int a = 0; a < k::kNumSpmmAlgos; ++a) {
+      const k::SpmmChoice choice{static_cast<k::SpmmAlgo>(a), tier};
+      t::Tensor out = t::Tensor::Zeros(g.nodes, f);
+      plan.Run(choice, w.data(), x.data(), f, out.data(), nullptr, false);
+      EXPECT_TRUE(std::isnan(out.At(0, 3))) << k::SpmmVariantName(choice);
+      EXPECT_FALSE(std::isnan(out.At(3, 3))) << k::SpmmVariantName(choice);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused op (autograd level): forward equivalence and gradients.
+
+TEST(SpmmBiasActTest, FusedForwardIsBitwiseEqualToUnfusedChainAtScalarTier) {
+  ::setenv("SES_KERNEL_VARIANT", "scalar", 1);
+  k::ResetActiveTierForTest();
+  const TestGraph g = MakeMessyGraph(40, 200, 9);
+  auto edges = std::make_shared<ag::EdgeList>();
+  edges->src = g.src;
+  edges->dst = g.dst;
+  edges->num_nodes = g.nodes;
+  util::Rng rng(31);
+  const int64_t f = 17;
+  t::Tensor wt = t::Tensor::Randn(edges->size(), 1, &rng);
+  t::Tensor xt = t::Tensor::Randn(g.nodes, f, &rng);
+  t::Tensor bt = t::Tensor::Randn(1, f, &rng);
+  auto w = ag::Variable::Constant(wt);
+  auto x = ag::Variable::Constant(xt);
+  auto b = ag::Variable::Constant(bt);
+  const ag::EdgeListPtr ep = edges;
+  auto fused = ag::SpMMBiasAct(ep, w, x, b, /*relu=*/true);
+  auto chain = ag::Relu(ag::AddRowVector(ag::SpMM(ep, w, x), b));
+  ASSERT_EQ(fused.value().size(), chain.value().size());
+  EXPECT_TRUE(BitwiseEqual(fused.value().data(), chain.value().data(),
+                           fused.value().size()));
+  // Undefined bias + no relu degrades to plain SpMM.
+  auto plain = ag::SpMMBiasAct(ep, w, x, ag::Variable(), /*relu=*/false);
+  auto ref = ag::SpMM(ep, w, x);
+  EXPECT_TRUE(BitwiseEqual(plain.value().data(), ref.value().data(),
+                           ref.value().size()));
+  ::unsetenv("SES_KERNEL_VARIANT");
+  k::ResetActiveTierForTest();
+}
+
+TEST(SpmmBiasActTest, FusedGradientsMatchUnfusedChain) {
+  const TestGraph g = MakeMessyGraph(24, 120, 13);
+  auto edges = std::make_shared<ag::EdgeList>();
+  edges->src = g.src;
+  edges->dst = g.dst;
+  edges->num_nodes = g.nodes;
+  const ag::EdgeListPtr ep = edges;
+  util::Rng rng(41);
+  const int64_t f = 6;
+  t::Tensor wt = t::Tensor::Randn(edges->size(), 1, &rng);
+  t::Tensor xt = t::Tensor::Randn(g.nodes, f, &rng);
+  t::Tensor bt = t::Tensor::Randn(1, f, &rng);
+
+  auto wf = ag::Variable::Parameter(wt);
+  auto xf = ag::Variable::Parameter(xt);
+  auto bf = ag::Variable::Parameter(bt);
+  ag::Backward(ag::SumAll(ag::SpMMBiasAct(ep, wf, xf, bf, true)));
+
+  auto wu = ag::Variable::Parameter(wt);
+  auto xu = ag::Variable::Parameter(xt);
+  auto bu = ag::Variable::Parameter(bt);
+  ag::Backward(
+      ag::SumAll(ag::Relu(ag::AddRowVector(ag::SpMM(ep, wu, xu), bu))));
+
+  EXPECT_LE(MaxAbsDiff(wf.grad().data(), wu.grad().data(), wf.grad().size()),
+            1e-5);
+  EXPECT_LE(MaxAbsDiff(xf.grad().data(), xu.grad().data(), xf.grad().size()),
+            1e-5);
+  EXPECT_LE(MaxAbsDiff(bf.grad().data(), bu.grad().data(), bf.grad().size()),
+            1e-5);
+}
+
+TEST(SpmmBiasActTest, NumericGradientCheck) {
+  const TestGraph g = MakeMessyGraph(12, 40, 17);
+  auto edges = std::make_shared<ag::EdgeList>();
+  edges->src = g.src;
+  edges->dst = g.dst;
+  edges->num_nodes = g.nodes;
+  const ag::EdgeListPtr ep = edges;
+  util::Rng rng(43);
+  auto w = ag::Variable::Parameter(t::Tensor::Randn(edges->size(), 1, &rng));
+  auto x = ag::Variable::Parameter(t::Tensor::Randn(g.nodes, 5, &rng));
+  auto b = ag::Variable::Parameter(t::Tensor::Randn(1, 5, &rng));
+  // Sigmoid keeps the loss smooth through the ReLU kink region.
+  auto result = ag::CheckGradients(
+      [&] {
+        return ag::MeanAll(ag::Sigmoid(ag::SpMMBiasAct(ep, w, x, b, true)));
+      },
+      {w, x, b});
+  EXPECT_TRUE(result.ok) << "rel err " << result.max_rel_error;
+}
+
+// ---------------------------------------------------------------------------
+// Autotuner determinism and plan memoization.
+
+TEST(AutotuneTest, HeuristicChoiceIsDeterministicGivenIdenticalStats) {
+  const TestGraph g = MakeMessyGraph(64, 500, 3);
+  const k::GraphStats stats = k::ComputeGraphStats(
+      g.dst.data(), static_cast<int64_t>(g.dst.size()), g.nodes);
+  for (const int64_t f : kWidths) {
+    const k::SpmmChoice a = k::HeuristicSpmmChoice(stats, f, k::ActiveTier());
+    const k::SpmmChoice b = k::HeuristicSpmmChoice(stats, f, k::ActiveTier());
+    EXPECT_EQ(static_cast<int>(a.algo), static_cast<int>(b.algo));
+    EXPECT_EQ(static_cast<int>(a.tier), static_cast<int>(b.tier));
+    EXPECT_EQ(static_cast<int>(a.tier), static_cast<int>(k::ActiveTier()));
+  }
+}
+
+TEST(AutotuneTest, IdenticalGraphsLandOnTheSameVariant) {
+  // Two independently-built plans over identical edge lists — the situation
+  // of the taped eval path vs the serving session — must choose the same
+  // variant for every width (the bitwise cross-path parity precondition).
+  const TestGraph g = MakeMessyGraph(64, 600, 23);
+  const int64_t e = static_cast<int64_t>(g.src.size());
+  const k::SpmmPlan p1(g.src.data(), g.dst.data(), e, g.nodes);
+  const k::SpmmPlan p2(g.src.data(), g.dst.data(), e, g.nodes);
+  for (const int64_t f : kWidths) {
+    const k::SpmmChoice c1 = p1.Choose(f, nullptr, nullptr);
+    const k::SpmmChoice c2 = p2.Choose(f, nullptr, nullptr);
+    EXPECT_STREQ(k::SpmmVariantName(c1), k::SpmmVariantName(c2)) << f;
+  }
+}
+
+TEST(AutotuneTest, TinyGraphPrefersEdgeOrderAndSkewPrefersBlocked) {
+  k::GraphStats tiny;
+  tiny.nodes = 30;
+  tiny.nnz = 60;  // < kTinyNnz: CSR build never pays off
+  tiny.avg_degree = 2.0;
+  EXPECT_EQ(static_cast<int>(
+                k::HeuristicSpmmChoice(tiny, 16, k::SimdTier::kScalar).algo),
+            static_cast<int>(k::SpmmAlgo::kEdgeOrder));
+  k::GraphStats skewed;
+  skewed.nodes = 200000;
+  skewed.nnz = 2000000;
+  skewed.avg_degree = 10.0;
+  skewed.degree_cv = 3.0;  // hub-heavy
+  EXPECT_EQ(static_cast<int>(
+                k::HeuristicSpmmChoice(skewed, 64, k::SimdTier::kScalar).algo),
+            static_cast<int>(k::SpmmAlgo::kCsrBlocked));
+}
+
+TEST(AutotuneTest, EdgeListPlanMemoizesAndRebuildsOnResize) {
+  auto edges = std::make_shared<ag::EdgeList>();
+  edges->src = {0, 1, 2};
+  edges->dst = {1, 2, 0};
+  edges->num_nodes = 3;
+  const auto p1 = edges->plan();
+  const auto p2 = edges->plan();
+  EXPECT_EQ(p1.get(), p2.get()) << "same graph must reuse the memoized plan";
+  EXPECT_EQ(p1->stats().nnz, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Backbone-level parity: scalar vs active SIMD tier on the paper's
+// synthetic benchmarks, across all four encoders.
+
+TEST(BackboneParityTest, ScalarAndSimdLogitsAgreeOnSyntheticBenchmarks) {
+  if (k::BestSupportedTier() == k::SimdTier::kScalar)
+    GTEST_SKIP() << "no SIMD tier on this host";
+  data::SyntheticOptions opt;
+  opt.scale = 0.12;
+  for (const char* dataset : {"BAShapes", "Tree-Cycle"}) {
+    const data::Dataset ds = data::MakeSyntheticByName(dataset, opt);
+    const auto edges = ds.graph.DirectedEdges(/*add_self_loops=*/true);
+    const nn::FeatureInput input = models::MakeInput(ds);
+    for (const char* backbone : {"GCN", "GAT", "GIN", "SAGE"}) {
+      util::Rng rng(77);
+      const auto enc = models::MakeEncoder(
+          backbone, ds.num_features(), 16, ds.num_classes, &rng);
+      util::Rng fwd_rng(1);
+
+      ::setenv("SES_KERNEL_VARIANT", "scalar", 1);
+      k::ResetActiveTierForTest();
+      const t::Tensor scalar_logits =
+          enc->Forward(input, edges, {}, 0.0f, false, &fwd_rng)
+              .logits.value();
+
+      ::unsetenv("SES_KERNEL_VARIANT");
+      k::ResetActiveTierForTest();
+      const t::Tensor simd_logits =
+          enc->Forward(input, edges, {}, 0.0f, false, &fwd_rng)
+              .logits.value();
+
+      ASSERT_EQ(scalar_logits.size(), simd_logits.size());
+      EXPECT_LE(MaxAbsDiff(scalar_logits.data(), simd_logits.data(),
+                           scalar_logits.size()),
+                1e-3)
+          << backbone << " on " << dataset;
+    }
+  }
+  ::unsetenv("SES_KERNEL_VARIANT");
+  k::ResetActiveTierForTest();
+}
+
+}  // namespace

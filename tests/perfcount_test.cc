@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "kernels/dispatch.h"
+#include "kernels/spmm.h"
 #include "obs/obs.h"
 #include "tensor/ops.h"
 #include "tensor/sparse.h"
@@ -19,6 +21,17 @@ namespace {
 
 using namespace ses;
 namespace t = ses::tensor;
+
+/// Variant labels now carry the dispatched tier suffix ("dense_avx2", ...);
+/// derive the expected names from the active dispatch table so the tests
+/// pass whatever tier the host CPU selects.
+std::string MatMulVariant() {
+  return kernels::GetDispatch().matmul_variant;
+}
+std::string CsrSpmmVariant() {
+  return kernels::SpmmVariantName(
+      {kernels::SpmmAlgo::kCsr, kernels::GetDispatch().tier});
+}
 
 /// Finds one (kernel, variant) aggregate; calls==0 stats count as absent.
 const obs::KernelStats* Find(const std::vector<obs::KernelStats>& stats,
@@ -57,7 +70,7 @@ TEST_F(KernelScopeTest, MatMulDeclaresExactFlops) {
   for (int64_t i = 0; i < b.size(); ++i) b[i] = 1.0f;
   (void)t::MatMul(a, b);
   const auto stats = obs::SnapshotKernelStats();
-  const obs::KernelStats* s = Find(stats, "matmul", "dense");
+  const obs::KernelStats* s = Find(stats, "matmul", MatMulVariant());
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(s->calls, 1u);
   EXPECT_DOUBLE_EQ(s->flops, 48.0);
@@ -79,7 +92,7 @@ TEST_F(KernelScopeTest, SpmmDeclaresTwoFlopsPerNnzPerFeature) {
   for (int64_t i = 0; i < x.size(); ++i) x[i] = 1.0f;
   (void)sm.MatMul(x);
   const auto stats = obs::SnapshotKernelStats();
-  const obs::KernelStats* s = Find(stats, "spmm", "csr");
+  const obs::KernelStats* s = Find(stats, "spmm", CsrSpmmVariant());
   ASSERT_NE(s, nullptr);
   EXPECT_DOUBLE_EQ(s->flops, 40.0);
 }
@@ -88,7 +101,7 @@ TEST_F(KernelScopeTest, AggregatesAccumulateAcrossCalls) {
   t::Tensor a(2, 2), b(2, 2);
   for (int i = 0; i < 3; ++i) (void)t::MatMul(a, b);
   const auto stats = obs::SnapshotKernelStats();
-  const obs::KernelStats* s = Find(stats, "matmul", "dense");
+  const obs::KernelStats* s = Find(stats, "matmul", MatMulVariant());
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(s->calls, 3u);
   EXPECT_DOUBLE_EQ(s->flops, 3 * 2.0 * 2 * 2 * 2);
@@ -148,7 +161,7 @@ TEST_F(KernelScopeTest, CounterValidityMatchesPerfAvailability) {
   t::Tensor a(4, 4), b(4, 4);
   (void)t::MatMul(a, b);
   const auto stats = obs::SnapshotKernelStats();
-  const obs::KernelStats* s = Find(stats, "matmul", "dense");
+  const obs::KernelStats* s = Find(stats, "matmul", MatMulVariant());
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(s->counters.valid, obs::PerfCountersAvailable());
   if (obs::PerfCountersAvailable()) {
