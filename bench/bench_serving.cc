@@ -33,12 +33,16 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "autograd/variable.h"
 #include "bench_common.h"
 #include "core/inference_session.h"
+#include "obs/anomaly.h"
+#include "obs/flight_recorder.h"
+#include "obs/perfcount.h"
 #include "serve/batch_scheduler.h"
 #include "tensor/workspace.h"
 #include "util/logging.h"
@@ -92,6 +96,15 @@ int main(int argc, char** argv) {
   const int64_t open_queries =
       flags.GetInt("open-queries", smoke ? 200 : 50000);
   const std::string out_path = flags.GetString("out", "BENCH_serving.json");
+  // Request-forensics knobs. --flight-dump arms the flight recorder's
+  // burn-triggered auto-dump (the CI forensics stage points it at
+  // ci_artifacts/ with a deliberately tiny --sched-queue-budget-us so the
+  // breach is guaranteed); --sched-queue-budget-us also turns on the
+  // queue-wait SLO for the phase-3 scheduler.
+  const std::string flight_dump = flags.GetString("flight-dump", "");
+  const double flight_burn = flags.GetDouble("flight-burn", 0.5);
+  const double sched_queue_budget_us =
+      flags.GetDouble("sched-queue-budget-us", 0.0);
   if (smoke) {
     profile.real_scale = std::min(profile.real_scale, 0.15);
     profile.epochs = std::min<int64_t>(profile.epochs, 3);
@@ -126,7 +139,50 @@ int main(int argc, char** argv) {
   registry.GetGauge("ses.sched.queue_depth");
   registry.GetHistogram("ses.sched.queue_wait_us", edges_us);
   registry.GetHistogram("ses.sched.e2e_us", edges_us);
+  // Critical-path stage histograms (filled by the scheduler in phase 3;
+  // pre-touched so early scrapes and BENCH_serving.json consumers always see
+  // the families).
+  obs::Histogram& stage_admit_hist =
+      registry.GetHistogram("ses.sched.stage.admit_us", edges_us);
+  obs::Histogram& stage_seal_hist =
+      registry.GetHistogram("ses.sched.stage.seal_us", edges_us);
+  obs::Histogram& stage_queue_hist =
+      registry.GetHistogram("ses.sched.stage.queue_us", edges_us);
+  obs::Histogram& stage_forward_hist =
+      registry.GetHistogram("ses.sched.stage.forward_us", edges_us);
+  obs::Histogram& stage_resolve_hist =
+      registry.GetHistogram("ses.sched.stage.resolve_us", edges_us);
   tensor::workspace::SyncMetricsRegistry();
+
+  if (!flight_dump.empty())
+    obs::FlightRecorder::Get().ArmAutoDump(flight_dump, flight_burn);
+  // Anomaly probe over the serving kernel itself: SpMM GFLOP/s since the
+  // last poll, summed across autotuner variants (the per-variant perfcount
+  // gauges can't be watched directly — the variant label is chosen at
+  // runtime). flops/ns is numerically GFLOP/s.
+  {
+    struct SpmmSeen {
+      double flops = 0.0;
+      double ns = 0.0;
+    };
+    auto seen = std::make_shared<SpmmSeen>();
+    obs::AnomalyWatch::Get().WatchProbe(
+        "kernel.spmm_gflops", [seen](double* value) {
+          double flops = 0.0, ns = 0.0;
+          for (const obs::KernelStats& k : obs::SnapshotKernelStats()) {
+            if (k.kernel != "spmm") continue;
+            flops += k.flops;
+            ns += k.inclusive_ns;
+          }
+          const double d_flops = flops - seen->flops;
+          const double d_ns = ns - seen->ns;
+          seen->flops = flops;
+          seen->ns = ns;
+          if (d_ns <= 0.0) return false;  // no new SpMM work since last poll
+          *value = d_flops / d_ns;
+          return true;
+        });
+  }
 
   auto ds = data::MakeRealWorldByName("Cora", profile.real_scale, 1);
   core::SesOptions opt;
@@ -248,6 +304,7 @@ int main(int argc, char** argv) {
   sched_opt.flush_deadline_us = 200;
   sched_opt.num_workers = 1;
   sched_opt.e2e_budget_us = 1e3;  // same budget class as infer.predict
+  sched_opt.queue_wait_budget_us = sched_queue_budget_us;
   serve::BatchScheduler scheduler(&session, sched_opt);
   obs::Histogram& e2e_hist = registry.GetHistogram(
       "ses.sched.e2e_us", obs::Histogram::DefaultLatencyEdgesUs());
@@ -477,6 +534,18 @@ int main(int argc, char** argv) {
       << "    \"deadline_flushes\": " << sched_stats.deadline_flushes << ",\n"
       << "    \"shutdown_flushes\": " << sched_stats.shutdown_flushes << ",\n"
       << "    \"queue_wait_p99_us\": " << queue_wait_hist.P99() << ",\n"
+      << "    \"stages\": {\n"
+      << "      \"admit\": {\"p50_us\": " << stage_admit_hist.P50()
+      << ", \"p99_us\": " << stage_admit_hist.P99() << "},\n"
+      << "      \"seal\": {\"p50_us\": " << stage_seal_hist.P50()
+      << ", \"p99_us\": " << stage_seal_hist.P99() << "},\n"
+      << "      \"queue\": {\"p50_us\": " << stage_queue_hist.P50()
+      << ", \"p99_us\": " << stage_queue_hist.P99() << "},\n"
+      << "      \"forward\": {\"p50_us\": " << stage_forward_hist.P50()
+      << ", \"p99_us\": " << stage_forward_hist.P99() << "},\n"
+      << "      \"resolve\": {\"p50_us\": " << stage_resolve_hist.P50()
+      << ", \"p99_us\": " << stage_resolve_hist.P99() << "}\n"
+      << "    },\n"
       << "    \"slo_e2e\": {\"requests\": " << sched_slo.requests
       << ", \"breaches\": " << sched_slo.breaches
       << ", \"burn_rate\": " << sched_slo.burn_rate << "}\n"

@@ -28,7 +28,11 @@
 #   - or the multi-threaded serving p99 latency rises by more than it,
 #   - or the scheduler's open-loop speedup over the direct path falls below
 #     SES_BENCH_MIN_SCHED_SPEEDUP (default 2.0; skipped when either JSON
-#     predates the scheduler block).
+#     predates the scheduler block),
+#   - or the candidate's scheduler block lacks the per-stage critical-path
+#     histograms ("stages" with admit/seal/queue/forward/resolve) — request
+#     forensics regressed out of bench_serving. Baselines predating the
+#     stages block are tolerated; candidates are not.
 #
 # Missing files and schema mismatches fail with a one-line diagnosis instead
 # of a JSON traceback. When the machine was already busy before the benchmark
@@ -336,6 +340,29 @@ if "scheduler" in base and "scheduler" in cand:
 else:
     print("scheduler block absent from baseline or candidate; speedup gate "
           "skipped")
+
+# Request-forensics gate: a candidate that carries a scheduler block must
+# also carry the per-stage histograms (the stages block is how a p99
+# regression gets attributed to queue vs forward time). Only the candidate
+# is gated — a baseline from before the forensics work stays comparable.
+REQUIRED_STAGES = ("admit", "seal", "queue", "forward", "resolve")
+if "scheduler" in cand:
+    stages = cand["scheduler"].get("stages")
+    if not isinstance(stages, dict):
+        failures.append(
+            "candidate scheduler block lacks 'stages' — the request-"
+            "forensics stage histograms are missing from bench_serving "
+            "output")
+    else:
+        missing = [s for s in REQUIRED_STAGES if s not in stages]
+        if missing:
+            failures.append(
+                f"scheduler.stages missing {missing} — partial stage "
+                f"attribution")
+        else:
+            print("stage attribution: " + "  ".join(
+                f"{s} p99 {lookup(cand, f'scheduler.stages.{s}.p99_us', 'candidate', candidate_path):.1f}us"
+                for s in REQUIRED_STAGES))
 
 if failures:
     for f in failures:

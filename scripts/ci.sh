@@ -26,6 +26,15 @@
 #                           # SES_KERNEL_VARIANT pinned per CPU-supported
 #                           # tier (skips logged), autotuner determinism
 #                           # double-run, and the parity suite under UBSan
+#   scripts/ci.sh forensics # request-forensics gate (DESIGN.md §15): Release
+#                           # bench_serving with a deliberately tiny queue-
+#                           # wait SLO so the flight recorder's burn-triggered
+#                           # auto-dump is guaranteed to trip; the live
+#                           # endpoints are scraped mid-run (OpenMetrics
+#                           # exemplars on the e2e histogram, /debug/slowest
+#                           # stage monotonicity, anomaly_watch in /healthz)
+#                           # and the dump + exemplar trace-ids are joined
+#                           # offline against the access log and Chrome trace
 #
 # No arguments runs every stage in the order above. A numeric first argument
 # is accepted as a job count for backward compatibility; JOBS=<n> works too.
@@ -476,18 +485,185 @@ stage_kernels_dispatch() {
 }
 
 # ---------------------------------------------------------------------------
+stage_forensics() {
+  ensure_release
+  # Request forensics end to end (DESIGN.md §15). One Release bench_serving
+  # run with the whole forensics surface armed: exemplars and stage
+  # attribution are always on; --sched-queue-budget-us=1 makes every
+  # scheduled request breach its queue-wait budget, so the burn rate crosses
+  # --flight-burn on the very first batch and the flight recorder's
+  # auto-dump is guaranteed to trip. Generously sized closed-loop phase
+  # (~1 s) so the mid-run scrape reliably catches the scheduler alive.
+  echo "=== [forensics] bench_serving with flight recorder armed (live scrape) ==="
+  rm -f ci_artifacts/flight-dump.json
+  ./build/bench/bench_serving --scale=0.25 --epochs=40 --hidden=32 \
+    --seeds=1 --threads=2 --queries=2000 \
+    --sched-clients=4 --closed-queries=4000 --open-queries=4000 \
+    --sched-queue-budget-us=1 --flight-burn=0.05 \
+    --flight-dump=ci_artifacts/flight-dump.json \
+    --metrics-port=0 --access-log="${SCRATCH}/forensics-access.jsonl" \
+    --trace-out="${SCRATCH}/forensics-trace.json" \
+    --out=ci_artifacts/BENCH_serving_forensics.json \
+    >"ci_artifacts/serving-forensics.log" 2>&1 &
+  local serving_pid=$!
+  for _ in $(seq 1 200); do
+    grep -q "metrics server on" "ci_artifacts/serving-forensics.log" && break
+    kill -0 "${serving_pid}" 2>/dev/null || break
+    sleep 0.05
+  done
+  local port
+  port="$(sed -n 's#.*localhost:\([0-9]*\)/metrics.*#\1#p' \
+    "ci_artifacts/serving-forensics.log" | head -1)"
+  [[ -n "${port}" ]] || {
+    cat "ci_artifacts/serving-forensics.log"
+    echo "FAIL: bench_serving never announced its metrics port"; exit 1; }
+
+  # Live phase: poll /metrics until the scheduler's e2e histogram exposes an
+  # OpenMetrics exemplar, then hit /debug/slowest and /healthz while the
+  # process is still serving. The scraped exemplar trace-ids are written to
+  # the scratch dir for the offline join below.
+  python3 - "${port}" "${serving_pid}" "${SCRATCH}" <<'PY'
+import json, os, sys, time, urllib.request
+
+port, pid, scratch = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+base = f"http://localhost:{port}"
+
+exemplar_ids = []
+deadline = time.monotonic() + 300
+while time.monotonic() < deadline:
+    try:
+        with urllib.request.urlopen(f"{base}/metrics", timeout=5) as resp:
+            body = resp.read().decode()
+    except OSError:
+        body = ""
+    exemplar_ids = []
+    for line in body.splitlines():
+        if not line.startswith("ses_sched_e2e_us_bucket"):
+            continue
+        head, sep, tail = line.partition(' # {trace_id="')
+        if not sep:
+            continue
+        exemplar_ids.append(int(tail.split('"', 1)[0]))
+        float(tail.rsplit(" ", 1)[1])   # exemplar value parses as a number
+        float(head.rsplit(" ", 1)[1])   # so does the cumulative bucket count
+    if exemplar_ids:
+        break
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        sys.exit("FAIL: bench_serving exited before /metrics exposed an "
+                 "exemplar on ses_sched_e2e_us")
+    time.sleep(0.02)
+assert exemplar_ids, "no OpenMetrics exemplar on ses_sched_e2e_us in 300 s"
+
+with urllib.request.urlopen(f"{base}/debug/slowest", timeout=5) as resp:
+    assert resp.headers["Content-Type"].startswith("application/json")
+    slowest = json.load(resp)
+records = slowest["records"]
+assert records, "/debug/slowest served no records mid-run"
+ORDER = ["submit", "admit", "seal", "forward_start", "forward_end", "resolve"]
+for rec in records:
+    stamps = [rec["stages_us"][k] for k in ORDER]
+    assert stamps == sorted(stamps), \
+        f"stage timestamps not monotonic: {rec}"
+    assert rec["trace_id"] > 0 and rec["e2e_us"] >= 0, rec
+e2es = [r["e2e_us"] for r in records]
+assert e2es == sorted(e2es, reverse=True), "/debug/slowest not slowest-first"
+
+with urllib.request.urlopen(f"{base}/healthz", timeout=5) as resp:
+    health = json.load(resp)
+assert "anomaly_watch" in health.get("components", {}), \
+    f"anomaly_watch component missing from /healthz: {sorted(health)}"
+
+with open(os.path.join(scratch, "forensics-exemplars.json"), "w") as f:
+    json.dump(exemplar_ids, f)
+print(f"live forensics ok: {len(exemplar_ids)} e2e exemplars, "
+      f"{len(records)} /debug/slowest records (top_k {slowest['top_k']}), "
+      f"anomaly_watch registered")
+PY
+  wait "${serving_pid}" || {
+    cat "ci_artifacts/serving-forensics.log"
+    echo "FAIL: bench_serving exited non-zero"; exit 1; }
+
+  echo "=== [forensics] dump + exemplars join the access log and Chrome trace ==="
+  [[ -s ci_artifacts/flight-dump.json ]] || {
+    echo "FAIL: the SLO breach never auto-dumped ci_artifacts/flight-dump.json"
+    exit 1; }
+  python3 - ci_artifacts/flight-dump.json \
+    "${SCRATCH}/forensics-access.jsonl" "${SCRATCH}/forensics-trace.json" \
+    "${SCRATCH}/forensics-exemplars.json" \
+    ci_artifacts/BENCH_serving_forensics.json <<'PY'
+import json, sys
+
+dump_path, access_path, trace_path, exemplar_path, bench_path = sys.argv[1:6]
+
+with open(dump_path) as f:
+    dump = json.load(f)
+records = dump["records"]
+assert records, "flight-recorder dump has no records"
+ORDER = ["submit", "admit", "seal", "forward_start", "forward_end", "resolve"]
+for rec in records:
+    stamps = [rec["stages_us"][k] for k in ORDER]
+    assert stamps == sorted(stamps), f"dumped record not monotonic: {rec}"
+
+with open(access_path) as f:
+    entries = [json.loads(line) for line in f if line.strip()]
+assert entries, "access log is empty"
+missing_reason = [e["trace_id"] for e in entries if "reason" not in e]
+assert not missing_reason, \
+    f"{len(missing_reason)} access-log entries lack a reason field"
+access_ids = {e["trace_id"] for e in entries}
+
+with open(trace_path) as f:
+    trace = json.load(f)
+span_ids = {ev["args"]["trace_id"] for ev in trace["traceEvents"]
+            if "args" in ev and "trace_id" in ev["args"]}
+names = {ev.get("name", "") for ev in trace["traceEvents"]}
+for stage in ("admit", "seal", "queue", "forward", "resolve"):
+    assert f"sched/stage/{stage}" in names, \
+        f"Chrome trace lacks the sched/stage/{stage} span"
+
+dump_ids = {r["trace_id"] for r in records}
+orphans = sorted(dump_ids - access_ids)
+assert not orphans, f"{len(orphans)} dumped requests missing from the " \
+                    f"access log, e.g. trace_id {orphans[0]}"
+orphans = sorted(dump_ids - span_ids)
+assert not orphans, f"{len(orphans)} dumped requests have no trace spans, " \
+                    f"e.g. trace_id {orphans[0]}"
+
+with open(exemplar_path) as f:
+    exemplar_ids = set(json.load(f))
+assert exemplar_ids <= access_ids, \
+    f"exemplar trace-ids missing from the access log: " \
+    f"{sorted(exemplar_ids - access_ids)}"
+assert exemplar_ids <= span_ids, \
+    f"exemplar trace-ids missing from the Chrome trace: " \
+    f"{sorted(exemplar_ids - span_ids)}"
+
+with open(bench_path) as f:
+    bench = json.load(f)
+stages = bench["scheduler"]["stages"]
+for stage in ("admit", "seal", "queue", "forward", "resolve"):
+    assert stages[stage]["p99_us"] >= stages[stage]["p50_us"] >= 0.0, stages
+print(f"{len(records)} dumped records and {len(exemplar_ids)} exemplars "
+      f"joined against {len(entries)} access-log lines and "
+      f"{len(span_ids)} span trace-ids; stages block present")
+PY
+}
+
+# ---------------------------------------------------------------------------
 STAGES=()
 for arg in "$@"; do
   case "${arg}" in
-    release|asan|tsan|faults|overload|bench|kernels|kernels-dispatch) STAGES+=("${arg}") ;;
+    release|asan|tsan|faults|overload|bench|kernels|kernels-dispatch|forensics) STAGES+=("${arg}") ;;
     ''|*[!0-9]*)
-      echo "unknown stage '${arg}' (expected release|asan|tsan|faults|overload|bench|kernels|kernels-dispatch)" >&2
+      echo "unknown stage '${arg}' (expected release|asan|tsan|faults|overload|bench|kernels|kernels-dispatch|forensics)" >&2
       exit 2 ;;
     *) JOBS="${arg}" ;;  # back-compat: scripts/ci.sh [JOBS]
   esac
 done
 [[ ${#STAGES[@]} -gt 0 ]] || \
-  STAGES=(release asan tsan faults overload bench kernels kernels-dispatch)
+  STAGES=(release asan tsan faults overload bench kernels kernels-dispatch forensics)
 
 for stage in "${STAGES[@]}"; do
   "stage_${stage//-/_}"  # dashes in stage names map to underscores

@@ -1,6 +1,7 @@
 #include "core/inference_session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 
 #include "kernels/spmm.h"
@@ -114,7 +115,20 @@ const tensor::Tensor& InferenceSession::EnsureLogitsLocked(
   SES_TRACE_SPAN("infer/logits_miss");
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
   obs::MetricsRegistry::Get().GetCounter("ses.infer.cache_misses").Add(1);
+  // The miss forward is the classic p99 outlier: whichever request arrives
+  // first after an invalidation pays the whole rebuild. Observe() records
+  // the calling request's trace-id as the bucket exemplar, so the slow
+  // bucket of this histogram names the request that ate the forward.
+  const auto forward_start = std::chrono::steady_clock::now();
   logits_ = RunForward();
+  static obs::Histogram& forward_hist =
+      obs::MetricsRegistry::Get().GetHistogram(
+          "ses.infer.forward_us", obs::Histogram::DefaultLatencyEdgesUs());
+  forward_hist.Observe(
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - forward_start)
+                              .count()) *
+      1e-3);
   logits_version_ = artifact_version_;
   return logits_;
 }

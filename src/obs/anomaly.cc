@@ -1,0 +1,213 @@
+#include "obs/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <sstream>
+
+#include "obs/health.h"
+#include "obs/metrics.h"
+
+namespace ses::obs {
+
+double EwmaDetector::sigma() const {
+  return std::sqrt(std::max(var_, opts_.min_sigma * opts_.min_sigma));
+}
+
+bool EwmaDetector::Observe(double x) {
+  // Judge against the prior baseline so a spike cannot dilute the very
+  // statistics that should flag it, then let the baseline absorb the sample.
+  if (samples_ >= opts_.warmup) {
+    z_ = (x - mean_) / sigma();
+  } else {
+    z_ = 0.0;
+  }
+  const double d = x - mean_;
+  if (samples_ == 0) {
+    mean_ = x;  // seed: the first sample is the baseline, not a deviation
+  } else {
+    mean_ += opts_.alpha * d;
+    var_ = (1.0 - opts_.alpha) * (var_ + opts_.alpha * d * d);
+  }
+  ++samples_;
+
+  if (!active_) {
+    streak_ = std::abs(z_) >= opts_.z_enter ? streak_ + 1 : 0;
+    if (streak_ >= opts_.enter_consecutive) {
+      active_ = true;
+      ++trips_;
+      streak_ = 0;
+    }
+  } else {
+    streak_ = std::abs(z_) <= opts_.z_exit ? streak_ + 1 : 0;
+    if (streak_ >= opts_.exit_consecutive) {
+      active_ = false;
+      streak_ = 0;
+    }
+  }
+  return active_;
+}
+
+/// One watched series: detector state under its own mutex (samples for
+/// different series never contend), plus cached metric handles.
+struct AnomalyWatch::Series {
+  std::mutex mutex;
+  EwmaDetector detector;
+  double last = 0.0;
+  Probe probe;  ///< null for push-based series
+  Gauge* z_gauge = nullptr;
+  Gauge* active_gauge = nullptr;
+  Counter* trips_counter = nullptr;
+};
+
+AnomalyWatch& AnomalyWatch::Get() {
+  static AnomalyWatch* watch = new AnomalyWatch();
+  return *watch;
+}
+
+AnomalyWatch::Series* AnomalyWatch::GetOrCreate(const std::string& series,
+                                                const AnomalyOptions& opts) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = series_.find(series);
+    if (it != series_.end()) return it->second.get();
+  }
+  Series* created;
+  bool register_health = false;
+  {
+    std::unique_lock lock(mutex_);
+    auto& slot = series_[series];
+    if (slot == nullptr) {
+      slot = std::make_unique<Series>();
+      slot->detector = EwmaDetector(opts);
+      auto& reg = MetricsRegistry::Get();
+      const MetricsRegistry::LabelSet labels{{"series", series}};
+      slot->z_gauge = &reg.GetGauge("ses.anomaly.z", labels);
+      slot->active_gauge = &reg.GetGauge("ses.anomaly.active", labels);
+      slot->trips_counter = &reg.GetCounter("ses.anomaly.trips", labels);
+      if (!health_registered_) {
+        health_registered_ = true;
+        register_health = true;
+      }
+    }
+    created = slot.get();
+  }
+  // Register outside mutex_: a /healthz scrape holds the health-registry
+  // lock while HealthJson takes mutex_ shared, so taking the registry lock
+  // under mutex_ would invert that order.
+  if (register_health) {
+    RegisterHealthProvider("anomaly_watch",
+                           [] { return AnomalyWatch::Get().HealthJson(); });
+  }
+  return created;
+}
+
+void AnomalyWatch::Declare(const std::string& series, AnomalyOptions opts) {
+  GetOrCreate(series, opts);
+}
+
+void AnomalyWatch::Sample(const std::string& series, double value) {
+  Series* slot = GetOrCreate(series, AnomalyOptions{});
+  std::lock_guard<std::mutex> lock(slot->mutex);
+  const int64_t trips_before = slot->detector.trips();
+  const bool active = slot->detector.Observe(value);
+  slot->last = value;
+  slot->z_gauge->Set(slot->detector.z());
+  slot->active_gauge->Set(active ? 1.0 : 0.0);
+  if (slot->detector.trips() > trips_before)
+    slot->trips_counter->Add(slot->detector.trips() - trips_before);
+}
+
+void AnomalyWatch::WatchProbe(const std::string& series, Probe probe,
+                              AnomalyOptions opts) {
+  Series* slot = GetOrCreate(series, opts);
+  std::lock_guard<std::mutex> lock(slot->mutex);
+  slot->probe = std::move(probe);
+}
+
+void AnomalyWatch::PollProbes() {
+  // Collect names first: Sample() takes the shared map lock itself, and the
+  // probes may be arbitrarily slow user code — don't hold the map lock.
+  std::vector<std::string> probed;
+  {
+    std::shared_lock lock(mutex_);
+    for (const auto& [name, slot] : series_) {
+      std::lock_guard<std::mutex> slot_lock(slot->mutex);
+      if (slot->probe) probed.push_back(name);
+    }
+  }
+  for (const std::string& name : probed) {
+    Probe probe;
+    {
+      std::shared_lock lock(mutex_);
+      auto it = series_.find(name);
+      if (it == series_.end()) continue;
+      std::lock_guard<std::mutex> slot_lock(it->second->mutex);
+      probe = it->second->probe;
+    }
+    double value = 0.0;
+    if (probe && probe(&value)) Sample(name, value);
+  }
+}
+
+std::vector<AnomalyWatch::SeriesState> AnomalyWatch::Snapshot() const {
+  std::vector<SeriesState> out;
+  std::shared_lock lock(mutex_);
+  out.reserve(series_.size());
+  for (const auto& [name, slot] : series_) {
+    std::lock_guard<std::mutex> slot_lock(slot->mutex);
+    SeriesState state;
+    state.series = name;
+    state.last = slot->last;
+    state.z = slot->detector.z();
+    state.mean = slot->detector.mean();
+    state.sigma = slot->detector.sigma();
+    state.active = slot->detector.active();
+    state.trips = slot->detector.trips();
+    state.samples = slot->detector.samples();
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
+std::string AnomalyWatch::HealthJson() const {
+  const std::vector<SeriesState> states = Snapshot();
+  int64_t active = 0;
+  for (const SeriesState& s : states) active += s.active ? 1 : 0;
+  std::ostringstream out;
+  out << "{\"active_anomalies\":" << active << ",\"series\":{";
+  bool first = true;
+  for (const SeriesState& s : states) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << s.series << "\":{\"active\":"
+        << (s.active ? "true" : "false") << ",\"trips\":" << s.trips
+        << ",\"samples\":" << s.samples;
+    if (s.active) {
+      // Structured reason: enough to triage without scraping /metrics.
+      out << ",\"reason\":\"z=" << s.z << " last=" << s.last
+          << " vs mean=" << s.mean << " sigma=" << s.sigma << '"';
+    }
+    out << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+void AnomalyWatch::ResetForTest() {
+  // Unregister before taking mutex_ (same ordering rule as GetOrCreate): a
+  // mid-flight /healthz scrape holds the registry lock while HealthJson
+  // takes mutex_ shared. Unregister is a barrier, so after it returns no
+  // provider invocation can touch the series we are about to drop.
+  bool unregister = false;
+  {
+    std::shared_lock lock(mutex_);
+    unregister = health_registered_;
+  }
+  if (unregister) UnregisterHealthProvider("anomaly_watch");
+  std::unique_lock lock(mutex_);
+  health_registered_ = false;
+  series_.clear();
+}
+
+}  // namespace ses::obs

@@ -1,0 +1,128 @@
+#ifndef SES_OBS_ANOMALY_H_
+#define SES_OBS_ANOMALY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace ses::obs {
+
+class Counter;
+class Gauge;
+
+/// Detector tuning. The defaults favor quiet alarms: a series must sit four
+/// sigma off its EWMA baseline for three consecutive samples to raise, and
+/// return within two sigma for eight consecutive samples to clear.
+struct AnomalyOptions {
+  double alpha = 0.05;          ///< EWMA smoothing factor for mean/variance
+  double z_enter = 4.0;         ///< |z| at or above which samples count toward raising
+  double z_exit = 2.0;          ///< |z| at or below which samples count toward clearing
+  int64_t enter_consecutive = 3;
+  int64_t exit_consecutive = 8;
+  int64_t warmup = 32;          ///< samples before z is judged at all
+  double min_sigma = 1e-9;      ///< variance floor (constant series never alarm on noise)
+};
+
+/// EWMA mean/variance z-score detector with enter/exit hysteresis.
+///
+/// Per sample x: z = (x − mean) / sigma is computed against the *prior*
+/// baseline, then the baseline absorbs x:
+///   d     = x − mean
+///   mean += alpha · d
+///   var   = (1 − alpha) · (var + alpha · d²)
+/// The alarm raises after `enter_consecutive` samples with |z| >= z_enter and
+/// clears after `exit_consecutive` samples with |z| <= z_exit. The baseline
+/// keeps adapting while active, so an alarm self-clears either when the
+/// series returns to normal or when the EWMA has absorbed a durable level
+/// shift — it cannot latch forever.
+class EwmaDetector {
+ public:
+  explicit EwmaDetector(AnomalyOptions opts = {}) : opts_(opts) {}
+
+  /// Feeds one sample; returns the post-sample active state.
+  bool Observe(double x);
+
+  double z() const { return z_; }
+  double mean() const { return mean_; }
+  double sigma() const;
+  bool active() const { return active_; }
+  int64_t trips() const { return trips_; }
+  int64_t samples() const { return samples_; }
+
+ private:
+  AnomalyOptions opts_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  double z_ = 0.0;
+  int64_t samples_ = 0;
+  int64_t streak_ = 0;  ///< consecutive enter (inactive) or exit (active) hits
+  bool active_ = false;
+  int64_t trips_ = 0;
+};
+
+/// Process-wide named anomaly detectors over operational series. Each series
+/// publishes `ses.anomaly.z{series=...}` and `ses.anomaly.active{series=...}`
+/// gauges plus a `ses.anomaly.trips{series=...}` counter, and the watch as a
+/// whole registers an "anomaly_watch" component in the /healthz registry with
+/// a structured reason per series. Sample() is thread-safe and cheap enough
+/// to call once per scheduler batch.
+class AnomalyWatch {
+ public:
+  /// Pull-based series: fills *value and returns true, or returns false to
+  /// skip this poll (e.g. no new kernel activity since the last poll).
+  using Probe = std::function<bool(double*)>;
+
+  static AnomalyWatch& Get();
+
+  /// Creates the series with explicit options (idempotent; options only
+  /// matter on first declaration).
+  void Declare(const std::string& series, AnomalyOptions opts = {});
+
+  /// Feeds one sample, lazily declaring the series with default options.
+  void Sample(const std::string& series, double value);
+
+  /// Registers a pull-based series sampled on every PollProbes() call.
+  void WatchProbe(const std::string& series, Probe probe,
+                  AnomalyOptions opts = {});
+
+  /// Samples every probe-backed series (scheduler: once per executed batch).
+  void PollProbes();
+
+  struct SeriesState {
+    std::string series;
+    double last = 0.0;
+    double z = 0.0;
+    double mean = 0.0;
+    double sigma = 0.0;
+    bool active = false;
+    int64_t trips = 0;
+    int64_t samples = 0;
+  };
+  std::vector<SeriesState> Snapshot() const;
+
+  /// /healthz component body: per-series status with the structured reason
+  /// ("z=12.3 vs mean=4.1 sigma=0.2") for every active anomaly.
+  std::string HealthJson() const;
+
+  /// Drops all series and unregisters the health component (test support;
+  /// call before MetricsRegistry::ResetForTest — series cache metric refs).
+  void ResetForTest();
+
+ private:
+  AnomalyWatch() = default;
+
+  struct Series;
+  Series* GetOrCreate(const std::string& series, const AnomalyOptions& opts);
+
+  mutable std::shared_mutex mutex_;  ///< guards the map shape
+  std::map<std::string, std::unique_ptr<Series>> series_;
+  bool health_registered_ = false;  ///< guarded by mutex_
+};
+
+}  // namespace ses::obs
+
+#endif  // SES_OBS_ANOMALY_H_

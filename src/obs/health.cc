@@ -33,17 +33,26 @@ void UnregisterHealthProvider(const std::string& name) {
 }
 
 std::vector<std::pair<std::string, std::string>> CollectHealthComponents() {
-  // Providers are invoked UNDER the registry lock: that makes
-  // UnregisterHealthProvider a barrier — once it returns, the provider can
-  // no longer be running, so its owner is free to destroy itself. The cost
-  // is a rule for providers: they must not (un)register providers and must
-  // not block on anything that itself waits on a /healthz scrape.
+  // Copy-then-serialize contract: the snapshot is built ENTIRELY under the
+  // registry lock — each name and each provider result is deep-copied into
+  // `out` before the lock drops — and callers serialize from the copies.
+  // Two consequences:
+  //   1. UnregisterHealthProvider is a barrier — once it returns, the
+  //      provider can no longer be running, so its owner is free to destroy
+  //      itself; and
+  //   2. a component unregistering while a /healthz scrape is still
+  //      rendering cannot race the scrape, because nothing in the returned
+  //      snapshot aliases registry (or provider-owned) memory.
+  // The cost is a rule for providers: they must not (un)register providers
+  // and must not block on anything that itself waits on a /healthz scrape.
   HealthRegistry& registry = Registry();
-  std::lock_guard lock(registry.mutex);
   std::vector<std::pair<std::string, std::string>> out;
-  out.reserve(registry.providers.size());
-  for (const auto& [name, provider] : registry.providers)
-    out.emplace_back(name, provider());
+  {
+    std::lock_guard lock(registry.mutex);
+    out.reserve(registry.providers.size());
+    for (const auto& [name, provider] : registry.providers)
+      out.emplace_back(name, provider());  // both strings copied here
+  }
   return out;
 }
 

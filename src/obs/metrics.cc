@@ -4,6 +4,7 @@
 #include <fstream>
 #include <mutex>
 
+#include "obs/request.h"
 #include "util/logging.h"
 
 namespace ses::obs {
@@ -47,27 +48,81 @@ std::vector<std::string> SortedKeys(const Map& map) {
 }  // namespace
 
 Histogram::Histogram(std::vector<double> edges)
-    : edges_(std::move(edges)), counts_(edges_.size() + 1) {
+    : edges_(std::move(edges)),
+      counts_(edges_.size() + 1),
+      exemplars_(edges_.size() + 1) {
   SES_CHECK(std::is_sorted(edges_.begin(), edges_.end()));
 }
 
-void Histogram::Observe(double v) {
-  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
-  counts_[static_cast<size_t>(it - edges_.begin())].fetch_add(
-      1, std::memory_order_relaxed);
+size_t Histogram::BucketIndex(double v) const {
+  return static_cast<size_t>(
+      std::lower_bound(edges_.begin(), edges_.end(), v) - edges_.begin());
+}
+
+void Histogram::RecordExemplar(size_t bucket, double v, uint64_t trace_id) {
+  ExemplarSlot& slot = exemplars_[bucket];
+  uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+  // Odd seq = another writer mid-update. Drop this exemplar instead of
+  // spinning: the reservoir is last-write-wins and lossy by design.
+  if (seq & 1u) return;
+  if (!slot.seq.compare_exchange_strong(seq, seq + 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed))
+    return;
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  slot.value.store(v, std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);
+}
+
+bool Histogram::ReadExemplar(size_t i, Exemplar* out) const {
+  const ExemplarSlot& slot = exemplars_[i];
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const uint32_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0) return false;  // never written
+    if (before & 1u) continue;      // writer mid-update; retry
+    const uint64_t trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    const double value = slot.value.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != before) continue;
+    if (trace_id == 0) return false;
+    out->trace_id = trace_id;
+    out->value = value;
+    return true;
+  }
+  return false;  // persistently contended; exemplars are advisory
+}
+
+void Histogram::Observe(double v) { Observe(v, CurrentTraceId()); }
+
+void Histogram::Observe(double v, uint64_t trace_id) {
+  const size_t bucket = BucketIndex(v);
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(&sum_, v);
+  if (trace_id != 0) RecordExemplar(bucket, v, trace_id);
 }
 
 void Histogram::ObserveMany(const double* values, int64_t n) {
+  ObserveMany(values, /*trace_ids=*/nullptr, n);
+}
+
+void Histogram::ObserveMany(const double* values, const uint64_t* trace_ids,
+                            int64_t n) {
   if (n <= 0) return;
   constexpr size_t kMaxStackBuckets = 64;
   const size_t buckets = counts_.size();
   if (buckets > kMaxStackBuckets) {  // unusual edge count: plain loop
-    for (int64_t i = 0; i < n; ++i) Observe(values[i]);
+    for (int64_t i = 0; i < n; ++i)
+      Observe(values[i], trace_ids == nullptr ? 0 : trace_ids[i]);
     return;
   }
   int64_t local[kMaxStackBuckets] = {};
+  // Last traced (value, id) seen per bucket this batch; flushed once at the
+  // end so a batch of B observations costs at most O(distinct buckets)
+  // exemplar publishes, matching the count flush.
+  double last_value[kMaxStackBuckets];
+  uint64_t last_id[kMaxStackBuckets] = {};
   double sum = 0.0;
   // Batched observations cluster (e.g. queue waits of one micro-batch), so
   // re-testing the previous value's bucket usually beats re-running the
@@ -85,9 +140,16 @@ void Histogram::ObserveMany(const double* values, int64_t n) {
     }
     ++local[last];
     sum += v;
+    if (trace_ids != nullptr && trace_ids[i] != 0) {
+      last_value[last] = v;
+      last_id[last] = trace_ids[i];
+    }
   }
-  for (size_t b = 0; b < buckets; ++b)
-    if (local[b] != 0) counts_[b].fetch_add(local[b], std::memory_order_relaxed);
+  for (size_t b = 0; b < buckets; ++b) {
+    if (local[b] != 0)
+      counts_[b].fetch_add(local[b], std::memory_order_relaxed);
+    if (last_id[b] != 0) RecordExemplar(b, last_value[b], last_id[b]);
+  }
   count_.fetch_add(n, std::memory_order_relaxed);
   AtomicAdd(&sum_, sum);
 }

@@ -38,16 +38,44 @@ class Gauge {
 /// inclusive upper bounds; bucket i counts observations v with v <= edges[i]
 /// (first matching bucket), and one implicit overflow bucket counts
 /// everything above the last edge.
+///
+/// Each bucket additionally keeps one *exemplar* — the trace id and value of
+/// the most recent observation that landed there while a trace id was in
+/// scope (see obs::CurrentTraceId) or was passed explicitly. The reservoir is
+/// last-write-wins and lossy under contention: a writer that finds another
+/// writer mid-update simply drops its exemplar rather than spinning, so the
+/// hot Observe path never blocks. Exemplars are exported by the Prometheus
+/// writer in OpenMetrics syntax, which is how a scraped p99 bucket links back
+/// to a concrete request in the access log and Chrome trace.
 class Histogram {
  public:
+  /// One bucket's exemplar: the last traced observation that landed there.
+  struct Exemplar {
+    uint64_t trace_id = 0;
+    double value = 0.0;
+  };
+
   explicit Histogram(std::vector<double> edges);
 
   void Observe(double v);
+  /// Observe with an explicit trace id (0 = untraced) — for callers that
+  /// complete requests on a thread other than the one that owns the trace id
+  /// (e.g. the batch scheduler's worker loop).
+  void Observe(double v, uint64_t trace_id);
   /// Batched Observe: accumulates the n values into local bucket tallies and
   /// flushes each touched bucket (plus count/sum) with one atomic op, so a
   /// micro-batch of B observations costs O(distinct buckets) contended ops
   /// instead of O(B).
   void ObserveMany(const double* values, int64_t n);
+  /// Batched Observe carrying per-value trace ids; each touched bucket keeps
+  /// the last traced value of the batch as its exemplar. `trace_ids` may be
+  /// null (equivalent to the untraced overload).
+  void ObserveMany(const double* values, const uint64_t* trace_ids, int64_t n);
+
+  /// Reads bucket i's exemplar. Returns false when the bucket has never seen
+  /// a traced observation, or when a writer raced the read past the bounded
+  /// retry budget (exemplars are advisory; dropping a read is fine).
+  bool ReadExemplar(size_t i, Exemplar* out) const;
 
   const std::vector<double>& edges() const { return edges_; }
   /// i in [0, edges().size()]; the last index is the overflow bucket.
@@ -78,8 +106,23 @@ class Histogram {
   static const std::vector<double>& DefaultLatencyEdgesUs();
 
  private:
+  /// Seqlock-protected exemplar slot. seq is even when the slot is stable and
+  /// odd while a writer is mid-update; writers bump even→odd, store the
+  /// payload, then publish odd→even with release ordering. A writer that
+  /// loses the CAS walks away (last-write-wins, lossy). seq == 0 means the
+  /// slot has never been written.
+  struct ExemplarSlot {
+    std::atomic<uint32_t> seq{0};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<double> value{0.0};
+  };
+
+  size_t BucketIndex(double v) const;
+  void RecordExemplar(size_t bucket, double v, uint64_t trace_id);
+
   std::vector<double> edges_;
   std::vector<std::atomic<int64_t>> counts_;  ///< edges_.size() + 1 slots
+  std::vector<ExemplarSlot> exemplars_;       ///< one slot per bucket
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };

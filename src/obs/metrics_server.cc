@@ -7,6 +7,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/request.h"
@@ -65,11 +66,18 @@ bool MetricsServer::RenderEndpoint(const std::string& path, std::string* body,
         std::chrono::duration_cast<std::chrono::duration<double>>(
             std::chrono::steady_clock::now() - g_process_epoch)
             .count();
+    // Copy-then-serialize: every component's JSON is deep-copied out of the
+    // health registry (providers run under the registry lock) BEFORE any of
+    // it is written to the response. A component that unregisters while this
+    // scrape serializes therefore cannot invalidate anything we still hold —
+    // the snapshot owns its strings. Same for the SLO snapshot.
+    const auto slo_snapshot = SloTracker::Get().SnapshotAll();
+    const auto components = CollectHealthComponents();
     std::ostringstream out;
     out << "{\"status\":\"ok\",\"uptime_seconds\":" << uptime
         << ",\"requests_started\":" << RequestsStarted() << ",\"slo\":[";
     bool first = true;
-    for (const auto& [op, snap] : SloTracker::Get().SnapshotAll()) {
+    for (const auto& [op, snap] : slo_snapshot) {
       if (!first) out << ",";
       first = false;
       out << "{\"op\":\"" << JsonEscapeString(op)
@@ -80,7 +88,7 @@ bool MetricsServer::RenderEndpoint(const std::string& path, std::string* body,
     }
     out << "],\"components\":{";
     first = true;
-    for (const auto& [name, json] : CollectHealthComponents()) {
+    for (const auto& [name, json] : components) {
       if (!first) out << ",";
       first = false;
       // Component JSON comes pre-rendered from the provider; only the name
@@ -89,6 +97,12 @@ bool MetricsServer::RenderEndpoint(const std::string& path, std::string* body,
     }
     out << "}}\n";
     *body = out.str();
+    *content_type = "application/json";
+    return true;
+  }
+  if (path == "/debug/slowest") {
+    *body = FlightRecorder::Get().SnapshotJson();
+    *body += '\n';
     *content_type = "application/json";
     return true;
   }
@@ -194,7 +208,7 @@ void MetricsServer::HandleConnection(int client_fd) {
     content_type = "text/plain";
   } else if (!RenderEndpoint(path, &body, &content_type)) {
     status = "404 Not Found";
-    body = "not found; try /metrics, /healthz or /spans\n";
+    body = "not found; try /metrics, /healthz, /spans or /debug/slowest\n";
     content_type = "text/plain";
   }
 

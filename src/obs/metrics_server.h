@@ -13,9 +13,15 @@ namespace ses::obs {
 /// surface for live scraping — no external dependencies, one blocking accept
 /// thread, one request per connection (`Connection: close`). Endpoints:
 ///
-///   GET /metrics  Prometheus text exposition of the MetricsRegistry
-///   GET /healthz  JSON: status, uptime, requests started, SLO burn rates
-///   GET /spans    JSON: per-label span aggregates (AggregateSpanStats)
+///   GET /metrics        Prometheus text exposition of the MetricsRegistry
+///   GET /healthz        JSON: status, uptime, requests started, SLO burn
+///                       rates, health components (copy-then-serialize: the
+///                       component snapshot is fully materialized before any
+///                       byte is rendered, so unregistering mid-scrape is
+///                       safe)
+///   GET /spans          JSON: per-label span aggregates (AggregateSpanStats)
+///   GET /debug/slowest  JSON: the flight recorder's top-K slowest requests
+///                       with their six critical-path stage timestamps
 ///
 /// anything else answers 404. Intended for a scrape every few seconds, not
 /// for high request rates; each response snapshots the registry under its
@@ -43,9 +49,9 @@ class MetricsServer {
     return served_.load(std::memory_order_relaxed);
   }
 
-  /// Builds the response body for `path` ("/metrics", "/healthz", "/spans").
-  /// Returns false for unknown paths. Exposed so tests can validate payloads
-  /// without a socket round-trip.
+  /// Builds the response body for `path` ("/metrics", "/healthz", "/spans",
+  /// "/debug/slowest"). Returns false for unknown paths. Exposed so tests can
+  /// validate payloads without a socket round-trip.
   static bool RenderEndpoint(const std::string& path, std::string* body,
                              std::string* content_type);
 

@@ -27,11 +27,18 @@
 ///  - CalibrateRoofline / PlaceOnRoofline: measured machine ceilings and
 ///    per-kernel roofline efficiency (roofline.h);
 ///  - WriteFoldedStacks: flamegraph export of the span buffers
-///    (flamegraph.h).
+///    (flamegraph.h);
+///  - FlightRecorder: top-K slowest fully-attributed requests per rolling
+///    window, served at /debug/slowest and auto-dumped on SLO burn
+///    (flight_recorder.h);
+///  - AnomalyWatch: EWMA z-score detectors with hysteresis over operational
+///    series, ses.anomaly.* gauges and a /healthz component (anomaly.h).
 
+#include "obs/anomaly.h"
 #include "obs/chrome_trace.h"
 #include "obs/crash_flush.h"
 #include "obs/flamegraph.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/metrics_server.h"

@@ -103,14 +103,28 @@ std::string Sample(const std::string& name, const std::string& label_body,
   return line;
 }
 
-/// Histogram bucket line with `le` merged into any existing labels.
+/// Histogram bucket line with `le` merged into any existing labels. When the
+/// bucket carries an exemplar, it is appended in OpenMetrics syntax:
+///   name_bucket{le="..."} 42 # {trace_id="123"} 0.0017
+/// The timestamp is deliberately omitted so the last whitespace-separated
+/// token of the suffix is the exemplar value (a plain float) — parsers that
+/// split on the `#` see a well-formed labelset+value, and line-shape checks
+/// that read the final token still find a number.
 std::string BucketSample(const std::string& name,
                          const std::string& label_body, const std::string& le,
-                         int64_t cumulative) {
+                         int64_t cumulative,
+                         const Histogram::Exemplar* exemplar) {
   std::string body = label_body;
   if (!body.empty()) body += ',';
   body += "le=\"" + le + "\"";
-  return Sample(name + "_bucket", body, std::to_string(cumulative));
+  std::string line = Sample(name + "_bucket", body, std::to_string(cumulative));
+  if (exemplar != nullptr) {
+    line += " # {trace_id=\"";
+    line += std::to_string(exemplar->trace_id);  // decimal, joins access log
+    line += "\"} ";
+    line += FormatPrometheusValue(exemplar->value);
+  }
+  return line;
 }
 
 template <typename Map>
@@ -160,15 +174,20 @@ void MetricsRegistry::WritePrometheus(std::ostream& out) const {
     const std::string name = family_for(key, "histogram", &labels);
     const Histogram& hist = *histograms_.at(key);
     Family& fam = families[name];
-    // Exposition buckets are cumulative, ours are disjoint.
+    // Exposition buckets are cumulative, ours are disjoint. Exemplars stay
+    // per-disjoint-bucket (OpenMetrics semantics: the exemplar value must lie
+    // within the bucket that exposes it).
     int64_t cumulative = 0;
-    for (size_t i = 0; i < hist.edges().size(); ++i) {
+    Histogram::Exemplar exemplar;
+    for (size_t i = 0; i <= hist.edges().size(); ++i) {
       cumulative += hist.BucketCount(i);
-      fam.lines.push_back(BucketSample(
-          name, labels, FormatPrometheusValue(hist.edges()[i]), cumulative));
+      const bool has_exemplar = hist.ReadExemplar(i, &exemplar);
+      const std::string le = i < hist.edges().size()
+                                 ? FormatPrometheusValue(hist.edges()[i])
+                                 : "+Inf";
+      fam.lines.push_back(BucketSample(name, labels, le, cumulative,
+                                       has_exemplar ? &exemplar : nullptr));
     }
-    cumulative += hist.BucketCount(hist.edges().size());
-    fam.lines.push_back(BucketSample(name, labels, "+Inf", cumulative));
     fam.lines.push_back(
         Sample(name + "_sum", labels, FormatPrometheusValue(hist.Sum())));
     fam.lines.push_back(

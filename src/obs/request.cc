@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/flight_recorder.h"
 #include "obs/slo.h"
 #include "util/logging.h"
 
@@ -80,9 +81,20 @@ std::string AccessLog::EntryToJson(const AccessEntry& entry) {
       << "\",\"latency_us\":" << entry.latency_us
       << ",\"cache_hit\":" << (entry.cache_hit ? "true" : "false")
       << ",\"error\":" << (entry.error ? "true" : "false");
-  // Reason only when set, so the common (successful) line stays compact.
-  if (entry.reason != nullptr && entry.reason[0] != '\0')
-    out << ",\"reason\":\"" << entry.reason << "\"";
+  // Reason is always present so downstream jq joins never hit a missing key;
+  // an unset reason defaults by outcome.
+  const char* reason = entry.reason != nullptr && entry.reason[0] != '\0'
+                           ? entry.reason
+                           : (entry.error ? "error" : "ok");
+  out << ",\"reason\":\"" << reason << "\"";
+  if (entry.has_stages) {
+    // Stage offsets from submit in microseconds, in critical-path order.
+    out << ",\"stages_us\":{\"admit\":" << entry.admit_us
+        << ",\"seal\":" << entry.seal_us
+        << ",\"forward_start\":" << entry.forward_start_us
+        << ",\"forward_end\":" << entry.forward_end_us
+        << ",\"resolve\":" << entry.resolve_us << "}";
+  }
   out << ",\"digest\":\"";
   // Digest as fixed-width hex: JSON numbers lose precision past 2^53.
   char hex[17];
@@ -117,12 +129,33 @@ RequestScope::~RequestScope() {
   if (!owner_) return;
   internal::t_current_trace_id = prev_id_;
   if (!measured_) return;
+  const auto end = std::chrono::steady_clock::now();
   const double latency_us =
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - start_)
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
           .count() /
       1e3;
   SloTracker::Get().Record(op_, latency_us, error_);
+  {
+    // Direct-path requests get flight records too, with the inner stages
+    // collapsed: submit = admit = seal = forward-start and forward-end =
+    // resolve (the whole request is one forward). Scheduler-completed
+    // requests are recorded by the scheduler with real stage timestamps.
+    // The resolve timestamp reuses the latency clock reading converted to
+    // the trace epoch — no second clock read on this hot path.
+    FlightRecord rec;
+    rec.trace_id = trace_id_;
+    rec.op = op_;
+    rec.reason = error_ ? "error" : "ok";
+    rec.error = error_;
+    rec.resolve_us = static_cast<double>(internal::TraceNsFromSteady(end)) / 1e3;
+    rec.submit_us = rec.resolve_us - latency_us;
+    rec.admit_us = rec.submit_us;
+    rec.seal_us = rec.submit_us;
+    rec.forward_start_us = rec.submit_us;
+    rec.forward_end_us = rec.resolve_us;
+    rec.e2e_us = latency_us;
+    FlightRecorder::Get().Record(rec);
+  }
   if (AccessLog::Get().active()) {
     AccessEntry entry;
     entry.trace_id = trace_id_;

@@ -21,7 +21,9 @@ extern thread_local uint64_t t_current_trace_id;
 /// inside a RequestScope carries the request's id into the Chrome trace.
 inline uint64_t CurrentTraceId() { return internal::t_current_trace_id; }
 
-/// One completed request, as the access log records it.
+/// One completed request, as the access log records it. `reason` is always
+/// serialized: an empty reason becomes "ok" on success and "error" on error,
+/// so downstream joins (jq, the CI forensics stage) never hit a missing key.
 struct AccessEntry {
   uint64_t trace_id = 0;
   const char* op = "";       ///< static-storage op name ("infer.predict", ...)
@@ -30,6 +32,16 @@ struct AccessEntry {
   bool error = false;
   const char* reason = "";   ///< static-storage error/shed reason ("" = none)
   uint64_t digest = 0;       ///< FNV-1a digest of the result (0 = unset)
+
+  /// Critical-path stage offsets from submit, microseconds, monotonically
+  /// non-decreasing (see DESIGN.md §15). Only scheduler-completed requests
+  /// carry them; `has_stages` gates serialization.
+  bool has_stages = false;
+  double admit_us = 0.0;
+  double seal_us = 0.0;
+  double forward_start_us = 0.0;
+  double forward_end_us = 0.0;
+  double resolve_us = 0.0;
 };
 
 /// Process-wide JSONL access log: one line per completed request. Disabled

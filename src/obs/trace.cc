@@ -14,13 +14,26 @@ std::atomic<bool> internal::g_tracing_enabled{false};
 
 namespace {
 
-uint64_t NowNs() {
-  // Steady-clock nanoseconds relative to the first call (the trace epoch),
-  // so Chrome-trace timestamps start near zero.
+std::chrono::steady_clock::time_point TraceEpoch() {
+  // The first caller pins the trace epoch, so Chrome-trace timestamps start
+  // near zero.
   static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Pins the epoch during this translation unit's dynamic initialization:
+// epoch-relative conversions subtract the epoch in unsigned arithmetic, so a
+// steady_clock stamp taken before the pin (e.g. a batch sealed before the
+// first span fired) would otherwise wrap to ~2^64 ns.
+const struct TraceEpochPinner {
+  TraceEpochPinner() { TraceEpoch(); }
+} g_trace_epoch_pinner;
+
+uint64_t NowNs() {
+  // Steady-clock nanoseconds relative to the trace epoch.
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - epoch)
+          std::chrono::steady_clock::now() - TraceEpoch())
           .count());
 }
 
@@ -172,6 +185,23 @@ std::vector<LabelStats> AggregateSpanStats() {
 
 int CurrentSpanDepth() { return LocalBuffer()->depth; }
 
+void RecordManualSpan(const char* label, uint64_t start_ns, uint64_t dur_ns,
+                      uint64_t trace_id) {
+  if (!TracingEnabled()) return;
+  ThreadBuffer* buffer = LocalBuffer();
+  TraceEvent ev;
+  ev.label = label;
+  ev.start_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ev.trace_id = trace_id;
+  ev.tid = util::ThreadId();
+  // Nest one level under whatever is open: manual spans describe work that
+  // logically happened inside the recording scope (e.g. the scheduler's
+  // completion span emitting the request's stage breakdown).
+  ev.depth = static_cast<uint16_t>(buffer->depth);
+  buffer->Record(ev);
+}
+
 namespace internal {
 
 uint64_t PushSpanFrame() {
@@ -189,6 +219,15 @@ void PopSpanFrameAndRecord(uint64_t trace_id, TraceEvent* ev) {
 }
 
 uint64_t TraceNowNs() { return NowNs(); }
+
+uint64_t TraceNsFromSteady(std::chrono::steady_clock::time_point tp) {
+  // Signed intermediate + clamp: a stamp from before the epoch pin (only
+  // possible from another TU's static initializer) maps to 0, not 2^64.
+  const int64_t ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(tp - TraceEpoch())
+          .count();
+  return ns > 0 ? static_cast<uint64_t>(ns) : 0;
+}
 
 }  // namespace internal
 

@@ -2,6 +2,7 @@
 #define SES_OBS_TRACE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -104,6 +105,16 @@ std::vector<LabelStats> AggregateSpanStats();
 /// Current nesting depth of the calling thread (test support).
 int CurrentSpanDepth();
 
+/// Records an already-measured span — start/duration computed by the caller
+/// on the trace-epoch timebase (internal::TraceNowNs) — onto the calling
+/// thread's buffer. Used for retroactive attribution: the batch scheduler
+/// stamps critical-path stage timestamps as a request flows through and
+/// emits them as spans only at resolve time, when the request's full story
+/// is known. No-op while tracing is disabled. `label` must have static
+/// storage duration.
+void RecordManualSpan(const char* label, uint64_t start_ns, uint64_t dur_ns,
+                      uint64_t trace_id);
+
 namespace internal {
 /// KernelScope support (perfcount.cc): a raw span frame on the calling
 /// thread's buffer. Push bumps the nesting depth and returns the request
@@ -114,6 +125,10 @@ void PopSpanFrameAndRecord(uint64_t trace_id, TraceEvent* ev);
 /// Nanoseconds since the process trace epoch (the timebase of every
 /// TraceEvent.start_ns).
 uint64_t TraceNowNs();
+/// Converts an already-taken steady_clock reading to the trace-epoch
+/// timebase without a second clock read — for hot paths (RequestScope's
+/// destructor) that have just measured their own latency.
+uint64_t TraceNsFromSteady(std::chrono::steady_clock::time_point tp);
 }  // namespace internal
 
 }  // namespace ses::obs

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/anomaly.h"
+#include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/request.h"
 #include "obs/slo.h"
@@ -117,6 +119,21 @@ BatchScheduler::BatchScheduler(core::InferenceSession* session,
           "ses.sched.queue_wait_us", obs::Histogram::DefaultLatencyEdgesUs())),
       e2e_hist_(obs::MetricsRegistry::Get().GetHistogram(
           "ses.sched.e2e_us", obs::Histogram::DefaultLatencyEdgesUs())),
+      stage_admit_hist_(obs::MetricsRegistry::Get().GetHistogram(
+          "ses.sched.stage.admit_us",
+          obs::Histogram::DefaultLatencyEdgesUs())),
+      stage_seal_hist_(obs::MetricsRegistry::Get().GetHistogram(
+          "ses.sched.stage.seal_us",
+          obs::Histogram::DefaultLatencyEdgesUs())),
+      stage_queue_hist_(obs::MetricsRegistry::Get().GetHistogram(
+          "ses.sched.stage.queue_us",
+          obs::Histogram::DefaultLatencyEdgesUs())),
+      stage_forward_hist_(obs::MetricsRegistry::Get().GetHistogram(
+          "ses.sched.stage.forward_us",
+          obs::Histogram::DefaultLatencyEdgesUs())),
+      stage_resolve_hist_(obs::MetricsRegistry::Get().GetHistogram(
+          "ses.sched.stage.resolve_us",
+          obs::Histogram::DefaultLatencyEdgesUs())),
       rejected_shutdown_counter_(obs::MetricsRegistry::Get().GetCounter(
           "ses.sched.rejected", {{"reason", "shutting_down"}})),
       expired_queue_counter_(obs::MetricsRegistry::Get().GetCounter(
@@ -202,6 +219,9 @@ std::shared_ptr<internal::BatchState> BatchScheduler::Append(
         return nullptr;
       }
     }
+    // Stage stamp 2 (admit): backpressure wait and admission control are
+    // behind us; submit -> admit is the time the producer spent getting in.
+    req.admit_time = std::chrono::steady_clock::now();
     if (!forming_) {
       forming_ = std::make_shared<internal::BatchState>();
       forming_->requests.reserve(static_cast<size_t>(options_.max_batch_size));
@@ -309,11 +329,20 @@ int64_t BatchScheduler::SubmitPredictStream(const int64_t* nodes, int64_t n,
 
   int64_t enqueued = 0;
   std::unique_lock<std::mutex> lock(mutex_);
+  // Stage stamp 2 (admit) for the stream path: requests admitted back-to-back
+  // under the one lock acquisition share one admit timestamp — re-taken only
+  // after a backpressure wait actually blocked — so the stamp stays truthful
+  // without paying a per-request clock read on the hot path.
+  auto admit_now = std::chrono::steady_clock::now();
   for (int64_t i = 0; i < n; ++i) {
-    space_cv_.wait(lock, [&] {
-      return stopping_ ||
-             static_cast<int64_t>(ready_.size()) < options_.max_queue_batches;
-    });
+    if (!stopping_ &&
+        static_cast<int64_t>(ready_.size()) >= options_.max_queue_batches) {
+      space_cv_.wait(lock, [&] {
+        return stopping_ || static_cast<int64_t>(ready_.size()) <
+                                options_.max_queue_batches;
+      });
+      admit_now = std::chrono::steady_clock::now();
+    }
     if (stopping_) {
       // Typed rejection for the whole tail; nothing in it was enqueued.
       stats_.rejected += n - i;
@@ -352,6 +381,7 @@ int64_t BatchScheduler::SubmitPredictStream(const int64_t* nodes, int64_t n,
     req.node = nodes[i];
     req.trace_id = trace_id;
     req.enqueue_time = arrival;
+    req.admit_time = admit_now;
     req.has_deadline = has_deadline;
     req.deadline = deadline;
     req.seq = stats_.requests;
@@ -437,6 +467,9 @@ void BatchScheduler::SealFormingLocked(int64_t* reason_counter) {
   // to keep the per-submit fast path down to one clock read + one push.
   requests_counter_.Add(static_cast<int64_t>(forming_->requests.size()));
   forming_->seq = next_batch_seq_++;
+  // Stage stamp 3 (seal): admit -> seal is the batching delay this request
+  // paid waiting for the batch to fill or hit its flush deadline.
+  forming_->seal_time = std::chrono::steady_clock::now();
   ready_.push_back(std::move(forming_));
   forming_.reset();
   work_cv_.notify_one();
@@ -466,6 +499,9 @@ void BatchScheduler::WorkerLoop() {
           std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
       }
       const double burn = ExecuteBatch(batch.get());
+      // The flight recorder's auto-dump triggers on the same queue-wait burn
+      // signal that drives admission and degraded mode (-1 = no budget).
+      if (burn >= 0.0) obs::FlightRecorder::Get().ObserveBurn(burn);
       lock.lock();
       ++stats_.batches;
       stats_.max_batch =
@@ -484,6 +520,15 @@ void BatchScheduler::WorkerLoop() {
                        << ")";
         }
       }
+      // Shed fraction of the submissions seen since the previous batch, for
+      // the anomaly watch (counters are mutex_-guarded, so read them here).
+      const int64_t d_shed = stats_.shed - anomaly_prev_shed_;
+      const int64_t d_seen =
+          d_shed + (stats_.requests - anomaly_prev_requests_);
+      anomaly_prev_shed_ = stats_.shed;
+      anomaly_prev_requests_ = stats_.requests;
+      const double shed_rate =
+          d_seen > 0 ? static_cast<double>(d_shed) / d_seen : 0.0;
       // Publish only after the aggregate stats above: a caller whose Get()
       // returned must never observe stats() missing its own batch.
       {
@@ -491,6 +536,20 @@ void BatchScheduler::WorkerLoop() {
         batch->done.store(true, std::memory_order_release);
       }
       batch->cv.notify_all();
+      // Anomaly sampling runs with mutex_ RELEASED: the first Sample of a
+      // series registers the watch's health provider, which takes the health-
+      // registry lock — while a concurrent /healthz scrape holds that lock
+      // and calls this scheduler's HealthJson, which wants mutex_. Sampling
+      // under mutex_ would close that cycle into a deadlock.
+      lock.unlock();
+      {
+        obs::AnomalyWatch& watch = obs::AnomalyWatch::Get();
+        watch.Sample("sched.queue_depth", queue_depth_gauge_.Value());
+        watch.Sample("sched.e2e_p99_us", e2e_hist_.P99());
+        watch.Sample("sched.shed_rate", shed_rate);
+        watch.PollProbes();
+      }
+      lock.lock();
       continue;
     }
     if (forming_ && !forming_->requests.empty()) {
@@ -519,10 +578,15 @@ double BatchScheduler::ExecuteBatch(internal::BatchState* batch) {
   // bookkeeping to O(1) contended ops per batch.
   thread_local std::vector<double> latencies_us;
   thread_local std::vector<int64_t> node_scratch;
+  thread_local std::vector<uint64_t> trace_ids;
+  thread_local std::vector<double> stage_scratch;
   latencies_us.resize(reqs.size());
-  for (size_t i = 0; i < reqs.size(); ++i)
+  trace_ids.resize(reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
     latencies_us[i] = MicrosBetween(reqs[i].enqueue_time, exec_start);
-  queue_wait_hist_.ObserveMany(latencies_us.data(),
+    trace_ids[i] = reqs[i].trace_id;
+  }
+  queue_wait_hist_.ObserveMany(latencies_us.data(), trace_ids.data(),
                                static_cast<int64_t>(latencies_us.size()));
   // Queue wait is recorded for EVERY request — including ones about to be
   // dropped as expired, whose wait is precisely the overload evidence the
@@ -694,7 +758,7 @@ double BatchScheduler::ExecuteBatch(internal::BatchState* batch) {
   // the common all-ok batch keeps the single batched Record.
   const double exec_us = MicrosBetween(exec_start, exec_end);
   for (double& l : latencies_us) l += exec_us;
-  e2e_hist_.ObserveMany(latencies_us.data(),
+  e2e_hist_.ObserveMany(latencies_us.data(), trace_ids.data(),
                         static_cast<int64_t>(latencies_us.size()));
   const bool any_failed = dead > 0 || expired_inflight > 0 ||
                           (!reqs.empty() && !reqs.front().status.ok());
@@ -708,16 +772,104 @@ double BatchScheduler::ExecuteBatch(internal::BatchState* batch) {
                                     !reqs[i].status.ok());
   }
 
+  // ---- Request forensics (DESIGN.md §15) ----
+  // Stage stamp 6 (resolve): results are written back and aggregate
+  // accounting is done; the per-request log/span emission below is resolve
+  // overhead charged to the NEXT batch, not to these requests.
+  const auto resolve_time = std::chrono::steady_clock::now();
+  const int64_t n_reqs = static_cast<int64_t>(reqs.size());
+  // Stage gap histograms, one batched pass per stage, each observation
+  // carrying its request's trace-id so slow buckets expose an exemplar.
+  stage_scratch.resize(reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i)
+    stage_scratch[i] = MicrosBetween(reqs[i].enqueue_time, reqs[i].admit_time);
+  stage_admit_hist_.ObserveMany(stage_scratch.data(), trace_ids.data(),
+                                n_reqs);
+  for (size_t i = 0; i < reqs.size(); ++i)
+    stage_scratch[i] = MicrosBetween(reqs[i].admit_time, batch->seal_time);
+  stage_seal_hist_.ObserveMany(stage_scratch.data(), trace_ids.data(), n_reqs);
+  // The last three gaps are batch-wide: every request shares the seal, the
+  // forward, and the resolve of its batch.
+  const double queue_gap_us = MicrosBetween(batch->seal_time, exec_start);
+  const double resolve_gap_us = MicrosBetween(exec_end, resolve_time);
+  for (double& s : stage_scratch) s = queue_gap_us;
+  stage_queue_hist_.ObserveMany(stage_scratch.data(), trace_ids.data(),
+                                n_reqs);
+  for (double& s : stage_scratch) s = exec_us;
+  stage_forward_hist_.ObserveMany(stage_scratch.data(), trace_ids.data(),
+                                  n_reqs);
+  for (double& s : stage_scratch) s = resolve_gap_us;
+  stage_resolve_hist_.ObserveMany(stage_scratch.data(), trace_ids.data(),
+                                  n_reqs);
+
+  // Map the steady-clock stamps onto the trace-epoch clock once per batch:
+  // take trace-now at resolve and back-compute every earlier stage from its
+  // steady-clock gap to resolve. Flight records and manual stage spans then
+  // share the Chrome trace's timebase exactly.
+  const uint64_t resolve_tr_ns = obs::internal::TraceNowNs();
+  const double resolve_tr_us = static_cast<double>(resolve_tr_ns) * 1e-3;
+  auto ns_before_resolve = [resolve_time](
+                               std::chrono::steady_clock::time_point t) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(resolve_time - t)
+            .count());
+  };
+  const uint64_t seal_tr_ns = resolve_tr_ns - ns_before_resolve(batch->seal_time);
+  const uint64_t fwd_start_tr_ns = resolve_tr_ns - ns_before_resolve(exec_start);
+  const uint64_t fwd_end_tr_ns = resolve_tr_ns - ns_before_resolve(exec_end);
+  // Every completed request is offered to the flight recorder; its lock-free
+  // floor check keeps the common (fast-request) case to a few loads.
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    const internal::Request& r = reqs[i];
+    obs::FlightRecord rec;
+    rec.trace_id = r.trace_id;
+    rec.op = SchedOpName(r.op);
+    rec.error = !r.status.ok();
+    rec.reason = r.reason[0] != '\0' ? r.reason : (rec.error ? "error" : "ok");
+    rec.resolve_us = resolve_tr_us;
+    rec.submit_us =
+        resolve_tr_us -
+        static_cast<double>(ns_before_resolve(r.enqueue_time)) * 1e-3;
+    rec.admit_us =
+        resolve_tr_us -
+        static_cast<double>(ns_before_resolve(r.admit_time)) * 1e-3;
+    rec.seal_us = static_cast<double>(seal_tr_ns) * 1e-3;
+    rec.forward_start_us = static_cast<double>(fwd_start_tr_ns) * 1e-3;
+    rec.forward_end_us = static_cast<double>(fwd_end_tr_ns) * 1e-3;
+    rec.e2e_us = rec.resolve_us - rec.submit_us;
+    obs::FlightRecorder::Get().Record(rec);
+  }
+
   // Per-request completion records under the request's own trace-id, so the
   // worker-side span and access-log line join the id the producer got at
   // enqueue time. Skipped entirely when neither sink is live — the batched
   // histograms above already carry the aggregate story.
   const bool log_active = obs::AccessLog::Get().active();
-  if (log_active || obs::TracingEnabled()) {
+  const bool tracing = obs::TracingEnabled();
+  if (log_active || tracing) {
     for (size_t i = 0; i < reqs.size(); ++i) {
       internal::Request& r = reqs[i];
       obs::ScopedTraceId adopt(r.trace_id);
       SES_TRACE_SPAN("sched/complete");
+      if (tracing) {
+        // Retroactive critical-path spans on the trace-epoch timebase: the
+        // Chrome trace shows each request's submit->resolve pipeline as five
+        // adjacent spans joined to everything else by args.trace_id.
+        const uint64_t submit_ns =
+            resolve_tr_ns - ns_before_resolve(r.enqueue_time);
+        const uint64_t admit_ns =
+            resolve_tr_ns - ns_before_resolve(r.admit_time);
+        obs::RecordManualSpan("sched/stage/admit", submit_ns,
+                              admit_ns - submit_ns, r.trace_id);
+        obs::RecordManualSpan("sched/stage/seal", admit_ns,
+                              seal_tr_ns - admit_ns, r.trace_id);
+        obs::RecordManualSpan("sched/stage/queue", seal_tr_ns,
+                              fwd_start_tr_ns - seal_tr_ns, r.trace_id);
+        obs::RecordManualSpan("sched/stage/forward", fwd_start_tr_ns,
+                              fwd_end_tr_ns - fwd_start_tr_ns, r.trace_id);
+        obs::RecordManualSpan("sched/stage/resolve", fwd_end_tr_ns,
+                              resolve_tr_ns - fwd_end_tr_ns, r.trace_id);
+      }
       if (!log_active) continue;
       obs::AccessEntry entry;
       entry.trace_id = r.trace_id;
@@ -725,6 +877,12 @@ double BatchScheduler::ExecuteBatch(internal::BatchState* batch) {
       entry.latency_us = latencies_us[i];
       entry.error = !r.status.ok();
       entry.reason = r.reason;
+      entry.has_stages = true;
+      entry.admit_us = MicrosBetween(r.enqueue_time, r.admit_time);
+      entry.seal_us = MicrosBetween(r.enqueue_time, batch->seal_time);
+      entry.forward_start_us = MicrosBetween(r.enqueue_time, exec_start);
+      entry.forward_end_us = MicrosBetween(r.enqueue_time, exec_end);
+      entry.resolve_us = MicrosBetween(r.enqueue_time, resolve_time);
       if (r.status.ok()) {
         uint64_t h = obs::Fnv1aBegin();
         switch (r.op) {

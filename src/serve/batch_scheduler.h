@@ -71,7 +71,12 @@ struct Request {
   int64_t top_k = 0;
   uint64_t trace_id = 0;
   int64_t seq = 0;  ///< accept order (fault matching)
+  /// Critical-path stage stamps 1 and 2 (submit and admit); the batch holds
+  /// seal, and the worker stamps forward-start/-end and resolve at execution.
+  /// Submit is taken before the queue lock, admit after admission passes —
+  /// their gap is backpressure wait plus admission-control time.
   std::chrono::steady_clock::time_point enqueue_time;
+  std::chrono::steady_clock::time_point admit_time;
   std::chrono::steady_clock::time_point deadline;
   bool has_deadline = false;
   Status status;              ///< final per-request outcome
@@ -94,6 +99,9 @@ struct BatchState {
   uint8_t ops_mask = 0;
   bool has_deadlines = false;  ///< any request carries a deadline
   int64_t seq = 0;             ///< seal order (fault matching)
+  /// Critical-path stage stamp 3: when SealFormingLocked moved this batch
+  /// onto the ready queue. Shared by every request in the batch.
+  std::chrono::steady_clock::time_point seal_time;
   std::mutex mutex;
   std::condition_variable cv;
   std::atomic<bool> done{false};
@@ -251,6 +259,18 @@ struct SubmitOptions {
 /// the access log, and a /healthz component ("scheduler") with admission and
 /// degradation state.
 ///
+/// Request forensics (DESIGN.md §15): every request is stamped at six
+/// critical-path stages — submit (enqueue_time, before the queue lock),
+/// admit (admission passed), seal (batch moved to the ready queue),
+/// forward-start / forward-end (around batch execution), resolve (results
+/// written back). The gaps feed `ses.sched.stage.*` histograms carrying the
+/// request's trace-id as an OpenMetrics exemplar, appear as `stages_us` in
+/// access-log entries and as per-stage Chrome-trace spans, and every
+/// completed request is offered to the FlightRecorder (top-K slowest,
+/// /debug/slowest). After each batch the worker feeds the queue-wait burn
+/// rate to the FlightRecorder's auto-dump trigger and samples the
+/// AnomalyWatch series (queue depth, e2e p99, shed rate) plus its probes.
+///
 /// Shutdown: Stop() (or the destructor) stops admission, seals the forming
 /// batch, and joins the workers only after every queued batch has executed —
 /// every future handed out before Stop() is fulfilled. Submissions racing or
@@ -357,6 +377,11 @@ class BatchScheduler {
   int64_t next_batch_seq_ = 0;
   Stats stats_;
   DegradedState degraded_state_;
+  // Last-seen counters for the anomaly watch's shed-rate series (guarded by
+  // mutex_): each batch completion publishes the shed fraction of the
+  // submissions that arrived since the previous batch.
+  int64_t anomaly_prev_shed_ = 0;
+  int64_t anomaly_prev_requests_ = 0;
 
   std::mutex fault_mutex_;  ///< FaultPlan is not internally synchronized
 
@@ -378,6 +403,14 @@ class BatchScheduler {
   obs::Histogram& batch_size_hist_;
   obs::Histogram& queue_wait_hist_;
   obs::Histogram& e2e_hist_;
+  // Critical-path stage histograms (`ses.sched.stage.*`), one per gap between
+  // consecutive stage stamps. Observed with per-request trace-id exemplars so
+  // a slow bucket on any stage links back to a concrete request.
+  obs::Histogram& stage_admit_hist_;    ///< submit -> admit
+  obs::Histogram& stage_seal_hist_;     ///< admit -> seal
+  obs::Histogram& stage_queue_hist_;    ///< seal -> forward-start
+  obs::Histogram& stage_forward_hist_;  ///< forward-start -> forward-end
+  obs::Histogram& stage_resolve_hist_;  ///< forward-end -> resolve
   obs::Counter& rejected_shutdown_counter_;
   obs::Counter& expired_queue_counter_;
   obs::Counter& expired_inflight_counter_;

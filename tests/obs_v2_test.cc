@@ -10,10 +10,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -30,11 +33,14 @@ namespace {
 using namespace ses;
 using obs::MetricsRegistry;
 
-/// Drops all singleton observability state. SloTracker caches registry
-/// pointers, so it must be reset before the registry that owns them.
+/// Drops all singleton observability state. SloTracker and AnomalyWatch
+/// cache registry pointers, so they must be reset before the registry that
+/// owns them.
 void ResetObsState() {
   obs::SloTracker::Get().ResetForTest();
   obs::ModelHealthMonitor::Get().ResetForTest();
+  obs::AnomalyWatch::Get().ResetForTest();
+  obs::FlightRecorder::Get().ResetForTest();
   MetricsRegistry::Get().ResetForTest();
   obs::ResetTracing();
   obs::EnableTracing(false);
@@ -327,10 +333,44 @@ TEST(AccessLogTest, EntrySerializationMatchesTheDocumentedSchema) {
   entry.latency_us = 12.5;
   entry.cache_hit = true;
   entry.digest = 0xdeadbeefull;
+  // Reason is always present: empty defaults to "ok" on success so the CI
+  // forensics joins (jq .reason) never hit a missing key.
   EXPECT_EQ(obs::AccessLog::EntryToJson(entry),
             "{\"trace_id\":42,\"op\":\"infer.predict\",\"latency_us\":12.5,"
-            "\"cache_hit\":true,\"error\":false,"
+            "\"cache_hit\":true,\"error\":false,\"reason\":\"ok\","
             "\"digest\":\"00000000deadbeef\"}");
+
+  // An error with no explicit reason defaults to "error"; an explicit reason
+  // wins over both defaults.
+  entry.error = true;
+  EXPECT_NE(obs::AccessLog::EntryToJson(entry).find("\"reason\":\"error\""),
+            std::string::npos);
+  entry.reason = "deadline";
+  EXPECT_NE(obs::AccessLog::EntryToJson(entry).find("\"reason\":\"deadline\""),
+            std::string::npos);
+}
+
+TEST(AccessLogTest, StageOffsetsSerializeInCriticalPathOrder) {
+  obs::AccessEntry entry;
+  entry.trace_id = 7;
+  entry.op = "sched.predict";
+  entry.latency_us = 60.0;
+  entry.has_stages = true;
+  entry.admit_us = 1.5;
+  entry.seal_us = 10.0;
+  entry.forward_start_us = 12.0;
+  entry.forward_end_us = 50.0;
+  entry.resolve_us = 60.0;
+  const std::string line = obs::AccessLog::EntryToJson(entry);
+  EXPECT_NE(line.find("\"stages_us\":{\"admit\":1.5,\"seal\":10,"
+                      "\"forward_start\":12,\"forward_end\":50,"
+                      "\"resolve\":60}"),
+            std::string::npos)
+      << line;
+  // Direct-path entries (has_stages unset) must not emit the block at all.
+  entry.has_stages = false;
+  EXPECT_EQ(obs::AccessLog::EntryToJson(entry).find("stages_us"),
+            std::string::npos);
 }
 
 TEST(AccessLogTest, RequestScopesWriteOneLineEach) {
@@ -524,6 +564,437 @@ TEST(HistogramTest, ObserveManyMatchesNObserves) {
   for (size_t b = 0; b <= many.edges().size(); ++b)
     EXPECT_EQ(many.BucketCount(b), one.BucketCount(b)) << "bucket " << b;
   EXPECT_DOUBLE_EQ(many.P99(), one.P99());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram exemplars: the per-bucket trace-id reservoir plus the OpenMetrics
+// exposition suffix that joins a scraped bucket back to the access log and
+// Chrome trace (DESIGN.md §15).
+
+TEST(HistogramExemplarTest, TracedObservationsAreKeptLastWriteWins) {
+  obs::Histogram hist({1.0, 2.0, 10.0});
+  obs::Histogram::Exemplar ex;
+  // Untraced observations never write the reservoir.
+  hist.Observe(1.5);
+  EXPECT_FALSE(hist.ReadExemplar(1, &ex));
+  hist.Observe(1.5, /*trace_id=*/77);
+  ASSERT_TRUE(hist.ReadExemplar(1, &ex));
+  EXPECT_EQ(ex.trace_id, 77u);
+  EXPECT_DOUBLE_EQ(ex.value, 1.5);
+  // Last write wins within the bucket; other buckets stay empty.
+  hist.Observe(1.9, 78);
+  ASSERT_TRUE(hist.ReadExemplar(1, &ex));
+  EXPECT_EQ(ex.trace_id, 78u);
+  EXPECT_DOUBLE_EQ(ex.value, 1.9);
+  EXPECT_FALSE(hist.ReadExemplar(0, &ex));
+  EXPECT_FALSE(hist.ReadExemplar(2, &ex));
+  EXPECT_FALSE(hist.ReadExemplar(3, &ex));
+  // A later untraced observation must not clobber the stored exemplar.
+  hist.Observe(1.2);
+  ASSERT_TRUE(hist.ReadExemplar(1, &ex));
+  EXPECT_EQ(ex.trace_id, 78u);
+}
+
+TEST(HistogramExemplarTest, ObserveInsideARequestScopeUsesItsTraceId) {
+  ResetObsState();
+  obs::Histogram hist({10.0});
+  uint64_t id = 0;
+  {
+    obs::RequestScope scope("op.exemplar");
+    id = scope.trace_id();
+    hist.Observe(3.0);
+  }
+  obs::Histogram::Exemplar ex;
+  ASSERT_TRUE(hist.ReadExemplar(0, &ex));
+  EXPECT_EQ(ex.trace_id, id);
+  // Outside any request CurrentTraceId() is 0: nothing is recorded.
+  obs::Histogram bare({10.0});
+  bare.Observe(3.0);
+  EXPECT_FALSE(bare.ReadExemplar(0, &ex));
+}
+
+TEST(HistogramExemplarTest, ObserveManyKeepsTheLastTracedValuePerBucket) {
+  obs::Histogram hist({1.0, 2.0, 10.0});
+  const double values[] = {0.5, 1.5, 1.7, 100.0, 5.0};
+  const uint64_t ids[] = {11, 12, 13, 14, 0};
+  hist.ObserveMany(values, ids, 5);
+  obs::Histogram::Exemplar ex;
+  ASSERT_TRUE(hist.ReadExemplar(0, &ex));
+  EXPECT_EQ(ex.trace_id, 11u);
+  ASSERT_TRUE(hist.ReadExemplar(1, &ex));
+  EXPECT_EQ(ex.trace_id, 13u) << "last traced value in (1,2] was 1.7 / id 13";
+  EXPECT_DOUBLE_EQ(ex.value, 1.7);
+  // Trace id 0 means untraced: the 5.0 landed in (2,10] but left no exemplar.
+  EXPECT_FALSE(hist.ReadExemplar(2, &ex));
+  ASSERT_TRUE(hist.ReadExemplar(3, &ex));
+  EXPECT_EQ(ex.trace_id, 14u);
+  // A null id array behaves exactly like the untraced overload.
+  obs::Histogram plain({1.0, 2.0, 10.0});
+  plain.ObserveMany(values, nullptr, 5);
+  EXPECT_FALSE(plain.ReadExemplar(0, &ex));
+  EXPECT_EQ(plain.Count(), 5);
+}
+
+/// Splits an OpenMetrics exemplar suffix (` # {trace_id="N"} V`) off a
+/// /metrics line, leaving the plain sample behind for ParseSample.
+struct ExemplarSuffix {
+  bool present = false;
+  uint64_t trace_id = 0;
+  double value = 0.0;
+};
+ExemplarSuffix SplitExemplar(std::string* line) {
+  ExemplarSuffix ex;
+  const size_t hash = line->find(" # {");
+  if (hash == std::string::npos) return ex;
+  const std::string suffix = line->substr(hash + 3);
+  line->resize(hash);
+  ex.present = true;
+  ex.trace_id = std::stoull(suffix.substr(suffix.find("trace_id=\"") + 10));
+  // The exporter omits the optional timestamp precisely so this final
+  // whitespace-separated token is a plain float.
+  ex.value = std::stod(suffix.substr(suffix.rfind(' ') + 1));
+  return ex;
+}
+
+TEST(PrometheusTest, ExemplarsRenderInOpenMetricsSyntax) {
+  ResetObsState();
+  auto& registry = MetricsRegistry::Get();
+  // A tricky label value proves the exemplar suffix composes with escaping.
+  const std::string tricky = "a\"b\\c";
+  obs::Histogram& hist = registry.GetHistogram(
+      "ses.test.exm", {{"op", tricky}}, {1.0, 2.0, 10.0});
+  hist.Observe(0.4);                   // untraced: le="1" stays exemplar-free
+  hist.Observe(1.5, /*trace_id=*/77);  // traced: le="2" carries it
+
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  std::istringstream lines(out.str());
+  int with_exemplar = 0, without = 0;
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("ses_test_exm_bucket", 0) != 0) continue;
+    const ExemplarSuffix ex = SplitExemplar(&line);
+    const PromSample sample = ParseSample(line);
+    EXPECT_EQ(sample.labels.at("op"), tricky);
+    if (ex.present) {
+      ++with_exemplar;
+      EXPECT_EQ(sample.labels.at("le"), "2");
+      EXPECT_EQ(ex.trace_id, 77u) << "decimal id joins the access log";
+      EXPECT_DOUBLE_EQ(ex.value, 1.5);
+      EXPECT_DOUBLE_EQ(sample.value, 2.0)
+          << "cumulative bucket count, not the exemplar value";
+    } else {
+      ++without;
+    }
+  }
+  EXPECT_EQ(with_exemplar, 1) << "only the (1,2] bucket saw a traced hit";
+  EXPECT_EQ(without, 3) << "le=1, le=10 and +Inf stay clean";
+}
+
+TEST(MetricsRegistryTest, ExemplarWritesRaceScrapesSafely) {
+  ResetObsState();
+  auto& registry = MetricsRegistry::Get();
+  obs::Histogram& hist =
+      registry.GetHistogram("ses.test.exm_hammer", {1.0, 10.0, 100.0});
+  std::atomic<bool> stop{false};
+  // Scraper thread: full exposition plus direct seqlock reads. Run under
+  // TSan to put the lossy writer/bounded-retry reader races on the line.
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      std::ostringstream out;
+      registry.WritePrometheus(out);
+      obs::Histogram::Exemplar ex;
+      for (size_t b = 0; b < 4; ++b) {
+        if (hist.ReadExemplar(b, &ex)) EXPECT_NE(ex.trace_id, 0u);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&hist, t] {
+      std::vector<double> batch(16);
+      std::vector<uint64_t> ids(16);
+      for (int i = 1; i <= 1000; ++i) {
+        hist.Observe(static_cast<double>(i % 150), static_cast<uint64_t>(i));
+        for (int j = 0; j < 16; ++j) {
+          batch[static_cast<size_t>(j)] = static_cast<double>((i + j) % 150);
+          ids[static_cast<size_t>(j)] =
+              static_cast<uint64_t>(t * 1'000'000 + i + j);
+        }
+        hist.ObserveMany(batch.data(), ids.data(), 16);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  scraper.join();
+  EXPECT_EQ(hist.Count(), 3 * 1000 * 17) << "counts are exact, only exemplars are lossy";
+  // Quiescent reads see the last writer in every bucket (values 0..149 cover
+  // all four buckets with nonzero ids).
+  obs::Histogram::Exemplar ex;
+  for (size_t b = 0; b < 4; ++b)
+    EXPECT_TRUE(hist.ReadExemplar(b, &ex)) << "bucket " << b;
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: top-K retention, window roll, burn-triggered auto-dump.
+
+TEST(FlightRecorderTest, KeepsTheTopKSlowestSlowestFirst) {
+  auto& recorder = obs::FlightRecorder::Get();
+  recorder.ResetForTest();
+  recorder.Configure(/*top_k=*/4, /*window_us=*/1e12);
+  for (int i = 1; i <= 10; ++i) {
+    obs::FlightRecord rec;
+    rec.trace_id = static_cast<uint64_t>(i);
+    rec.op = "t.op";
+    rec.resolve_us = 1000.0;  // one window for everything
+    rec.e2e_us = static_cast<double>((i * 7) % 11);  // 7,3,10,6,2,9,5,1,8,4
+    recorder.Record(rec);
+  }
+  const auto snap = recorder.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_DOUBLE_EQ(snap[0].e2e_us, 10.0);
+  EXPECT_DOUBLE_EQ(snap[1].e2e_us, 9.0);
+  EXPECT_DOUBLE_EQ(snap[2].e2e_us, 8.0);
+  EXPECT_DOUBLE_EQ(snap[3].e2e_us, 7.0);
+  recorder.ResetForTest();
+}
+
+TEST(FlightRecorderTest, WindowRollRetiresCurrentAndServesTwoWindows) {
+  auto& recorder = obs::FlightRecorder::Get();
+  recorder.ResetForTest();
+  recorder.Configure(/*top_k=*/8, /*window_us=*/1000.0);
+  auto record_at = [&](uint64_t id, double resolve_us, double e2e_us) {
+    obs::FlightRecord rec;
+    rec.trace_id = id;
+    rec.op = "t.op";
+    rec.resolve_us = resolve_us;
+    rec.e2e_us = e2e_us;
+    recorder.Record(rec);
+  };
+  record_at(1, 100.0, 5.0);   // window A opens at 100
+  record_at(2, 1500.0, 3.0);  // 1400us elapsed: A retires to previous
+  ASSERT_EQ(recorder.Snapshot().size(), 2u)
+      << "/debug/slowest keeps the previous window for context";
+  record_at(3, 2900.0, 4.0);  // B retires; window A's record ages out
+  const auto snap = recorder.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].trace_id, 3u);  // merged output stays slowest-first
+  EXPECT_EQ(snap[1].trace_id, 2u);
+  recorder.ResetForTest();
+}
+
+TEST(FlightRecorderTest, BurnTriggeredDumpFiresOncePerExcursion) {
+  ResetObsState();
+  auto& recorder = obs::FlightRecorder::Get();
+  obs::FlightRecord rec;
+  rec.trace_id = 5;
+  rec.op = "t.op";
+  rec.e2e_us = 9.0;
+  rec.resolve_us = 50.0;
+  recorder.Record(rec);
+
+  const std::string path = ::testing::TempDir() + "/flight_dump_test.json";
+  std::remove(path.c_str());
+  recorder.ArmAutoDump(path, /*burn_threshold=*/2.0);
+  recorder.ObserveBurn(1.0);  // below threshold: armed but quiet
+  EXPECT_EQ(recorder.dumps(), 0);
+  recorder.ObserveBurn(2.0);  // crossing dumps exactly once
+  EXPECT_EQ(recorder.dumps(), 1);
+  recorder.ObserveBurn(5.0);  // same excursion: no second dump
+  recorder.ObserveBurn(1.5);  // above threshold/2: hysteresis holds
+  recorder.ObserveBurn(5.0);
+  EXPECT_EQ(recorder.dumps(), 1);
+  recorder.ObserveBurn(0.9);  // recedes below threshold/2: re-arms
+  recorder.ObserveBurn(3.0);  // next excursion dumps again
+  EXPECT_EQ(recorder.dumps(), 2);
+
+  std::ifstream in(path);
+  std::stringstream dumped;
+  dumped << in.rdbuf();
+  EXPECT_NE(dumped.str().find("\"trace_id\":5"), std::string::npos);
+  EXPECT_NE(dumped.str().find("\"records\":["), std::string::npos);
+  EXPECT_EQ(MetricsRegistry::Get().GetCounter("ses.flight.dumps").Value(), 2);
+  recorder.ResetForTest();
+  std::remove(path.c_str());
+}
+
+TEST(MetricsServerTest, DebugSlowestServesStageTimestamps) {
+  ResetObsState();
+  obs::FlightRecord rec;
+  rec.trace_id = 9001;
+  rec.op = "sched.predict";
+  rec.reason = "ok";
+  rec.submit_us = 100.0;
+  rec.admit_us = 101.0;
+  rec.seal_us = 110.0;
+  rec.forward_start_us = 112.0;
+  rec.forward_end_us = 150.0;
+  rec.resolve_us = 160.0;
+  rec.e2e_us = 60.0;
+  obs::FlightRecorder::Get().Record(rec);
+
+  std::string body, content_type;
+  ASSERT_TRUE(
+      obs::MetricsServer::RenderEndpoint("/debug/slowest", &body, &content_type));
+  EXPECT_EQ(content_type, "application/json");
+  EXPECT_NE(body.find("\"trace_id\":9001"), std::string::npos);
+  EXPECT_NE(body.find("\"reason\":\"ok\""), std::string::npos);
+  EXPECT_NE(
+      body.find("\"stages_us\":{\"submit\":100,\"admit\":101,\"seal\":110,"
+                "\"forward_start\":112,\"forward_end\":150,\"resolve\":160}"),
+      std::string::npos)
+      << body;
+
+  // And over a real socket, the way an operator reaches it.
+  obs::MetricsServer server;
+  ASSERT_TRUE(server.Start(0));
+  const std::string response =
+      HttpGet(server.port(), "GET /debug/slowest HTTP/1.0\r\n\r\n");
+  server.Stop();
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"trace_id\":9001"), std::string::npos);
+}
+
+TEST(MetricsServerTest, HealthzSnapshotsComponentsBeforeSerializing) {
+  ResetObsState();
+  // Providers churn while /healthz renders. The copy-then-serialize contract
+  // means a provider unregistered mid-render was either fully included or
+  // fully absent — never observed half-destroyed. Run under TSan.
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    int i = 0;
+    while (!stop.load()) {
+      const std::string name = "t.churn" + std::to_string(i % 7);
+      obs::RegisterHealthProvider(
+          name, [] { return std::string("{\"v\":1}"); });
+      obs::UnregisterHealthProvider(name);
+      ++i;
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    std::string body, content_type;
+    ASSERT_TRUE(
+        obs::MetricsServer::RenderEndpoint("/healthz", &body, &content_type));
+    EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+  }
+  stop.store(true);
+  churner.join();
+}
+
+// ---------------------------------------------------------------------------
+// Anomaly watch: EWMA z-score detectors with hysteresis over operational
+// series, published as gauges and a /healthz component.
+
+TEST(EwmaDetectorTest, LevelShiftRaisesAfterStreakAndSelfClears) {
+  obs::AnomalyOptions opts;
+  opts.alpha = 0.05;
+  opts.z_enter = 3.0;
+  opts.z_exit = 1.0;
+  opts.enter_consecutive = 2;
+  opts.exit_consecutive = 3;
+  opts.warmup = 4;
+  obs::EwmaDetector det(opts);
+  // Flat baseline, then a level shift. One spiky sample is not enough — the
+  // hysteresis wants enter_consecutive hits in a row.
+  for (int i = 0; i < 6; ++i) EXPECT_FALSE(det.Observe(10.0));
+  EXPECT_FALSE(det.Observe(100.0)) << "first hit only starts the streak";
+  EXPECT_GE(std::abs(det.z()), opts.z_enter);
+  EXPECT_TRUE(det.Observe(100.0)) << "second consecutive hit raises";
+  EXPECT_EQ(det.trips(), 1);
+  // Feeding the current mean gives z = 0 <= z_exit; exit_consecutive in a
+  // row clears. The alarm cannot latch forever: the baseline keeps adapting.
+  EXPECT_TRUE(det.Observe(det.mean()));
+  EXPECT_TRUE(det.Observe(det.mean()));
+  EXPECT_FALSE(det.Observe(det.mean()));
+  EXPECT_EQ(det.trips(), 1) << "clearing is not a new trip";
+}
+
+TEST(EwmaDetectorTest, WarmupConstantsAndBrokenStreaksStayQuiet) {
+  obs::AnomalyOptions opts;
+  opts.z_enter = 3.0;
+  opts.enter_consecutive = 2;
+  opts.warmup = 8;
+  // A wild outlier inside the warmup window is absorbed without judgement.
+  obs::EwmaDetector young(opts);
+  EXPECT_FALSE(young.Observe(10.0));
+  EXPECT_FALSE(young.Observe(1e9));
+  EXPECT_DOUBLE_EQ(young.z(), 0.0);
+  // A constant series never alarms: min_sigma floors the variance.
+  obs::EwmaDetector flat(opts);
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(flat.Observe(42.0));
+  EXPECT_EQ(flat.trips(), 0);
+  // spike, normal, spike never reaches enter_consecutive = 2.
+  obs::AnomalyOptions strict = opts;
+  strict.warmup = 2;
+  strict.alpha = 0.001;  // baseline barely moves, spikes stay detectable
+  obs::EwmaDetector gap(strict);
+  EXPECT_FALSE(gap.Observe(10.0));
+  EXPECT_FALSE(gap.Observe(10.0));
+  EXPECT_FALSE(gap.Observe(100.0));  // streak 1
+  EXPECT_FALSE(gap.Observe(10.0));   // streak broken
+  EXPECT_FALSE(gap.Observe(100.0));  // streak 1 again, never 2
+  EXPECT_EQ(gap.trips(), 0);
+}
+
+TEST(AnomalyWatchTest, ActiveSeriesPublishesGaugesAndHealthReason) {
+  ResetObsState();
+  auto& watch = obs::AnomalyWatch::Get();
+  obs::AnomalyOptions opts;
+  opts.alpha = 0.05;
+  opts.z_enter = 3.0;
+  opts.z_exit = 1.0;
+  opts.enter_consecutive = 2;
+  opts.exit_consecutive = 3;
+  opts.warmup = 4;
+  watch.Declare("t.depth", opts);
+  for (int i = 0; i < 6; ++i) watch.Sample("t.depth", 10.0);
+  watch.Sample("t.depth", 100.0);
+  watch.Sample("t.depth", 100.0);  // second consecutive hit: active
+
+  const auto states = watch.Snapshot();
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states[0].series, "t.depth");
+  EXPECT_TRUE(states[0].active);
+  EXPECT_EQ(states[0].trips, 1);
+  EXPECT_EQ(states[0].samples, 8);
+
+  auto& registry = MetricsRegistry::Get();
+  const MetricsRegistry::LabelSet labels{{"series", "t.depth"}};
+  EXPECT_DOUBLE_EQ(registry.GetGauge("ses.anomaly.active", labels).Value(),
+                   1.0);
+  EXPECT_EQ(registry.GetCounter("ses.anomaly.trips", labels).Value(), 1);
+  EXPECT_GE(registry.GetGauge("ses.anomaly.z", labels).Value(), opts.z_enter);
+
+  // The /healthz component carries a structured reason while active …
+  const std::string health = watch.HealthJson();
+  EXPECT_NE(health.find("\"active_anomalies\":1"), std::string::npos);
+  EXPECT_NE(health.find("\"t.depth\":{\"active\":true"), std::string::npos);
+  EXPECT_NE(health.find("\"reason\":\"z="), std::string::npos);
+  // … and is wired into the health registry under "anomaly_watch".
+  bool registered = false;
+  for (const auto& [name, json] : obs::CollectHealthComponents())
+    if (name == "anomaly_watch") registered = (json == health);
+  EXPECT_TRUE(registered);
+}
+
+TEST(AnomalyWatchTest, ProbesAreSampledOnPollAndMaySkip) {
+  ResetObsState();
+  auto& watch = obs::AnomalyWatch::Get();
+  auto ticks = std::make_shared<int>(0);
+  watch.WatchProbe("t.probe", [ticks](double* value) {
+    ++*ticks;
+    if (*ticks % 2 == 1) return false;  // odd polls: no new data, skip
+    *value = 7.0;
+    return true;
+  });
+  watch.PollProbes();  // skipped
+  watch.PollProbes();  // sampled
+  watch.PollProbes();  // skipped
+  EXPECT_EQ(*ticks, 3);
+  const auto states = watch.Snapshot();
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states[0].samples, 1) << "a false probe must not feed the detector";
+  EXPECT_DOUBLE_EQ(states[0].last, 7.0);
 }
 
 // ---------------------------------------------------------------------------

@@ -9,9 +9,14 @@
 // clean drain with submissions racing Stop().
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,6 +24,7 @@
 #include "core/ses_model.h"
 #include "data/synthetic.h"
 #include "graph/khop.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/request.h"
 #include "obs/trace.h"
@@ -277,6 +283,160 @@ TEST_F(ServeTest, SubmitWithoutRequestScopeAllocatesFreshTraceIds) {
   EXPECT_NE(a.trace_id(), b.trace_id());
   a.Get();
   b.Get();
+}
+
+// --- request forensics (DESIGN.md §15) ----------------------------------------
+
+/// Extracts the number following `key` in a JSON line (no full parser needed:
+/// the access log writes flat numeric fields).
+double JsonNumberAfter(const std::string& line, const std::string& key) {
+  const size_t pos = line.find(key);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << line;
+  if (pos == std::string::npos) return -1.0;
+  return std::stod(line.substr(pos + key.size()));
+}
+
+TEST_F(ServeTest, AccessLogCarriesMonotonicStageOffsets) {
+  c::InferenceSession session(model_, ds_);
+  const std::string path = ::testing::TempDir() + "/sched_access_log.jsonl";
+  ASSERT_TRUE(obs::AccessLog::Get().Open(path));
+  {
+    serve::SchedulerOptions opt;
+    opt.max_batch_size = 4;
+    opt.flush_deadline_us = 200;
+    serve::BatchScheduler scheduler(&session, opt);
+    std::vector<serve::PredictFuture> futs;
+    for (int64_t n = 0; n < 8; ++n) futs.push_back(scheduler.SubmitPredict(n));
+    for (auto& fut : futs) fut.Get();
+    scheduler.Stop();
+  }
+  obs::AccessLog::Get().Close();
+
+  std::ifstream in(path);
+  int staged = 0;
+  for (std::string line; std::getline(in, line);) {
+    // The worker's inner session scopes (infer.predict_many) log too; only
+    // scheduler-completed lines carry the stage block.
+    if (line.find("\"op\":\"sched.predict\"") == std::string::npos) continue;
+    EXPECT_NE(line.find("\"reason\":\"ok\""), std::string::npos) << line;
+    ASSERT_NE(line.find("\"stages_us\":{"), std::string::npos) << line;
+    const double admit = JsonNumberAfter(line, "\"admit\":");
+    const double seal = JsonNumberAfter(line, "\"seal\":");
+    const double fwd_start = JsonNumberAfter(line, "\"forward_start\":");
+    const double fwd_end = JsonNumberAfter(line, "\"forward_end\":");
+    const double resolve = JsonNumberAfter(line, "\"resolve\":");
+    const double latency = JsonNumberAfter(line, "\"latency_us\":");
+    // Offsets from submit, monotonically non-decreasing along the critical
+    // path. `resolve` is stamped moments after the e2e latency measurement
+    // (same batch, a few histogram flushes apart), so it agrees with
+    // latency_us up to scheduling noise — a unit mix-up would not.
+    EXPECT_GE(admit, 0.0);
+    EXPECT_GE(seal, admit);
+    EXPECT_GE(fwd_start, seal);
+    EXPECT_GE(fwd_end, fwd_start);
+    EXPECT_GE(resolve, fwd_end);
+    EXPECT_NEAR(latency, resolve, 0.5 * latency + 50.0);
+    ++staged;
+  }
+  EXPECT_EQ(staged, 8) << "one staged line per scheduled request";
+}
+
+TEST_F(ServeTest, StageHistogramsSeeEveryScheduledRequest) {
+  auto& registry = obs::MetricsRegistry::Get();
+  const char* names[5] = {"ses.sched.stage.admit_us", "ses.sched.stage.seal_us",
+                          "ses.sched.stage.queue_us",
+                          "ses.sched.stage.forward_us",
+                          "ses.sched.stage.resolve_us"};
+  obs::Histogram* hists[5];
+  int64_t before[5];
+  for (int i = 0; i < 5; ++i) {
+    hists[i] = &registry.GetHistogram(names[i],
+                                      obs::Histogram::DefaultLatencyEdgesUs());
+    before[i] = hists[i]->Count();
+  }
+
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.max_batch_size = 4;
+  opt.flush_deadline_us = 200;
+  serve::BatchScheduler scheduler(&session, opt);
+  std::vector<serve::PredictFuture> futs;
+  for (int64_t n = 0; n < 8; ++n) futs.push_back(scheduler.SubmitPredict(n));
+  for (auto& fut : futs) fut.Get();
+
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(hists[i]->Count() - before[i], 8)
+        << names[i] << " must see one observation per request";
+}
+
+TEST_F(ServeTest, SchedulerFeedsFlightRecorderWithJoinableStageTimestamps) {
+  obs::FlightRecorder::Get().ResetForTest();
+  obs::EnableTracing(true);
+  obs::ResetTracing();
+  c::InferenceSession session(model_, ds_);
+  serve::SchedulerOptions opt;
+  opt.max_batch_size = 4;
+  opt.flush_deadline_us = 200;
+  serve::BatchScheduler scheduler(&session, opt);
+  std::vector<serve::PredictFuture> futs;
+  std::vector<uint64_t> ids;
+  for (int64_t n = 0; n < 8; ++n) {
+    futs.push_back(scheduler.SubmitPredict(n));
+    ids.push_back(futs.back().trace_id());
+  }
+  for (auto& fut : futs) fut.Get();
+  scheduler.Stop();
+  obs::EnableTracing(false);
+
+  // Every scheduled request was fully attributed: six monotonically
+  // non-decreasing trace-epoch timestamps, reason "ok", and a trace id that
+  // joins the futures handed to the client.
+  int sched_records = 0;
+  for (const auto& rec : obs::FlightRecorder::Get().Snapshot()) {
+    if (std::strcmp(rec.op, "sched.predict") != 0) continue;  // inner scopes
+    ++sched_records;
+    EXPECT_NE(std::find(ids.begin(), ids.end(), rec.trace_id), ids.end());
+    EXPECT_STREQ(rec.reason, "ok");
+    EXPECT_FALSE(rec.error);
+    EXPECT_LE(rec.submit_us, rec.admit_us);
+    EXPECT_LE(rec.admit_us, rec.seal_us);
+    EXPECT_LE(rec.seal_us, rec.forward_start_us);
+    EXPECT_LE(rec.forward_start_us, rec.forward_end_us);
+    EXPECT_LE(rec.forward_end_us, rec.resolve_us);
+    EXPECT_DOUBLE_EQ(rec.e2e_us, rec.resolve_us - rec.submit_us);
+  }
+  EXPECT_EQ(sched_records, 8);
+
+  // The per-stage spans landed in the Chrome trace under the same ids.
+  const char* stage_labels[5] = {"sched/stage/admit", "sched/stage/seal",
+                                 "sched/stage/queue", "sched/stage/forward",
+                                 "sched/stage/resolve"};
+  int joined_stage_spans = 0;
+  for (const auto& ev : obs::SnapshotEvents()) {
+    for (const char* label : stage_labels) {
+      if (std::strcmp(ev.label, label) == 0 &&
+          std::find(ids.begin(), ids.end(), ev.trace_id) != ids.end())
+        ++joined_stage_spans;
+    }
+  }
+  EXPECT_EQ(joined_stage_spans, 5 * 8)
+      << "five stage spans per request, each tagged with its trace id";
+  obs::ResetTracing();
+
+  // The e2e histogram's exemplars name requests from this run: scraping
+  // /metrics after the fact still identifies a concrete slow request.
+  obs::Histogram& e2e = obs::MetricsRegistry::Get().GetHistogram(
+      "ses.sched.e2e_us", obs::Histogram::DefaultLatencyEdgesUs());
+  obs::Histogram::Exemplar ex;
+  int joined_exemplars = 0;
+  for (size_t b = 0; b <= e2e.edges().size(); ++b) {
+    if (!e2e.ReadExemplar(b, &ex)) continue;
+    if (std::find(ids.begin(), ids.end(), ex.trace_id) != ids.end())
+      ++joined_exemplars;
+  }
+  EXPECT_GE(joined_exemplars, 1)
+      << "at least one bucket's exemplar joins this run's trace ids";
+  obs::FlightRecorder::Get().ResetForTest();
 }
 
 // --- deadlines ---------------------------------------------------------------
