@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Benchmark regression gate (serving + kernels).
+# Benchmark regression gate (serving + kernels + overload + scale).
 #
 # The artifact kind is auto-detected: a JSON carrying a top-level "kernels"
 # block (produced by bench_kernels) is gated per kernel — each
@@ -20,6 +20,22 @@
 #     guard below; the resolution invariants are enforced unconditionally
 #     (a lost future is a bug at any load).
 #
+# A JSON carrying "bench": "scale" (produced by bench_scale) is gated on the
+# million-node data-plane invariants:
+#   - structural checks, unconditionally: every sweep point must report
+#     parity_ok (sharded logits bitwise-equal to the whole-graph session),
+#     an edge-cut fraction in [0, 1], balance >= 1, and a positive warm
+#     predict p99; a full-profile artifact must include a >= 1M-node point
+#     (the committed BENCH_scale.json always does);
+#   - perf comparison against the committed BENCH_scale.json, per matching
+#     base_nodes point: warm-predict p99 and train-epoch time must not rise
+#     by more than SES_BENCH_MAX_SCALE_REGRESSION (default 0.50 — these are
+#     sub-microsecond / scheduler-bound numbers, wider than the kernel gate
+#     on purpose), and the edge-cut fraction must not rise by more than
+#     0.05 absolute (the partitioner is deterministic; a rise means the
+#     algorithm changed, not noise). Smoke-profile artifacts skip the perf
+#     comparison (sanitizer builds measure nothing).
+#
 # Everything else is treated as a bench_serving artifact and compared
 # against the committed baseline (BENCH_serving.json at the repo root),
 # failing when
@@ -34,8 +50,9 @@
 #     forensics regressed out of bench_serving. Baselines predating the
 #     stages block are tolerated; candidates are not.
 #
-# Missing files and schema mismatches fail with a one-line diagnosis instead
-# of a JSON traceback. When the machine was already busy before the benchmark
+# A missing candidate or a schema mismatch fails with a one-line diagnosis
+# instead of a JSON traceback; a missing committed BASELINE skips the gate
+# with a notice (a newly added BENCH_*.json kind has no counterpart yet). When the machine was already busy before the benchmark
 # ran (pre-bench 1-minute load average, as captured by `scripts/ci.sh bench`
 # in SES_BENCH_PRELOAD, above SES_BENCH_MAX_LOAD x nproc), the gate prints a
 # warning and exits 0 — a loaded box cannot distinguish a regression from
@@ -46,6 +63,7 @@
 #   SES_BENCH_MIN_SCHED_SPEEDUP   open-loop sched/direct floor (default 2.0)
 #   SES_BENCH_MIN_SPMM_SPEEDUP    SIMD-vs-scalar SpMM GFLOP/s floor (1.5)
 #   SES_BENCH_MIN_OVERLOAD_RETENTION  10x/1x goodput floor (default 0.70)
+#   SES_BENCH_MAX_SCALE_REGRESSION    scale-point latency rise (default 0.50)
 #   SES_BENCH_MAX_LOAD            per-core pre-bench load ceiling (default 0.8)
 #   SES_BENCH_PRELOAD             pre-bench 1-min loadavg (set by ci.sh)
 #
@@ -122,6 +140,127 @@ PY
   exit $?
 fi
 
+# Scale artifacts (bench_scale): structural invariants always, perf compared
+# against the committed BENCH_scale.json when one exists and the candidate
+# is not a smoke/sanitizer run.
+if [[ -f "${CANDIDATE}" ]] && grep -q '"bench": "scale"' "${CANDIDATE}" 2>/dev/null; then
+  SCALE_BASELINE="${2:-$(dirname "$0")/../BENCH_scale.json}"
+  MAX_SCALE_REGRESSION="${SES_BENCH_MAX_SCALE_REGRESSION:-0.50}"
+  MAX_LOAD="${SES_BENCH_MAX_LOAD:-0.8}"
+  PRELOAD="${SES_BENCH_PRELOAD:-}"
+  SKIP_PERF=0
+  if [[ ! -f "${SCALE_BASELINE}" ]]; then
+    echo "SCALE PERF COMPARISON SKIPPED: no committed baseline at" \
+         "${SCALE_BASELINE} (newly added benchmark? commit one with" \
+         "./build/bench/bench_scale --out=BENCH_scale.json)." \
+         "Structural checks still enforced."
+    SKIP_PERF=1
+    SCALE_BASELINE=""
+  fi
+  if [[ -n "${PRELOAD}" ]]; then
+    NCPU="$(nproc 2>/dev/null || echo 1)"
+    if python3 -c "import sys; sys.exit(0 if float('${PRELOAD}') > float('${MAX_LOAD}') * ${NCPU} else 1)"; then
+      echo "SCALE PERF COMPARISON SKIPPED: pre-bench load average" \
+           "${PRELOAD} exceeds ${MAX_LOAD} x ${NCPU} cores (structural" \
+           "checks still enforced)."
+      SKIP_PERF=1
+    fi
+  fi
+  python3 - "${CANDIDATE}" "${SCALE_BASELINE}" "${MAX_SCALE_REGRESSION}" \
+      "${SKIP_PERF}" <<'PY'
+import json
+import sys
+
+cand_path, base_path = sys.argv[1], sys.argv[2]
+allowed, skip_perf = float(sys.argv[3]), sys.argv[4] == "1"
+MAX_CUT_RISE = 0.05  # absolute; the partitioner is deterministic
+
+try:
+    with open(cand_path) as f:
+        cand = json.load(f)
+except json.JSONDecodeError as e:
+    sys.exit(f"BENCH GATE FAIL: {cand_path} is not valid JSON "
+             f"(line {e.lineno}: {e.msg}). Was the benchmark interrupted?")
+
+failures = []
+points = cand.get("points")
+if not isinstance(points, list) or not points:
+    sys.exit(f"BENCH GATE FAIL: {cand_path} has no sweep points.")
+for p in points:
+    try:
+        label = f"{p['nodes']}-node point"
+        print(f"  {p['nodes']:>9} nodes ({p['edges']} edges): "
+              f"cut {p['edge_cut_fraction']:.3f} balance {p['balance']:.3f} "
+              f"halo {p['halo_fraction']:.2f} | train "
+              f"{p['train_epoch_ms']:.1f} ms/epoch | warm p99 "
+              f"{p['warm_predict_p99_us']:.1f} us | parity "
+              f"{'OK' if p['parity_ok'] else 'BROKEN'}")
+        if not p["parity_ok"]:
+            failures.append(f"{label}: sharded logits are NOT bitwise-equal "
+                            f"to the whole-graph session's")
+        if not 0.0 <= p["edge_cut_fraction"] <= 1.0:
+            failures.append(f"{label}: edge_cut_fraction "
+                            f"{p['edge_cut_fraction']} outside [0, 1]")
+        if p["balance"] < 1.0:
+            failures.append(f"{label}: balance {p['balance']} below 1")
+        if p["warm_predict_p99_us"] <= 0:
+            failures.append(f"{label}: non-positive warm-predict p99")
+        if p["nodes"] <= 0 or p["edges"] <= 0:
+            failures.append(f"{label}: empty graph")
+    except KeyError as e:
+        sys.exit(f"BENCH GATE FAIL: {cand_path} sweep point lacks {e} — "
+                 f"the bench_scale schema changed; regenerate the baseline.")
+if not cand.get("all_parity_ok", False):
+    failures.append("all_parity_ok is not true")
+if cand.get("profile") == "full":
+    biggest = max(p["nodes"] for p in points)
+    if biggest < 1_000_000:
+        failures.append(f"full-profile artifact tops out at {biggest} nodes; "
+                        f"the sweep must include a >= 1M-node point")
+
+if skip_perf or cand.get("profile") == "smoke":
+    if not skip_perf:
+        print("smoke profile: perf comparison skipped (structural only)")
+elif base_path:
+    with open(base_path) as f:
+        base = json.load(f)
+    base_by_nodes = {p["base_nodes"]: p for p in base.get("points", [])}
+    matched = 0
+    for p in points:
+        b = base_by_nodes.get(p["base_nodes"])
+        if b is None:
+            print(f"  {p['base_nodes']}-base-node point has no baseline "
+                  f"counterpart (not gated)")
+            continue
+        matched += 1
+        for field, name in (("warm_predict_p99_us", "warm-predict p99"),
+                            ("train_epoch_ms", "train epoch time")):
+            rise = 0.0 if b[field] <= 0 else (p[field] - b[field]) / b[field]
+            print(f"  {p['base_nodes']:>9}: {name} baseline {b[field]:.2f} "
+                  f"candidate {p[field]:.2f} rise {rise:+.1%} "
+                  f"(allowed {allowed:.0%})")
+            if rise > allowed:
+                failures.append(f"{p['base_nodes']}-node {name} rose "
+                                f"{rise:.1%} (> {allowed:.0%})")
+        cut_rise = p["edge_cut_fraction"] - b["edge_cut_fraction"]
+        if cut_rise > MAX_CUT_RISE:
+            failures.append(
+                f"{p['base_nodes']}-node edge-cut fraction rose "
+                f"{cut_rise:+.3f} (> {MAX_CUT_RISE}) — partition quality "
+                f"regressed")
+    if matched == 0:
+        print("no baseline point matches the candidate sweep; perf gate "
+              "vacuous")
+
+if failures:
+    for f in failures:
+        print(f"BENCH GATE FAIL: {f}", file=sys.stderr)
+    sys.exit(1)
+print("scale bench gate passed")
+PY
+  exit $?
+fi
+
 # Default baseline matches the candidate kind: kernel artifacts gate against
 # BENCH_kernels.json, anything else against BENCH_serving.json.
 if [[ -z "${2:-}" ]] && grep -q '"kernels"' "${CANDIDATE}" 2>/dev/null; then
@@ -135,18 +274,22 @@ MIN_SPMM_SPEEDUP="${SES_BENCH_MIN_SPMM_SPEEDUP:-1.5}"
 MAX_LOAD="${SES_BENCH_MAX_LOAD:-0.8}"
 PRELOAD="${SES_BENCH_PRELOAD:-}"
 
-for f in "${CANDIDATE}" "${BASELINE}"; do
-  if [[ ! -f "${f}" ]]; then
-    echo "BENCH GATE FAIL: ${f} does not exist." >&2
-    if [[ "${f}" == "${BASELINE}" ]]; then
-      echo "  The committed baseline is produced by:" >&2
-      echo "    ./build/bench/bench_serving --out=BENCH_serving.json" >&2
-    else
-      echo "  Run the serving benchmark first (scripts/ci.sh bench does)." >&2
-    fi
-    exit 1
-  fi
-done
+if [[ ! -f "${CANDIDATE}" ]]; then
+  echo "BENCH GATE FAIL: ${CANDIDATE} does not exist." >&2
+  echo "  Run the serving benchmark first (scripts/ci.sh bench does)." >&2
+  exit 1
+fi
+# A missing BASELINE is not a failure: a newly added BENCH_*.json kind has
+# no committed counterpart on its first run, and hard-failing here would
+# force people to commit a baseline before the benchmark that produces it
+# exists. Skip with a visible notice telling them how to create one.
+if [[ ! -f "${BASELINE}" ]]; then
+  echo "BENCH GATE SKIPPED: no committed baseline at ${BASELINE}" \
+       "(newly added benchmark kind?). Produce one with:"
+  echo "  ./build/bench/bench_serving --out=$(basename "${BASELINE}")"
+  echo "and commit it to enable regression gating."
+  exit 0
+fi
 
 # Noise guard: the load average BEFORE the benchmark started tells us whether
 # something else was competing for the cores during the measurement.

@@ -26,6 +26,12 @@
 #                           # SES_KERNEL_VARIANT pinned per CPU-supported
 #                           # tier (skips logged), autotuner determinism
 #                           # double-run, and the parity suite under UBSan
+#   scripts/ci.sh scale     # million-node data-plane gate (DESIGN.md §16):
+#                           # generator determinism double-run at 100k, the
+#                           # Release 10k/100k/1M sweep with the bitwise
+#                           # shard-parity + partition-quality gate
+#                           # (bench_check.sh on BENCH_scale.json), and a
+#                           # 10k smoke under ASan
 #   scripts/ci.sh forensics # request-forensics gate (DESIGN.md §15): Release
 #                           # bench_serving with a deliberately tiny queue-
 #                           # wait SLO so the flight recorder's burn-triggered
@@ -56,6 +62,31 @@ fi
 mkdir -p ci_artifacts
 SCRATCH="$(mktemp -d)"
 trap 'rm -rf "${SCRATCH}"' EXIT
+
+# report_ccache STAGE — compiler-cache health, printed at the end of every
+# stage. Fail-soft by design: a missing ccache, an unparseable stats format,
+# or a cold cache must never fail CI — a low hit rate is a warning that the
+# actions/cache key went stale, not an error.
+report_ccache() {
+  command -v ccache >/dev/null 2>&1 || return 0
+  echo "=== [$1] ccache stats ==="
+  ccache -s 2>/dev/null | tee "ci_artifacts/ccache-$1.log" || true
+  local rate
+  # ccache 4.x: "Hits: 123 / 456 (26.97 %)"; 3.x: "cache hit rate  26.97 %".
+  rate="$(ccache -s 2>/dev/null \
+    | sed -n -e 's/.*Hits:.*(\([0-9.]*\) *%).*/\1/p' \
+             -e 's/.*cache hit rate[^0-9]*\([0-9.]*\) *%.*/\1/p' \
+    | head -1)"
+  if [[ -z "${rate}" ]]; then
+    echo "note: [$1] could not parse a ccache hit rate (fail-soft)."
+  elif python3 -c "import sys; sys.exit(0 if float('${rate}') < 50.0 else 1)" \
+      2>/dev/null; then
+    echo "WARNING: [$1] ccache hit rate ${rate}% is below 50% — cache cold" \
+         "or key churn; builds are paying full compile cost (fail-soft)."
+  else
+    echo "[$1] ccache hit rate ${rate}%"
+  fi
+}
 
 # build_variant NAME BUILD_DIR [cmake args...] — configure + build once.
 build_variant() {
@@ -485,6 +516,39 @@ stage_kernels_dispatch() {
 }
 
 # ---------------------------------------------------------------------------
+stage_scale() {
+  ensure_release
+  # Generator determinism: two independent 100k generations must agree on
+  # the full-dataset digest (topology, labels, features, ground truth,
+  # splits). This is the cheap canary for any nondeterminism creeping into
+  # the per-node RNG stream forking.
+  echo "=== [scale] generator determinism double-run at 100k ==="
+  ./build/bench/bench_scale --digest --nodes=100000 \
+    | tee "ci_artifacts/scale-digest.log"
+
+  # Release sweep with the full gate: 10k / 100k / 1M nodes, each point
+  # partitioned, sharded, and proved bitwise-identical to the whole-graph
+  # session. bench_check.sh enforces parity + partition quality structurally
+  # and compares latencies against the committed BENCH_scale.json.
+  echo "=== [scale] Release 10k/100k/1M sweep vs committed BENCH_scale.json ==="
+  SES_BENCH_PRELOAD="$(cut -d' ' -f1 /proc/loadavg 2>/dev/null || echo 0)"
+  export SES_BENCH_PRELOAD
+  ./build/bench/bench_scale --out=ci_artifacts/BENCH_scale_release.json \
+    | tee "ci_artifacts/scale-release.log"
+  scripts/bench_check.sh ci_artifacts/BENCH_scale_release.json
+
+  # 10k smoke under ASan: the generator's two-pass streaming build, the
+  # partitioner's scratch reuse, the halo BFS, and the per-shard mask
+  # slicing must all be memory-clean. Structural gates only.
+  ensure_asan
+  echo "=== [scale] ASan 10k smoke (structural gates) ==="
+  ./build-asan/bench/bench_scale --smoke \
+    --out=ci_artifacts/BENCH_scale_asan.json \
+    | tee "ci_artifacts/scale-asan.log"
+  scripts/bench_check.sh ci_artifacts/BENCH_scale_asan.json
+}
+
+# ---------------------------------------------------------------------------
 stage_forensics() {
   ensure_release
   # Request forensics end to end (DESIGN.md §15). One Release bench_serving
@@ -655,17 +719,18 @@ PY
 STAGES=()
 for arg in "$@"; do
   case "${arg}" in
-    release|asan|tsan|faults|overload|bench|kernels|kernels-dispatch|forensics) STAGES+=("${arg}") ;;
+    release|asan|tsan|faults|overload|bench|kernels|kernels-dispatch|scale|forensics) STAGES+=("${arg}") ;;
     ''|*[!0-9]*)
-      echo "unknown stage '${arg}' (expected release|asan|tsan|faults|overload|bench|kernels|kernels-dispatch|forensics)" >&2
+      echo "unknown stage '${arg}' (expected release|asan|tsan|faults|overload|bench|kernels|kernels-dispatch|scale|forensics)" >&2
       exit 2 ;;
     *) JOBS="${arg}" ;;  # back-compat: scripts/ci.sh [JOBS]
   esac
 done
 [[ ${#STAGES[@]} -gt 0 ]] || \
-  STAGES=(release asan tsan faults overload bench kernels kernels-dispatch forensics)
+  STAGES=(release asan tsan faults overload bench kernels kernels-dispatch scale forensics)
 
 for stage in "${STAGES[@]}"; do
   "stage_${stage//-/_}"  # dashes in stage names map to underscores
+  report_ccache "${stage}"
 done
 echo "=== stages passed: ${STAGES[*]} ==="

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <numeric>
+#include <utility>
 
 #include "kernels/spmm.h"
 #include "obs/metrics.h"
@@ -36,15 +37,20 @@ uint64_t LogitsDigest(const t::Tensor& logits) {
 }  // namespace
 
 InferenceSession::InferenceSession(const SesModel* model,
-                                   const data::Dataset* ds)
-    : encoder_(model->encoder()), model_(model), ds_(ds) {
+                                   const data::Dataset* ds,
+                                   SessionOverrides overrides)
+    : encoder_(model->encoder()),
+      model_(model),
+      ds_(ds),
+      overrides_(std::move(overrides)) {
   SES_CHECK(encoder_ != nullptr && "SesModel must be Fit before serving");
   SES_CHECK(ds_ != nullptr);
 }
 
 InferenceSession::InferenceSession(const models::Encoder* encoder,
-                                   const data::Dataset* ds)
-    : encoder_(encoder), ds_(ds) {
+                                   const data::Dataset* ds,
+                                   SessionOverrides overrides)
+    : encoder_(encoder), ds_(ds), overrides_(std::move(overrides)) {
   SES_CHECK(encoder_ != nullptr);
   SES_CHECK(ds_ != nullptr);
 }
@@ -55,16 +61,28 @@ void InferenceSession::EnsureArtifactsLocked() {
   SES_TRACE_SPAN("infer/build_artifacts");
   ag::InferenceGuard no_grad;
   adj_edges_ = ds_->graph.DirectedEdges(/*add_self_loops=*/true);
-  if (model_ != nullptr && model_->options().use_feature_mask &&
-      model_->feature_mask_nnz().size() > 0) {
+  // Shard sessions pin the whole-graph statistics into their plan BEFORE the
+  // Choose below memoizes a decision, so the shard replays the unsharded
+  // session's variant (the bitwise shard-parity contract, DESIGN.md §16).
+  if (overrides_.pin_spmm_stats)
+    adj_edges_->plan()->PinChoiceStats(overrides_.spmm_stats);
+  const bool use_feature_mask =
+      model_ != nullptr && model_->options().use_feature_mask;
+  if (use_feature_mask && overrides_.feature_mask_nnz.size() > 0) {
+    input_ = nn::FeatureInput::Sparse(
+        ds_->features, ag::Variable::Constant(overrides_.feature_mask_nnz));
+  } else if (use_feature_mask && model_->feature_mask_nnz().size() > 0) {
     input_ = nn::FeatureInput::Sparse(
         ds_->features, ag::Variable::Constant(model_->feature_mask_nnz()));
   } else {
     input_ = models::MakeInput(*ds_);
   }
   adj_mask_ = {};
-  if (model_ != nullptr && model_->options().use_structure_mask &&
-      model_->structure_mask_adj().size() > 0)
+  const bool use_structure_mask =
+      model_ != nullptr && model_->options().use_structure_mask;
+  if (use_structure_mask && overrides_.structure_mask_adj.size() > 0)
+    adj_mask_ = ag::Variable::Constant(overrides_.structure_mask_adj);
+  else if (use_structure_mask && model_->structure_mask_adj().size() > 0)
     adj_mask_ = ag::Variable::Constant(model_->structure_mask_adj());
   cached_aggregation_ =
       encoder_->PrecomputeAggregation(adj_edges_, adj_mask_,

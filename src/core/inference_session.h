@@ -7,12 +7,31 @@
 #include <vector>
 
 #include "core/ses_model.h"
+#include "kernels/spmm.h"
 
 namespace ses::obs {
 class RequestScope;
 }
 
 namespace ses::core {
+
+/// Optional per-shard overrides a ShardedSession installs on its member
+/// sessions (DESIGN.md §16). Default-constructed overrides change nothing.
+struct SessionOverrides {
+  /// When true, the shard's SpMM plan decides from `spmm_stats` (the WHOLE
+  /// graph's statistics) instead of its own — every shard then lands in the
+  /// same accumulation-order class as the single whole-graph session, which
+  /// is what makes sharded logits bitwise-equal to unsharded ones.
+  bool pin_spmm_stats = false;
+  kernels::GraphStats spmm_stats;
+  /// Shard-sliced feature mask M_f (one value per nonzero of the shard's
+  /// feature rows, in GatherRows order). Empty = use the model's own mask.
+  tensor::Tensor feature_mask_nnz;
+  /// Shard-sliced structure mask over the shard's directed support (both
+  /// orientations per local edge, then self-loops — DirectedEdges order).
+  /// Empty = use the model's own mask.
+  tensor::Tensor structure_mask_adj;
+};
 
 /// Serving-side view of one trained model over one graph.
 ///
@@ -40,11 +59,14 @@ namespace ses::core {
 class InferenceSession {
  public:
   /// Serves a trained SesModel: masked forward + mask-based explanations.
-  /// Both the model and the dataset must outlive the session.
-  InferenceSession(const SesModel* model, const data::Dataset* ds);
+  /// Both the model and the dataset must outlive the session. `overrides`
+  /// customizes the artifacts for shard-local serving (see SessionOverrides).
+  InferenceSession(const SesModel* model, const data::Dataset* ds,
+                   SessionOverrides overrides = {});
 
   /// Serves a bare trained encoder (no masks; ExplainNode returns empty).
-  InferenceSession(const models::Encoder* encoder, const data::Dataset* ds);
+  InferenceSession(const models::Encoder* encoder, const data::Dataset* ds,
+                   SessionOverrides overrides = {});
 
   /// Marks every cached artifact stale. Call after mutating the graph,
   /// features, or masks; the next query rebuilds under the new version.
@@ -134,6 +156,7 @@ class InferenceSession {
   const models::Encoder* encoder_ = nullptr;
   const SesModel* model_ = nullptr;  ///< null for bare-encoder sessions
   const data::Dataset* ds_ = nullptr;
+  const SessionOverrides overrides_;
 
   std::atomic<int64_t> graph_version_{0};
   std::atomic<int64_t> cache_hits_{0};

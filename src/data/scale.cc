@@ -1,0 +1,257 @@
+#include "data/scale.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ses::data {
+
+namespace {
+
+/// splitmix64 mix of (seed, stream tag, index) — every node and motif gets
+/// its own RNG stream, so the two generation passes (count, fill) replay
+/// identical draws and the result is independent of any pass structure.
+uint64_t MixSeed(uint64_t seed, uint64_t stream, uint64_t i) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream + 1) +
+               0xBF58476D1CE4E5B9ULL * (i + 1);
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ULL;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return z;
+}
+
+uint64_t Fnv1a(uint64_t h, const void* data, size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+struct Layout {
+  int64_t base_nodes = 0;
+  int64_t houses = 0;
+  int64_t cycles = 0;
+  int64_t total_nodes = 0;
+  int64_t house_label_base = 0;  ///< labels 1..3 when houses enabled
+  int64_t cycle_label = 0;
+  int64_t num_classes = 1;
+
+  int64_t HouseNode(int64_t m, int64_t k) const { return base_nodes + 5 * m + k; }
+  int64_t CycleNode(int64_t m, int64_t k) const {
+    return base_nodes + 5 * houses + 6 * m + k;
+  }
+};
+
+Layout MakeLayout(const ScaleGraphOptions& o) {
+  Layout l;
+  l.base_nodes = o.num_nodes;
+  l.houses = o.num_houses >= 0 ? o.num_houses
+                               : std::max<int64_t>(1, o.num_nodes / 1000);
+  l.cycles = o.num_cycles >= 0 ? o.num_cycles
+                               : std::max<int64_t>(1, o.num_nodes / 1000);
+  l.total_nodes = l.base_nodes + 5 * l.houses + 6 * l.cycles;
+  l.house_label_base = l.houses > 0 ? 1 : 0;
+  l.cycle_label = 1 + (l.houses > 0 ? 3 : 0);
+  l.num_classes = 1 + (l.houses > 0 ? 3 : 0) + (l.cycles > 0 ? 1 : 0);
+  return l;
+}
+
+/// Streams every candidate edge (u != v, unordered, duplicates possible) to
+/// `emit`. Called twice — degree-count pass and CSR-fill pass — and MUST
+/// emit the identical sequence both times; all randomness comes from
+/// per-node / per-motif forked streams, never from shared state.
+template <typename Emit>
+void StreamEdges(const ScaleGraphOptions& o, const Layout& l, Emit&& emit) {
+  const double alpha = o.powerlaw_exponent;
+  // Pareto-tail stub count with mean ~ avg_degree: E[d] = dmin(a-1)/(a-2).
+  const double dmin =
+      std::max(0.5, o.avg_degree * (alpha - 2.0) / (alpha - 1.0));
+  const int64_t cap = std::max<int64_t>(1, l.base_nodes - 1);
+  // Target weight ~ (j+1)^-b gives in-degree density ~ j^-b; b = 1/(a-1)
+  // keeps the combined degree distribution's tail exponent at ~alpha.
+  const double b = std::clamp(1.0 / (alpha - 1.0), 0.05, 0.95);
+  const double inv_exp = 1.0 / (1.0 - b);
+  for (int64_t i = 0; i < l.base_nodes; ++i) {
+    util::Rng rng(MixSeed(o.seed, /*stream=*/1, i));
+    const double u = 1.0 - rng.Uniform();  // (0, 1]: keeps pow finite
+    const int64_t stubs = std::clamp<int64_t>(
+        static_cast<int64_t>(dmin * std::pow(u, -1.0 / (alpha - 1.0))), 1,
+        cap);
+    for (int64_t s = 0; s < stubs; ++s) {
+      const int64_t t = std::min<int64_t>(
+          l.base_nodes - 1,
+          static_cast<int64_t>(static_cast<double>(l.base_nodes) *
+                               std::pow(rng.Uniform(), inv_exp)));
+      if (t != i) emit(i, t);
+    }
+  }
+  for (int64_t m = 0; m < l.houses; ++m) {
+    util::Rng rng(MixSeed(o.seed, /*stream=*/2, m));
+    const int64_t anchor =
+        static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(l.base_nodes)));
+    // Square 0-1-2-3 with roof apex 4 over the middle pair; the anchor edge
+    // attaches the motif to the base graph and is NOT ground truth.
+    static constexpr int kHouseEdges[6][2] = {{0, 1}, {1, 2}, {2, 3},
+                                              {0, 3}, {2, 4}, {3, 4}};
+    for (const auto& e : kHouseEdges)
+      emit(l.HouseNode(m, e[0]), l.HouseNode(m, e[1]));
+    emit(anchor, l.HouseNode(m, 0));
+  }
+  for (int64_t m = 0; m < l.cycles; ++m) {
+    util::Rng rng(MixSeed(o.seed, /*stream=*/3, m));
+    const int64_t anchor =
+        static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(l.base_nodes)));
+    for (int64_t k = 0; k < 6; ++k)
+      emit(l.CycleNode(m, k), l.CycleNode(m, (k + 1) % 6));
+    emit(anchor, l.CycleNode(m, 0));
+  }
+}
+
+}  // namespace
+
+Dataset MakeScaleGraph(const ScaleGraphOptions& options) {
+  SES_CHECK(options.num_nodes > 0);
+  SES_CHECK(options.powerlaw_exponent > 2.0 &&
+            "power-law exponent must exceed 2 for a finite mean degree");
+  SES_CHECK(options.avg_degree >= 1.0);
+  const Layout l = MakeLayout(options);
+  SES_CHECK(options.feature_dim >= 2 + l.num_classes &&
+            "feature_dim must hold bias + degree + one-hot label channels");
+  const int64_t n = l.total_nodes;
+
+  // Streaming CSR build: pass 1 counts stub endpoints, pass 2 fills the
+  // adjacency through cursors, then each row is sorted and deduplicated in
+  // place. No global edge list with multiplicities is ever materialized.
+  std::vector<int64_t> row_ptr(static_cast<size_t>(n) + 1, 0);
+  StreamEdges(options, l, [&](int64_t u, int64_t v) {
+    ++row_ptr[static_cast<size_t>(u) + 1];
+    ++row_ptr[static_cast<size_t>(v) + 1];
+  });
+  for (int64_t i = 0; i < n; ++i)
+    row_ptr[static_cast<size_t>(i) + 1] += row_ptr[static_cast<size_t>(i)];
+  std::vector<int64_t> idx(static_cast<size_t>(row_ptr.back()));
+  {
+    std::vector<int64_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+    StreamEdges(options, l, [&](int64_t u, int64_t v) {
+      idx[static_cast<size_t>(cursor[static_cast<size_t>(u)]++)] = v;
+      idx[static_cast<size_t>(cursor[static_cast<size_t>(v)]++)] = u;
+    });
+  }
+  int64_t undirected = 0;
+  std::vector<int64_t> row_end(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    auto begin = idx.begin() + row_ptr[static_cast<size_t>(i)];
+    auto end = idx.begin() + row_ptr[static_cast<size_t>(i) + 1];
+    std::sort(begin, end);
+    auto last = std::unique(begin, end);
+    row_end[static_cast<size_t>(i)] =
+        row_ptr[static_cast<size_t>(i)] + (last - begin);
+    for (auto it = begin; it != last; ++it)
+      if (*it > i) ++undirected;
+  }
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  edges.reserve(static_cast<size_t>(undirected));
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t e = row_ptr[static_cast<size_t>(i)];
+         e < row_end[static_cast<size_t>(i)]; ++e)
+      if (idx[static_cast<size_t>(e)] > i)
+        edges.emplace_back(i, idx[static_cast<size_t>(e)]);
+  idx.clear();
+  idx.shrink_to_fit();
+
+  Dataset ds;
+  ds.name = "ScaleGraph-" + std::to_string(n) + "-seed" +
+            std::to_string(options.seed);
+  ds.graph = graph::Graph::FromSortedUniqueEdges(n, std::move(edges));
+
+  // Labels and motif ground truth (motif edges only; anchors excluded).
+  ds.labels.assign(static_cast<size_t>(n), 0);
+  ds.in_motif.assign(static_cast<size_t>(n), false);
+  ds.num_classes = l.num_classes;
+  static constexpr int kHouseRole[5] = {1, 1, 2, 2, 3};  // bottom/middle/top
+  for (int64_t m = 0; m < l.houses; ++m) {
+    static constexpr int kHouseEdges[6][2] = {{0, 1}, {1, 2}, {2, 3},
+                                              {0, 3}, {2, 4}, {3, 4}};
+    for (const auto& e : kHouseEdges) {
+      const int64_t u = l.HouseNode(m, e[0]);
+      const int64_t v = l.HouseNode(m, e[1]);
+      ds.gt_motif_edges.emplace_back(std::min(u, v), std::max(u, v));
+    }
+    for (int64_t k = 0; k < 5; ++k) {
+      ds.labels[static_cast<size_t>(l.HouseNode(m, k))] = kHouseRole[k];
+      ds.in_motif[static_cast<size_t>(l.HouseNode(m, k))] = true;
+    }
+  }
+  for (int64_t m = 0; m < l.cycles; ++m) {
+    for (int64_t k = 0; k < 6; ++k) {
+      const int64_t u = l.CycleNode(m, k);
+      const int64_t v = l.CycleNode(m, (k + 1) % 6);
+      ds.gt_motif_edges.emplace_back(std::min(u, v), std::max(u, v));
+      ds.labels[static_cast<size_t>(u)] = l.cycle_label;
+      ds.in_motif[static_cast<size_t>(u)] = true;
+    }
+  }
+  std::sort(ds.gt_motif_edges.begin(), ds.gt_motif_edges.end());
+
+  // Sparse structural features: bias, saturating normalized degree, and a
+  // one-hot label channel — three nonzeros per node, ascending columns.
+  auto features = std::make_shared<tensor::SparseMatrix>();
+  features->rows = n;
+  features->cols = options.feature_dim;
+  features->row_ptr.resize(static_cast<size_t>(n) + 1);
+  features->col_idx.reserve(static_cast<size_t>(3 * n));
+  features->values.reserve(static_cast<size_t>(3 * n));
+  for (int64_t i = 0; i < n; ++i) {
+    features->col_idx.push_back(0);
+    features->values.push_back(1.0f);
+    features->col_idx.push_back(1);
+    features->values.push_back(
+        static_cast<float>(std::min<int64_t>(ds.graph.Degree(i), 64)) / 64.0f);
+    features->col_idx.push_back(2 + ds.labels[static_cast<size_t>(i)]);
+    features->values.push_back(1.0f);
+    features->row_ptr[static_cast<size_t>(i) + 1] = features->nnz();
+  }
+  ds.features = std::move(features);
+
+  util::Rng split_rng(MixSeed(options.seed, /*stream=*/4, 0));
+  AssignSplit(&ds, options.train_frac, options.val_frac, &split_rng);
+  ValidateDataset(ds);
+  return ds;
+}
+
+uint64_t DatasetDigest(const Dataset& ds) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  const int64_t header[3] = {ds.num_nodes(), ds.graph.num_edges(),
+                             ds.num_classes};
+  h = Fnv1a(h, header, sizeof(header));
+  for (const auto& [u, v] : ds.graph.edges()) {
+    const int64_t pair[2] = {u, v};
+    h = Fnv1a(h, pair, sizeof(pair));
+  }
+  h = Fnv1a(h, ds.labels.data(), ds.labels.size() * sizeof(int64_t));
+  if (ds.features != nullptr) {
+    h = Fnv1a(h, ds.features->row_ptr.data(),
+              ds.features->row_ptr.size() * sizeof(int64_t));
+    h = Fnv1a(h, ds.features->col_idx.data(),
+              ds.features->col_idx.size() * sizeof(int64_t));
+    h = Fnv1a(h, ds.features->values.data(),
+              ds.features->values.size() * sizeof(float));
+  }
+  for (const auto& [u, v] : ds.gt_motif_edges) {
+    const int64_t pair[2] = {u, v};
+    h = Fnv1a(h, pair, sizeof(pair));
+  }
+  for (const auto* split : {&ds.train_idx, &ds.val_idx, &ds.test_idx})
+    h = Fnv1a(h, split->data(), split->size() * sizeof(int64_t));
+  return h;
+}
+
+}  // namespace ses::data

@@ -50,6 +50,58 @@ Graph Graph::FromUndirectedEdges(
   return g;
 }
 
+Graph Graph::FromUndirectedEdgesBulk(
+    int64_t num_nodes, std::vector<std::pair<int64_t, int64_t>>&& edges) {
+  size_t kept = 0;
+  for (auto [u, v] : edges) {
+    if (u < 0 || u >= num_nodes || v < 0 || v >= num_nodes)
+      throw std::runtime_error("graph: edge (" + std::to_string(u) + ", " +
+                               std::to_string(v) +
+                               ") has an endpoint outside [0, " +
+                               std::to_string(num_nodes) + ")");
+    if (u == v) continue;
+    edges[kept++] = {std::min(u, v), std::max(u, v)};
+  }
+  edges.resize(kept);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return FromSortedUniqueEdges(num_nodes, std::move(edges));
+}
+
+Graph Graph::FromSortedUniqueEdges(
+    int64_t num_nodes, std::vector<std::pair<int64_t, int64_t>>&& edges) {
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.edges_ = std::move(edges);
+
+  std::vector<int64_t> deg(static_cast<size_t>(num_nodes), 0);
+  std::pair<int64_t, int64_t> prev{-1, -1};
+  for (auto [u, v] : g.edges_) {
+    SES_CHECK(u >= 0 && u < v && v < num_nodes &&
+              "FromSortedUniqueEdges: endpoints must satisfy 0 <= u < v < n");
+    SES_CHECK(std::make_pair(u, v) > prev &&
+              "FromSortedUniqueEdges: edges must be sorted and unique");
+    prev = {u, v};
+    ++deg[static_cast<size_t>(u)];
+    ++deg[static_cast<size_t>(v)];
+  }
+  g.adj_ptr_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  for (int64_t i = 0; i < num_nodes; ++i)
+    g.adj_ptr_[static_cast<size_t>(i) + 1] =
+        g.adj_ptr_[static_cast<size_t>(i)] + deg[static_cast<size_t>(i)];
+  g.adj_idx_.resize(static_cast<size_t>(g.adj_ptr_.back()));
+  std::vector<int64_t> cursor(g.adj_ptr_.begin(), g.adj_ptr_.end() - 1);
+  // One pass in lexicographic edge order leaves every neighbor row sorted
+  // without a sort: row w receives its smaller neighbors q while edges
+  // (q, w) stream by in ascending q, then its larger neighbors x while
+  // (w, x) stream by in ascending x, and every (q, w) precedes every (w, x).
+  for (auto [u, v] : g.edges_) {
+    g.adj_idx_[static_cast<size_t>(cursor[static_cast<size_t>(u)]++)] = v;
+    g.adj_idx_[static_cast<size_t>(cursor[static_cast<size_t>(v)]++)] = u;
+  }
+  return g;
+}
+
 std::span<const int64_t> Graph::Neighbors(int64_t v) const {
   SES_CHECK(v >= 0 && v < num_nodes_);
   return {adj_idx_.data() + adj_ptr_[static_cast<size_t>(v)],

@@ -203,12 +203,33 @@ SpmmChoice SpmmPlan::TimedChoice(int64_t feat, const float* w,
   return best;
 }
 
+void SpmmPlan::PinChoiceStats(const GraphStats& stats) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_pinned_ && pinned_stats_.nodes == stats.nodes &&
+      pinned_stats_.nnz == stats.nnz &&
+      pinned_stats_.max_degree == stats.max_degree &&
+      pinned_stats_.avg_degree == stats.avg_degree &&
+      pinned_stats_.degree_cv == stats.degree_cv)
+    return;  // idempotent re-pin (session artifact rebuild): keep the memo
+  stats_pinned_ = true;
+  pinned_stats_ = stats;
+  choice_memo_.clear();
+}
+
 SpmmChoice SpmmPlan::Choose(int64_t feat, const float* w,
                             const float* x) const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [f, c] : choice_memo_)
       if (f == feat) return c;
+    if (stats_pinned_) {
+      // Pinned plans decide from the caller-supplied stats, heuristically —
+      // see PinChoiceStats. Memoize under the same lock; no timed path.
+      const SpmmChoice choice =
+          HeuristicSpmmChoice(pinned_stats_, feat, ActiveTier());
+      choice_memo_.emplace_back(feat, choice);
+      return choice;
+    }
   }
   SpmmChoice choice;
   if (ActiveAutotuneMode() == AutotuneMode::kTimed && w != nullptr &&

@@ -116,6 +116,15 @@ class SpmmPlan {
   /// the memo, so a session's pre-warm decision and its forwards agree.
   SpmmChoice Choose(int64_t feat, const float* w, const float* x) const;
 
+  /// Pins the statistics Choose decides from to `stats` instead of this
+  /// plan's own, clearing any memoized decisions. Sharded serving pins every
+  /// shard plan to the WHOLE-graph statistics so all shards land in the same
+  /// accumulation-order class as the single-session plan (csr/edges vs
+  /// csr_blocked) — the property the bitwise shard-parity contract rests on.
+  /// Pinned plans always decide heuristically; timed calibration could pick
+  /// a differently-ordered variant on one shard only, so it is bypassed.
+  void PinChoiceStats(const GraphStats& stats) const;
+
   /// Runs the chosen SpMM: out(nodes x f, zero-initialized) accumulates the
   /// weighted aggregation, then the optional fused epilogue (bias/ReLU).
   void Run(SpmmChoice choice, const float* w, const float* x, int64_t f,
@@ -135,6 +144,8 @@ class SpmmPlan {
   mutable bool csr_built_ = false;
   mutable bool sorted_built_ = false;
   mutable std::vector<std::pair<int64_t, SpmmChoice>> choice_memo_;
+  mutable bool stats_pinned_ = false;
+  mutable GraphStats pinned_stats_;  ///< decision stats when pinned
 };
 
 /// Holder for the plan an EdgeList memoizes. Copy/move produce an EMPTY cell
